@@ -1,0 +1,127 @@
+//! The LSAP and Greedy-Sort-GED estimators.
+//!
+//! Both build the Riesen–Bunke cost matrix and read the total assignment cost
+//! as a GED estimate. The exact LSAP value is a lower bound on the GED
+//! (each forced operation is counted at most once, shared edges are halved);
+//! the greedy value has no guarantee but is usually tighter in practice —
+//! exactly the behaviour the paper's effectiveness experiments exercise.
+
+use gbd_ged::GedEstimate;
+use gbd_graph::Graph;
+
+use crate::cost_matrix::bipartite_cost_matrix;
+use crate::greedy::greedy_assignment;
+use crate::hungarian::hungarian;
+
+/// The LSAP baseline [11]: exact bipartite assignment via the Hungarian
+/// algorithm, `O((n1 + n2)³)` per pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LsapGed;
+
+impl GedEstimate for LsapGed {
+    fn name(&self) -> &str {
+        "LSAP"
+    }
+
+    fn estimate_ged(&self, g1: &Graph, g2: &Graph) -> f64 {
+        let m = bipartite_cost_matrix(g1, g2);
+        let (_, total) = hungarian(&m.costs);
+        total
+    }
+
+    fn is_lower_bound(&self) -> bool {
+        true
+    }
+}
+
+/// The Greedy-Sort-GED baseline [12]: greedy bipartite assignment,
+/// `O((n1 + n2)² log (n1 + n2))` per pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyGed;
+
+impl GedEstimate for GreedyGed {
+    fn name(&self) -> &str {
+        "greedysort"
+    }
+
+    fn estimate_ged(&self, g1: &Graph, g2: &Graph) -> f64 {
+        let m = bipartite_cost_matrix(g1, g2);
+        let (_, total) = greedy_assignment(&m.costs);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_ged::exact_ged;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+    use gbd_graph::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lsap_lower_bounds_exact_ged_on_examples() {
+        for (g1, g2) in [
+            (figure1_g1().0, figure1_g2().0),
+            (figure4_g1().0, figure4_g2().0),
+        ] {
+            let (exact, _) = exact_ged(&g1, &g2);
+            let est = LsapGed.estimate_ged(&g1, &g2);
+            assert!(
+                est <= exact as f64 + 1e-9,
+                "LSAP estimate {est} exceeds exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn lsap_lower_bounds_exact_ged_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = GeneratorConfig::new(6, 2.0);
+        for _ in 0..10 {
+            let a = cfg.generate(&mut rng).unwrap();
+            let b = cfg.generate(&mut rng).unwrap();
+            let (exact, _) = exact_ged(&a, &b);
+            let est = LsapGed.estimate_ged(&a, &b);
+            assert!(
+                est <= exact as f64 + 1e-9,
+                "LSAP {est} > exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_lsap() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = GeneratorConfig::new(7, 2.2);
+        for _ in 0..8 {
+            let a = cfg.generate(&mut rng).unwrap();
+            let b = cfg.generate(&mut rng).unwrap();
+            assert!(GreedyGed.estimate_ged(&a, &b) + 1e-9 >= LsapGed.estimate_ged(&a, &b));
+        }
+    }
+
+    #[test]
+    fn estimates_vanish_for_identical_graphs() {
+        let (g1, _) = figure1_g1();
+        assert_eq!(LsapGed.estimate_ged(&g1, &g1), 0.0);
+        assert_eq!(GreedyGed.estimate_ged(&g1, &g1), 0.0);
+    }
+
+    #[test]
+    fn estimator_metadata() {
+        assert_eq!(LsapGed.name(), "LSAP");
+        assert!(LsapGed.is_lower_bound());
+        assert_eq!(GreedyGed.name(), "greedysort");
+        assert!(!GreedyGed.is_lower_bound());
+    }
+
+    #[test]
+    fn estimates_are_positive_for_different_graphs() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        assert!(LsapGed.estimate_ged(&g1, &g2) > 0.0);
+        assert!(GreedyGed.estimate_ged(&g1, &g2) > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Greedy assignment (Greedy-Sort-GED, Riesen, Ferrer & Bunke [12]).
+//!
+//! Instead of solving the LSAP exactly, the greedy variant repeatedly picks
+//! the globally cheapest remaining `(row, column)` pair. Sorting all entries
+//! once costs `O(n² log n²)`, after which a single sweep builds the
+//! assignment — the quadratic-time approximation evaluated by the paper.
+//! The result is feasible but not necessarily optimal, so the induced GED
+//! estimate carries no bound guarantee.
+
+/// Solves the square assignment problem greedily.
+///
+/// Returns `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn greedy_assignment(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+    }
+    // Sort all (cost, row, col) triples ascending — the "Sort" in
+    // Greedy-Sort-GED.
+    let mut entries: Vec<(f64, usize, usize)> = Vec::with_capacity(n * n);
+    for (i, row) in cost.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            entries.push((c, i, j));
+        }
+    }
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut row_used = vec![false; n];
+    let mut col_used = vec![false; n];
+    let mut assignment = vec![usize::MAX; n];
+    let mut total = 0.0;
+    let mut assigned = 0usize;
+    for (c, i, j) in entries {
+        if assigned == n {
+            break;
+        }
+        if row_used[i] || col_used[j] {
+            continue;
+        }
+        row_used[i] = true;
+        col_used[j] = true;
+        assignment[i] = j;
+        total += c;
+        assigned += 1;
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::hungarian;
+
+    #[test]
+    fn greedy_produces_a_feasible_assignment() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (assignment, total) = greedy_assignment(&cost);
+        let mut seen = assignment.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert!(total >= 5.0, "greedy can never beat the optimum");
+    }
+
+    #[test]
+    fn greedy_is_never_better_than_hungarian() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in 2..=8 {
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let (_, greedy) = greedy_assignment(&cost);
+            let (_, optimal) = hungarian(&cost);
+            assert!(greedy + 1e-9 >= optimal);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let (a, c) = greedy_assignment(&[]);
+        assert!(a.is_empty());
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn greedy_picks_the_global_minimum_first() {
+        let cost = vec![vec![9.0, 1.0], vec![1.0, 9.0]];
+        let (assignment, total) = greedy_assignment(&cost);
+        assert_eq!(assignment, vec![1, 0]);
+        assert_eq!(total, 2.0);
+    }
+}

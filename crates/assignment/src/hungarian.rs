@@ -1,0 +1,184 @@
+//! Hungarian (Kuhn–Munkres) algorithm for the linear sum assignment problem.
+//!
+//! The implementation is the standard `O(n³)` shortest-augmenting-path
+//! formulation with dual potentials, operating on a dense square matrix of
+//! `f64` costs. It is used by the LSAP baseline [11] to compute the exact
+//! minimum-cost bipartite vertex assignment.
+
+/// Solves the square LSAP `min Σ cost[i][assignment[i]]`.
+///
+/// Returns the assignment (`assignment[row] = column`) and its total cost.
+/// `cost` must be square; entries may be any finite non-negative numbers.
+///
+/// # Panics
+/// Panics if the matrix is not square or contains non-finite values.
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
+    }
+
+    // Potentials and matching arrays are 1-indexed as in the classical
+    // e-maxx formulation; index 0 is a sentinel column.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut perm, 0, &mut |p: &[usize]| {
+            let total: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k == perm.len() {
+            visit(perm);
+            return;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            permute(perm, k + 1, visit);
+            perm.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn solves_a_textbook_instance() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let (assignment, total) = hungarian(&cost);
+        assert_eq!(total, 5.0);
+        // Assignment must be a permutation.
+        let mut seen = assignment.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_instance_costs_zero() {
+        let (assignment, total) = hungarian(&[]);
+        assert!(assignment.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn single_entry_instance() {
+        let (assignment, total) = hungarian(&[vec![7.5]]);
+        assert_eq!(assignment, vec![0]);
+        assert_eq!(total, 7.5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in 2..=6 {
+            for _ in 0..10 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| (rng.gen_range(0..100) as f64) / 10.0).collect())
+                    .collect();
+                let (_, total) = hungarian(&cost);
+                let best = brute_force(&cost);
+                assert!(
+                    (total - best).abs() < 1e-9,
+                    "hungarian {total} != brute force {best} for n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_ties_and_zero_costs() {
+        let cost = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let (_, total) = hungarian(&cost);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square_matrices() {
+        hungarian(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

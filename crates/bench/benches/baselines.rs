@@ -1,0 +1,26 @@
+//! Assignment-solver microbenchmarks: Hungarian O(n³) vs greedy O(n² log n).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_assignment::{greedy_assignment, hungarian};
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_solvers");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for n in [20usize, 60, 120] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, _| {
+            b.iter(|| hungarian(&cost))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_assignment(&cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

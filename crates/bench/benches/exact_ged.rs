@@ -1,0 +1,27 @@
+//! Exact GED (A*) microbenchmark, including the threshold-pruning ablation.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_ged::{bounded_ged, exact_ged};
+use gbd_graph::GeneratorConfig;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_ged_astar");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for n in [5usize, 7, 8] {
+        let cfg = GeneratorConfig::new(n, 2.0);
+        let a = cfg.generate(&mut rng).unwrap();
+        let b = cfg.generate(&mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("unbounded", n), &n, |bench, _| {
+            bench.iter(|| exact_ged(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_tau3", n), &n, |bench, _| {
+            bench.iter(|| bounded_ged(&a, &b, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

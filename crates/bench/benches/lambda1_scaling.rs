@@ -1,0 +1,35 @@
+//! Benchmarks the O(τ̂³) likelihood-table construction (Section VI-B) and the
+//! ablation of the Equation-22 reuse (weight-vector form) against the naive
+//! per-(τ, ϕ) evaluation.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_graph::LabelAlphabets;
+use gbd_prob::{lambda1, BranchEditModel, Lambda1Table};
+use std::time::Duration;
+
+fn bench_lambda1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lambda1_scaling");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    let model = BranchEditModel::new(50, LabelAlphabets::new(10, 4));
+    for tau_hat in [3u64, 6, 10, 20] {
+        group.bench_with_input(BenchmarkId::new("table_with_reuse", tau_hat), &tau_hat, |b, &t| {
+            b.iter(|| Lambda1Table::build(&model, t))
+        });
+    }
+    for tau_hat in [3u64, 6, 10] {
+        group.bench_with_input(BenchmarkId::new("naive_per_cell", tau_hat), &tau_hat, |b, &t| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for tau in 0..=t {
+                    for phi in 0..=(2 * tau) {
+                        total += lambda1(&model, tau, phi);
+                    }
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lambda1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table-IV/V microbenchmark: offline prior construction cost.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbd_bench::workloads::real_like_dataset;
+use gbd_graph::LabelAlphabets;
+use gbd_prob::jeffreys::jeffreys_column;
+use gbd_prob::BranchEditModel;
+use gbda_core::{GbdaConfig, GraphDatabase, OfflineIndex};
+use std::time::Duration;
+
+fn bench_offline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_priors_table4_5");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let dataset = real_like_dataset("GREC");
+    let config = GbdaConfig::new(5, 0.9).with_sample_pairs(500);
+    group.bench_function("offline_index_grec", |b| {
+        b.iter(|| {
+            let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
+            OfflineIndex::build(&database, &config)
+        })
+    });
+    group.bench_function("jeffreys_column_v20_tau10", |b| {
+        let model = BranchEditModel::new(20, LabelAlphabets::new(12, 6));
+        b.iter(|| jeffreys_column(&model, 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline);
+criterion_main!(benches);

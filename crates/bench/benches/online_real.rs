@@ -1,0 +1,30 @@
+//! Figure-7 microbenchmark: one similarity query on a real-like dataset with
+//! every method.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbd_assignment::{GreedyGed, LsapGed};
+use gbd_bench::workloads::{indexed_database, real_like_dataset};
+use gbd_seriation::SeriationGed;
+use gbda_core::{EstimatorSearcher, GbdaConfig, GbdaSearcher, SimilaritySearcher};
+use std::time::Duration;
+
+fn bench_online_real(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_query_real_fig7");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    let dataset = real_like_dataset("AIDS");
+    let query = dataset.queries[0].clone();
+    let config = GbdaConfig::new(5, 0.9).with_sample_pairs(1000);
+    let (database, index) = indexed_database(&dataset, &config);
+
+    let gbda = GbdaSearcher::new(&database, &index, config);
+    group.bench_function("GBDA_tau5", |b| b.iter(|| gbda.search(&query)));
+    let lsap = EstimatorSearcher::new(&database, LsapGed, 5.0);
+    group.bench_function("LSAP", |b| b.iter(|| lsap.search(&query)));
+    let greedy = EstimatorSearcher::new(&database, GreedyGed, 5.0);
+    group.bench_function("greedysort", |b| b.iter(|| greedy.search(&query)));
+    let seriation = EstimatorSearcher::new(&database, SeriationGed::default(), 5.0);
+    group.bench_function("seriation", |b| b.iter(|| seriation.search(&query)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_real);
+criterion_main!(benches);

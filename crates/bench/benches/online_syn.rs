@@ -1,0 +1,31 @@
+//! Figure-8/9 microbenchmark: per-query time vs graph size on synthetic data
+//! (GBDA vs the cheapest competitor).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_assignment::GreedyGed;
+use gbd_bench::workloads::{indexed_database, synthetic_dataset};
+use gbda_core::{EstimatorSearcher, GbdaConfig, GbdaSearcher, SimilaritySearcher};
+use std::time::Duration;
+
+fn bench_online_syn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_query_syn_fig8");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    for &n in &[100usize, 200, 400] {
+        let synthetic = synthetic_dataset(&[n], true);
+        let dataset = &synthetic.subsets[0].dataset;
+        let query = dataset.queries[0].clone();
+        let config = GbdaConfig::new(10, 0.8).with_sample_pairs(30);
+        let (database, index) = indexed_database(dataset, &config);
+        let gbda = GbdaSearcher::new(&database, &index, config);
+        group.bench_with_input(BenchmarkId::new("GBDA_tau10", n), &n, |b, _| {
+            b.iter(|| gbda.search(&query))
+        });
+        let greedy = EstimatorSearcher::new(&database, GreedyGed, 10.0);
+        group.bench_with_input(BenchmarkId::new("greedysort", n), &n, |b, _| {
+            b.iter(|| greedy.search(&query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_syn);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Figures 31–42 (effectiveness vs graph size on Syn-1).
+fn main() {
+    let sizes = [80usize, 160, 320];
+    let taus = [15u64, 20, 25, 30];
+    for table in gbd_bench::experiments::fig31_42(&sizes, &taus, 160) {
+        table.print();
+        let _ = table.save("fig31_42.md");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (Jeffreys prior of GEDs over (τ, |V'1|)).
+fn main() {
+    let table = gbd_bench::experiments::fig6();
+    table.print();
+    let _ = table.save("fig6.md");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 8 and 9 (query time vs graph size on Syn-1 / Syn-2).
+fn main() {
+    let sizes = [100usize, 200, 400, 800];
+    for scale_free in [true, false] {
+        let table = gbd_bench::experiments::fig8_9(scale_free, &sizes, 200);
+        table.print();
+        let _ = table.save("fig8_9.md");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III (dataset statistics).
+fn main() {
+    let table = gbd_bench::experiments::table3();
+    table.print();
+    let _ = table.save("table3.md");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Tables IV and V (offline prior computation costs).
+fn main() {
+    let (t4, t5) = gbd_bench::experiments::table4_and_5();
+    t4.print();
+    t5.print();
+    let _ = t4.save("table4.md");
+    let _ = t5.save("table5.md");
+}

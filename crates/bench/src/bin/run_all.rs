@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the paper in one run, writing the
+//! results under `results/`.
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    println!("# GBDA experiment suite\n");
+
+    let t3 = gbd_bench::experiments::table3();
+    t3.print();
+    let _ = t3.save("all.md");
+
+    let (t4, t5) = gbd_bench::experiments::table4_and_5();
+    t4.print();
+    t5.print();
+    let _ = t4.save("all.md");
+    let _ = t5.save("all.md");
+
+    for table in [gbd_bench::experiments::fig5(), gbd_bench::experiments::fig6()] {
+        table.print();
+        let _ = table.save("all.md");
+    }
+
+    let f7 = gbd_bench::experiments::fig7();
+    f7.print();
+    let _ = f7.save("all.md");
+
+    for scale_free in [true, false] {
+        let table = gbd_bench::experiments::fig8_9(scale_free, &[100, 200, 400], 200);
+        table.print();
+        let _ = table.save("all.md");
+    }
+
+    let taus: Vec<u64> = (1..=10).collect();
+    for table in gbd_bench::experiments::fig10_21(&taus) {
+        table.print();
+        let _ = table.save("all.md");
+    }
+    for table in gbd_bench::experiments::fig22_29(&taus) {
+        table.print();
+        let _ = table.save("all.md");
+    }
+    for table in gbd_bench::experiments::fig31_42(&[80, 160], &[15, 20, 25, 30], 160) {
+        table.print();
+        let _ = table.save("all.md");
+    }
+    println!("\ntotal experiment-suite time: {:.1}s", started.elapsed().as_secs_f64());
+}

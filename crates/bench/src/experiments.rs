@@ -1,0 +1,544 @@
+//! One function per table / figure of the paper's evaluation (Section VII).
+//!
+//! Every function returns [`ExperimentTable`]s holding the same rows / series
+//! as the corresponding paper artefact, measured on the scaled dataset
+//! substitutes of [`crate::workloads`]. Absolute numbers differ from the
+//! paper (different hardware, scaled datasets); the *shape* — which method
+//! wins, how costs grow with `n` and `τ̂` — is what EXPERIMENTS.md compares.
+
+use std::time::Instant;
+
+use gbd_assignment::{GreedyGed, LsapGed};
+use gbd_datasets::LabeledDataset;
+use gbd_graph::LabelAlphabets;
+use gbd_prob::jeffreys::jeffreys_column;
+use gbd_prob::BranchEditModel;
+use gbd_seriation::SeriationGed;
+use gbda_core::{
+    aggregate, Confusion, EstimatorSearcher, GbdaConfig, GbdaSearcher, GbdaVariant,
+    SimilaritySearcher,
+};
+
+use crate::table::ExperimentTable;
+use crate::workloads::{indexed_database, real_like_datasets, synthetic_dataset};
+
+/// Runs one searcher over every query of `dataset` and returns the
+/// micro-averaged confusion plus the mean per-query time in seconds.
+pub fn evaluate_searcher(
+    searcher: &dyn SimilaritySearcher,
+    dataset: &LabeledDataset,
+    tau_hat: usize,
+) -> (Confusion, f64) {
+    let mut confusions = Vec::new();
+    let started = Instant::now();
+    for (qi, query) in dataset.queries.iter().enumerate() {
+        let outcome = searcher.search(query);
+        let positives = dataset
+            .ground_truth
+            .positives(qi, tau_hat, dataset.database_size());
+        confusions.push(Confusion::from_sets(&outcome.matches, &positives));
+    }
+    let per_query = started.elapsed().as_secs_f64() / dataset.queries.len().max(1) as f64;
+    (aggregate(confusions.iter()), per_query)
+}
+
+fn fmt(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn fmt_time(x: f64) -> String {
+    format!("{x:.5}")
+}
+
+/// Table III — statistics of every dataset substitute.
+pub fn table3() -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Table III: statistics of the dataset substitutes",
+        &["Data set", "|D|", "|Q|", "Vm", "Em", "d", "Scale-free"],
+    );
+    for dataset in real_like_datasets() {
+        let stats = dataset.stats();
+        table.push_row(vec![
+            dataset.name.clone(),
+            dataset.database_size().to_string(),
+            dataset.query_count().to_string(),
+            stats.max_vertices.to_string(),
+            stats.max_edges.to_string(),
+            format!("{:.1}", stats.average_degree),
+            if stats.is_scale_free() { "Yes" } else { "No" }.to_string(),
+        ]);
+    }
+    for (name, scale_free) in [("Syn-1", true), ("Syn-2", false)] {
+        let syn = synthetic_dataset(&[100, 200], scale_free);
+        let graphs: Vec<_> = syn
+            .subsets
+            .iter()
+            .flat_map(|s| s.dataset.graphs.iter().cloned())
+            .collect();
+        let queries: usize = syn.subsets.iter().map(|s| s.dataset.query_count()).sum();
+        let stats = gbd_graph::DatasetStats::compute(graphs.iter());
+        table.push_row(vec![
+            name.to_string(),
+            graphs.len().to_string(),
+            queries.to_string(),
+            stats.max_vertices.to_string(),
+            stats.max_edges.to_string(),
+            format!("{:.1}", stats.average_degree),
+            if stats.is_scale_free() { "Yes" } else { "No" }.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Tables IV and V — time and space costs of the offline stage (GBD prior and
+/// GED prior) on every dataset substitute.
+pub fn table4_and_5() -> (ExperimentTable, ExperimentTable) {
+    let mut gbd_table = ExperimentTable::new(
+        "Table IV: costs of computing the GBD prior distribution",
+        &["Data set", "Sampled pairs", "Time (s)", "Stored entries"],
+    );
+    let mut ged_table = ExperimentTable::new(
+        "Table V: costs of computing the GED prior distribution",
+        &["Data set", "Time (s)", "Stored entries"],
+    );
+    let config = GbdaConfig::new(10, 0.9).with_sample_pairs(2000);
+    for dataset in real_like_datasets() {
+        let (_, index) = indexed_database(&dataset, &config);
+        let stats = index.stats();
+        gbd_table.push_row(vec![
+            dataset.name.clone(),
+            stats.sampled_pairs.to_string(),
+            fmt_time(stats.gbd_prior_seconds),
+            stats.gbd_prior_entries.to_string(),
+        ]);
+        ged_table.push_row(vec![
+            dataset.name.clone(),
+            fmt_time(stats.ged_prior_seconds),
+            stats.ged_prior_entries.to_string(),
+        ]);
+    }
+    for (name, scale_free) in [("Syn-1", true), ("Syn-2", false)] {
+        let syn = synthetic_dataset(&[100, 200], scale_free);
+        for subset in &syn.subsets {
+            let (_, index) = indexed_database(&subset.dataset, &config);
+            let stats = index.stats();
+            let label = format!("{name} ({}v)", subset.vertices);
+            gbd_table.push_row(vec![
+                label.clone(),
+                stats.sampled_pairs.to_string(),
+                fmt_time(stats.gbd_prior_seconds),
+                stats.gbd_prior_entries.to_string(),
+            ]);
+            ged_table.push_row(vec![
+                label,
+                fmt_time(stats.ged_prior_seconds),
+                stats.ged_prior_entries.to_string(),
+            ]);
+        }
+    }
+    (gbd_table, ged_table)
+}
+
+/// Figure 5 — sampled GBD histogram vs the fitted GMM prior on the
+/// Fingerprint-like dataset.
+pub fn fig5() -> ExperimentTable {
+    let dataset = crate::workloads::real_like_dataset("Fingerprint");
+    let config = GbdaConfig::new(10, 0.9).with_sample_pairs(20_000);
+    let (database, index) = indexed_database(&dataset, &config);
+    // Empirical histogram over all pairs (the database is small enough).
+    let mut histogram = vec![0usize; database.max_vertices() + 1];
+    let mut pairs = 0usize;
+    for i in 0..database.len() {
+        for j in (i + 1)..database.len() {
+            let gbd = database.gbd_between(i, j).min(database.max_vertices());
+            histogram[gbd] += 1;
+            pairs += 1;
+        }
+    }
+    let mut table = ExperimentTable::new(
+        "Figure 5: GBD prior on the Fingerprint-like dataset (sampled vs inferred)",
+        &["GBD", "Sampled frequency", "Inferred Pr[GBD = ϕ]"],
+    );
+    for (phi, &count) in histogram.iter().enumerate() {
+        table.push_row(vec![
+            phi.to_string(),
+            fmt(count as f64 / pairs.max(1) as f64),
+            fmt(index.gbd_prior().probability(phi)),
+        ]);
+    }
+    table
+}
+
+/// Figure 6 — the Jeffreys prior of GEDs over a grid of `(τ, |V'1|)` values.
+pub fn fig6() -> ExperimentTable {
+    let alphabets = LabelAlphabets::new(4, 4); // Fingerprint-like label domain
+    let sizes = [6usize, 10, 14, 18, 26];
+    let tau_max = 10u64;
+    let mut headers: Vec<String> = vec!["τ \\ |V'1|".to_owned()];
+    headers.extend(sizes.iter().map(|v| v.to_string()));
+    let mut table = ExperimentTable::new(
+        "Figure 6: Jeffreys prior Pr[GED = τ] over (τ, |V'1|) on a Fingerprint-like label domain",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let columns: Vec<Vec<f64>> = sizes
+        .iter()
+        .map(|&v| jeffreys_column(&BranchEditModel::new(v, alphabets), tau_max))
+        .collect();
+    for tau in 0..=tau_max {
+        let mut row = vec![tau.to_string()];
+        row.extend(columns.iter().map(|c| fmt(c[tau as usize])));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 7 — average query response time of every method on the real-like
+/// datasets, with GBDA at τ̂ = 1, 5, 10.
+pub fn fig7() -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Figure 7: query time (seconds per query) on real-like datasets",
+        &[
+            "Data set",
+            "LSAP",
+            "greedysort",
+            "seriation",
+            "GBDA(τ̂=1)",
+            "GBDA(τ̂=5)",
+            "GBDA(τ̂=10)",
+        ],
+    );
+    for dataset in real_like_datasets() {
+        let mut row = vec![dataset.name.clone()];
+        let base_config = GbdaConfig::new(10, 0.9).with_sample_pairs(2000);
+        let (database, _) = indexed_database(&dataset, &base_config);
+        for estimator_time in [
+            evaluate_searcher(&EstimatorSearcher::new(&database, LsapGed, 10.0), &dataset, 10).1,
+            evaluate_searcher(&EstimatorSearcher::new(&database, GreedyGed, 10.0), &dataset, 10).1,
+            evaluate_searcher(
+                &EstimatorSearcher::new(&database, SeriationGed::default(), 10.0),
+                &dataset,
+                10,
+            )
+            .1,
+        ] {
+            row.push(fmt_time(estimator_time));
+        }
+        for tau_hat in [1u64, 5, 10] {
+            let config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
+            let (database, index) = indexed_database(&dataset, &config);
+            let searcher = GbdaSearcher::new(&database, &index, config);
+            let (_, seconds) = evaluate_searcher(&searcher, &dataset, tau_hat as usize);
+            row.push(fmt_time(seconds));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figures 8 and 9 — query time versus graph size on the synthetic datasets.
+///
+/// The expensive `O(n³)` baselines (LSAP, seriation) are only run up to
+/// `baseline_size_cap` vertices, mirroring the paper's observation that the
+/// competitors stop being able to handle large graphs.
+pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> ExperimentTable {
+    let name = if scale_free { "Syn-1 (Figure 8)" } else { "Syn-2 (Figure 9)" };
+    let mut table = ExperimentTable::new(
+        format!("{name}: query time (seconds per query) vs graph size"),
+        &[
+            "Graph size",
+            "LSAP",
+            "greedysort",
+            "seriation",
+            "GBDA(τ̂=10)",
+            "GBDA(τ̂=20)",
+            "GBDA(τ̂=30)",
+        ],
+    );
+    let synthetic = synthetic_dataset(sizes, scale_free);
+    for subset in &synthetic.subsets {
+        let dataset = &subset.dataset;
+        let mut row = vec![subset.vertices.to_string()];
+        let base_config = GbdaConfig::new(10, 0.8).with_sample_pairs(50);
+        let (database, _) = indexed_database(dataset, &base_config);
+        // LSAP / seriation only below the cap (they are O(n³) per pair).
+        if subset.vertices <= baseline_size_cap {
+            row.push(fmt_time(
+                evaluate_searcher(&EstimatorSearcher::new(&database, LsapGed, 30.0), dataset, 30).1,
+            ));
+        } else {
+            row.push("-".into());
+        }
+        row.push(fmt_time(
+            evaluate_searcher(&EstimatorSearcher::new(&database, GreedyGed, 30.0), dataset, 30).1,
+        ));
+        if subset.vertices <= baseline_size_cap {
+            row.push(fmt_time(
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, SeriationGed::default(), 30.0),
+                    dataset,
+                    30,
+                )
+                .1,
+            ));
+        } else {
+            row.push("-".into());
+        }
+        for tau_hat in [10u64, 20, 30] {
+            let config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(50);
+            let (database, index) = indexed_database(dataset, &config);
+            let searcher = GbdaSearcher::new(&database, &index, config);
+            let (_, seconds) = evaluate_searcher(&searcher, dataset, tau_hat as usize);
+            row.push(fmt_time(seconds));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figures 10–21 — precision, recall and F1 versus τ̂ on every real-like
+/// dataset for GBDA (γ = 0.7, 0.8, 0.9) and the three baselines. Returns one
+/// table per (dataset, metric).
+pub fn fig10_21(tau_values: &[u64]) -> Vec<ExperimentTable> {
+    let gammas = [0.7, 0.8, 0.9];
+    let mut tables = Vec::new();
+    for dataset in real_like_datasets() {
+        let mut per_metric: Vec<ExperimentTable> = ["Precision", "Recall", "F1"]
+            .iter()
+            .map(|metric| {
+                ExperimentTable::new(
+                    format!(
+                        "Figures 10-21: {metric} vs τ̂ on {} (GBDA γ=0.7/0.8/0.9 vs baselines)",
+                        dataset.name
+                    ),
+                    &[
+                        "τ̂",
+                        "LSAP",
+                        "greedysort",
+                        "seriation",
+                        "GBDA(γ=0.70)",
+                        "GBDA(γ=0.80)",
+                        "GBDA(γ=0.90)",
+                    ],
+                )
+            })
+            .collect();
+        for &tau_hat in tau_values {
+            let base_config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
+            let (database, index) = indexed_database(&dataset, &base_config);
+            let mut results: Vec<Confusion> = Vec::new();
+            results.push(
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, LsapGed, tau_hat as f64),
+                    &dataset,
+                    tau_hat as usize,
+                )
+                .0,
+            );
+            results.push(
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, GreedyGed, tau_hat as f64),
+                    &dataset,
+                    tau_hat as usize,
+                )
+                .0,
+            );
+            results.push(
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, SeriationGed::default(), tau_hat as f64),
+                    &dataset,
+                    tau_hat as usize,
+                )
+                .0,
+            );
+            for gamma in gammas {
+                let config = GbdaConfig::new(tau_hat, gamma).with_sample_pairs(2000);
+                let searcher = GbdaSearcher::new(&database, &index, config);
+                results.push(evaluate_searcher(&searcher, &dataset, tau_hat as usize).0);
+            }
+            for (metric_idx, table) in per_metric.iter_mut().enumerate() {
+                let mut row = vec![tau_hat.to_string()];
+                for confusion in &results {
+                    let value = match metric_idx {
+                        0 => confusion.precision(),
+                        1 => confusion.recall(),
+                        _ => confusion.f1(),
+                    };
+                    row.push(fmt(value));
+                }
+                table.push_row(row);
+            }
+        }
+        tables.extend(per_metric);
+    }
+    tables
+}
+
+/// Figures 22–29 — F1 of standard GBDA against its V1 (α = 10, 50, 100) and
+/// V2 (w = 0.1, 0.5) variants, per real-like dataset (γ = 0.9).
+pub fn fig22_29(tau_values: &[u64]) -> Vec<ExperimentTable> {
+    let mut tables = Vec::new();
+    for dataset in real_like_datasets() {
+        let mut table = ExperimentTable::new(
+            format!(
+                "Figures 22-29: F1 vs τ̂ on {} — GBDA vs variants V1(α) and V2(w), γ = 0.9",
+                dataset.name
+            ),
+            &[
+                "τ̂",
+                "GBDA",
+                "V1(α=10)",
+                "V1(α=50)",
+                "V1(α=100)",
+                "V2(w=0.1)",
+                "V2(w=0.5)",
+            ],
+        );
+        for &tau_hat in tau_values {
+            let base_config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
+            let (database, index) = indexed_database(&dataset, &base_config);
+            let variants: Vec<GbdaVariant> = vec![
+                GbdaVariant::Standard,
+                GbdaVariant::AverageExtendedSize { sample_graphs: 10 },
+                GbdaVariant::AverageExtendedSize { sample_graphs: 50 },
+                GbdaVariant::AverageExtendedSize { sample_graphs: 100 },
+                GbdaVariant::WeightedGbd { weight: 0.1 },
+                GbdaVariant::WeightedGbd { weight: 0.5 },
+            ];
+            let mut row = vec![tau_hat.to_string()];
+            for variant in variants {
+                let config = base_config.clone().with_variant(variant);
+                let searcher = GbdaSearcher::new(&database, &index, config);
+                let (confusion, _) = evaluate_searcher(&searcher, &dataset, tau_hat as usize);
+                row.push(fmt(confusion.f1()));
+            }
+            table.push_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Figures 31–42 — precision / recall / F1 versus graph size on Syn-1 for
+/// τ̂ ∈ {15, 20, 25, 30} and GBDA γ ∈ {0.6, 0.7, 0.8}, with the baselines run
+/// up to `baseline_size_cap` vertices.
+pub fn fig31_42(
+    sizes: &[usize],
+    tau_values: &[u64],
+    baseline_size_cap: usize,
+) -> Vec<ExperimentTable> {
+    let gammas = [0.6, 0.7, 0.8];
+    let synthetic = synthetic_dataset(sizes, true);
+    let mut tables = Vec::new();
+    for &tau_hat in tau_values {
+        let mut per_metric: Vec<ExperimentTable> = ["Precision", "Recall", "F1"]
+            .iter()
+            .map(|metric| {
+                ExperimentTable::new(
+                    format!("Figures 31-42: {metric} vs graph size on Syn-1 (τ̂ = {tau_hat})"),
+                    &[
+                        "Graph size",
+                        "LSAP",
+                        "greedysort",
+                        "seriation",
+                        "GBDA(γ=0.60)",
+                        "GBDA(γ=0.70)",
+                        "GBDA(γ=0.80)",
+                    ],
+                )
+            })
+            .collect();
+        for subset in &synthetic.subsets {
+            let dataset = &subset.dataset;
+            let base_config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(50);
+            let (database, index) = indexed_database(dataset, &base_config);
+            let mut results: Vec<Option<Confusion>> = Vec::new();
+            if subset.vertices <= baseline_size_cap {
+                results.push(Some(
+                    evaluate_searcher(
+                        &EstimatorSearcher::new(&database, LsapGed, tau_hat as f64),
+                        dataset,
+                        tau_hat as usize,
+                    )
+                    .0,
+                ));
+            } else {
+                results.push(None);
+            }
+            results.push(Some(
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, GreedyGed, tau_hat as f64),
+                    dataset,
+                    tau_hat as usize,
+                )
+                .0,
+            ));
+            if subset.vertices <= baseline_size_cap {
+                results.push(Some(
+                    evaluate_searcher(
+                        &EstimatorSearcher::new(&database, SeriationGed::default(), tau_hat as f64),
+                        dataset,
+                        tau_hat as usize,
+                    )
+                    .0,
+                ));
+            } else {
+                results.push(None);
+            }
+            for gamma in gammas {
+                let config = GbdaConfig::new(tau_hat, gamma).with_sample_pairs(50);
+                let searcher = GbdaSearcher::new(&database, &index, config);
+                results.push(Some(
+                    evaluate_searcher(&searcher, dataset, tau_hat as usize).0,
+                ));
+            }
+            for (metric_idx, table) in per_metric.iter_mut().enumerate() {
+                let mut row = vec![subset.vertices.to_string()];
+                for result in &results {
+                    row.push(match result {
+                        Some(confusion) => fmt(match metric_idx {
+                            0 => confusion.precision(),
+                            1 => confusion.recall(),
+                            _ => confusion.f1(),
+                        }),
+                        None => "-".into(),
+                    });
+                }
+                table.push_row(row);
+            }
+        }
+        tables.extend(per_metric);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_all_six_datasets() {
+        let table = table3();
+        assert_eq!(table.rows.len(), 6);
+        assert!(table.rows.iter().any(|r| r[0].starts_with("AIDS")));
+        assert!(table.rows.iter().any(|r| r[0] == "Syn-2"));
+    }
+
+    #[test]
+    fn fig6_grid_has_expected_shape_and_normalised_columns() {
+        let table = fig6();
+        assert_eq!(table.rows.len(), 11);
+        assert_eq!(table.headers.len(), 6);
+        // Each column (fixed |V'1|) sums to ~1 over τ.
+        for col in 1..table.headers.len() {
+            let total: f64 = table.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).sum();
+            assert!((total - 1.0).abs() < 0.02, "column {col} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn effectiveness_tables_have_one_row_per_tau() {
+        let tables = fig22_29(&[1, 2]);
+        assert_eq!(tables.len(), 4);
+        assert!(tables.iter().all(|t| t.rows.len() == 2));
+    }
+}

@@ -1,0 +1,17 @@
+//! # gbd-bench — experiment harness regenerating every table and figure
+//!
+//! Each experiment of the paper's evaluation (Section VII) has a function in
+//! [`experiments`] that produces one or more [`table::ExperimentTable`]s with
+//! the same rows / series the paper reports, at a hardware-appropriate scale
+//! (see DESIGN.md §5). Thin binaries under `src/bin/` print individual
+//! experiments; `run_all` regenerates everything and writes the results into
+//! `results/`. Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::ExperimentTable;

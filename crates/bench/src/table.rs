@@ -1,0 +1,90 @@
+//! Markdown experiment tables written to stdout and `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple experiment result table (title + header row + data rows).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentTable {
+    /// Table title, e.g. `"Figure 7: query time on real datasets"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+
+    /// Appends the table to `results/<file>` (creating the directory).
+    pub fn save(&self, file: &str) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(file);
+        let mut existing = fs::read_to_string(&path).unwrap_or_default();
+        existing.push_str(&self.to_markdown());
+        existing.push('\n');
+        fs::write(path, existing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering_contains_all_cells() {
+        let mut table = ExperimentTable::new("Demo", &["a", "b"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        table.push_row(vec!["x".into(), "y".into()]);
+        let md = table.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("| x | y |"));
+        // title + blank line + header + separator + 2 data rows
+        assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    fn empty_table_still_renders_headers() {
+        let table = ExperimentTable::new("Empty", &["only"]);
+        let md = table.to_markdown();
+        assert!(md.contains("| only |"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared experiment workloads: scaled dataset substitutes and searcher
+//! construction used by both the experiment binaries and the Criterion
+//! benchmarks.
+
+use gbd_datasets::{
+    generate_real_like, generate_synthetic, DatasetProfile, LabeledDataset, RealLikeConfig,
+    SyntheticConfig, SyntheticDataset,
+};
+use gbda_core::{GbdaConfig, GraphDatabase, OfflineIndex};
+
+/// Default scale applied to the real-dataset profiles so the whole experiment
+/// suite runs in minutes on laptop hardware (the paper's counts divided by
+/// roughly 50–500 depending on the dataset).
+pub fn default_scale(profile: &DatasetProfile) -> f64 {
+    match profile.name {
+        "AASD" => 0.002,
+        _ => 0.02,
+    }
+}
+
+/// The four real-like dataset substitutes at their default experiment scale.
+pub fn real_like_datasets() -> Vec<LabeledDataset> {
+    DatasetProfile::all_real()
+        .into_iter()
+        .map(|profile| {
+            let scale = default_scale(&profile);
+            let config = RealLikeConfig::new(profile, scale).with_seed(0xBEEF);
+            generate_real_like(&config).expect("dataset generation succeeds")
+        })
+        .collect()
+}
+
+/// One real-like dataset by profile name (panics on unknown names).
+pub fn real_like_dataset(name: &str) -> LabeledDataset {
+    let profile = DatasetProfile::all_real()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| panic!("unknown dataset profile {name}"));
+    let scale = default_scale(&profile);
+    let config = RealLikeConfig::new(profile, scale).with_seed(0xBEEF);
+    generate_real_like(&config).expect("dataset generation succeeds")
+}
+
+/// Synthetic dataset (Syn-1 scale-free or Syn-2 uniform) at laptop-scale
+/// sizes; the paper's axis (1K…100K vertices) is swept at `sizes`.
+pub fn synthetic_dataset(sizes: &[usize], scale_free: bool) -> SyntheticDataset {
+    let config = SyntheticConfig {
+        graphs_per_subset: 6,
+        queries_per_subset: 2,
+        ..if scale_free {
+            SyntheticConfig::syn1(sizes.to_vec())
+        } else {
+            SyntheticConfig::syn2(sizes.to_vec())
+        }
+    };
+    generate_synthetic(&config).expect("synthetic generation succeeds")
+}
+
+/// Builds the database and offline index for one dataset under a GBDA
+/// configuration.
+pub fn indexed_database(
+    dataset: &LabeledDataset,
+    config: &GbdaConfig,
+) -> (GraphDatabase, OfflineIndex) {
+    let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
+    let index = OfflineIndex::build(&database, config);
+    (database, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_like_dataset_lookup_is_case_insensitive() {
+        let ds = real_like_dataset("fingerprint");
+        assert!(ds.name.starts_with("Fingerprint"));
+        assert!(ds.database_size() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset profile")]
+    fn unknown_profiles_panic() {
+        let _ = real_like_dataset("nope");
+    }
+
+    #[test]
+    fn synthetic_dataset_has_requested_sizes() {
+        let ds = synthetic_dataset(&[50, 80], true);
+        assert_eq!(ds.subsets.len(), 2);
+        assert_eq!(ds.subsets[0].vertices, 50);
+    }
+
+    #[test]
+    fn indexed_database_builds_offline_stage() {
+        let ds = real_like_dataset("GREC");
+        let config = GbdaConfig::new(3, 0.8).with_sample_pairs(200);
+        let (database, index) = indexed_database(&ds, &config);
+        assert_eq!(database.len(), ds.database_size());
+        assert!(index.stats().sampled_pairs > 0);
+    }
+}

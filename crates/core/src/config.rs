@@ -1,0 +1,109 @@
+//! Configuration of the GBDA search engine.
+
+use gbd_prob::GmmConfig;
+
+/// Which flavour of the GBDA estimator to run (Section VII-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GbdaVariant {
+    /// The standard GBDA of Algorithm 1: `|V'1| = max(|V_Q|, |V_G|)` per pair
+    /// and the plain GBD of Definition 4.
+    Standard,
+    /// GBDA-V1: use the *average* number of vertices over a sample of `α`
+    /// database graphs as `|V'1|` in `Λ1` and `Λ3`, instead of the pair's own
+    /// extended size.
+    AverageExtendedSize {
+        /// Number of sampled graphs `α`.
+        sample_graphs: usize,
+    },
+    /// GBDA-V2: replace the GBD by the weighted variant
+    /// `VGBD = max{|V1|, |V2|} − w · |B_G1 ∩ B_G2|` (Equation 26).
+    WeightedGbd {
+        /// The user-defined weight `w`.
+        weight: f64,
+    },
+}
+
+/// Parameters of the GBDA search (Algorithm 1 inputs plus the offline knobs).
+#[derive(Debug, Clone)]
+pub struct GbdaConfig {
+    /// Similarity threshold `τ̂`.
+    pub tau_hat: u64,
+    /// Probability threshold `γ`.
+    pub gamma: f64,
+    /// Number of graph pairs `N` sampled for the GBD prior (Section V-B).
+    pub sample_pairs: usize,
+    /// Gaussian-mixture configuration for the GBD prior.
+    pub gmm: GmmConfig,
+    /// RNG seed used for pair sampling (reproducible offline stage).
+    pub seed: u64,
+    /// Which estimator variant to run.
+    pub variant: GbdaVariant,
+}
+
+impl Default for GbdaConfig {
+    fn default() -> Self {
+        GbdaConfig {
+            tau_hat: 5,
+            gamma: 0.9,
+            sample_pairs: 10_000,
+            gmm: GmmConfig::default(),
+            seed: 0x6BDA,
+            variant: GbdaVariant::Standard,
+        }
+    }
+}
+
+impl GbdaConfig {
+    /// Creates a configuration with the given thresholds and defaults for the
+    /// offline stage.
+    pub fn new(tau_hat: u64, gamma: f64) -> Self {
+        GbdaConfig {
+            tau_hat,
+            gamma,
+            ..GbdaConfig::default()
+        }
+    }
+
+    /// Overrides the number of sampled pairs used to fit the GBD prior.
+    pub fn with_sample_pairs(mut self, sample_pairs: usize) -> Self {
+        self.sample_pairs = sample_pairs;
+        self
+    }
+
+    /// Overrides the estimator variant.
+    pub fn with_variant(mut self, variant: GbdaVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_common_settings() {
+        let c = GbdaConfig::default();
+        assert_eq!(c.tau_hat, 5);
+        assert!((c.gamma - 0.9).abs() < 1e-12);
+        assert_eq!(c.variant, GbdaVariant::Standard);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = GbdaConfig::new(10, 0.7)
+            .with_sample_pairs(500)
+            .with_seed(7)
+            .with_variant(GbdaVariant::WeightedGbd { weight: 0.5 });
+        assert_eq!(c.tau_hat, 10);
+        assert_eq!(c.sample_pairs, 500);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.variant, GbdaVariant::WeightedGbd { weight: 0.5 });
+    }
+}

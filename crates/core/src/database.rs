@@ -1,0 +1,143 @@
+//! The graph database `D` with pre-computed branch multisets.
+//!
+//! Section III assumes the auxiliary structures of every method (branch
+//! multisets here, cost matrices for LSAP, adjacency matrices for seriation)
+//! are pre-computed and stored with the graphs; [`GraphDatabase`] does exactly
+//! that for GBDA so the online stage only pays the `O(nd)` merge per pair.
+
+use gbd_graph::{BranchMultiset, DatasetStats, Graph, LabelAlphabets};
+
+/// A graph database with one pre-computed [`BranchMultiset`] per graph.
+#[derive(Debug, Clone)]
+pub struct GraphDatabase {
+    graphs: Vec<Graph>,
+    branches: Vec<BranchMultiset>,
+    alphabets: LabelAlphabets,
+    max_vertices: usize,
+}
+
+impl GraphDatabase {
+    /// Builds a database from graphs, deriving the label alphabets from the
+    /// graphs themselves.
+    pub fn from_graphs(graphs: Vec<Graph>) -> Self {
+        let stats = DatasetStats::compute(graphs.iter());
+        let alphabets = LabelAlphabets::new(stats.vertex_label_count, stats.edge_label_count);
+        Self::with_alphabets(graphs, alphabets)
+    }
+
+    /// Builds a database from graphs with explicitly provided label alphabet
+    /// sizes (e.g. the domain alphabet of a dataset profile, which is what
+    /// the probabilistic model should use even if a small database happens to
+    /// exercise only part of it).
+    pub fn with_alphabets(graphs: Vec<Graph>, alphabets: LabelAlphabets) -> Self {
+        let branches = graphs.iter().map(BranchMultiset::from_graph).collect();
+        let max_vertices = graphs.iter().map(Graph::vertex_count).max().unwrap_or(0);
+        GraphDatabase {
+            graphs,
+            branches,
+            alphabets,
+            max_vertices,
+        }
+    }
+
+    /// Number of graphs `|D|`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Returns `true` for an empty database.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The `i`-th graph.
+    pub fn graph(&self, i: usize) -> &Graph {
+        &self.graphs[i]
+    }
+
+    /// All graphs.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// The pre-computed branch multiset of the `i`-th graph.
+    pub fn branches(&self, i: usize) -> &BranchMultiset {
+        &self.branches[i]
+    }
+
+    /// Label alphabet sizes used by the probabilistic model.
+    pub fn alphabets(&self) -> LabelAlphabets {
+        self.alphabets
+    }
+
+    /// Largest vertex count in the database.
+    pub fn max_vertices(&self) -> usize {
+        self.max_vertices
+    }
+
+    /// GBD between two database graphs using the pre-computed multisets.
+    pub fn gbd_between(&self, i: usize, j: usize) -> usize {
+        self.branches[i].gbd(&self.branches[j])
+    }
+
+    /// GBD between an external (query) branch multiset and the `i`-th graph.
+    pub fn gbd_to(&self, query: &BranchMultiset, i: usize) -> usize {
+        query.gbd(&self.branches[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2};
+
+    fn db() -> GraphDatabase {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        GraphDatabase::from_graphs(vec![g1, g2])
+    }
+
+    #[test]
+    fn precomputes_branches_and_stats() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.max_vertices(), 4);
+        assert_eq!(db.branches(0).len(), 3);
+        assert_eq!(db.branches(1).len(), 4);
+        // Figure 1 alphabets: A, B, C vertices and x, y, z edges.
+        assert_eq!(db.alphabets().vertex_labels, 3);
+        assert_eq!(db.alphabets().edge_labels, 3);
+    }
+
+    #[test]
+    fn gbd_between_matches_example_2() {
+        let db = db();
+        assert_eq!(db.gbd_between(0, 1), 3);
+        assert_eq!(db.gbd_between(0, 0), 0);
+    }
+
+    #[test]
+    fn gbd_to_external_query() {
+        let db = db();
+        let (q, _) = figure1_g1();
+        let query = BranchMultiset::from_graph(&q);
+        assert_eq!(db.gbd_to(&query, 0), 0);
+        assert_eq!(db.gbd_to(&query, 1), 3);
+    }
+
+    #[test]
+    fn explicit_alphabets_are_preserved() {
+        let (g1, _) = figure1_g1();
+        let db = GraphDatabase::with_alphabets(vec![g1], LabelAlphabets::new(20, 5));
+        assert_eq!(db.alphabets().vertex_labels, 20);
+        assert_eq!(db.alphabets().edge_labels, 5);
+    }
+
+    #[test]
+    fn empty_database_is_well_defined() {
+        let db = GraphDatabase::from_graphs(Vec::new());
+        assert!(db.is_empty());
+        assert_eq!(db.max_vertices(), 0);
+    }
+}

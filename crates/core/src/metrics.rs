@@ -1,0 +1,141 @@
+//! Effectiveness metrics: precision, recall and F1-score (Section VII-C2).
+
+/// Confusion counts of one similarity-search result against the ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Returned graphs that are truly similar.
+    pub true_positives: usize,
+    /// Returned graphs that are not similar.
+    pub false_positives: usize,
+    /// Similar graphs that were not returned.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Builds the confusion counts from a returned set and the ground-truth
+    /// positive set (both as sorted-or-not index lists).
+    pub fn from_sets(returned: &[usize], positives: &[usize]) -> Self {
+        let mut confusion = Confusion::default();
+        for r in returned {
+            if positives.contains(r) {
+                confusion.true_positives += 1;
+            } else {
+                confusion.false_positives += 1;
+            }
+        }
+        for p in positives {
+            if !returned.contains(p) {
+                confusion.false_negatives += 1;
+            }
+        }
+        confusion
+    }
+
+    /// Precision `TP / (TP + FP)`. Defined as 1 when nothing was returned and
+    /// nothing should have been returned, and 0 when something was returned
+    /// but nothing was correct.
+    pub fn precision(&self) -> f64 {
+        let denominator = self.true_positives + self.false_positives;
+        if denominator == 0 {
+            if self.false_negatives == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.true_positives as f64 / denominator as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`. Defined as 1 when the ground-truth answer set
+    /// is empty.
+    pub fn recall(&self) -> f64 {
+        let denominator = self.true_positives + self.false_negatives;
+        if denominator == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denominator as f64
+        }
+    }
+
+    /// F1-score: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Component-wise sum, used to micro-average over queries.
+    pub fn merge(&self, other: &Confusion) -> Confusion {
+        Confusion {
+            true_positives: self.true_positives + other.true_positives,
+            false_positives: self.false_positives + other.false_positives,
+            false_negatives: self.false_negatives + other.false_negatives,
+        }
+    }
+}
+
+/// Micro-averaged metrics over many queries.
+pub fn aggregate<'a>(confusions: impl IntoIterator<Item = &'a Confusion>) -> Confusion {
+    confusions
+        .into_iter()
+        .fold(Confusion::default(), |acc, c| acc.merge(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_result() {
+        let c = Confusion::from_sets(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_result() {
+        let c = Confusion::from_sets(&[1, 2, 9], &[1, 2, 3, 4]);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 2);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        let expected_f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((c.f1() - expected_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases_follow_the_conventions() {
+        let both_empty = Confusion::from_sets(&[], &[]);
+        assert_eq!(both_empty.precision(), 1.0);
+        assert_eq!(both_empty.recall(), 1.0);
+        assert_eq!(both_empty.f1(), 1.0);
+
+        let nothing_returned = Confusion::from_sets(&[], &[1, 2]);
+        assert_eq!(nothing_returned.precision(), 0.0);
+        assert_eq!(nothing_returned.recall(), 0.0);
+        assert_eq!(nothing_returned.f1(), 0.0);
+
+        let nothing_expected = Confusion::from_sets(&[1], &[]);
+        assert_eq!(nothing_expected.precision(), 0.0);
+        assert_eq!(nothing_expected.recall(), 1.0);
+    }
+
+    #[test]
+    fn aggregation_micro_averages() {
+        let a = Confusion::from_sets(&[1], &[1, 2]);
+        let b = Confusion::from_sets(&[3, 4], &[3]);
+        let merged = aggregate([&a, &b]);
+        assert_eq!(merged.true_positives, 2);
+        assert_eq!(merged.false_positives, 1);
+        assert_eq!(merged.false_negatives, 1);
+        assert!((merged.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((merged.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! The in-memory representation of one experimental dataset.
+
+use gbd_graph::{DatasetStats, Graph, LabelAlphabets};
+
+use crate::ground_truth::GroundTruth;
+
+/// A dataset: database graphs, query graphs, ground truth and label
+/// alphabets — everything an experiment needs.
+#[derive(Debug, Clone)]
+pub struct LabeledDataset {
+    /// Dataset name (e.g. "AIDS-like").
+    pub name: String,
+    /// The database `D`.
+    pub graphs: Vec<Graph>,
+    /// The query set `Q`.
+    pub queries: Vec<Graph>,
+    /// Known (query, graph) distances.
+    pub ground_truth: GroundTruth,
+    /// Sizes of the vertex / edge label alphabets actually used.
+    pub alphabets: LabelAlphabets,
+}
+
+impl LabeledDataset {
+    /// Table-III style statistics of the database graphs.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::compute(self.graphs.iter())
+    }
+
+    /// Number of database graphs `|D|`.
+    pub fn database_size(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Number of query graphs `|Q|`.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Largest vertex count over database and query graphs (the `n` of the
+    /// complexity analysis and the `ϕ` range of the GBD prior).
+    pub fn max_vertices(&self) -> usize {
+        self.graphs
+            .iter()
+            .chain(self.queries.iter())
+            .map(Graph::vertex_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Computes the label alphabets from the stored graphs (used to
+    /// double-check the recorded value).
+    pub fn computed_alphabets(&self) -> LabelAlphabets {
+        let stats = DatasetStats::compute(self.graphs.iter().chain(self.queries.iter()));
+        LabelAlphabets::new(stats.vertex_label_count, stats.edge_label_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2};
+
+    #[test]
+    fn accessors_report_sizes() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let ds = LabeledDataset {
+            name: "toy".into(),
+            graphs: vec![g1.clone(), g2.clone()],
+            queries: vec![g1],
+            ground_truth: GroundTruth::new(),
+            alphabets: LabelAlphabets::new(3, 3),
+        };
+        assert_eq!(ds.database_size(), 2);
+        assert_eq!(ds.query_count(), 1);
+        assert_eq!(ds.max_vertices(), 4);
+        assert_eq!(ds.stats().graph_count, 2);
+        let computed = ds.computed_alphabets();
+        assert_eq!(computed.vertex_labels, 3);
+        assert_eq!(computed.edge_labels, 3);
+    }
+}

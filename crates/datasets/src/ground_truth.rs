@@ -1,0 +1,114 @@
+//! Ground-truth edit distances between query graphs and database graphs.
+//!
+//! Effectiveness experiments (precision / recall / F1, Figures 10–21 and
+//! 31–42) need to know, for every (query, database graph) pair, whether the
+//! exact GED is within the threshold τ̂. Exact GED is NP-hard, so — exactly
+//! like the paper's synthetic evaluation — the datasets in this crate are
+//! constructed so that the answer is known:
+//!
+//! * pairs from the same Appendix-I family have a *known exact* GED,
+//! * pairs from different families are constructed to be provably farther
+//!   than the largest threshold of interest (their vertex-label multisets are
+//!   disjoint, so the cheap label lower bound already exceeds it).
+
+use std::collections::HashMap;
+
+/// Known relationship between a query and a database graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnownDistance {
+    /// The exact GED is known (same generator family).
+    Exact(usize),
+    /// The exact GED is unknown but provably at least this large
+    /// (different families; the bound comes from the label lower bound).
+    AtLeast(usize),
+}
+
+/// Ground-truth table for a dataset: `(query index, graph index) → distance`.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    entries: HashMap<(usize, usize), KnownDistance>,
+}
+
+impl GroundTruth {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GroundTruth::default()
+    }
+
+    /// Records the known distance for a pair.
+    pub fn insert(&mut self, query: usize, graph: usize, distance: KnownDistance) {
+        self.entries.insert((query, graph), distance);
+    }
+
+    /// Looks up the known distance for a pair.
+    pub fn get(&self, query: usize, graph: usize) -> Option<KnownDistance> {
+        self.entries.get(&(query, graph)).copied()
+    }
+
+    /// Returns whether `GED(query, graph) ≤ tau`, if decidable from the table.
+    pub fn is_similar(&self, query: usize, graph: usize, tau: usize) -> Option<bool> {
+        match self.get(query, graph)? {
+            KnownDistance::Exact(d) => Some(d <= tau),
+            KnownDistance::AtLeast(bound) => {
+                if bound > tau {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Indices of database graphs that are similar to `query` under `tau`
+    /// (the ground-truth answer set of the similarity search problem).
+    pub fn positives(&self, query: usize, tau: usize, database_size: usize) -> Vec<usize> {
+        (0..database_size)
+            .filter(|&g| self.is_similar(query, g, tau) == Some(true))
+            .collect()
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no pair has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_entries_decide_similarity() {
+        let mut gt = GroundTruth::new();
+        gt.insert(0, 1, KnownDistance::Exact(3));
+        assert_eq!(gt.is_similar(0, 1, 3), Some(true));
+        assert_eq!(gt.is_similar(0, 1, 2), Some(false));
+        assert_eq!(gt.is_similar(0, 2, 5), None);
+    }
+
+    #[test]
+    fn lower_bound_entries_only_decide_dissimilarity() {
+        let mut gt = GroundTruth::new();
+        gt.insert(0, 1, KnownDistance::AtLeast(20));
+        assert_eq!(gt.is_similar(0, 1, 10), Some(false));
+        assert_eq!(gt.is_similar(0, 1, 25), None);
+    }
+
+    #[test]
+    fn positives_enumerate_similar_graphs() {
+        let mut gt = GroundTruth::new();
+        gt.insert(0, 0, KnownDistance::Exact(0));
+        gt.insert(0, 1, KnownDistance::Exact(4));
+        gt.insert(0, 2, KnownDistance::AtLeast(50));
+        gt.insert(0, 3, KnownDistance::Exact(10));
+        assert_eq!(gt.positives(0, 5, 4), vec![0, 1]);
+        assert_eq!(gt.positives(0, 10, 4), vec![0, 1, 3]);
+        assert_eq!(gt.len(), 4);
+        assert!(!gt.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # gbd-datasets — dataset substitutes with ground-truth GEDs
+//!
+//! The paper evaluates on four real datasets (AIDS, Fingerprint, GREC, AASD
+//! — Table III) and two synthetic families (Syn-1, Syn-2 — Appendix I). The
+//! real datasets are not redistributable here, so this crate provides
+//! *substitutes* that match their Table-III statistics and — crucially —
+//! carry complete ground truth for the similarity-search experiments:
+//!
+//! * [`profile`] — the Table III rows as [`DatasetProfile`]s,
+//! * [`real_like`] — cluster-structured substitutes built from Appendix-I
+//!   known-GED families with provably-far cross-cluster pairs,
+//! * [`synthetic`] — the Syn-1 / Syn-2 large-graph families,
+//! * [`ground_truth`] — the known-distance bookkeeping,
+//! * [`dataset`] — the [`LabeledDataset`] container consumed by the
+//!   experiment harness.
+//!
+//! See DESIGN.md §5 for the substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod ground_truth;
+pub mod profile;
+pub mod real_like;
+pub mod synthetic;
+
+pub use dataset::LabeledDataset;
+pub use ground_truth::{GroundTruth, KnownDistance};
+pub use profile::DatasetProfile;
+pub use real_like::{generate_real_like, RealLikeConfig};
+pub use synthetic::{generate_synthetic, SyntheticConfig, SyntheticDataset, SyntheticSubset};

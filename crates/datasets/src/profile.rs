@@ -1,0 +1,151 @@
+//! Dataset profiles mirroring Table III of the paper.
+//!
+//! The real datasets of the paper (AIDS, Fingerprint, GREC, AASD) are not
+//! redistributable here, so each is replaced by a *profile*: the statistics
+//! of Table III (number of graphs, number of queries, maximum graph size,
+//! average degree, scale-freeness) plus label-alphabet sizes typical for the
+//! domain. The generators of [`crate::real_like`] and [`crate::synthetic`]
+//! consume these profiles, and a global `scale` knob shrinks the counts so
+//! the full experiment suite runs on laptop-class hardware (DESIGN.md §5).
+
+/// Statistical profile of a dataset (one row of Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name used in experiment tables.
+    pub name: &'static str,
+    /// Number of database graphs `|D|`.
+    pub database_size: usize,
+    /// Number of query graphs `|Q|`.
+    pub query_count: usize,
+    /// Typical number of vertices per graph (the paper reports the maximum
+    /// `V_m`; generation targets a range `[vertices/2, vertices]`).
+    pub vertices: usize,
+    /// Target average degree `d`.
+    pub average_degree: f64,
+    /// Number of distinct vertex labels in the domain.
+    pub vertex_labels: usize,
+    /// Number of distinct edge labels in the domain.
+    pub edge_labels: usize,
+    /// Whether the degree distribution should be scale-free.
+    pub scale_free: bool,
+}
+
+impl DatasetProfile {
+    /// AIDS antiviral screen compounds (small molecules, skewed atom labels).
+    pub fn aids() -> Self {
+        DatasetProfile {
+            name: "AIDS",
+            database_size: 1896,
+            query_count: 100,
+            vertices: 40,
+            average_degree: 2.1,
+            vertex_labels: 20,
+            edge_labels: 3,
+            scale_free: true,
+        }
+    }
+
+    /// Fingerprint minutiae graphs (small, sparse, few labels).
+    pub fn fingerprint() -> Self {
+        DatasetProfile {
+            name: "Fingerprint",
+            database_size: 2159,
+            query_count: 114,
+            vertices: 16,
+            average_degree: 1.7,
+            vertex_labels: 4,
+            edge_labels: 4,
+            scale_free: true,
+        }
+    }
+
+    /// GREC symbol drawings (small, moderately labelled).
+    pub fn grec() -> Self {
+        DatasetProfile {
+            name: "GREC",
+            database_size: 1045,
+            query_count: 55,
+            vertices: 14,
+            average_degree: 2.1,
+            vertex_labels: 12,
+            edge_labels: 6,
+            scale_free: true,
+        }
+    }
+
+    /// AIDS Antiviral Screen Data — the large molecule collection.
+    pub fn aasd() -> Self {
+        DatasetProfile {
+            name: "AASD",
+            database_size: 37995,
+            query_count: 100,
+            vertices: 45,
+            average_degree: 2.1,
+            vertex_labels: 26,
+            edge_labels: 3,
+            scale_free: true,
+        }
+    }
+
+    /// The four real-dataset profiles in paper order.
+    pub fn all_real() -> Vec<DatasetProfile> {
+        vec![
+            DatasetProfile::aids(),
+            DatasetProfile::fingerprint(),
+            DatasetProfile::grec(),
+            DatasetProfile::aasd(),
+        ]
+    }
+
+    /// Scales the dataset and query counts by `factor` (keeping at least one
+    /// query and two database graphs) — used to shrink experiments to the
+    /// available hardware while preserving every code path.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.database_size = ((self.database_size as f64 * factor).round() as usize).max(2);
+        self.query_count = ((self.query_count as f64 * factor).round() as usize).max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table_iii_counts() {
+        assert_eq!(DatasetProfile::aids().database_size, 1896);
+        assert_eq!(DatasetProfile::fingerprint().database_size, 2159);
+        assert_eq!(DatasetProfile::grec().database_size, 1045);
+        assert_eq!(DatasetProfile::aasd().database_size, 37995);
+        assert_eq!(DatasetProfile::aids().query_count, 100);
+        assert_eq!(DatasetProfile::fingerprint().query_count, 114);
+        assert_eq!(DatasetProfile::grec().query_count, 55);
+        assert_eq!(DatasetProfile::aasd().query_count, 100);
+        assert_eq!(DatasetProfile::all_real().len(), 4);
+    }
+
+    #[test]
+    fn all_real_profiles_are_scale_free_with_table_iii_degrees() {
+        for p in DatasetProfile::all_real() {
+            assert!(p.scale_free, "{} should be scale-free", p.name);
+            assert!(p.average_degree >= 1.5 && p.average_degree <= 2.5);
+        }
+    }
+
+    #[test]
+    fn scaling_shrinks_counts_but_keeps_minimums() {
+        let scaled = DatasetProfile::aids().scaled(0.01);
+        assert_eq!(scaled.database_size, 19);
+        assert_eq!(scaled.query_count, 1);
+        let tiny = DatasetProfile::grec().scaled(0.000001);
+        assert_eq!(tiny.database_size, 2);
+        assert_eq!(tiny.query_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_factor_is_rejected() {
+        let _ = DatasetProfile::aids().scaled(0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic large-graph datasets (Syn-1 and Syn-2, Appendix I).
+//!
+//! The paper's Syn-1 (scale-free) and Syn-2 (non-scale-free) datasets consist
+//! of subsets of graphs of a fixed size each (1K … 100K vertices), generated
+//! so that pairwise GEDs inside a subset are known by construction. Here each
+//! subset is one Appendix-I family: a template of the requested size plus
+//! members derived by modifying center-adjacent edges, giving exact pairwise
+//! distances up to the configured maximum (the paper evaluates thresholds up
+//! to τ̂ = 30 on these datasets).
+//!
+//! The vertex counts are configurable so the experiment harness can use
+//! laptop-scale sizes while sweeping the same axis as Figures 8–9 and 31–42.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gbd_graph::known_ged::ModificationMode;
+use gbd_graph::{GeneratorConfig, GraphError, KnownGedConfig, KnownGedFamily, LabelAlphabets};
+
+use crate::dataset::LabeledDataset;
+use crate::ground_truth::{GroundTruth, KnownDistance};
+
+/// Configuration of one synthetic dataset (Syn-1 or Syn-2).
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Dataset name ("Syn-1" / "Syn-2").
+    pub name: String,
+    /// Vertex counts of the subsets (the paper uses 1K…100K; experiments
+    /// default to laptop-scale sizes).
+    pub subset_sizes: Vec<usize>,
+    /// Database graphs per subset.
+    pub graphs_per_subset: usize,
+    /// Query graphs per subset.
+    pub queries_per_subset: usize,
+    /// Target average degree (the paper's Syn graphs have `d ≈ 9.5`).
+    pub average_degree: f64,
+    /// Scale-free (Syn-1) or uniform random (Syn-2) edge placement.
+    pub scale_free: bool,
+    /// Largest known intra-subset GED (the paper sweeps τ̂ up to 30).
+    pub max_known_ged: usize,
+    /// Label alphabet sizes.
+    pub alphabets: LabelAlphabets,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Syn-1: scale-free graphs of the given sizes.
+    pub fn syn1(subset_sizes: Vec<usize>) -> Self {
+        SyntheticConfig {
+            name: "Syn-1".into(),
+            subset_sizes,
+            graphs_per_subset: 10,
+            queries_per_subset: 2,
+            average_degree: 9.6,
+            scale_free: true,
+            max_known_ged: 32,
+            alphabets: LabelAlphabets::new(10, 4),
+            seed: 0x51,
+        }
+    }
+
+    /// Syn-2: non-scale-free graphs of the given sizes.
+    pub fn syn2(subset_sizes: Vec<usize>) -> Self {
+        SyntheticConfig {
+            name: "Syn-2".into(),
+            scale_free: false,
+            average_degree: 9.4,
+            seed: 0x52,
+            ..SyntheticConfig::syn1(subset_sizes)
+        }
+    }
+}
+
+/// One subset: graphs of a single size plus its own ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticSubset {
+    /// Number of vertices of every graph in the subset.
+    pub vertices: usize,
+    /// The subset's database, queries and ground truth.
+    pub dataset: LabeledDataset,
+}
+
+/// A synthetic dataset: one subset per requested size.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The subsets in the order of `subset_sizes`.
+    pub subsets: Vec<SyntheticSubset>,
+}
+
+/// Generates a synthetic dataset.
+pub fn generate_synthetic(config: &SyntheticConfig) -> Result<SyntheticDataset, GraphError> {
+    let mut subsets = Vec::with_capacity(config.subset_sizes.len());
+    for (subset_idx, &vertices) in config.subset_sizes.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (subset_idx as u64) << 32 ^ vertices as u64);
+        let members = config.graphs_per_subset + config.queries_per_subset;
+        let center_degree = config.max_known_ged.min(vertices.saturating_sub(2)).max(2);
+        let base = GeneratorConfig::new(vertices, config.average_degree)
+            .with_scale_free(config.scale_free)
+            .with_alphabets(config.alphabets);
+        let family_cfg = KnownGedConfig::new(base, center_degree, members, center_degree)
+            .with_mode(ModificationMode::RelabelEdges);
+        let family = KnownGedFamily::generate(&family_cfg, &mut rng)?;
+
+        let mut graphs = Vec::with_capacity(config.graphs_per_subset);
+        let mut queries = Vec::with_capacity(config.queries_per_subset);
+        let mut graph_members = Vec::new();
+        let mut query_members = Vec::new();
+        for (member_idx, member) in family.members().iter().enumerate() {
+            let mut g = member.graph().clone();
+            g.set_name(format!("{}-{}v-m{}", config.name, vertices, member_idx));
+            if member_idx < config.graphs_per_subset {
+                graph_members.push(member_idx);
+                graphs.push(g);
+            } else {
+                query_members.push(member_idx);
+                queries.push(g);
+            }
+        }
+        let mut ground_truth = GroundTruth::new();
+        for (qi, &qm) in query_members.iter().enumerate() {
+            for (gi, &gm) in graph_members.iter().enumerate() {
+                ground_truth.insert(qi, gi, KnownDistance::Exact(family.known_ged(qm, gm)));
+            }
+        }
+        subsets.push(SyntheticSubset {
+            vertices,
+            dataset: LabeledDataset {
+                name: format!("{}-{}v", config.name, vertices),
+                graphs,
+                queries,
+                ground_truth,
+                alphabets: config.alphabets,
+            },
+        });
+    }
+    Ok(SyntheticDataset {
+        name: config.name.clone(),
+        subsets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::DatasetStats;
+
+    fn tiny_config(scale_free: bool) -> SyntheticConfig {
+        SyntheticConfig {
+            graphs_per_subset: 4,
+            queries_per_subset: 1,
+            max_known_ged: 12,
+            ..if scale_free {
+                SyntheticConfig::syn1(vec![60, 120])
+            } else {
+                SyntheticConfig::syn2(vec![60, 120])
+            }
+        }
+    }
+
+    #[test]
+    fn generates_one_subset_per_size() {
+        let ds = generate_synthetic(&tiny_config(true)).unwrap();
+        assert_eq!(ds.subsets.len(), 2);
+        assert_eq!(ds.subsets[0].vertices, 60);
+        assert_eq!(ds.subsets[1].vertices, 120);
+        for s in &ds.subsets {
+            assert_eq!(s.dataset.database_size(), 4);
+            assert_eq!(s.dataset.query_count(), 1);
+            for g in &s.dataset.graphs {
+                assert_eq!(g.vertex_count(), s.vertices);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_subset_ground_truth_is_exact_and_bounded() {
+        let cfg = tiny_config(true);
+        let ds = generate_synthetic(&cfg).unwrap();
+        for s in &ds.subsets {
+            for g in 0..s.dataset.database_size() {
+                match s.dataset.ground_truth.get(0, g) {
+                    Some(KnownDistance::Exact(d)) => assert!(d <= cfg.max_known_ged),
+                    other => panic!("expected exact ground truth, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syn1_is_scale_free_and_syn2_is_not() {
+        let sf = generate_synthetic(&tiny_config(true)).unwrap();
+        let uni = generate_synthetic(&tiny_config(false)).unwrap();
+        let sf_stats = DatasetStats::compute(sf.subsets[1].dataset.graphs.iter());
+        let uni_stats = DatasetStats::compute(uni.subsets[1].dataset.graphs.iter());
+        // The scale-free subset must have a markedly heavier degree tail.
+        let sf_max: usize = sf.subsets[1].dataset.graphs.iter().map(|g| g.max_degree()).max().unwrap();
+        let uni_max: usize = uni.subsets[1].dataset.graphs.iter().map(|g| g.max_degree()).max().unwrap();
+        assert!(
+            sf_max > uni_max,
+            "scale-free max degree {sf_max} should exceed uniform {uni_max}"
+        );
+        assert!(sf_stats.average_degree > 6.0 && sf_stats.average_degree < 13.0);
+        assert!(uni_stats.average_degree > 6.0 && uni_stats.average_degree < 13.0);
+    }
+
+    #[test]
+    fn average_degree_matches_the_configuration() {
+        let ds = generate_synthetic(&tiny_config(false)).unwrap();
+        for s in &ds.subsets {
+            let stats = DatasetStats::compute(s.dataset.graphs.iter());
+            assert!(
+                (stats.average_degree - 9.4).abs() < 1.5,
+                "average degree {} too far from 9.4",
+                stats.average_degree
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = generate_synthetic(&tiny_config(true)).unwrap();
+        let b = generate_synthetic(&tiny_config(true)).unwrap();
+        for (sa, sb) in a.subsets.iter().zip(&b.subsets) {
+            assert_eq!(
+                sa.dataset.graphs[0].edge_count(),
+                sb.dataset.graphs[0].edge_count()
+            );
+        }
+    }
+}

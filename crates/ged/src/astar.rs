@@ -1,0 +1,421 @@
+//! Exact GED via A\* search over vertex mappings.
+//!
+//! This is the classical exact algorithm the paper refers to ([5], [6]):
+//! vertices of the first graph are assigned, one at a time, to vertices of
+//! the second graph or to `ε` (deletion). Each partial assignment carries the
+//! edit cost it has already induced (`g`) plus an admissible lower bound on
+//! the cost still to come (`h`). The first *complete* assignment popped from
+//! the priority queue realises the exact GED. The worst case is `O(n^m)`
+//! states, which is why the paper only uses exact GED on small graphs and
+//! why GBDA estimates it instead.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gbd_graph::{Graph, Label, VertexId};
+
+use crate::mapping::VertexMapping;
+
+/// Search statistics of one A\* run, exposed for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AStarStats {
+    /// Number of states popped from the priority queue.
+    pub expanded: usize,
+    /// Number of states pushed onto the priority queue.
+    pub generated: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    /// Cost already incurred by the partial assignment.
+    g: usize,
+    /// Admissible estimate of the remaining cost.
+    h: usize,
+    /// `assignment[i]`: image of G1 vertex `i` (None = deleted). Length =
+    /// number of already-assigned G1 vertices.
+    assignment: Vec<Option<VertexId>>,
+    /// Which G2 vertices are already used as images.
+    used: Vec<bool>,
+}
+
+impl State {
+    fn f(&self) -> usize {
+        self.g + self.h
+    }
+}
+
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on Reverse(f), tie-broken on depth (prefer deeper states).
+        self.f()
+            .cmp(&other.f())
+            .then_with(|| other.assignment.len().cmp(&self.assignment.len()))
+    }
+}
+
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Multiset intersection size of two sorted label vectors.
+fn sorted_intersection(a: &[Label], b: &[Label]) -> usize {
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    common
+}
+
+/// Admissible heuristic: remaining vertex-label assignment bound plus
+/// remaining edge-count bound.
+fn heuristic(g1: &Graph, g2: &Graph, assignment: &[Option<VertexId>], used: &[bool]) -> usize {
+    let k = assignment.len();
+    // Vertex part: unmapped G1 labels vs unused G2 labels.
+    let mut rem1: Vec<Label> = (k..g1.vertex_count())
+        .map(|i| g1.vertex_label(VertexId::new(i as u32)).unwrap())
+        .collect();
+    let mut rem2: Vec<Label> = g2
+        .vertices()
+        .filter(|v| !used[v.index()])
+        .map(|v| g2.vertex_label(v).unwrap())
+        .collect();
+    rem1.sort_unstable();
+    rem2.sort_unstable();
+    let vertex_bound = rem1.len().max(rem2.len()) - sorted_intersection(&rem1, &rem2);
+
+    // Edge part: edges not yet charged are those with at least one endpoint
+    // still unmapped (G1) / un-imaged (G2). Their minimum cost is the
+    // difference of the two counts.
+    let e1 = g1
+        .edges()
+        .filter(|(key, _)| key.u.index() >= k || key.v.index() >= k)
+        .count();
+    let e2 = g2
+        .edges()
+        .filter(|(key, _)| !used[key.u.index()] || !used[key.v.index()])
+        .count();
+    let edge_bound = e1.abs_diff(e2);
+    vertex_bound + edge_bound
+}
+
+/// Cost added by assigning G1 vertex `k` to `image` given the previous
+/// partial assignment (vertex cost plus edges towards already-assigned
+/// vertices).
+fn extension_cost(
+    g1: &Graph,
+    g2: &Graph,
+    assignment: &[Option<VertexId>],
+    k: usize,
+    image: Option<VertexId>,
+) -> usize {
+    let vk = VertexId::new(k as u32);
+    let mut cost = 0usize;
+    match image {
+        Some(u) => {
+            if g1.vertex_label(vk).unwrap() != g2.vertex_label(u).unwrap() {
+                cost += 1;
+            }
+            for (j, img_j) in assignment.iter().enumerate() {
+                let vj = VertexId::new(j as u32);
+                let l1 = g1.edge_label(vk, vj);
+                let l2 = img_j.and_then(|uj| g2.edge_label(u, uj));
+                cost += match (l1, l2) {
+                    (Some(a), Some(b)) if a == b => 0,
+                    (None, None) => 0,
+                    _ => 1,
+                };
+            }
+        }
+        None => {
+            cost += 1; // delete the vertex
+            for j in 0..assignment.len() {
+                let vj = VertexId::new(j as u32);
+                if g1.has_edge(vk, vj) {
+                    cost += 1; // delete its edges towards assigned vertices
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Cost of completing a full assignment of G1's vertices: all unused G2
+/// vertices and all G2 edges with at least one un-imaged endpoint are
+/// inserted.
+fn completion_cost(g2: &Graph, used: &[bool]) -> usize {
+    let vertex_insertions = used.iter().filter(|&&u| !u).count();
+    let edge_insertions = g2
+        .edges()
+        .filter(|(key, _)| !used[key.u.index()] || !used[key.v.index()])
+        .count();
+    vertex_insertions + edge_insertions
+}
+
+/// Exact GED between `g1` and `g2` (unit costs, Definition 1).
+///
+/// ```
+/// use gbd_graph::paper_examples::{figure1_g1, figure1_g2};
+/// use gbd_ged::exact_ged;
+///
+/// let (g1, _) = figure1_g1();
+/// let (g2, _) = figure1_g2();
+/// assert_eq!(exact_ged(&g1, &g2).0, 3); // Example 1
+/// ```
+pub fn exact_ged(g1: &Graph, g2: &Graph) -> (usize, AStarStats) {
+    search(g1, g2, usize::MAX).map(|(d, s)| (d, s)).expect("unbounded search always finds the GED")
+}
+
+/// Exact GED if it does not exceed `threshold`; `None` otherwise. The search
+/// prunes every state whose optimistic cost exceeds the threshold, which is
+/// how the filter-and-verify baselines verify candidates.
+pub fn bounded_ged(g1: &Graph, g2: &Graph, threshold: usize) -> Option<usize> {
+    search(g1, g2, threshold).map(|(d, _)| d)
+}
+
+fn search(g1: &Graph, g2: &Graph, threshold: usize) -> Option<(usize, AStarStats)> {
+    let n1 = g1.vertex_count();
+    let n2 = g2.vertex_count();
+    let mut stats = AStarStats::default();
+    let mut heap: BinaryHeap<Reverse<State>> = BinaryHeap::new();
+    let root = State {
+        g: 0,
+        h: heuristic(g1, g2, &[], &vec![false; n2]),
+        assignment: Vec::new(),
+        used: vec![false; n2],
+    };
+    if root.f() > threshold {
+        return None;
+    }
+    heap.push(Reverse(root));
+    stats.generated += 1;
+
+    while let Some(Reverse(state)) = heap.pop() {
+        stats.expanded += 1;
+        let k = state.assignment.len();
+        if k == n1 {
+            let total = state.g + completion_cost(g2, &state.used);
+            // `h` already lower-bounds the completion cost, so the first
+            // complete state popped is optimal; still guard the threshold.
+            if total <= threshold {
+                return Some((total, stats));
+            }
+            continue;
+        }
+        // Candidate images: every unused G2 vertex, or deletion.
+        for cand in g2.vertices().map(Some).chain(std::iter::once(None)) {
+            if let Some(u) = cand {
+                if state.used[u.index()] {
+                    continue;
+                }
+            }
+            let delta = extension_cost(g1, g2, &state.assignment, k, cand);
+            let mut assignment = state.assignment.clone();
+            assignment.push(cand);
+            let mut used = state.used.clone();
+            if let Some(u) = cand {
+                used[u.index()] = true;
+            }
+            let h = heuristic(g1, g2, &assignment, &used);
+            let next = State {
+                g: state.g + delta,
+                h,
+                assignment,
+                used,
+            };
+            if next.f() <= threshold {
+                stats.generated += 1;
+                heap.push(Reverse(next));
+            }
+        }
+    }
+    None
+}
+
+/// Returns the exact GED together with one optimal vertex mapping, by
+/// re-running the search and keeping the winning assignment. Exposed mainly
+/// for tests and for inspecting small instances.
+pub fn exact_ged_with_mapping(g1: &Graph, g2: &Graph) -> (usize, VertexMapping) {
+    // A small re-implementation that tracks the winning assignment.
+    let n1 = g1.vertex_count();
+    let n2 = g2.vertex_count();
+    let mut heap: BinaryHeap<Reverse<State>> = BinaryHeap::new();
+    heap.push(Reverse(State {
+        g: 0,
+        h: heuristic(g1, g2, &[], &vec![false; n2]),
+        assignment: Vec::new(),
+        used: vec![false; n2],
+    }));
+    let mut best: Option<(usize, Vec<Option<VertexId>>)> = None;
+    while let Some(Reverse(state)) = heap.pop() {
+        if let Some((best_cost, _)) = &best {
+            if state.f() >= *best_cost {
+                break;
+            }
+        }
+        let k = state.assignment.len();
+        if k == n1 {
+            let total = state.g + completion_cost(g2, &state.used);
+            if best.as_ref().map_or(true, |(c, _)| total < *c) {
+                best = Some((total, state.assignment.clone()));
+            }
+            continue;
+        }
+        for cand in g2.vertices().map(Some).chain(std::iter::once(None)) {
+            if let Some(u) = cand {
+                if state.used[u.index()] {
+                    continue;
+                }
+            }
+            let delta = extension_cost(g1, g2, &state.assignment, k, cand);
+            let mut assignment = state.assignment.clone();
+            assignment.push(cand);
+            let mut used = state.used.clone();
+            if let Some(u) = cand {
+                used[u.index()] = true;
+            }
+            let h = heuristic(g1, g2, &assignment, &used);
+            heap.push(Reverse(State {
+                g: state.g + delta,
+                h,
+                assignment,
+                used,
+            }));
+        }
+    }
+    let (cost, assignment) = best.expect("search space is finite");
+    (cost, VertexMapping::new(assignment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::mapping_cost;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+    use gbd_graph::{extend_graph, graph_branch_distance, GeneratorConfig, KnownGedConfig, KnownGedFamily};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example_1_exact_ged_is_three() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let (d, stats) = exact_ged(&g1, &g2);
+        assert_eq!(d, 3);
+        assert!(stats.expanded > 0 && stats.generated >= stats.expanded);
+        // GED is symmetric under unit costs.
+        assert_eq!(exact_ged(&g2, &g1).0, 3);
+    }
+
+    #[test]
+    fn example_4_exact_ged_is_two() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        assert_eq!(exact_ged(&g1, &g2).0, 2);
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_ged() {
+        let (g1, _) = figure1_g1();
+        assert_eq!(exact_ged(&g1, &g1.clone()).0, 0);
+    }
+
+    #[test]
+    fn ged_to_empty_graph_counts_all_elements() {
+        let (g1, _) = figure1_g1();
+        let empty = Graph::new();
+        assert_eq!(exact_ged(&g1, &empty).0, g1.vertex_count() + g1.edge_count());
+        assert_eq!(exact_ged(&empty, &g1).0, g1.vertex_count() + g1.edge_count());
+        assert_eq!(exact_ged(&empty, &empty).0, 0);
+    }
+
+    #[test]
+    fn bounded_search_agrees_with_exact_and_prunes() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        assert_eq!(bounded_ged(&g1, &g2, 10), Some(3));
+        assert_eq!(bounded_ged(&g1, &g2, 3), Some(3));
+        assert_eq!(bounded_ged(&g1, &g2, 2), None);
+        assert_eq!(bounded_ged(&g1, &g2, 0), None);
+    }
+
+    #[test]
+    fn exact_ged_matches_brute_force_on_extended_graphs() {
+        // Theorem 1 cross-check: A* on the original graphs equals brute-force
+        // relabel-only GED on the extended graphs.
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = GeneratorConfig::new(5, 1.8);
+        for _ in 0..5 {
+            let a = cfg.generate(&mut rng).unwrap();
+            let b = cfg.generate(&mut rng).unwrap();
+            let (small, large) = if a.vertex_count() <= b.vertex_count() {
+                (&a, &b)
+            } else {
+                (&b, &a)
+            };
+            let k = large.vertex_count() - small.vertex_count();
+            let brute = extend_graph(small, k).brute_force_ged(&extend_graph(large, 0));
+            let (astar, _) = exact_ged(small, large);
+            assert_eq!(astar, brute, "A* and extended brute force disagree");
+        }
+    }
+
+    #[test]
+    fn exact_ged_with_mapping_returns_a_realising_mapping() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let (d, mapping) = exact_ged_with_mapping(&g1, &g2);
+        assert_eq!(d, 3);
+        assert_eq!(mapping_cost(&g1, &g2, &mapping), 3);
+    }
+
+    #[test]
+    fn known_ged_families_are_exact_on_small_graphs() {
+        // The Appendix-I construction promises known pairwise GEDs; verify it
+        // against A* on small templates for both modification modes.
+        let mut rng = StdRng::seed_from_u64(99);
+        for mode in [
+            gbd_graph::known_ged::ModificationMode::DeleteEdges,
+            gbd_graph::known_ged::ModificationMode::RelabelEdges,
+        ] {
+            let cfg = KnownGedConfig::new(GeneratorConfig::new(7, 2.0), 3, 6, 3).with_mode(mode);
+            let fam = KnownGedFamily::generate(&cfg, &mut rng).unwrap();
+            for i in 0..fam.len() {
+                for j in (i + 1)..fam.len() {
+                    let (d, _) = exact_ged(fam.member_graph(i), fam.member_graph(j));
+                    assert_eq!(
+                        d,
+                        fam.known_ged(i, j),
+                        "known GED mismatch for members {i},{j} under {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gbd_never_exceeds_twice_the_exact_ged() {
+        // One edit operation changes at most two branches, hence
+        // GBD ≤ 2·GED (the relation the probabilistic model is built on).
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = GeneratorConfig::new(6, 2.0);
+        for _ in 0..8 {
+            let a = cfg.generate(&mut rng).unwrap();
+            let b = cfg.generate(&mut rng).unwrap();
+            let gbd = graph_branch_distance(&a, &b);
+            let (ged, _) = exact_ged(&a, &b);
+            assert!(gbd <= 2 * ged, "GBD {gbd} > 2·GED {ged}");
+        }
+    }
+
+    use gbd_graph::Graph;
+}

@@ -1,0 +1,177 @@
+//! Cheap lower and upper bounds on the Graph Edit Distance.
+//!
+//! Filter-and-verify search frameworks (Section VIII-A of the paper) rely on
+//! bounds that are much cheaper than exact GED:
+//!
+//! * [`label_lower_bound`] — vertex-label and edge-label multiset differences,
+//! * [`branch_lower_bound`] — `⌈GBD / 2⌉`, since one edit operation changes at
+//!   most two branches (the branch-based filter of Zheng et al. that the paper
+//!   builds GBD on),
+//! * [`greedy_upper_bound`] — the cost of a greedy branch-similarity vertex
+//!   mapping, which is an upper bound because *any* complete mapping induces a
+//!   valid edit script.
+
+use gbd_graph::{Branch, Graph, Label, VertexId};
+
+use crate::mapping::{mapping_cost, VertexMapping};
+
+fn multiset_difference(mut a: Vec<Label>, mut b: Vec<Label>) -> usize {
+    a.sort_unstable();
+    b.sort_unstable();
+    let (mut i, mut j, mut common) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    a.len().max(b.len()) - common
+}
+
+/// Label-count lower bound: the vertex-label multiset difference plus the
+/// edge-count difference can each only shrink by one per edit operation that
+/// touches the respective element type, and vertex/edge operations are
+/// disjoint, so their sum lower-bounds the GED.
+pub fn label_lower_bound(g1: &Graph, g2: &Graph) -> usize {
+    let vertex_part = multiset_difference(g1.sorted_vertex_labels(), g2.sorted_vertex_labels());
+    let edge_part = g1.edge_count().abs_diff(g2.edge_count());
+    vertex_part + edge_part
+}
+
+/// Branch-count lower bound `⌈GBD(g1, g2) / 2⌉`.
+///
+/// A vertex relabelling changes exactly one branch, while an edge operation
+/// changes at most two branches, so `GBD ≤ 2·GED` and therefore
+/// `GED ≥ ⌈GBD/2⌉`.
+pub fn branch_lower_bound(g1: &Graph, g2: &Graph) -> usize {
+    gbd_graph::graph_branch_distance(g1, g2).div_ceil(2)
+}
+
+/// Upper bound from a greedy branch-similarity mapping: vertices of `g1` are
+/// matched, in order, to the still-unused vertex of `g2` whose branch is most
+/// similar; leftover vertices are deleted / inserted. The induced mapping cost
+/// is a valid edit script length and therefore an upper bound.
+pub fn greedy_upper_bound(g1: &Graph, g2: &Graph) -> usize {
+    let mapping = greedy_mapping(g1, g2);
+    mapping_cost(g1, g2, &mapping)
+}
+
+/// Dissimilarity of two branches used by the greedy matcher: label mismatch
+/// plus the multiset difference of incident edge labels.
+fn branch_dissimilarity(a: &Branch, b: &Branch) -> usize {
+    let label_cost = usize::from(a.vertex_label() != b.vertex_label());
+    let edge_cost = multiset_difference(a.edge_labels().to_vec(), b.edge_labels().to_vec());
+    label_cost + edge_cost
+}
+
+/// Builds the greedy branch-similarity mapping used by [`greedy_upper_bound`].
+pub fn greedy_mapping(g1: &Graph, g2: &Graph) -> VertexMapping {
+    let b1: Vec<Branch> = g1.vertices().map(|v| Branch::of_vertex(g1, v)).collect();
+    let b2: Vec<Branch> = g2.vertices().map(|v| Branch::of_vertex(g2, v)).collect();
+    let mut used = vec![false; g2.vertex_count()];
+    let mut assignment: Vec<Option<VertexId>> = Vec::with_capacity(g1.vertex_count());
+    for (i, branch) in b1.iter().enumerate() {
+        let mut best: Option<(usize, usize)> = None; // (cost, j)
+        for (j, other) in b2.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let cost = branch_dissimilarity(branch, other);
+            if best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, j));
+            }
+        }
+        match best {
+            // Matching to a very dissimilar vertex can be worse than simply
+            // deleting; keep the match only when it is no worse than deletion
+            // (deleting costs 1 + degree).
+            Some((cost, j)) if cost <= 1 + b1[i].degree() => {
+                used[j] = true;
+                assignment.push(Some(VertexId::new(j as u32)));
+            }
+            _ => assignment.push(None),
+        }
+    }
+    VertexMapping::new(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::exact_ged;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+    use gbd_graph::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_bracket_the_exact_ged_on_paper_examples() {
+        for (g1, g2) in [
+            (figure1_g1().0, figure1_g2().0),
+            (figure4_g1().0, figure4_g2().0),
+        ] {
+            let (exact, _) = exact_ged(&g1, &g2);
+            assert!(label_lower_bound(&g1, &g2) <= exact);
+            assert!(branch_lower_bound(&g1, &g2) <= exact);
+            assert!(greedy_upper_bound(&g1, &g2) >= exact);
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_the_exact_ged_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = GeneratorConfig::new(6, 2.0);
+        for _ in 0..10 {
+            let a = cfg.generate(&mut rng).unwrap();
+            let b = cfg.generate(&mut rng).unwrap();
+            let (exact, _) = exact_ged(&a, &b);
+            let lo1 = label_lower_bound(&a, &b);
+            let lo2 = branch_lower_bound(&a, &b);
+            let hi = greedy_upper_bound(&a, &b);
+            assert!(lo1 <= exact, "label bound {lo1} > exact {exact}");
+            assert!(lo2 <= exact, "branch bound {lo2} > exact {exact}");
+            assert!(hi >= exact, "greedy upper bound {hi} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_for_identical_graphs() {
+        let (g1, _) = figure1_g1();
+        assert_eq!(label_lower_bound(&g1, &g1), 0);
+        assert_eq!(branch_lower_bound(&g1, &g1), 0);
+        assert_eq!(greedy_upper_bound(&g1, &g1), 0);
+    }
+
+    #[test]
+    fn bounds_are_symmetric() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        assert_eq!(label_lower_bound(&g1, &g2), label_lower_bound(&g2, &g1));
+        assert_eq!(branch_lower_bound(&g1, &g2), branch_lower_bound(&g2, &g1));
+    }
+
+    #[test]
+    fn greedy_mapping_covers_every_g1_vertex() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let m = greedy_mapping(&g1, &g2);
+        assert_eq!(m.len(), g1.vertex_count());
+    }
+
+    #[test]
+    fn label_lower_bound_counts_disjoint_alphabets_fully() {
+        use gbd_graph::{Graph, Label};
+        let mut a = Graph::new();
+        a.add_vertex(Label::new(1));
+        a.add_vertex(Label::new(2));
+        let mut b = Graph::new();
+        b.add_vertex(Label::new(3));
+        b.add_vertex(Label::new(4));
+        assert_eq!(label_lower_bound(&a, &b), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # gbd-ged — exact Graph Edit Distance and GED bounds
+//!
+//! The paper takes the Graph Edit Distance (GED, Definition 1) as the ground
+//! truth similarity measure. Exact GED computation is NP-hard; the
+//! state-of-the-art exact method is the A\* search over vertex mappings
+//! ([`astar::exact_ged`]) which is feasible only for small graphs (the paper
+//! cites ~10–12 vertices). This crate provides:
+//!
+//! * [`astar`] — exact GED via A\* with admissible label-multiset heuristics,
+//!   plus a threshold-bounded variant used for verification,
+//! * [`mapping`] — the unit-cost edit model induced by a vertex mapping
+//!   (shared with the LSAP baselines),
+//! * [`bounds`] — cheap lower/upper bounds (label-count bound, branch-count
+//!   bound from the GBD, greedy-mapping upper bound),
+//! * [`estimator`] — the [`GedEstimate`] trait implemented by every estimator
+//!   in the workspace (exact A\*, LSAP, greedy, seriation, GBDA).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod astar;
+pub mod bounds;
+pub mod estimator;
+pub mod mapping;
+
+pub use astar::{bounded_ged, exact_ged, AStarStats};
+pub use bounds::{branch_lower_bound, greedy_upper_bound, label_lower_bound};
+pub use estimator::{ExactGed, GedEstimate};
+pub use mapping::{mapping_cost, VertexMapping};

@@ -1,0 +1,207 @@
+//! Edit cost induced by a vertex mapping.
+//!
+//! Every (possibly partial) injection of `V1` into `V2 ∪ {ε}` induces an edit
+//! script: mismatched vertex labels are relabelled, vertices mapped to `ε`
+//! are deleted (together with their incident edges), unmatched `V2` vertices
+//! are inserted (together with their incident edges), and edges between
+//! mapped vertex pairs are relabelled / deleted / inserted as needed. The
+//! length of that script under unit costs is an upper bound on the GED, and
+//! the minimum over all mappings *is* the GED. Both the exact A\* search and
+//! the LSAP baselines evaluate mappings through this module.
+
+use gbd_graph::{Graph, VertexId};
+
+/// A mapping from the vertices of `G1` to vertices of `G2` or to `ε`
+/// (deletion), represented as `assignment[i] = Some(j)` or `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexMapping {
+    assignment: Vec<Option<VertexId>>,
+}
+
+impl VertexMapping {
+    /// Creates a mapping from an assignment vector (indexed by `G1` vertex).
+    pub fn new(assignment: Vec<Option<VertexId>>) -> Self {
+        VertexMapping { assignment }
+    }
+
+    /// The identity mapping for graphs sharing vertex ids `0..n`.
+    pub fn identity(n: usize) -> Self {
+        VertexMapping {
+            assignment: (0..n as u32).map(|i| Some(VertexId::new(i))).collect(),
+        }
+    }
+
+    /// Image of vertex `v` of `G1`.
+    pub fn image(&self, v: VertexId) -> Option<VertexId> {
+        self.assignment.get(v.index()).copied().flatten()
+    }
+
+    /// The raw assignment vector.
+    pub fn assignment(&self) -> &[Option<VertexId>] {
+        &self.assignment
+    }
+
+    /// Number of `G1` vertices covered by this mapping.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns `true` when the mapping covers no vertex.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+/// Unit-cost edit distance induced by a complete vertex mapping of `g1` into
+/// `g2`. This is always an upper bound on `GED(g1, g2)`.
+///
+/// Panics if the mapping does not cover every vertex of `g1` or maps two
+/// vertices onto the same target.
+pub fn mapping_cost(g1: &Graph, g2: &Graph, mapping: &VertexMapping) -> usize {
+    assert_eq!(
+        mapping.len(),
+        g1.vertex_count(),
+        "mapping must cover every vertex of g1"
+    );
+    let mut used = vec![false; g2.vertex_count()];
+    let mut cost = 0usize;
+
+    // Vertex costs.
+    for v in g1.vertices() {
+        match mapping.image(v) {
+            Some(u) => {
+                assert!(!used[u.index()], "mapping must be injective");
+                used[u.index()] = true;
+                if g1.vertex_label(v).unwrap() != g2.vertex_label(u).unwrap() {
+                    cost += 1; // RV
+                }
+            }
+            None => cost += 1, // DV (plus DE for incident edges below)
+        }
+    }
+    // Unmatched g2 vertices are inserted.
+    cost += used.iter().filter(|&&u| !u).count();
+
+    // Edge costs between pairs of g1 vertices.
+    for (key, l1) in g1.edges() {
+        match (mapping.image(key.u), mapping.image(key.v)) {
+            (Some(a), Some(b)) => match g2.edge_label(a, b) {
+                Some(l2) if l2 == l1 => {}
+                Some(_) => cost += 1, // RE
+                None => cost += 1,    // DE
+            },
+            // An edge incident to a deleted vertex must be deleted.
+            _ => cost += 1,
+        }
+    }
+    // Edges of g2 that are not the image of any g1 edge are inserted.
+    for (key, _) in g2.edges() {
+        let covered = preimage(mapping, key.u).is_some() && preimage(mapping, key.v).is_some();
+        if !covered {
+            cost += 1; // AE (at least one endpoint is an inserted vertex)
+        } else {
+            let p = preimage(mapping, key.u).unwrap();
+            let q = preimage(mapping, key.v).unwrap();
+            if !g1.has_edge(p, q) {
+                cost += 1; // AE between two mapped vertices
+            }
+        }
+    }
+    cost
+}
+
+fn preimage(mapping: &VertexMapping, target: VertexId) -> Option<VertexId> {
+    mapping
+        .assignment()
+        .iter()
+        .position(|&img| img == Some(target))
+        .map(|i| VertexId::new(i as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+    use gbd_graph::Label;
+
+    #[test]
+    fn identity_mapping_on_identical_graphs_costs_zero() {
+        let (g1, _) = figure1_g1();
+        let m = VertexMapping::identity(g1.vertex_count());
+        assert_eq!(mapping_cost(&g1, &g1, &m), 0);
+    }
+
+    #[test]
+    fn figure4_identity_mapping_costs_two_relabels() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        let m = VertexMapping::identity(3);
+        assert_eq!(mapping_cost(&g1, &g2, &m), 2);
+    }
+
+    #[test]
+    fn example_1_mapping_realises_ged_three() {
+        // Map v1→u2 (A), v2→u4 (C), v3→u1 (B); u3 is inserted together with
+        // its incident edge, and the (v1,v3) edge is deleted: cost 3.
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let m = VertexMapping::new(vec![
+            Some(VertexId::new(1)),
+            Some(VertexId::new(3)),
+            Some(VertexId::new(0)),
+        ]);
+        assert_eq!(mapping_cost(&g1, &g2, &m), 3);
+    }
+
+    #[test]
+    fn deleting_a_vertex_also_pays_for_incident_edges() {
+        let mut g1 = Graph::new();
+        let a = g1.add_vertex(Label::new(0));
+        let b = g1.add_vertex(Label::new(1));
+        g1.add_edge(a, b, Label::new(9)).unwrap();
+        let mut g2 = Graph::new();
+        g2.add_vertex(Label::new(0));
+        // Map a→0, delete b: DV(b) + DE(a,b) = 2.
+        let m = VertexMapping::new(vec![Some(VertexId::new(0)), None]);
+        assert_eq!(mapping_cost(&g1, &g2, &m), 2);
+    }
+
+    #[test]
+    fn inserting_vertices_pays_for_their_edges_too() {
+        let mut g1 = Graph::new();
+        g1.add_vertex(Label::new(0));
+        let mut g2 = Graph::new();
+        let a = g2.add_vertex(Label::new(0));
+        let b = g2.add_vertex(Label::new(1));
+        let c = g2.add_vertex(Label::new(2));
+        g2.add_edge(a, b, Label::new(9)).unwrap();
+        g2.add_edge(b, c, Label::new(9)).unwrap();
+        let m = VertexMapping::new(vec![Some(VertexId::new(0))]);
+        // insert b, c and both edges = 4.
+        assert_eq!(mapping_cost(&g1, &g2, &m), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "injective")]
+    fn non_injective_mappings_are_rejected() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        let m = VertexMapping::new(vec![
+            Some(VertexId::new(0)),
+            Some(VertexId::new(0)),
+            Some(VertexId::new(2)),
+        ]);
+        mapping_cost(&g1, &g2, &m);
+    }
+
+    #[test]
+    fn mapping_accessors() {
+        let m = VertexMapping::identity(3);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.image(VertexId::new(1)), Some(VertexId::new(1)));
+        let empty = VertexMapping::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.image(VertexId::new(0)), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! Branches and the Graph Branch Distance (GBD).
+//!
+//! A *branch* rooted at vertex `v` is `B(v) = {L(v), N(v)}` where `N(v)` is
+//! the sorted multiset of the labels of the edges incident to `v`
+//! (Definition 2). Two branches are isomorphic iff both components are equal
+//! (Definition 3). The Graph Branch Distance between graphs `G1` and `G2` is
+//!
+//! ```text
+//! GBD(G1, G2) = max{|V1|, |V2|} − |B_G1 ∩ B_G2|          (Definition 4)
+//! ```
+//!
+//! where the intersection is a *multiset* intersection of the two sorted
+//! branch multisets. With pre-computed branch multisets the intersection is a
+//! single linear merge, giving the `O(nd)` online cost claimed in Section III.
+
+use std::cmp::Ordering;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// A branch `B(v) = {L(v), N(v)}` (Definition 2).
+///
+/// Branches are ordered lexicographically — first by the root vertex label,
+/// then by the sorted incident-edge label list — matching the
+/// `std::lexicographical_compare` ordering the paper uses to keep branch
+/// multisets sorted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Branch {
+    vertex_label: Label,
+    edge_labels: Vec<Label>,
+}
+
+impl Branch {
+    /// Builds a branch from a root label and an (unsorted) list of incident
+    /// edge labels. The list is sorted on construction.
+    pub fn new(vertex_label: Label, mut edge_labels: Vec<Label>) -> Self {
+        edge_labels.sort_unstable();
+        Branch {
+            vertex_label,
+            edge_labels,
+        }
+    }
+
+    /// Extracts the branch rooted at `v` in `graph`.
+    pub fn of_vertex(graph: &Graph, v: VertexId) -> Self {
+        let vertex_label = graph
+            .vertex_label(v)
+            .expect("vertex id obtained from the same graph");
+        let edge_labels = graph
+            .neighbors(v)
+            .expect("vertex id obtained from the same graph")
+            .iter()
+            .map(|&(_, l)| l)
+            .collect();
+        Branch::new(vertex_label, edge_labels)
+    }
+
+    /// The label of the root vertex `L(v)`.
+    pub fn vertex_label(&self) -> Label {
+        self.vertex_label
+    }
+
+    /// The sorted multiset `N(v)` of incident edge labels.
+    pub fn edge_labels(&self) -> &[Label] {
+        &self.edge_labels
+    }
+
+    /// Degree of the root vertex (size of `N(v)`).
+    pub fn degree(&self) -> usize {
+        self.edge_labels.len()
+    }
+
+    /// Branch isomorphism (Definition 3): equality of both components.
+    pub fn is_isomorphic(&self, other: &Branch) -> bool {
+        self == other
+    }
+}
+
+/// The sorted multiset `B_G` of all branches of a graph.
+///
+/// This is the pre-computed auxiliary structure stored alongside every
+/// database graph so that the online stage only pays the linear merge.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BranchMultiset {
+    branches: Vec<Branch>,
+}
+
+impl BranchMultiset {
+    /// Extracts and sorts all branches of `graph` in `O(Σ d_i log n)` time.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut branches: Vec<Branch> = graph
+            .vertices()
+            .map(|v| Branch::of_vertex(graph, v))
+            .collect();
+        branches.sort_unstable();
+        BranchMultiset { branches }
+    }
+
+    /// Builds a multiset directly from branches (sorting them).
+    pub fn from_branches(mut branches: Vec<Branch>) -> Self {
+        branches.sort_unstable();
+        BranchMultiset { branches }
+    }
+
+    /// Number of branches, i.e. the number of vertices of the source graph.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Returns `true` for the empty multiset.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// The branches in sorted order.
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// Size of the multiset intersection `|B_G1 ∩ B_G2|`, computed with a
+    /// single merge over the two sorted multisets.
+    pub fn intersection_size(&self, other: &BranchMultiset) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut common = 0;
+        while i < self.branches.len() && j < other.branches.len() {
+            match self.branches[i].cmp(&other.branches[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common
+    }
+
+    /// Graph Branch Distance against another pre-computed multiset
+    /// (Definition 4).
+    pub fn gbd(&self, other: &BranchMultiset) -> usize {
+        self.len().max(other.len()) - self.intersection_size(other)
+    }
+
+    /// Weighted variant used by the GBDA-V2 ablation (Equation 26):
+    /// `VGBD = max{|V1|, |V2|} − w · |B_G1 ∩ B_G2|`.
+    pub fn weighted_gbd(&self, other: &BranchMultiset, w: f64) -> f64 {
+        self.len().max(other.len()) as f64 - w * self.intersection_size(other) as f64
+    }
+}
+
+/// Graph Branch Distance between two graphs (Definition 4), extracting the
+/// branch multisets on the fly.
+///
+/// ```
+/// use gbd_graph::paper_examples::{figure1_g1, figure1_g2};
+/// use gbd_graph::graph_branch_distance;
+///
+/// let (g1, _) = figure1_g1();
+/// let (g2, _) = figure1_g2();
+/// assert_eq!(graph_branch_distance(&g1, &g2), 3); // Example 2
+/// ```
+pub fn graph_branch_distance(g1: &Graph, g2: &Graph) -> usize {
+    BranchMultiset::from_graph(g1).gbd(&BranchMultiset::from_graph(g2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+
+    #[test]
+    fn branch_sorts_edge_labels_on_construction() {
+        let b = Branch::new(Label::new(0), vec![Label::new(5), Label::new(2), Label::new(9)]);
+        assert_eq!(
+            b.edge_labels(),
+            &[Label::new(2), Label::new(5), Label::new(9)]
+        );
+        assert_eq!(b.degree(), 3);
+    }
+
+    #[test]
+    fn branch_isomorphism_matches_definition_3() {
+        let a = Branch::new(Label::new(0), vec![Label::new(1), Label::new(2)]);
+        let b = Branch::new(Label::new(0), vec![Label::new(2), Label::new(1)]);
+        let c = Branch::new(Label::new(0), vec![Label::new(1)]);
+        let d = Branch::new(Label::new(3), vec![Label::new(1), Label::new(2)]);
+        assert!(a.is_isomorphic(&b));
+        assert!(!a.is_isomorphic(&c));
+        assert!(!a.is_isomorphic(&d));
+    }
+
+    #[test]
+    fn example_2_branches_of_figure_1() {
+        let (g1, voc) = figure1_g1();
+        let ms = BranchMultiset::from_graph(&g1);
+        assert_eq!(ms.len(), 3);
+        // B(v1) = {A; y, y}
+        let y = voc.get("y").unwrap();
+        let a = voc.get("A").unwrap();
+        let expected = Branch::new(a, vec![y, y]);
+        assert!(ms.branches().contains(&expected));
+    }
+
+    #[test]
+    fn example_2_gbd_is_three() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let b1 = BranchMultiset::from_graph(&g1);
+        let b2 = BranchMultiset::from_graph(&g2);
+        // Only B(v2) = {C; y, z} ≃ B(u4).
+        assert_eq!(b1.intersection_size(&b2), 1);
+        assert_eq!(b1.gbd(&b2), 3);
+        assert_eq!(graph_branch_distance(&g1, &g2), 3);
+        // GBD is symmetric.
+        assert_eq!(graph_branch_distance(&g2, &g1), 3);
+    }
+
+    #[test]
+    fn example_4_gbd_is_two() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        assert_eq!(graph_branch_distance(&g1, &g2), 2);
+    }
+
+    #[test]
+    fn gbd_of_identical_graphs_is_zero() {
+        let (g1, _) = figure1_g1();
+        assert_eq!(graph_branch_distance(&g1, &g1.clone()), 0);
+    }
+
+    #[test]
+    fn gbd_against_empty_graph_is_vertex_count() {
+        let (g1, _) = figure1_g1();
+        let empty = Graph::new();
+        assert_eq!(graph_branch_distance(&g1, &empty), 3);
+        assert_eq!(graph_branch_distance(&empty, &empty), 0);
+    }
+
+    #[test]
+    fn multiset_intersection_respects_multiplicity() {
+        let b = |v: u32, e: &[u32]| Branch::new(Label::new(v), e.iter().map(|&x| Label::new(x)).collect());
+        let m1 = BranchMultiset::from_branches(vec![b(0, &[1]), b(0, &[1]), b(2, &[3])]);
+        let m2 = BranchMultiset::from_branches(vec![b(0, &[1]), b(2, &[3]), b(2, &[3])]);
+        assert_eq!(m1.intersection_size(&m2), 2);
+        assert_eq!(m1.gbd(&m2), 1);
+    }
+
+    #[test]
+    fn weighted_gbd_matches_equation_26() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let b1 = BranchMultiset::from_graph(&g1);
+        let b2 = BranchMultiset::from_graph(&g2);
+        // max{3,4} = 4, |∩| = 1.
+        assert!((b1.weighted_gbd(&b2, 1.0) - 3.0).abs() < 1e-12);
+        assert!((b1.weighted_gbd(&b2, 0.5) - 3.5).abs() < 1e-12);
+        assert!((b1.weighted_gbd(&b2, 0.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branches_of_isolated_vertices_have_no_edge_labels() {
+        let mut g = Graph::new();
+        let v = g.add_vertex(Label::new(7));
+        let b = Branch::of_vertex(&g, v);
+        assert_eq!(b.degree(), 0);
+        assert_eq!(b.vertex_label(), Label::new(7));
+    }
+}

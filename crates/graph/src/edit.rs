@@ -1,0 +1,345 @@
+//! Graph edit operations and edit paths (Definition 1).
+//!
+//! The six operation types are: add isolated vertex (AV), delete isolated
+//! vertex (DV), relabel vertex (RV), add edge (AE), delete edge (DE) and
+//! relabel edge (RE). The Graph Edit Distance between two graphs is the
+//! minimal length of a sequence of these operations transforming one graph
+//! into the other; computing it exactly lives in the `gbd-ged` crate, while
+//! this module provides the operation vocabulary, application semantics and
+//! edit-path bookkeeping shared by generators and tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// A single graph edit operation (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EditOp {
+    /// AV — add one isolated vertex with a non-virtual label.
+    AddVertex {
+        /// Label of the new vertex.
+        label: Label,
+    },
+    /// DV — delete one isolated vertex.
+    DeleteVertex {
+        /// Vertex to delete (must be isolated).
+        vertex: VertexId,
+    },
+    /// RV — relabel one vertex.
+    RelabelVertex {
+        /// Vertex to relabel.
+        vertex: VertexId,
+        /// New label.
+        label: Label,
+    },
+    /// AE — add one edge with a non-virtual label.
+    AddEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// Label of the new edge.
+        label: Label,
+    },
+    /// DE — delete one edge.
+    DeleteEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+    },
+    /// RE — relabel one edge.
+    RelabelEdge {
+        /// First endpoint.
+        u: VertexId,
+        /// Second endpoint.
+        v: VertexId,
+        /// New label.
+        label: Label,
+    },
+}
+
+impl EditOp {
+    /// Applies the operation to `graph` in place.
+    pub fn apply(&self, graph: &mut Graph) -> Result<()> {
+        match *self {
+            EditOp::AddVertex { label } => {
+                graph.add_vertex(label);
+                Ok(())
+            }
+            EditOp::DeleteVertex { vertex } => graph.delete_isolated_vertex(vertex).map(|_| ()),
+            EditOp::RelabelVertex { vertex, label } => graph.relabel_vertex(vertex, label),
+            EditOp::AddEdge { u, v, label } => graph.add_edge(u, v, label).map(|_| ()),
+            EditOp::DeleteEdge { u, v } => graph.delete_edge(u, v),
+            EditOp::RelabelEdge { u, v, label } => graph.relabel_edge(u, v, label),
+        }
+    }
+
+    /// Returns `true` for the two relabelling operation types (RV, RE).
+    ///
+    /// After graphs are extended (Definition 5), every operation of a minimal
+    /// edit sequence is equivalent to a relabelling, which is what the
+    /// probabilistic model exploits.
+    pub fn is_relabel(&self) -> bool {
+        matches!(self, EditOp::RelabelVertex { .. } | EditOp::RelabelEdge { .. })
+    }
+
+    /// Returns `true` for vertex operations (AV, DV, RV).
+    pub fn is_vertex_op(&self) -> bool {
+        matches!(
+            self,
+            EditOp::AddVertex { .. } | EditOp::DeleteVertex { .. } | EditOp::RelabelVertex { .. }
+        )
+    }
+}
+
+/// A sequence of graph edit operations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EditPath {
+    ops: Vec<EditOp>,
+}
+
+impl EditPath {
+    /// Creates an empty edit path.
+    pub fn new() -> Self {
+        EditPath::default()
+    }
+
+    /// Creates an edit path from operations.
+    pub fn from_ops(ops: Vec<EditOp>) -> Self {
+        EditPath { ops }
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Length of the sequence, i.e. its edit cost under unit costs.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the path contains no operation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Applies all operations to a copy of `graph`, returning the edited
+    /// graph.
+    pub fn apply_to(&self, graph: &Graph) -> Result<Graph> {
+        let mut g = graph.clone();
+        for op in &self.ops {
+            op.apply(&mut g)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertex-relabelling operations (the random variable `X` of
+    /// the probabilistic model).
+    pub fn relabel_vertex_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::RelabelVertex { .. }))
+            .count()
+    }
+
+    /// Number of edge-relabelling operations (the random variable `Y`).
+    pub fn relabel_edge_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, EditOp::RelabelEdge { .. }))
+            .count()
+    }
+
+    /// Number of distinct vertices covered by relabelled edges (the random
+    /// variable `Z` of the model).
+    pub fn vertices_covered_by_relabelled_edges(&self) -> usize {
+        let mut covered: Vec<VertexId> = Vec::new();
+        for op in &self.ops {
+            if let EditOp::RelabelEdge { u, v, .. } = op {
+                covered.push(*u);
+                covered.push(*v);
+            }
+        }
+        covered.sort_unstable();
+        covered.dedup();
+        covered.len()
+    }
+
+    /// Number of distinct vertices either relabelled or covered by relabelled
+    /// edges (the random variable `R` of the model).
+    pub fn vertices_touched_by_relabels(&self) -> usize {
+        let mut touched: Vec<VertexId> = Vec::new();
+        for op in &self.ops {
+            match op {
+                EditOp::RelabelEdge { u, v, .. } => {
+                    touched.push(*u);
+                    touched.push(*v);
+                }
+                EditOp::RelabelVertex { vertex, .. } => touched.push(*vertex),
+                _ => {}
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched.len()
+    }
+}
+
+impl FromIterator<EditOp> for EditPath {
+    fn from_iter<T: IntoIterator<Item = EditOp>>(iter: T) -> Self {
+        EditPath {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::graph_branch_distance;
+    use crate::paper_examples::{example_vocabulary, figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+
+    /// Example 1: transforming G1 into G2 with three operations — delete edge
+    /// (v1, v3), add vertex labelled A, add edge (v3, v4) labelled x.
+    #[test]
+    fn example_1_edit_sequence_transforms_g1_into_g2() {
+        let (g1, voc) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let path = EditPath::from_ops(vec![
+            EditOp::DeleteEdge {
+                u: VertexId::new(0),
+                v: VertexId::new(2),
+            },
+            EditOp::AddVertex {
+                label: voc.get("A").unwrap(),
+            },
+            EditOp::AddEdge {
+                u: VertexId::new(2),
+                v: VertexId::new(3),
+                label: voc.get("x").unwrap(),
+            },
+        ]);
+        assert_eq!(path.len(), 3);
+        let edited = path.apply_to(&g1).unwrap();
+        // The edited graph must be branch-identical to G2 (it is in fact
+        // isomorphic; branch equality is the cheap certificate we use here).
+        assert_eq!(graph_branch_distance(&edited, &g2), 0);
+        assert_eq!(edited.vertex_count(), g2.vertex_count());
+        assert_eq!(edited.edge_count(), g2.edge_count());
+    }
+
+    /// Example 4: two relabelling sequences of length 2 both transform the
+    /// Figure 4 graphs into each other, and the model counts X, Y, Z, R as in
+    /// the paper.
+    #[test]
+    fn example_4_random_variable_counts() {
+        let (g1, voc) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        // seq2 = {op2, op1}: relabel (v1,v3) to x, relabel (v1,v2) to y.
+        let seq2 = EditPath::from_ops(vec![
+            EditOp::RelabelEdge {
+                u: VertexId::new(0),
+                v: VertexId::new(2),
+                label: voc.get("x").unwrap(),
+            },
+            EditOp::RelabelEdge {
+                u: VertexId::new(0),
+                v: VertexId::new(1),
+                label: voc.get("y").unwrap(),
+            },
+        ]);
+        let edited = seq2.apply_to(&g1).unwrap();
+        assert_eq!(graph_branch_distance(&edited, &g2), 0);
+        assert_eq!(seq2.relabel_vertex_count(), 0); // X = 0
+        assert_eq!(seq2.relabel_edge_count(), 2); // Y = 2
+        assert_eq!(seq2.vertices_covered_by_relabelled_edges(), 3); // Z = 3
+        assert_eq!(seq2.vertices_touched_by_relabels(), 3); // R = 3
+        assert_eq!(graph_branch_distance(&g1, &g2), 2); // GBD = 2
+
+        // seq3 = {op3, op4}: relabel v2 to C, relabel v3 to B.
+        let seq3 = EditPath::from_ops(vec![
+            EditOp::RelabelVertex {
+                vertex: VertexId::new(1),
+                label: voc.get("C").unwrap(),
+            },
+            EditOp::RelabelVertex {
+                vertex: VertexId::new(2),
+                label: voc.get("B").unwrap(),
+            },
+        ]);
+        assert_eq!(seq3.relabel_vertex_count(), 2); // X = 2
+        assert_eq!(seq3.relabel_edge_count(), 0); // Y = 0
+        assert_eq!(seq3.vertices_covered_by_relabelled_edges(), 0); // Z = 0
+        assert_eq!(seq3.vertices_touched_by_relabels(), 2); // R = 2
+    }
+
+    #[test]
+    fn apply_reports_errors_from_invalid_operations() {
+        let (g1, _) = figure1_g1();
+        let voc = example_vocabulary();
+        let bad = EditPath::from_ops(vec![EditOp::AddEdge {
+            u: VertexId::new(0),
+            v: VertexId::new(1),
+            label: voc.get("x").unwrap(),
+        }]);
+        // Edge (0, 1) already exists in G1.
+        assert!(bad.apply_to(&g1).is_err());
+        // Deleting a non-isolated vertex fails.
+        let bad2 = EditPath::from_ops(vec![EditOp::DeleteVertex {
+            vertex: VertexId::new(0),
+        }]);
+        assert!(bad2.apply_to(&g1).is_err());
+    }
+
+    #[test]
+    fn op_classification_helpers() {
+        let rv = EditOp::RelabelVertex {
+            vertex: VertexId::new(0),
+            label: Label::new(1),
+        };
+        let re = EditOp::RelabelEdge {
+            u: VertexId::new(0),
+            v: VertexId::new(1),
+            label: Label::new(1),
+        };
+        let av = EditOp::AddVertex { label: Label::new(1) };
+        let de = EditOp::DeleteEdge {
+            u: VertexId::new(0),
+            v: VertexId::new(1),
+        };
+        assert!(rv.is_relabel() && re.is_relabel());
+        assert!(!av.is_relabel() && !de.is_relabel());
+        assert!(rv.is_vertex_op() && av.is_vertex_op());
+        assert!(!re.is_vertex_op() && !de.is_vertex_op());
+    }
+
+    #[test]
+    fn edit_path_collects_from_iterator() {
+        let ops = vec![
+            EditOp::AddVertex { label: Label::new(0) },
+            EditOp::AddVertex { label: Label::new(1) },
+        ];
+        let path: EditPath = ops.iter().copied().collect();
+        assert_eq!(path.len(), 2);
+        assert!(!path.is_empty());
+        assert_eq!(path.ops()[1], ops[1]);
+    }
+
+    #[test]
+    fn empty_path_is_identity() {
+        let (g1, _) = figure1_g1();
+        let path = EditPath::new();
+        assert!(path.is_empty());
+        let out = path.apply_to(&g1).unwrap();
+        assert_eq!(graph_branch_distance(&g1, &out), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for graph construction and manipulation.
+
+use std::fmt;
+
+use crate::graph::VertexId;
+
+/// Convenient result alias used throughout the graph substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised when building or editing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id does not exist in the graph.
+    UnknownVertex(VertexId),
+    /// An edge between the two vertices does not exist.
+    UnknownEdge(VertexId, VertexId),
+    /// An edge between the two vertices already exists (simple graphs only).
+    DuplicateEdge(VertexId, VertexId),
+    /// Self loops are not allowed in simple graphs.
+    SelfLoop(VertexId),
+    /// A vertex scheduled for deletion still has incident edges.
+    VertexNotIsolated(VertexId),
+    /// The virtual label `ε` cannot be used on concrete vertices or edges.
+    VirtualLabelNotAllowed,
+    /// A label id was used that is not present in the vocabulary.
+    UnknownLabel(u32),
+    /// A textual graph representation could not be parsed.
+    Parse(String),
+    /// A generator could not satisfy its constraints (e.g. no valid
+    /// modification center was found within the retry budget).
+    Generation(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {}", v.index()),
+            GraphError::UnknownEdge(u, v) => {
+                write!(f, "no edge between vertices {} and {}", u.index(), v.index())
+            }
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge between {} and {} already exists", u.index(), v.index())
+            }
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {}", v.index()),
+            GraphError::VertexNotIsolated(v) => {
+                write!(f, "vertex {} still has incident edges", v.index())
+            }
+            GraphError::VirtualLabelNotAllowed => {
+                write!(f, "the virtual label ε cannot be used in a concrete graph")
+            }
+            GraphError::UnknownLabel(id) => write!(f, "unknown label id {id}"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Generation(msg) => write!(f, "generation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = GraphError::UnknownVertex(VertexId::new(3));
+        assert!(e.to_string().contains("unknown vertex 3"));
+        let e = GraphError::DuplicateEdge(VertexId::new(1), VertexId::new(2));
+        assert!(e.to_string().contains("already exists"));
+        let e = GraphError::Parse("bad line".into());
+        assert!(e.to_string().contains("bad line"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Extended graphs (Definition 5).
+//!
+//! The extended graph `G^{k}` of `G` is obtained by inserting `k` isolated
+//! *virtual* vertices (label `ε`) and then inserting a *virtual* edge (label
+//! `ε`) between every pair of non-adjacent vertices. For a pair `(G1, G2)`
+//! with `|V1| ≤ |V2|` the paper sets `G'1 = G1^{|V2|−|V1|}` and `G'2 = G2^{0}`
+//! so both extended graphs are complete graphs over the same number of
+//! vertices, and every minimal edit sequence between them consists of
+//! relabelling operations only.
+//!
+//! The paper stresses (Section IV) that the extension is purely conceptual:
+//! Theorems 1 and 2 show GED and GBD are unchanged, so no extended graph is
+//! ever materialised in the search path. We still materialise them here for
+//! testing those theorems and for the model's bookkeeping (`|V'1|`,
+//! `|E'1| = C(|V'1|, 2)`).
+
+use crate::graph::Graph;
+use crate::label::Label;
+
+/// Returns the extension factor `k = max(|V1|, |V2|) − |V1|` that the model
+/// applies to the *smaller* graph of a pair (the larger one gets factor 0).
+pub fn extension_factor(own_vertices: usize, other_vertices: usize) -> usize {
+    other_vertices.saturating_sub(own_vertices)
+}
+
+/// Builds the extended graph `G^{k}` (Definition 5).
+///
+/// Virtual vertices and virtual edges carry [`Label::EPSILON`]. The result is
+/// a complete graph over `|V| + k` vertices.
+///
+/// This constructor bypasses the "no virtual labels" guard of [`Graph`]
+/// deliberately — extended graphs are the one place where `ε` is legal.
+pub fn extend_graph(graph: &Graph, k: usize) -> ExtendedGraph {
+    let n = graph.vertex_count() + k;
+    let mut vertex_labels = Vec::with_capacity(n);
+    for v in graph.vertices() {
+        vertex_labels.push(graph.vertex_label(v).expect("vertex from same graph"));
+    }
+    vertex_labels.extend(std::iter::repeat(Label::EPSILON).take(k));
+
+    let mut edge_labels = vec![vec![Label::EPSILON; n]; n];
+    for (key, label) in graph.edges() {
+        edge_labels[key.u.index()][key.v.index()] = label;
+        edge_labels[key.v.index()][key.u.index()] = label;
+    }
+    ExtendedGraph {
+        vertex_labels,
+        edge_labels,
+    }
+}
+
+/// A materialised extended graph: a complete graph where missing vertices and
+/// edges carry the virtual label `ε`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtendedGraph {
+    vertex_labels: Vec<Label>,
+    /// `edge_labels[i][j]` is the label of edge `{i, j}` (`ε` when virtual);
+    /// the diagonal is unused and stays `ε`.
+    edge_labels: Vec<Vec<Label>>,
+}
+
+impl ExtendedGraph {
+    /// Number of vertices `|V'|` (original plus virtual).
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of edge *slots* `C(|V'|, 2)` — the extended graph is complete.
+    pub fn edge_slots(&self) -> usize {
+        let n = self.vertex_count();
+        n * (n - 1) / 2
+    }
+
+    /// Label of vertex `i` (may be `ε`).
+    pub fn vertex_label(&self, i: usize) -> Label {
+        self.vertex_labels[i]
+    }
+
+    /// Label of edge `{i, j}` (may be `ε`).
+    pub fn edge_label(&self, i: usize, j: usize) -> Label {
+        self.edge_labels[i][j]
+    }
+
+    /// Branch of vertex `i` in the extended graph, **ignoring virtual edges**.
+    ///
+    /// Branches rooted at virtual vertices consist of the `ε` root label and
+    /// no concrete incident edges; they are never isomorphic to a concrete
+    /// branch, which is exactly the argument of Theorem 2.
+    pub fn concrete_branch(&self, i: usize) -> (Label, Vec<Label>) {
+        let mut labels: Vec<Label> = (0..self.vertex_count())
+            .filter(|&j| j != i)
+            .map(|j| self.edge_labels[i][j])
+            .filter(|l| !l.is_virtual())
+            .collect();
+        labels.sort_unstable();
+        (self.vertex_labels[i], labels)
+    }
+
+    /// Cost of transforming this extended graph into `other` under a given
+    /// vertex permutation, counting only relabelling operations (each
+    /// vertex-label mismatch and each edge-label mismatch costs 1).
+    ///
+    /// Minimising this over all permutations gives the extended-graph GED,
+    /// which by Theorem 1 equals the original GED. Only used on tiny graphs
+    /// (tests), where brute force over permutations is feasible.
+    pub fn relabel_cost_under_permutation(&self, other: &ExtendedGraph, perm: &[usize]) -> usize {
+        assert_eq!(self.vertex_count(), other.vertex_count());
+        assert_eq!(perm.len(), self.vertex_count());
+        let n = self.vertex_count();
+        let mut cost = 0;
+        for i in 0..n {
+            if self.vertex_labels[i] != other.vertex_labels[perm[i]] {
+                cost += 1;
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.edge_labels[i][j] != other.edge_labels[perm[i]][perm[j]] {
+                    cost += 1;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Exact extended-graph GED by brute force over all vertex permutations.
+    ///
+    /// Exponential — intended for graphs with at most ~8 vertices in tests.
+    pub fn brute_force_ged(&self, other: &ExtendedGraph) -> usize {
+        assert_eq!(
+            self.vertex_count(),
+            other.vertex_count(),
+            "extended graphs of a pair always have equal vertex counts"
+        );
+        let n = self.vertex_count();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = usize::MAX;
+        permute(&mut perm, 0, &mut |p| {
+            let c = self.relabel_cost_under_permutation(other, p);
+            if c < best {
+                best = c;
+            }
+        });
+        best
+    }
+}
+
+fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, visit);
+        perm.swap(k, i);
+    }
+}
+
+/// Computes GBD between two extended graphs using only concrete branches,
+/// mirroring Definition 4 applied to `G'1`, `G'2`.
+pub fn extended_gbd(a: &ExtendedGraph, b: &ExtendedGraph) -> usize {
+    let mut ba: Vec<(Label, Vec<Label>)> = (0..a.vertex_count()).map(|i| a.concrete_branch(i)).collect();
+    let mut bb: Vec<(Label, Vec<Label>)> = (0..b.vertex_count()).map(|i| b.concrete_branch(i)).collect();
+    ba.sort();
+    bb.sort();
+    let mut i = 0;
+    let mut j = 0;
+    let mut common = 0;
+    while i < ba.len() && j < bb.len() {
+        match ba[i].cmp(&bb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ba.len().max(bb.len()) - common
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::graph_branch_distance;
+    use crate::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+
+    #[test]
+    fn example_3_extension_of_figure_1() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let k = extension_factor(g1.vertex_count(), g2.vertex_count());
+        assert_eq!(k, 1);
+        let e1 = extend_graph(&g1, k);
+        let e2 = extend_graph(&g2, 0);
+        assert_eq!(e1.vertex_count(), 4);
+        assert_eq!(e2.vertex_count(), 4);
+        assert_eq!(e1.edge_slots(), 6);
+        // v4 is virtual, all its incident edges are virtual.
+        assert!(e1.vertex_label(3).is_virtual());
+        assert!(e1.edge_label(3, 0).is_virtual());
+        // Original edges keep their labels.
+        assert!(!e1.edge_label(0, 1).is_virtual());
+    }
+
+    #[test]
+    fn theorem_2_gbd_is_preserved_by_extension() {
+        let pairs = [
+            (figure1_g1().0, figure1_g2().0),
+            (figure4_g1().0, figure4_g2().0),
+            (figure1_g1().0, figure1_g1().0),
+        ];
+        for (g1, g2) in pairs {
+            let (small, large) = if g1.vertex_count() <= g2.vertex_count() {
+                (&g1, &g2)
+            } else {
+                (&g2, &g1)
+            };
+            let k = extension_factor(small.vertex_count(), large.vertex_count());
+            let e1 = extend_graph(small, k);
+            let e2 = extend_graph(large, 0);
+            assert_eq!(
+                extended_gbd(&e1, &e2),
+                graph_branch_distance(small, large),
+                "GBD must be identical on extended graphs (Theorem 2)"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_1_extended_ged_matches_example_1() {
+        // GED(G1, G2) = 3 in Example 1; the extended graphs must agree.
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let e1 = extend_graph(&g1, 1);
+        let e2 = extend_graph(&g2, 0);
+        assert_eq!(e1.brute_force_ged(&e2), 3);
+    }
+
+    #[test]
+    fn extended_ged_of_figure_4_is_two() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        let e1 = extend_graph(&g1, 0);
+        let e2 = extend_graph(&g2, 0);
+        assert_eq!(e1.brute_force_ged(&e2), 2);
+    }
+
+    #[test]
+    fn extension_factor_is_zero_for_the_larger_graph() {
+        assert_eq!(extension_factor(5, 3), 0);
+        assert_eq!(extension_factor(3, 5), 2);
+        assert_eq!(extension_factor(4, 4), 0);
+    }
+
+    #[test]
+    fn identity_permutation_cost_counts_mismatches() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        let e1 = extend_graph(&g1, 0);
+        let e2 = extend_graph(&g2, 0);
+        let id: Vec<usize> = (0..3).collect();
+        // Identity mapping mismatches both concrete edge labels.
+        assert_eq!(e1.relabel_cost_under_permutation(&e2, &id), 2);
+    }
+}

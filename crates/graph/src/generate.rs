@@ -1,0 +1,323 @@
+//! Random labeled graph generators.
+//!
+//! Two families are needed for the paper's evaluation:
+//!
+//! * **Uniform (non-scale-free) connected graphs** — every vertex `v_i`
+//!   (`i > 0`) is first connected to a random earlier vertex to guarantee
+//!   connectivity, then the remaining edges are placed uniformly at random
+//!   between non-adjacent vertex pairs. This mirrors the Syn-2 construction
+//!   of Appendix I ("for random graphs, we randomly add edges between
+//!   in-adjacent vertices").
+//! * **Scale-free connected graphs** — same spanning construction, then a
+//!   constant number of extra edges per vertex are attached by *preferential
+//!   attachment* (endpoint picked with probability proportional to degree),
+//!   mirroring Appendix I's Syn-1 construction and yielding a power-law
+//!   degree distribution with average degree `O(log n)` (Theorem 5).
+//!
+//! Labels are drawn from configurable alphabets with either a uniform or a
+//! Zipf-like skewed distribution (real chemical datasets such as AIDS are
+//! heavily skewed towards a handful of atom types).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, VertexId};
+use crate::label::{Label, LabelAlphabets};
+
+/// How labels are drawn from their alphabet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelDistribution {
+    /// Every label of the alphabet is equally likely.
+    Uniform,
+    /// Zipf-like skew: label `k` (0-based) has weight `1 / (k + 1)^s`.
+    /// Chemical graphs are well approximated by `s ≈ 1`.
+    Zipf(f64),
+}
+
+impl LabelDistribution {
+    /// Samples a label index in `0..alphabet_size`.
+    pub fn sample<R: Rng + ?Sized>(&self, alphabet_size: usize, rng: &mut R) -> usize {
+        assert!(alphabet_size > 0, "label alphabet must be non-empty");
+        match *self {
+            LabelDistribution::Uniform => rng.gen_range(0..alphabet_size),
+            LabelDistribution::Zipf(s) => {
+                // Inverse-CDF sampling over the finite Zipf weights.
+                let weights: Vec<f64> =
+                    (0..alphabet_size).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut u = rng.gen::<f64>() * total;
+                for (k, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        return k;
+                    }
+                    u -= *w;
+                }
+                alphabet_size - 1
+            }
+        }
+    }
+}
+
+/// Configuration of the random graph generators.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target average degree `d` (the generator adds
+    /// `⌈n·d/2⌉ − (n−1)` extra edges on top of the spanning tree).
+    pub average_degree: f64,
+    /// Whether extra edges are attached preferentially (scale-free, Syn-1) or
+    /// uniformly (Syn-2).
+    pub scale_free: bool,
+    /// Vertex / edge label alphabet sizes.
+    pub alphabets: LabelAlphabets,
+    /// Distribution of vertex labels over the alphabet.
+    pub vertex_label_distribution: LabelDistribution,
+    /// Distribution of edge labels over the alphabet.
+    pub edge_label_distribution: LabelDistribution,
+    /// Offset added to edge-label ids so that vertex and edge labels occupy
+    /// disjoint id ranges (convenient for statistics; the model only needs
+    /// `|LV|` and `|LE|`).
+    pub edge_label_offset: u32,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default for a small chemistry-like graph.
+    pub fn new(vertices: usize, average_degree: f64) -> Self {
+        GeneratorConfig {
+            vertices,
+            average_degree,
+            scale_free: true,
+            alphabets: LabelAlphabets::new(8, 3),
+            vertex_label_distribution: LabelDistribution::Zipf(1.0),
+            edge_label_distribution: LabelDistribution::Uniform,
+            edge_label_offset: 1000,
+        }
+    }
+
+    /// Switches between scale-free and uniform edge placement.
+    pub fn with_scale_free(mut self, scale_free: bool) -> Self {
+        self.scale_free = scale_free;
+        self
+    }
+
+    /// Overrides the label alphabets.
+    pub fn with_alphabets(mut self, alphabets: LabelAlphabets) -> Self {
+        self.alphabets = alphabets;
+        self
+    }
+
+    /// Overrides the vertex-label distribution.
+    pub fn with_vertex_distribution(mut self, d: LabelDistribution) -> Self {
+        self.vertex_label_distribution = d;
+        self
+    }
+
+    /// Overrides the edge-label distribution.
+    pub fn with_edge_distribution(mut self, d: LabelDistribution) -> Self {
+        self.edge_label_distribution = d;
+        self
+    }
+
+    fn vertex_label<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
+        Label::new(self.vertex_label_distribution.sample(self.alphabets.vertex_labels, rng) as u32)
+    }
+
+    fn edge_label<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
+        Label::new(
+            self.edge_label_offset
+                + self.edge_label_distribution.sample(self.alphabets.edge_labels, rng) as u32,
+        )
+    }
+
+    /// Generates one connected labeled graph.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph> {
+        if self.vertices == 0 {
+            return Ok(Graph::new());
+        }
+        let n = self.vertices;
+        let mut g = Graph::with_capacity(n);
+        for _ in 0..n {
+            let label = self.vertex_label(rng);
+            g.add_vertex(label);
+        }
+        // Spanning construction: connect v_i to a random earlier vertex.
+        let mut degrees = vec![0usize; n];
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            let label = self.edge_label(rng);
+            g.add_edge(VertexId::new(i as u32), VertexId::new(j as u32), label)?;
+            degrees[i] += 1;
+            degrees[j] += 1;
+        }
+        // Extra edges to reach the target average degree.
+        let target_edges = ((n as f64 * self.average_degree) / 2.0).round() as usize;
+        let max_edges = n * (n - 1) / 2;
+        let target_edges = target_edges.min(max_edges);
+        let mut budget = target_edges.saturating_sub(g.edge_count());
+        let mut attempts = 0usize;
+        let max_attempts = budget.saturating_mul(50) + 1000;
+        while budget > 0 && attempts < max_attempts {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = if self.scale_free {
+                preferential_pick(&degrees, a, rng)
+            } else {
+                rng.gen_range(0..n)
+            };
+            if a == b {
+                continue;
+            }
+            let (u, v) = (VertexId::new(a as u32), VertexId::new(b as u32));
+            if g.has_edge(u, v) {
+                continue;
+            }
+            let label = self.edge_label(rng);
+            g.add_edge(u, v, label)?;
+            degrees[a] += 1;
+            degrees[b] += 1;
+            budget -= 1;
+        }
+        if budget > 0 && g.edge_count() < max_edges {
+            return Err(GraphError::Generation(format!(
+                "could not place {budget} remaining edges after {attempts} attempts"
+            )));
+        }
+        Ok(g)
+    }
+
+    /// Generates `count` independent graphs.
+    pub fn generate_many<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Result<Vec<Graph>> {
+        (0..count).map(|_| self.generate(rng)).collect()
+    }
+}
+
+/// Picks a vertex with probability proportional to its degree, excluding
+/// `avoid`. Falls back to a uniform pick when all degrees are zero.
+fn preferential_pick<R: Rng + ?Sized>(degrees: &[usize], avoid: usize, rng: &mut R) -> usize {
+    let total: usize = degrees
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != avoid)
+        .map(|(_, d)| *d)
+        .sum();
+    if total == 0 {
+        let candidates: Vec<usize> = (0..degrees.len()).filter(|&i| i != avoid).collect();
+        return *candidates.choose(rng).unwrap_or(&avoid);
+    }
+    let mut target = rng.gen_range(0..total);
+    for (i, &d) in degrees.iter().enumerate() {
+        if i == avoid {
+            continue;
+        }
+        if target < d {
+            return i;
+        }
+        target -= d;
+    }
+    // Numerically unreachable; return the last non-avoided vertex.
+    if avoid == degrees.len() - 1 {
+        degrees.len() - 2
+    } else {
+        degrees.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_are_connected_and_sized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GeneratorConfig::new(40, 3.0);
+        let g = cfg.generate(&mut rng).unwrap();
+        assert_eq!(g.vertex_count(), 40);
+        assert!(g.is_connected());
+        assert!(g.average_degree() >= 2.0 && g.average_degree() <= 4.0);
+    }
+
+    #[test]
+    fn zero_vertices_yields_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GeneratorConfig::new(0, 3.0);
+        let g = cfg.generate(&mut rng).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn single_vertex_graph_has_no_edges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GeneratorConfig::new(1, 3.0);
+        let g = cfg.generate(&mut rng).unwrap();
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn scale_free_graphs_have_heavier_degree_tail() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 400;
+        let sf = GeneratorConfig::new(n, 4.0).with_scale_free(true).generate(&mut rng).unwrap();
+        let uni = GeneratorConfig::new(n, 4.0).with_scale_free(false).generate(&mut rng).unwrap();
+        assert!(
+            sf.max_degree() > uni.max_degree(),
+            "preferential attachment should concentrate degree (sf max {} vs uniform max {})",
+            sf.max_degree(),
+            uni.max_degree()
+        );
+    }
+
+    #[test]
+    fn labels_respect_alphabet_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = GeneratorConfig::new(60, 3.0).with_alphabets(LabelAlphabets::new(4, 2));
+        let g = cfg.generate(&mut rng).unwrap();
+        for &l in g.vertex_labels() {
+            assert!(l.id() < 4);
+        }
+        for (_, l) in g.edges() {
+            assert!(l.id() >= cfg.edge_label_offset && l.id() < cfg.edge_label_offset + 2);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_small_label_ids() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = LabelDistribution::Zipf(1.5);
+        let mut counts = [0usize; 6];
+        for _ in 0..4000 {
+            counts[dist.sample(6, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5] * 3, "zipf head should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn uniform_distribution_covers_alphabet() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dist = LabelDistribution::Uniform;
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[dist.sample(5, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn generate_many_produces_independent_graphs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = GeneratorConfig::new(20, 2.5);
+        let graphs = cfg.generate_many(5, &mut rng).unwrap();
+        assert_eq!(graphs.len(), 5);
+        // They should not all be identical (overwhelmingly unlikely).
+        let first_edges: Vec<_> = graphs[0].edges().collect();
+        assert!(graphs
+            .iter()
+            .skip(1)
+            .any(|g| g.edges().collect::<Vec<_>>() != first_edges));
+    }
+}

@@ -1,0 +1,551 @@
+//! Simple labeled undirected graphs.
+//!
+//! Graphs in the paper (Section II) are *simple labeled undirected* graphs
+//! `G = {V, E, L}`: no self loops, at most one edge between a pair of
+//! vertices, and a labelling function over both vertices and edges. Directed
+//! and weighted graphs can be handled by encoding direction/weight into the
+//! edge label, exactly as the paper notes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{GraphError, Result};
+use crate::label::Label;
+
+/// Identifier of a vertex inside one [`Graph`].
+///
+/// Vertex ids are dense indices `0..vertex_count()`; they are only meaningful
+/// relative to the graph that produced them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        VertexId(index)
+    }
+
+    /// Returns the dense index of this vertex.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Canonical identifier of an undirected edge: the vertex pair with the
+/// smaller id first.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EdgeKey {
+    /// Endpoint with the smaller vertex id.
+    pub u: VertexId,
+    /// Endpoint with the larger vertex id.
+    pub v: VertexId,
+}
+
+impl EdgeKey {
+    /// Builds the canonical key for the unordered pair `{a, b}`.
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        if a <= b {
+            EdgeKey { u: a, v: b }
+        } else {
+            EdgeKey { u: b, v: a }
+        }
+    }
+
+    /// Returns `true` if `x` is one of the two endpoints.
+    pub fn touches(&self, x: VertexId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Given one endpoint, returns the other one (or `None` if `x` is not an
+    /// endpoint).
+    pub fn other(&self, x: VertexId) -> Option<VertexId> {
+        if self.u == x {
+            Some(self.v)
+        } else if self.v == x {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+/// A simple labeled undirected graph.
+///
+/// The representation keeps an adjacency list per vertex (neighbour id plus
+/// edge label, kept sorted by neighbour id) and a canonical edge map. This is
+/// the "auxiliary data structure" the paper assumes is stored with each graph
+/// for fair comparison of the different methods (Section III).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    name: Option<String>,
+    vertex_labels: Vec<Label>,
+    adjacency: Vec<Vec<(VertexId, Label)>>,
+    edges: BTreeMap<EdgeKey, Label>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with pre-allocated room for `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Graph {
+            name: None,
+            vertex_labels: Vec::with_capacity(n),
+            adjacency: Vec::with_capacity(n),
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a human readable name (dataset id, molecule id, ...).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = Some(name.into());
+    }
+
+    /// Returns the graph name if one was set.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Adds a vertex with the given (non-virtual) label and returns its id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        debug_assert!(!label.is_virtual(), "concrete graphs store non-virtual labels");
+        let id = VertexId::new(self.vertex_labels.len() as u32);
+        self.vertex_labels.push(label);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge `{a, b}` with the given label.
+    ///
+    /// Fails on self loops, duplicate edges, unknown endpoints, or the virtual
+    /// label.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId, label: Label) -> Result<EdgeKey> {
+        if label.is_virtual() {
+            return Err(GraphError::VirtualLabelNotAllowed);
+        }
+        self.check_vertex(a)?;
+        self.check_vertex(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        let key = EdgeKey::new(a, b);
+        if self.edges.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge(key.u, key.v));
+        }
+        self.edges.insert(key, label);
+        Self::insert_sorted(&mut self.adjacency[a.index()], b, label);
+        Self::insert_sorted(&mut self.adjacency[b.index()], a, label);
+        Ok(key)
+    }
+
+    fn insert_sorted(adj: &mut Vec<(VertexId, Label)>, neighbour: VertexId, label: Label) {
+        let pos = adj.partition_point(|(n, _)| *n < neighbour);
+        adj.insert(pos, (neighbour, label));
+    }
+
+    fn remove_from_adj(adj: &mut Vec<(VertexId, Label)>, neighbour: VertexId) {
+        if let Ok(pos) = adj.binary_search_by_key(&neighbour, |(n, _)| *n) {
+            adj.remove(pos);
+        }
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if v.index() < self.vertex_labels.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownVertex(v))
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the label of vertex `v`.
+    pub fn vertex_label(&self, v: VertexId) -> Result<Label> {
+        self.check_vertex(v)?;
+        Ok(self.vertex_labels[v.index()])
+    }
+
+    /// Returns the label of the edge `{a, b}` if it exists.
+    pub fn edge_label(&self, a: VertexId, b: VertexId) -> Option<Label> {
+        self.edges.get(&EdgeKey::new(a, b)).copied()
+    }
+
+    /// Returns `true` if the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.edges.contains_key(&EdgeKey::new(a, b))
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> Result<usize> {
+        self.check_vertex(v)?;
+        Ok(self.adjacency[v.index()].len())
+    }
+
+    /// Iterates over the neighbours of `v` together with the connecting edge
+    /// label, sorted by neighbour id.
+    pub fn neighbors(&self, v: VertexId) -> Result<&[(VertexId, Label)]> {
+        self.check_vertex(v)?;
+        Ok(&self.adjacency[v.index()])
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_labels.len() as u32).map(VertexId::new)
+    }
+
+    /// Iterates over all vertex labels in id order.
+    pub fn vertex_labels(&self) -> &[Label] {
+        &self.vertex_labels
+    }
+
+    /// Iterates over all edges as `(EdgeKey, Label)` in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeKey, Label)> + '_ {
+        self.edges.iter().map(|(k, l)| (*k, *l))
+    }
+
+    /// Relabels vertex `v` (operation RV of Definition 1).
+    pub fn relabel_vertex(&mut self, v: VertexId, label: Label) -> Result<()> {
+        if label.is_virtual() {
+            return Err(GraphError::VirtualLabelNotAllowed);
+        }
+        self.check_vertex(v)?;
+        self.vertex_labels[v.index()] = label;
+        Ok(())
+    }
+
+    /// Relabels the edge `{a, b}` (operation RE of Definition 1).
+    pub fn relabel_edge(&mut self, a: VertexId, b: VertexId, label: Label) -> Result<()> {
+        if label.is_virtual() {
+            return Err(GraphError::VirtualLabelNotAllowed);
+        }
+        let key = EdgeKey::new(a, b);
+        let slot = self
+            .edges
+            .get_mut(&key)
+            .ok_or(GraphError::UnknownEdge(key.u, key.v))?;
+        *slot = label;
+        for (n, l) in &mut self.adjacency[a.index()] {
+            if *n == b {
+                *l = label;
+            }
+        }
+        for (n, l) in &mut self.adjacency[b.index()] {
+            if *n == a {
+                *l = label;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes the edge `{a, b}` (operation DE of Definition 1).
+    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> Result<()> {
+        let key = EdgeKey::new(a, b);
+        if self.edges.remove(&key).is_none() {
+            return Err(GraphError::UnknownEdge(key.u, key.v));
+        }
+        Self::remove_from_adj(&mut self.adjacency[a.index()], b);
+        Self::remove_from_adj(&mut self.adjacency[b.index()], a);
+        Ok(())
+    }
+
+    /// Deletes an *isolated* vertex (operation DV of Definition 1).
+    ///
+    /// The last vertex id is swapped into the deleted slot, mirroring
+    /// `Vec::swap_remove`; the returned value is the id that changed (the old
+    /// id of the moved vertex), if any.
+    pub fn delete_isolated_vertex(&mut self, v: VertexId) -> Result<Option<(VertexId, VertexId)>> {
+        self.check_vertex(v)?;
+        if !self.adjacency[v.index()].is_empty() {
+            return Err(GraphError::VertexNotIsolated(v));
+        }
+        let last = VertexId::new((self.vertex_labels.len() - 1) as u32);
+        self.vertex_labels.swap_remove(v.index());
+        self.adjacency.swap_remove(v.index());
+        if last == v {
+            return Ok(None);
+        }
+        // The vertex previously known as `last` now has id `v`: rewrite all
+        // adjacency entries and edge keys that referenced it.
+        let moved = last;
+        for adj in &mut self.adjacency {
+            for (n, _) in adj.iter_mut() {
+                if *n == moved {
+                    *n = v;
+                }
+            }
+            adj.sort_unstable_by_key(|(n, _)| *n);
+        }
+        let affected: Vec<(EdgeKey, Label)> = self
+            .edges
+            .iter()
+            .filter(|(k, _)| k.touches(moved))
+            .map(|(k, l)| (*k, *l))
+            .collect();
+        for (k, l) in affected {
+            self.edges.remove(&k);
+            let a = if k.u == moved { v } else { k.u };
+            let b = if k.v == moved { v } else { k.v };
+            self.edges.insert(EdgeKey::new(a, b), l);
+        }
+        Ok(Some((moved, v)))
+    }
+
+    /// Average degree `d = 2|E| / |V|` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.vertex_labels.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.vertex_labels.len() as f64
+        }
+    }
+
+    /// Maximum vertex degree (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Returns `true` when the graph is connected (the empty graph counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![VertexId::new(0)];
+        seen[0] = true;
+        let mut visited = 1usize;
+        while let Some(v) = stack.pop() {
+            for &(n_id, _) in &self.adjacency[v.index()] {
+                if !seen[n_id.index()] {
+                    seen[n_id.index()] = true;
+                    visited += 1;
+                    stack.push(n_id);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Multiset of vertex labels, sorted ascending. Used by cheap GED lower
+    /// bounds and by tests.
+    pub fn sorted_vertex_labels(&self) -> Vec<Label> {
+        let mut labels = self.vertex_labels.clone();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// Multiset of edge labels, sorted ascending.
+    pub fn sorted_edge_labels(&self) -> Vec<Label> {
+        let mut labels: Vec<Label> = self.edges.values().copied().collect();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// Degree sequence (one entry per vertex, in vertex order).
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adjacency.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(n: u32) -> Label {
+        Label::new(n)
+    }
+
+    /// Builds the example graph G1 of Figure 1: vertices A, C, B and edges
+    /// (v1,v2):y, (v1,v3):y, (v2,v3):z  with labels A=0,B=1,C=2,y=10,z=11.
+    pub(crate) fn figure1_g1() -> Graph {
+        let mut g = Graph::new();
+        let v1 = g.add_vertex(labeled(0)); // A
+        let v2 = g.add_vertex(labeled(2)); // C
+        let v3 = g.add_vertex(labeled(1)); // B
+        g.add_edge(v1, v2, labeled(10)).unwrap(); // y
+        g.add_edge(v1, v3, labeled(10)).unwrap(); // y
+        g.add_edge(v2, v3, labeled(11)).unwrap(); // z
+        g
+    }
+
+    #[test]
+    fn add_vertices_and_edges() {
+        let g = figure1_g1();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(VertexId::new(0)).unwrap(), 2);
+        assert!(g.has_edge(VertexId::new(0), VertexId::new(2)));
+        assert!(g.has_edge(VertexId::new(2), VertexId::new(0)));
+        assert_eq!(g.edge_label(VertexId::new(1), VertexId::new(2)), Some(labeled(11)));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(labeled(0));
+        let b = g.add_vertex(labeled(1));
+        assert_eq!(g.add_edge(a, a, labeled(5)), Err(GraphError::SelfLoop(a)));
+        g.add_edge(a, b, labeled(5)).unwrap();
+        assert_eq!(
+            g.add_edge(b, a, labeled(6)),
+            Err(GraphError::DuplicateEdge(a, b))
+        );
+    }
+
+    #[test]
+    fn rejects_virtual_labels() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(labeled(0));
+        let b = g.add_vertex(labeled(1));
+        assert_eq!(
+            g.add_edge(a, b, Label::EPSILON),
+            Err(GraphError::VirtualLabelNotAllowed)
+        );
+        assert_eq!(
+            g.relabel_vertex(a, Label::EPSILON),
+            Err(GraphError::VirtualLabelNotAllowed)
+        );
+    }
+
+    #[test]
+    fn unknown_vertices_are_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(labeled(0));
+        let missing = VertexId::new(7);
+        assert_eq!(
+            g.add_edge(a, missing, labeled(1)),
+            Err(GraphError::UnknownVertex(missing))
+        );
+        assert_eq!(g.degree(missing), Err(GraphError::UnknownVertex(missing)));
+    }
+
+    #[test]
+    fn relabel_vertex_and_edge() {
+        let mut g = figure1_g1();
+        g.relabel_vertex(VertexId::new(0), labeled(3)).unwrap();
+        assert_eq!(g.vertex_label(VertexId::new(0)).unwrap(), labeled(3));
+        g.relabel_edge(VertexId::new(0), VertexId::new(1), labeled(12))
+            .unwrap();
+        assert_eq!(
+            g.edge_label(VertexId::new(0), VertexId::new(1)),
+            Some(labeled(12))
+        );
+        // adjacency view stays consistent
+        let adj = g.neighbors(VertexId::new(1)).unwrap();
+        let entry = adj.iter().find(|(n, _)| *n == VertexId::new(0)).unwrap();
+        assert_eq!(entry.1, labeled(12));
+    }
+
+    #[test]
+    fn delete_edge_updates_adjacency() {
+        let mut g = figure1_g1();
+        g.delete_edge(VertexId::new(0), VertexId::new(2)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(VertexId::new(0), VertexId::new(2)));
+        assert_eq!(g.degree(VertexId::new(0)).unwrap(), 1);
+        assert_eq!(
+            g.delete_edge(VertexId::new(0), VertexId::new(2)),
+            Err(GraphError::UnknownEdge(VertexId::new(0), VertexId::new(2)))
+        );
+    }
+
+    #[test]
+    fn delete_isolated_vertex_requires_isolation() {
+        let mut g = figure1_g1();
+        assert_eq!(
+            g.delete_isolated_vertex(VertexId::new(0)),
+            Err(GraphError::VertexNotIsolated(VertexId::new(0)))
+        );
+        let iso = g.add_vertex(labeled(9));
+        assert_eq!(g.vertex_count(), 4);
+        g.delete_isolated_vertex(iso).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn delete_isolated_vertex_swaps_last_and_rewrites_edges() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(labeled(0));
+        let b = g.add_vertex(labeled(1));
+        let c = g.add_vertex(labeled(2));
+        let d = g.add_vertex(labeled(3));
+        g.add_edge(a, b, labeled(5)).unwrap();
+        g.add_edge(b, d, labeled(6)).unwrap();
+        // c is isolated; deleting it moves d into slot 2.
+        let moved = g.delete_isolated_vertex(c).unwrap();
+        assert_eq!(moved, Some((d, c)));
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.vertex_label(VertexId::new(2)).unwrap(), labeled(3));
+        assert!(g.has_edge(b, VertexId::new(2)));
+        assert_eq!(g.degree(VertexId::new(2)).unwrap(), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn connectivity_and_degree_statistics() {
+        let g = figure1_g1();
+        assert!(g.is_connected());
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+
+        let mut h = Graph::new();
+        h.add_vertex(labeled(0));
+        h.add_vertex(labeled(1));
+        assert!(!h.is_connected());
+        assert_eq!(h.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn sorted_label_multisets() {
+        let g = figure1_g1();
+        assert_eq!(
+            g.sorted_vertex_labels(),
+            vec![labeled(0), labeled(1), labeled(2)]
+        );
+        assert_eq!(
+            g.sorted_edge_labels(),
+            vec![labeled(10), labeled(10), labeled(11)]
+        );
+    }
+
+    #[test]
+    fn edge_key_is_canonical() {
+        let k1 = EdgeKey::new(VertexId::new(3), VertexId::new(1));
+        let k2 = EdgeKey::new(VertexId::new(1), VertexId::new(3));
+        assert_eq!(k1, k2);
+        assert_eq!(k1.u, VertexId::new(1));
+        assert!(k1.touches(VertexId::new(3)));
+        assert_eq!(k1.other(VertexId::new(1)), Some(VertexId::new(3)));
+        assert_eq!(k1.other(VertexId::new(9)), None);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut g = Graph::new();
+        assert_eq!(g.name(), None);
+        g.set_name("molecule-42");
+        assert_eq!(g.name(), Some("molecule-42"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Plain-text serialisation of graphs and graph databases.
+//!
+//! The format is a small line-based dialect of the classic `t/v/e` exchange
+//! format used by graph-mining tools:
+//!
+//! ```text
+//! t molecule-1          # one graph starts; the rest of the line is its name
+//! v 0 C                 # vertex <index> <label>
+//! v 1 O
+//! e 0 1 single          # edge <u> <v> <label>
+//! ```
+//!
+//! Labels are written through a [`Vocabulary`]; unknown labels round-trip via
+//! their raw interned id written as `#<id>`.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, VertexId};
+use crate::label::{Label, Vocabulary};
+
+/// Serialises one graph.
+pub fn write_graph(graph: &Graph, vocabulary: &Vocabulary) -> String {
+    let mut out = String::new();
+    write_graph_into(graph, vocabulary, &mut out);
+    out
+}
+
+fn label_token(label: Label, vocabulary: &Vocabulary) -> String {
+    match vocabulary.resolve(label) {
+        Some(name) if !name.contains(char::is_whitespace) && !name.starts_with('#') => name.to_owned(),
+        _ => format!("#{}", label.id()),
+    }
+}
+
+fn write_graph_into(graph: &Graph, vocabulary: &Vocabulary, out: &mut String) {
+    out.push_str("t ");
+    out.push_str(graph.name().unwrap_or("unnamed"));
+    out.push('\n');
+    for v in graph.vertices() {
+        let label = graph.vertex_label(v).expect("vertex from same graph");
+        out.push_str(&format!("v {} {}\n", v.index(), label_token(label, vocabulary)));
+    }
+    for (key, label) in graph.edges() {
+        out.push_str(&format!(
+            "e {} {} {}\n",
+            key.u.index(),
+            key.v.index(),
+            label_token(label, vocabulary)
+        ));
+    }
+}
+
+/// Serialises a whole database (sequence of graphs).
+pub fn write_database(graphs: &[Graph], vocabulary: &Vocabulary) -> String {
+    let mut out = String::new();
+    for g in graphs {
+        write_graph_into(g, vocabulary, &mut out);
+    }
+    out
+}
+
+fn parse_label(token: &str, vocabulary: &mut Vocabulary) -> Result<Label> {
+    if let Some(raw) = token.strip_prefix('#') {
+        let id: u32 = raw
+            .parse()
+            .map_err(|_| GraphError::Parse(format!("invalid raw label id '{token}'")))?;
+        Ok(Label::new(id))
+    } else {
+        Ok(vocabulary.intern(token))
+    }
+}
+
+/// Parses a database written by [`write_database`] (or a single graph written
+/// by [`write_graph`]). New label strings are interned into `vocabulary`.
+pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Graph>> {
+    let mut graphs: Vec<Graph> = Vec::new();
+    let mut current: Option<Graph> = None;
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        let line = if raw_line.trim_start().starts_with('v')
+            || raw_line.trim_start().starts_with('e')
+        {
+            // '#' may legitimately start a raw label token; only strip
+            // comments on structural lines.
+            raw_line.trim()
+        } else {
+            line
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or("");
+        match tag {
+            "t" => {
+                if let Some(g) = current.take() {
+                    graphs.push(g);
+                }
+                let mut g = Graph::new();
+                let name: Vec<&str> = parts.collect();
+                if !name.is_empty() {
+                    g.set_name(name.join(" "));
+                }
+                current = Some(g);
+            }
+            "v" => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: vertex before 't'", line_no + 1)))?;
+                let idx: usize = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing vertex index", line_no + 1)))?
+                    .parse()
+                    .map_err(|_| GraphError::Parse(format!("line {}: bad vertex index", line_no + 1)))?;
+                let label_tok = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing vertex label", line_no + 1)))?;
+                if idx != g.vertex_count() {
+                    return Err(GraphError::Parse(format!(
+                        "line {}: vertex indices must be dense and in order (expected {}, got {idx})",
+                        line_no + 1,
+                        g.vertex_count()
+                    )));
+                }
+                g.add_vertex(parse_label(label_tok, vocabulary)?);
+            }
+            "e" => {
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: edge before 't'", line_no + 1)))?;
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1)))?
+                    .parse()
+                    .map_err(|_| GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1)))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1)))?
+                    .parse()
+                    .map_err(|_| GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1)))?;
+                let label_tok = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge label", line_no + 1)))?;
+                g.add_edge(VertexId::new(u), VertexId::new(v), parse_label(label_tok, vocabulary)?)?;
+            }
+            other => {
+                return Err(GraphError::Parse(format!(
+                    "line {}: unknown record tag '{other}'",
+                    line_no + 1
+                )))
+            }
+        }
+    }
+    if let Some(g) = current.take() {
+        graphs.push(g);
+    }
+    Ok(graphs)
+}
+
+/// Parses exactly one graph.
+pub fn parse_graph(text: &str, vocabulary: &mut Vocabulary) -> Result<Graph> {
+    let mut graphs = parse_database(text, vocabulary)?;
+    match graphs.len() {
+        1 => Ok(graphs.pop().expect("length checked")),
+        n => Err(GraphError::Parse(format!("expected exactly one graph, found {n}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::graph_branch_distance;
+    use crate::paper_examples::{figure1_g1, figure1_g2};
+
+    #[test]
+    fn graph_round_trips_through_text() {
+        let (g1, voc) = figure1_g1();
+        let text = write_graph(&g1, &voc);
+        let mut voc2 = Vocabulary::new();
+        let parsed = parse_graph(&text, &mut voc2).unwrap();
+        assert_eq!(parsed.vertex_count(), g1.vertex_count());
+        assert_eq!(parsed.edge_count(), g1.edge_count());
+        assert_eq!(parsed.name(), Some("figure1-G1"));
+        // Branch-structure is preserved (labels are re-interned consistently).
+        let text2 = write_graph(&parsed, &voc2);
+        let mut voc3 = Vocabulary::new();
+        let reparsed = parse_graph(&text2, &mut voc3).unwrap();
+        assert_eq!(graph_branch_distance(&parsed, &reparsed), 0);
+    }
+
+    #[test]
+    fn database_round_trips_through_text() {
+        let (g1, voc) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let text = write_database(&[g1.clone(), g2.clone()], &voc);
+        let mut voc2 = Vocabulary::new();
+        let parsed = parse_database(&text, &mut voc2).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(graph_branch_distance(&parsed[0], &parsed[1]), 3);
+    }
+
+    #[test]
+    fn unknown_labels_round_trip_as_raw_ids() {
+        let mut g = Graph::new();
+        let a = g.add_vertex(Label::new(777));
+        let b = g.add_vertex(Label::new(888));
+        g.add_edge(a, b, Label::new(999)).unwrap();
+        let voc = Vocabulary::new();
+        let text = write_graph(&g, &voc);
+        assert!(text.contains("#777"));
+        let mut voc2 = Vocabulary::new();
+        let parsed = parse_graph(&text, &mut voc2).unwrap();
+        assert_eq!(parsed.vertex_label(VertexId::new(0)).unwrap(), Label::new(777));
+        assert_eq!(parsed.edge_label(VertexId::new(0), VertexId::new(1)), Some(Label::new(999)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        let mut voc = Vocabulary::new();
+        assert!(parse_database("v 0 C", &mut voc).is_err(), "vertex before t");
+        assert!(parse_database("t g\nv 1 C", &mut voc).is_err(), "non-dense index");
+        assert!(parse_database("t g\nv 0 C\ne 0 5 x", &mut voc).is_err(), "unknown endpoint");
+        assert!(parse_database("t g\nq 0", &mut voc).is_err(), "unknown tag");
+        assert!(parse_database("t g\nv zero C", &mut voc).is_err(), "bad index");
+        assert!(parse_graph("t a\nt b", &mut voc).is_err(), "two graphs for parse_graph");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut voc = Vocabulary::new();
+        let text = "\n# a comment\nt g\nv 0 C\nv 1 O\ne 0 1 bond\n\n";
+        let parsed = parse_database(text, &mut voc).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].vertex_count(), 2);
+        assert_eq!(parsed[0].edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_database() {
+        let mut voc = Vocabulary::new();
+        assert_eq!(parse_database("", &mut voc).unwrap().len(), 0);
+    }
+}

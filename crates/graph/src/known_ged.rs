@@ -1,0 +1,370 @@
+//! Graph families with *known* pairwise edit distances (Appendix I).
+//!
+//! The paper evaluates effectiveness on large graphs where exact GED is
+//! intractable by generating graphs whose pairwise GED is known *by
+//! construction*: start from a template graph, pick a *modification center*
+//! `v_c` whose neighbours have pairwise-different signatures, and derive each
+//! family member by modifying a subset of the edges adjacent to `v_c`. The
+//! edit distance between two members is then the size of the symmetric
+//! difference of their modified-edge subsets.
+//!
+//! We strengthen the paper's signature condition into something directly
+//! enforceable (and verified against exact A\* GED in the test-suites of
+//! `gbd-ged` and the integration tests): every neighbour of the modification
+//! center receives a globally unique vertex label and every center-adjacent
+//! edge receives a globally unique edge label, so no automorphism can remap
+//! the modified edges more cheaply.
+
+use std::collections::BTreeSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{GraphError, Result};
+use crate::generate::GeneratorConfig;
+use crate::graph::{Graph, VertexId};
+use crate::label::Label;
+
+/// Label-id range reserved for the unique labels of center neighbours.
+pub const CENTER_VERTEX_LABEL_BASE: u32 = 2_000_000;
+/// Label-id range reserved for the unique labels of center-adjacent edges.
+pub const CENTER_EDGE_LABEL_BASE: u32 = 3_000_000;
+/// The shared "perturbation" edge label used by [`ModificationMode::RelabelEdges`].
+pub const PERTURBATION_EDGE_LABEL: u32 = 4_000_000;
+
+/// How family members are derived from the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModificationMode {
+    /// Delete the selected center-adjacent edges (as drawn in Appendix I).
+    /// `GED(g_i, g_j) = |S_i Δ S_j|` where the symmetric difference consists
+    /// of edge insertions/deletions.
+    DeleteEdges,
+    /// Relabel the selected center-adjacent edges to a shared perturbation
+    /// label. All members keep identical topology; only labels differ, and
+    /// `GED(g_i, g_j) = |S_i Δ S_j|` relabelling operations.
+    RelabelEdges,
+}
+
+/// Configuration of the known-GED family generator.
+#[derive(Debug, Clone)]
+pub struct KnownGedConfig {
+    /// Template graph generator.
+    pub base: GeneratorConfig,
+    /// Required degree of the modification center; this bounds the largest
+    /// achievable intra-family GED.
+    pub center_degree: usize,
+    /// Number of derived members.
+    pub family_size: usize,
+    /// Maximum number of modified edges per member (`≤ center_degree`).
+    pub max_edits: usize,
+    /// Modification mode.
+    pub mode: ModificationMode,
+}
+
+impl KnownGedConfig {
+    /// Convenience constructor with [`ModificationMode::DeleteEdges`].
+    pub fn new(base: GeneratorConfig, center_degree: usize, family_size: usize, max_edits: usize) -> Self {
+        KnownGedConfig {
+            base,
+            center_degree,
+            family_size,
+            max_edits: max_edits.min(center_degree),
+            mode: ModificationMode::DeleteEdges,
+        }
+    }
+
+    /// Overrides the modification mode.
+    pub fn with_mode(mut self, mode: ModificationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// One derived family member: the graph plus the indices (into the family's
+/// center-edge list) of the edges that were modified.
+#[derive(Debug, Clone)]
+pub struct FamilyMember {
+    graph: Graph,
+    modified: BTreeSet<usize>,
+}
+
+impl FamilyMember {
+    /// The derived graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Indices of the modified center-adjacent edges.
+    pub fn modified_edges(&self) -> &BTreeSet<usize> {
+        &self.modified
+    }
+}
+
+/// A family of graphs with known pairwise GEDs.
+#[derive(Debug, Clone)]
+pub struct KnownGedFamily {
+    template: Graph,
+    center: VertexId,
+    center_edges: Vec<(VertexId, Label)>,
+    members: Vec<FamilyMember>,
+    mode: ModificationMode,
+}
+
+impl KnownGedFamily {
+    /// Generates a family according to `cfg`.
+    pub fn generate<R: Rng + ?Sized>(cfg: &KnownGedConfig, rng: &mut R) -> Result<Self> {
+        if cfg.base.vertices < cfg.center_degree + 1 {
+            return Err(GraphError::Generation(format!(
+                "template needs at least {} vertices for a center of degree {}",
+                cfg.center_degree + 1,
+                cfg.center_degree
+            )));
+        }
+        let mut template = cfg.base.generate(rng)?;
+        let center = Self::ensure_center(&mut template, cfg.center_degree, rng)?;
+        Self::uniquify_center_neighbourhood(&mut template, center)?;
+        let center_edges: Vec<(VertexId, Label)> = template
+            .neighbors(center)?
+            .iter()
+            .copied()
+            .collect();
+
+        let mut members = Vec::with_capacity(cfg.family_size);
+        for m in 0..cfg.family_size {
+            let edit_count = if m == 0 {
+                0 // the first member is the unmodified template
+            } else {
+                rng.gen_range(0..=cfg.max_edits.min(center_edges.len()))
+            };
+            let mut indices: Vec<usize> = (0..center_edges.len()).collect();
+            indices.shuffle(rng);
+            let modified: BTreeSet<usize> = indices.into_iter().take(edit_count).collect();
+            let graph = Self::derive(&template, center, &center_edges, &modified, cfg.mode)?;
+            members.push(FamilyMember { graph, modified });
+        }
+        Ok(KnownGedFamily {
+            template,
+            center,
+            center_edges,
+            members,
+            mode: cfg.mode,
+        })
+    }
+
+    /// Picks (or builds) a modification center of at least `degree` by adding
+    /// edges from the highest-degree vertex to non-adjacent vertices.
+    fn ensure_center<R: Rng + ?Sized>(g: &mut Graph, degree: usize, rng: &mut R) -> Result<VertexId> {
+        let center = g
+            .vertices()
+            .max_by_key(|&v| g.degree(v).unwrap_or(0))
+            .ok_or_else(|| GraphError::Generation("empty template".into()))?;
+        let mut current = g.degree(center)?;
+        let mut candidates: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| v != center && !g.has_edge(center, v))
+            .collect();
+        candidates.shuffle(rng);
+        for v in candidates {
+            if current >= degree {
+                break;
+            }
+            let label = Label::new(CENTER_EDGE_LABEL_BASE); // will be uniquified later
+            g.add_edge(center, v, label)?;
+            current += 1;
+        }
+        if current < degree {
+            return Err(GraphError::Generation(format!(
+                "cannot reach center degree {degree} with only {} vertices",
+                g.vertex_count()
+            )));
+        }
+        Ok(center)
+    }
+
+    /// Gives every neighbour of `center` a globally unique vertex label and
+    /// every center-adjacent edge a globally unique edge label, making the
+    /// neighbour signatures pairwise different as Appendix I requires.
+    fn uniquify_center_neighbourhood(g: &mut Graph, center: VertexId) -> Result<()> {
+        let neighbours: Vec<VertexId> = g.neighbors(center)?.iter().map(|&(v, _)| v).collect();
+        for (k, &v) in neighbours.iter().enumerate() {
+            g.relabel_vertex(v, Label::new(CENTER_VERTEX_LABEL_BASE + k as u32))?;
+            g.relabel_edge(center, v, Label::new(CENTER_EDGE_LABEL_BASE + k as u32))?;
+        }
+        Ok(())
+    }
+
+    fn derive(
+        template: &Graph,
+        center: VertexId,
+        center_edges: &[(VertexId, Label)],
+        modified: &BTreeSet<usize>,
+        mode: ModificationMode,
+    ) -> Result<Graph> {
+        let mut g = template.clone();
+        for &idx in modified {
+            let (v, _) = center_edges[idx];
+            match mode {
+                ModificationMode::DeleteEdges => g.delete_edge(center, v)?,
+                ModificationMode::RelabelEdges => {
+                    g.relabel_edge(center, v, Label::new(PERTURBATION_EDGE_LABEL))?
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// The unmodified template graph.
+    pub fn template(&self) -> &Graph {
+        &self.template
+    }
+
+    /// The modification center.
+    pub fn center(&self) -> VertexId {
+        self.center
+    }
+
+    /// The modification mode used to derive members.
+    pub fn mode(&self) -> ModificationMode {
+        self.mode
+    }
+
+    /// All members.
+    pub fn members(&self) -> &[FamilyMember] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when the family has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The `i`-th member graph.
+    pub fn member_graph(&self, i: usize) -> &Graph {
+        &self.members[i].graph
+    }
+
+    /// The known GED between members `i` and `j`:
+    /// `|S_i Δ S_j|` modified-edge symmetric difference.
+    pub fn known_ged(&self, i: usize, j: usize) -> usize {
+        self.members[i]
+            .modified
+            .symmetric_difference(&self.members[j].modified)
+            .count()
+    }
+
+    /// Maximum GED achievable inside this family (number of center edges).
+    pub fn max_possible_ged(&self) -> usize {
+        self.center_edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::graph_branch_distance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config(mode: ModificationMode) -> KnownGedConfig {
+        KnownGedConfig::new(GeneratorConfig::new(8, 2.2), 4, 10, 4).with_mode(mode)
+    }
+
+    #[test]
+    fn family_members_have_expected_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        assert_eq!(fam.len(), 10);
+        assert!(!fam.is_empty());
+        assert!(fam.max_possible_ged() >= 4);
+        // Member 0 is the template itself.
+        assert_eq!(fam.known_ged(0, 0), 0);
+        assert_eq!(fam.members()[0].modified_edges().len(), 0);
+    }
+
+    #[test]
+    fn known_ged_is_a_metric_on_subsets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        for i in 0..fam.len() {
+            assert_eq!(fam.known_ged(i, i), 0);
+            for j in 0..fam.len() {
+                assert_eq!(fam.known_ged(i, j), fam.known_ged(j, i));
+                for k in 0..fam.len() {
+                    assert!(fam.known_ged(i, k) <= fam.known_ged(i, j) + fam.known_ged(j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_mode_preserves_topology() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        let template_edges = fam.template().edge_count();
+        for m in fam.members() {
+            assert_eq!(m.graph().edge_count(), template_edges);
+            assert_eq!(m.graph().vertex_count(), fam.template().vertex_count());
+        }
+    }
+
+    #[test]
+    fn delete_mode_removes_exactly_the_selected_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        let template_edges = fam.template().edge_count();
+        for m in fam.members() {
+            assert_eq!(m.graph().edge_count(), template_edges - m.modified_edges().len());
+        }
+    }
+
+    #[test]
+    fn gbd_lower_bounds_known_ged_for_relabel_mode() {
+        // One edit operation changes at most two branches, so GBD ≤ 2·GED;
+        // conversely GED ≥ ⌈GBD / 2⌉ — a cheap sanity check of consistency
+        // between the construction and the branch distance.
+        let mut rng = StdRng::seed_from_u64(5);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        for i in 0..fam.len() {
+            for j in 0..fam.len() {
+                let gbd = graph_branch_distance(fam.member_graph(i), fam.member_graph(j));
+                let ged = fam.known_ged(i, j);
+                assert!(gbd <= 2 * ged, "GBD {gbd} > 2·GED {ged}");
+            }
+        }
+    }
+
+    #[test]
+    fn center_neighbourhood_is_uniquified() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        let t = fam.template();
+        let c = fam.center();
+        let mut vertex_labels: Vec<Label> = t
+            .neighbors(c)
+            .unwrap()
+            .iter()
+            .map(|&(v, _)| t.vertex_label(v).unwrap())
+            .collect();
+        let before = vertex_labels.len();
+        vertex_labels.sort_unstable();
+        vertex_labels.dedup();
+        assert_eq!(vertex_labels.len(), before, "neighbour vertex labels must be unique");
+        let mut edge_labels: Vec<Label> = t.neighbors(c).unwrap().iter().map(|&(_, l)| l).collect();
+        let before = edge_labels.len();
+        edge_labels.sort_unstable();
+        edge_labels.dedup();
+        assert_eq!(edge_labels.len(), before, "center edge labels must be unique");
+    }
+
+    #[test]
+    fn generation_fails_when_template_is_too_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = KnownGedConfig::new(GeneratorConfig::new(3, 1.5), 5, 4, 5);
+        assert!(KnownGedFamily::generate(&cfg, &mut rng).is_err());
+    }
+}

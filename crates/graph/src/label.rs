@@ -1,0 +1,216 @@
+//! Interned vertex and edge labels.
+//!
+//! The paper works with a general labelling function `L` over vertex labels
+//! `LV` and edge labels `LE`, plus a *virtual* label `ε` used only by extended
+//! graphs (Definition 5). Labels are interned to small integers so that branch
+//! comparison and GBD computation are cheap integer comparisons.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An interned label.
+///
+/// Labels are plain integers; the optional [`Vocabulary`] maps them back to
+/// strings for I/O and debugging. The special value [`Label::EPSILON`]
+/// represents the virtual label `ε` of extended graphs and is never a member
+/// of `LV` or `LE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The virtual label `ε` used by extended graphs (Definition 5).
+    pub const EPSILON: Label = Label(u32::MAX);
+
+    /// Creates a concrete (non-virtual) label from a raw id.
+    pub const fn new(id: u32) -> Self {
+        Label(id)
+    }
+
+    /// Returns the raw interned id.
+    pub const fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` when this is the virtual label `ε`.
+    pub const fn is_virtual(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl From<u32> for Label {
+    fn from(id: u32) -> Self {
+        Label(id)
+    }
+}
+
+/// Sizes of the vertex and edge label alphabets `|LV|` and `|LE|`.
+///
+/// These sizes appear in the probabilistic model: the number of possible
+/// branch types `D = |LV| · C(|V'₁| + |LE| − 1, |LE|)` (Lemma 3) depends on
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelAlphabets {
+    /// Number of distinct vertex labels `|LV|` (excluding `ε`).
+    pub vertex_labels: usize,
+    /// Number of distinct edge labels `|LE|` (excluding `ε`).
+    pub edge_labels: usize,
+}
+
+impl LabelAlphabets {
+    /// Creates a new alphabet-size descriptor.
+    ///
+    /// Both counts are clamped to at least 1 because the model divides by the
+    /// number of branch types.
+    pub fn new(vertex_labels: usize, edge_labels: usize) -> Self {
+        LabelAlphabets {
+            vertex_labels: vertex_labels.max(1),
+            edge_labels: edge_labels.max(1),
+        }
+    }
+}
+
+/// A bidirectional mapping between label strings and interned [`Label`] ids.
+///
+/// Vertex and edge labels share one namespace; the paper never requires the
+/// two alphabets to be disjoint, and sharing keeps branch comparison uniform.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns `name`, returning its stable label id.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&id) = self.index.get(name) {
+            return Label(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        Label(id)
+    }
+
+    /// Looks up an already-interned label by name.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.index.get(name).copied().map(Label)
+    }
+
+    /// Resolves a label id back to its string.
+    ///
+    /// The virtual label resolves to `"ε"`.
+    pub fn resolve(&self, label: Label) -> Option<&str> {
+        if label.is_virtual() {
+            return Some("ε");
+        }
+        self.names.get(label.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` when no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Rebuilds the string→id index (needed after deserialisation, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+
+    /// Iterates over `(Label, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Label(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("C");
+        let b = v.intern("C");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("C");
+        let b = v.intern("N");
+        assert_eq!(v.resolve(a), Some("C"));
+        assert_eq!(v.resolve(b), Some("N"));
+        assert_eq!(v.resolve(Label(99)), None);
+    }
+
+    #[test]
+    fn epsilon_is_virtual_and_resolves_to_epsilon_glyph() {
+        assert!(Label::EPSILON.is_virtual());
+        assert!(!Label::new(0).is_virtual());
+        let v = Vocabulary::new();
+        assert_eq!(v.resolve(Label::EPSILON), Some("ε"));
+    }
+
+    #[test]
+    fn labels_order_by_id() {
+        assert!(Label(0) < Label(1));
+        assert!(Label(1) < Label::EPSILON);
+    }
+
+    #[test]
+    fn alphabets_clamp_to_one() {
+        let a = LabelAlphabets::new(0, 0);
+        assert_eq!(a.vertex_labels, 1);
+        assert_eq!(a.edge_labels, 1);
+        let b = LabelAlphabets::new(5, 3);
+        assert_eq!(b.vertex_labels, 5);
+        assert_eq!(b.edge_labels, 3);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let mut copy = Vocabulary {
+            names: v.names.clone(),
+            index: HashMap::new(),
+        };
+        assert_eq!(copy.get("x"), None);
+        copy.rebuild_index();
+        assert_eq!(copy.get("x"), Some(Label(0)));
+        assert_eq!(copy.get("y"), Some(Label(1)));
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut v = Vocabulary::new();
+        v.intern("a");
+        v.intern("b");
+        let collected: Vec<_> = v.iter().map(|(l, n)| (l.id(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gbd-graph — graph substrate for GBDA
+//!
+//! This crate provides the graph substrate used by the GBDA reproduction of
+//! *"An Efficient Probabilistic Approach for Graph Similarity Search"*
+//! (Li, Jian, Lian, Chen — ICDE 2018):
+//!
+//! * simple labeled undirected [`Graph`]s with interned [`Label`]s,
+//! * [`Branch`]es (Definition 2) and the Graph Branch Distance
+//!   ([`graph_branch_distance`], Definition 4),
+//! * graph edit operations (Definition 1) and edit paths,
+//! * extended graphs (Definition 5) used by the probabilistic model,
+//! * random graph generators (uniform and scale-free) and the Appendix-I
+//!   "modification center" generator that produces graph families with
+//!   *known* pairwise edit distances,
+//! * dataset statistics (Table III) and a small text I/O format.
+//!
+//! Everything downstream (exact GED, the LSAP / greedy / seriation baselines,
+//! the probabilistic model and the GBDA search engine) is built on top of this
+//! crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod branch;
+pub mod edit;
+pub mod error;
+pub mod extended;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod known_ged;
+pub mod label;
+pub mod paper_examples;
+pub mod statistics;
+
+pub use branch::{graph_branch_distance, Branch, BranchMultiset};
+pub use edit::{EditOp, EditPath};
+pub use error::{GraphError, Result};
+pub use extended::{extend_graph, extension_factor};
+pub use generate::{GeneratorConfig, LabelDistribution};
+pub use graph::{EdgeKey, Graph, VertexId};
+pub use known_ged::{KnownGedConfig, KnownGedFamily};
+pub use label::{Label, LabelAlphabets, Vocabulary};
+pub use statistics::{DatasetStats, GraphStats};

@@ -1,0 +1,119 @@
+//! Worked examples from the paper, reusable by tests, doctests and examples.
+//!
+//! The paper develops its definitions on two small graphs `G1` and `G2`
+//! (Figure 1) and on a pair of triangles (Figure 4). Reproducing them here
+//! once keeps every downstream crate's tests aligned with the published
+//! numbers: `GED(G1, G2) = 3` (Example 1) and `GBD(G1, G2) = 3` (Example 2).
+
+use crate::graph::Graph;
+use crate::label::{Label, Vocabulary};
+
+/// The label vocabulary used by the Figure 1 / Figure 4 examples
+/// (`A`, `B`, `C` for vertices and `x`, `y`, `z` for edges).
+pub fn example_vocabulary() -> Vocabulary {
+    let mut v = Vocabulary::new();
+    for name in ["A", "B", "C", "x", "y", "z"] {
+        v.intern(name);
+    }
+    v
+}
+
+fn l(voc: &Vocabulary, name: &str) -> Label {
+    voc.get(name).expect("label present in example vocabulary")
+}
+
+/// Graph `G1` of Figure 1: vertices `A, C, B`, edges
+/// `(v1,v2):y`, `(v1,v3):y`, `(v2,v3):z`.
+pub fn figure1_g1() -> (Graph, Vocabulary) {
+    let voc = example_vocabulary();
+    let mut g = Graph::new();
+    g.set_name("figure1-G1");
+    let v1 = g.add_vertex(l(&voc, "A"));
+    let v2 = g.add_vertex(l(&voc, "C"));
+    let v3 = g.add_vertex(l(&voc, "B"));
+    g.add_edge(v1, v2, l(&voc, "y")).unwrap();
+    g.add_edge(v1, v3, l(&voc, "y")).unwrap();
+    g.add_edge(v2, v3, l(&voc, "z")).unwrap();
+    (g, voc)
+}
+
+/// Graph `G2` of Figure 1: vertices `B, A, A, C`, edges
+/// `(u1,u3):x`, `(u1,u4):z`, `(u2,u4):y`.
+pub fn figure1_g2() -> (Graph, Vocabulary) {
+    let voc = example_vocabulary();
+    let mut g = Graph::new();
+    g.set_name("figure1-G2");
+    let u1 = g.add_vertex(l(&voc, "B"));
+    let u2 = g.add_vertex(l(&voc, "A"));
+    let u3 = g.add_vertex(l(&voc, "A"));
+    let u4 = g.add_vertex(l(&voc, "C"));
+    g.add_edge(u1, u3, l(&voc, "x")).unwrap();
+    g.add_edge(u1, u4, l(&voc, "z")).unwrap();
+    g.add_edge(u2, u4, l(&voc, "y")).unwrap();
+    (g, voc)
+}
+
+/// Graph `G'1` of Figure 4 (already a triangle, so identical to its extended
+/// graph): vertices `A, B, C`, edges `(v1,v2):x`, `(v1,v3):y`, `(v2,v3):?`.
+///
+/// Figure 4 draws the `(v2,v3)` edge as virtual; the concrete graphs that the
+/// example reasons about are the two labelled paths below, which have
+/// `GED = 2` and `GBD = 2` exactly as in Example 4.
+pub fn figure4_g1() -> (Graph, Vocabulary) {
+    let voc = example_vocabulary();
+    let mut g = Graph::new();
+    g.set_name("figure4-G1");
+    let v1 = g.add_vertex(l(&voc, "A"));
+    let v2 = g.add_vertex(l(&voc, "B"));
+    let v3 = g.add_vertex(l(&voc, "C"));
+    g.add_edge(v1, v2, l(&voc, "x")).unwrap();
+    g.add_edge(v1, v3, l(&voc, "y")).unwrap();
+    (g, voc)
+}
+
+/// Graph `G'2` of Figure 4: as [`figure4_g1`] but with the two edge labels
+/// swapped (`(u1,u2):y`, `(u1,u3):x`).
+pub fn figure4_g2() -> (Graph, Vocabulary) {
+    let voc = example_vocabulary();
+    let mut g = Graph::new();
+    g.set_name("figure4-G2");
+    let u1 = g.add_vertex(l(&voc, "A"));
+    let u2 = g.add_vertex(l(&voc, "B"));
+    let u3 = g.add_vertex(l(&voc, "C"));
+    g.add_edge(u1, u2, l(&voc, "y")).unwrap();
+    g.add_edge(u1, u3, l(&voc, "x")).unwrap();
+    (g, voc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_graphs_match_the_paper() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        assert_eq!(g1.vertex_count(), 3);
+        assert_eq!(g1.edge_count(), 3);
+        assert_eq!(g2.vertex_count(), 4);
+        assert_eq!(g2.edge_count(), 3);
+    }
+
+    #[test]
+    fn figure4_graphs_differ_only_in_edge_labels() {
+        let (g1, _) = figure4_g1();
+        let (g2, _) = figure4_g2();
+        assert_eq!(g1.vertex_count(), g2.vertex_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(g1.sorted_vertex_labels(), g2.sorted_vertex_labels());
+        assert_eq!(g1.sorted_edge_labels(), g2.sorted_edge_labels());
+    }
+
+    #[test]
+    fn vocabulary_contains_all_example_labels() {
+        let voc = example_vocabulary();
+        for name in ["A", "B", "C", "x", "y", "z"] {
+            assert!(voc.get(name).is_some(), "missing label {name}");
+        }
+    }
+}

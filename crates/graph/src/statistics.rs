@@ -1,0 +1,262 @@
+//! Graph and dataset statistics (Table III).
+//!
+//! The paper characterises each dataset by the number of graphs, the number
+//! of query graphs, the maximal numbers of vertices and edges, the average
+//! degree and whether the degree distribution is scale-free (power law).
+//! This module computes all of those from a collection of graphs, including
+//! a simple log–log least-squares power-law fit used as the scale-free test.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::label::Label;
+
+/// Statistics of a single graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree `2|E|/|V|`.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Whether the graph is connected.
+    pub connected: bool,
+}
+
+impl GraphStats {
+    /// Computes the statistics of `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        GraphStats {
+            vertices: graph.vertex_count(),
+            edges: graph.edge_count(),
+            average_degree: graph.average_degree(),
+            max_degree: graph.max_degree(),
+            connected: graph.is_connected(),
+        }
+    }
+}
+
+/// Result of fitting `log f(k) = α − δ·log k` over the degree histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Estimated exponent `δ` (scale-free graphs typically have `2 < δ < 3`,
+    /// small labelled graphs often land below that but still decay).
+    pub exponent: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+    /// Number of distinct degrees used in the fit.
+    pub support: usize,
+}
+
+/// Statistics of a whole dataset (one row of Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of graphs `|D|`.
+    pub graph_count: usize,
+    /// Maximum number of vertices `V_m`.
+    pub max_vertices: usize,
+    /// Maximum number of edges `E_m`.
+    pub max_edges: usize,
+    /// Mean of the per-graph average degrees `d`.
+    pub average_degree: f64,
+    /// Number of distinct vertex labels `|LV|`.
+    pub vertex_label_count: usize,
+    /// Number of distinct edge labels `|LE|`.
+    pub edge_label_count: usize,
+    /// Power-law fit over the pooled degree distribution.
+    pub power_law: Option<PowerLawFit>,
+}
+
+impl DatasetStats {
+    /// Computes dataset statistics over `graphs`.
+    pub fn compute<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> Self {
+        let mut graph_count = 0usize;
+        let mut max_vertices = 0usize;
+        let mut max_edges = 0usize;
+        let mut degree_sum = 0.0f64;
+        let mut degree_histogram: Vec<usize> = Vec::new();
+        let mut vertex_labels: Vec<Label> = Vec::new();
+        let mut edge_labels: Vec<Label> = Vec::new();
+
+        for g in graphs {
+            graph_count += 1;
+            max_vertices = max_vertices.max(g.vertex_count());
+            max_edges = max_edges.max(g.edge_count());
+            degree_sum += g.average_degree();
+            for d in g.degrees() {
+                if d >= degree_histogram.len() {
+                    degree_histogram.resize(d + 1, 0);
+                }
+                degree_histogram[d] += 1;
+            }
+            vertex_labels.extend_from_slice(g.vertex_labels());
+            edge_labels.extend(g.edges().map(|(_, l)| l));
+        }
+        vertex_labels.sort_unstable();
+        vertex_labels.dedup();
+        edge_labels.sort_unstable();
+        edge_labels.dedup();
+
+        let average_degree = if graph_count == 0 {
+            0.0
+        } else {
+            degree_sum / graph_count as f64
+        };
+        let power_law = fit_power_law(&degree_histogram);
+
+        DatasetStats {
+            graph_count,
+            max_vertices,
+            max_edges,
+            average_degree,
+            vertex_label_count: vertex_labels.len(),
+            edge_label_count: edge_labels.len(),
+            power_law,
+        }
+    }
+
+    /// Scale-free heuristic: the pooled degree distribution decays like a
+    /// power law with a reasonable fit.
+    pub fn is_scale_free(&self) -> bool {
+        match self.power_law {
+            Some(fit) => fit.exponent > 0.8 && fit.r_squared > 0.5 && fit.support >= 3,
+            None => false,
+        }
+    }
+}
+
+/// Least-squares fit of `log f(k)` against `log k` over degrees `k ≥ 1` with
+/// non-zero frequency. Returns `None` when fewer than three distinct degrees
+/// are populated.
+pub fn fit_power_law(degree_histogram: &[usize]) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = degree_histogram
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, &count)| count > 0)
+        .map(|(k, &count)| ((k as f64).ln(), (count as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = points.iter().map(|(_, y)| y).sum();
+    let sum_xx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sum_xy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / n;
+    let mean_y = sum_y / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot < 1e-12 { 0.0 } else { 1.0 - ss_res / ss_tot };
+    Some(PowerLawFit {
+        exponent: -slope,
+        r_squared,
+        support: points.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GeneratorConfig;
+    use crate::paper_examples::figure1_g1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_stats_of_figure_1() {
+        let (g1, _) = figure1_g1();
+        let s = GraphStats::compute(&g1);
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert!((s.average_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.connected);
+    }
+
+    #[test]
+    fn dataset_stats_aggregate_correctly() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = crate::paper_examples::figure1_g2();
+        let stats = DatasetStats::compute([&g1, &g2]);
+        assert_eq!(stats.graph_count, 2);
+        assert_eq!(stats.max_vertices, 4);
+        assert_eq!(stats.max_edges, 3);
+        assert_eq!(stats.vertex_label_count, 3);
+        assert_eq!(stats.edge_label_count, 3);
+        assert!(stats.average_degree > 1.0 && stats.average_degree < 2.1);
+    }
+
+    #[test]
+    fn empty_dataset_has_zero_stats() {
+        let stats = DatasetStats::compute(std::iter::empty());
+        assert_eq!(stats.graph_count, 0);
+        assert_eq!(stats.max_vertices, 0);
+        assert_eq!(stats.average_degree, 0.0);
+        assert!(stats.power_law.is_none());
+        assert!(!stats.is_scale_free());
+    }
+
+    #[test]
+    fn scale_free_generator_is_detected_as_scale_free() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = GeneratorConfig::new(600, 5.0).with_scale_free(true);
+        let graphs: Vec<_> = (0..3).map(|_| cfg.generate(&mut rng).unwrap()).collect();
+        let stats = DatasetStats::compute(graphs.iter());
+        assert!(
+            stats.is_scale_free(),
+            "preferential-attachment graphs should look scale-free: {:?}",
+            stats.power_law
+        );
+    }
+
+    #[test]
+    fn regular_graph_is_not_scale_free() {
+        // A long cycle: every vertex has degree exactly 2, so the degree
+        // histogram has a single populated bucket — no power law.
+        let mut g = Graph::new();
+        let n = 50;
+        let ids: Vec<_> = (0..n).map(|_| g.add_vertex(Label::new(0))).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n], Label::new(1)).unwrap();
+        }
+        let stats = DatasetStats::compute([&g]);
+        assert!(!stats.is_scale_free());
+    }
+
+    #[test]
+    fn power_law_fit_recovers_synthetic_exponent() {
+        // Build a histogram that exactly follows f(k) = 10000 · k^{-2.5}.
+        let histogram: Vec<usize> = (0..40)
+            .map(|k| {
+                if k == 0 {
+                    0
+                } else {
+                    ((10000.0 * (k as f64).powf(-2.5)).round() as usize).max(1)
+                }
+            })
+            .collect();
+        let fit = fit_power_law(&histogram).unwrap();
+        assert!((fit.exponent - 2.5).abs() < 0.2, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn power_law_fit_requires_enough_support() {
+        assert!(fit_power_law(&[0, 5]).is_none());
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[0, 3, 2, 1]).is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! The GBD prior `Λ2 = Pr[GBD = ϕ]` (Section V-B).
+//!
+//! Offline, GBDs of sampled database graph pairs are collected, a Gaussian
+//! mixture is fitted to them, and the discrete prior is recovered with the
+//! continuity correction of Equation (14):
+//!
+//! ```text
+//! Pr[GBD = ϕ] = ∫_{ϕ−0.5}^{ϕ+0.5} Σ_i π_i N(φ; μ_i, σ_i) dφ
+//! ```
+//!
+//! The integral is evaluated exactly through the mixture CDF. Probabilities
+//! are floored by a small epsilon so that Algorithm 1 never divides by zero
+//! when a query produces a GBD that was never seen among the samples.
+
+use crate::gmm::{GaussianMixture, GmmConfig};
+
+/// Minimum probability returned for any `ϕ` in range; prevents division by
+/// zero in the posterior of Algorithm 1.
+pub const PROBABILITY_FLOOR: f64 = 1e-12;
+
+/// The pre-computed prior distribution of GBD values.
+#[derive(Debug, Clone)]
+pub struct GbdPrior {
+    mixture: GaussianMixture,
+    /// `table[ϕ]` = Pr[GBD = ϕ] for ϕ ∈ [0, phi_max].
+    table: Vec<f64>,
+}
+
+impl GbdPrior {
+    /// Fits the prior from sampled GBD values.
+    ///
+    /// `phi_max` is the largest GBD value that will ever be queried — the
+    /// paper uses the maximal number of vertices among the graphs involved.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty (delegated to the GMM fit).
+    pub fn fit(samples: &[f64], phi_max: usize, config: &GmmConfig) -> Self {
+        let mixture = GaussianMixture::fit(samples, config);
+        let table = (0..=phi_max)
+            .map(|phi| {
+                let phi = phi as f64;
+                (mixture.cdf(phi + 0.5) - mixture.cdf(phi - 0.5)).max(PROBABILITY_FLOOR)
+            })
+            .collect();
+        GbdPrior { mixture, table }
+    }
+
+    /// `Pr[GBD = ϕ]` — table lookup with the floor applied; values of `ϕ`
+    /// beyond the table fall back to the continuity-correction integral.
+    pub fn probability(&self, phi: usize) -> f64 {
+        match self.table.get(phi) {
+            Some(&p) => p,
+            None => {
+                let phi = phi as f64;
+                (self.mixture.cdf(phi + 0.5) - self.mixture.cdf(phi - 0.5)).max(PROBABILITY_FLOOR)
+            }
+        }
+    }
+
+    /// Largest `ϕ` stored in the table.
+    pub fn phi_max(&self) -> usize {
+        self.table.len().saturating_sub(1)
+    }
+
+    /// The underlying fitted mixture (inspected by the Figure-5 experiment).
+    pub fn mixture(&self) -> &GaussianMixture {
+        &self.mixture
+    }
+
+    /// The whole table `Pr[GBD = 0..=phi_max]`.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bimodal_samples(n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.4) {
+                    (3.0 + rng.gen::<f64>() * 2.0).round()
+                } else {
+                    (10.0 + rng.gen::<f64>() * 4.0).round()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_is_close_to_the_empirical_histogram() {
+        let samples = bimodal_samples(5000);
+        let prior = GbdPrior::fit(&samples, 20, &GmmConfig::default());
+        // Empirical frequencies.
+        let mut histogram = vec![0usize; 21];
+        for &s in &samples {
+            histogram[s as usize] += 1;
+        }
+        for phi in 0..=20usize {
+            let empirical = histogram[phi] as f64 / samples.len() as f64;
+            let fitted = prior.probability(phi);
+            assert!(
+                (empirical - fitted).abs() < 0.08,
+                "ϕ={phi}: empirical {empirical:.3} vs fitted {fitted:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_floored_and_positive() {
+        let samples = bimodal_samples(500);
+        let prior = GbdPrior::fit(&samples, 30, &GmmConfig::default());
+        for phi in 0..=30usize {
+            assert!(prior.probability(phi) >= PROBABILITY_FLOOR);
+        }
+        // Far outside the observed range the probability is tiny but still
+        // positive.
+        assert!(prior.probability(200) >= PROBABILITY_FLOOR);
+        assert!(prior.probability(200) < 1e-3);
+    }
+
+    #[test]
+    fn table_roughly_sums_to_one() {
+        let samples = bimodal_samples(2000);
+        let prior = GbdPrior::fit(&samples, 40, &GmmConfig::default());
+        let total: f64 = prior.table().iter().sum();
+        assert!((total - 1.0).abs() < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn phi_max_reflects_the_requested_range() {
+        let samples = bimodal_samples(200);
+        let prior = GbdPrior::fit(&samples, 15, &GmmConfig::default());
+        assert_eq!(prior.phi_max(), 15);
+        assert_eq!(prior.table().len(), 16);
+        assert!(prior.mixture().components().len() <= 3);
+    }
+}

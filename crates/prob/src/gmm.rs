@@ -1,0 +1,307 @@
+//! One-dimensional Gaussian Mixture Models fitted with EM (Section V-B).
+//!
+//! The GBD prior `Λ2` is estimated by fitting a `K`-component mixture of
+//! normals to the GBDs of sampled graph pairs (the paper cites the classical
+//! EM treatment of Day 1969). The implementation is a plain 1-D EM with
+//! quantile initialisation, a variance floor, and early stopping on the
+//! log-likelihood.
+
+use crate::special::normal_pdf;
+
+/// One mixture component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Mixing weight `π_i` (the weights of all components sum to 1).
+    pub weight: f64,
+    /// Mean `μ_i`.
+    pub mean: f64,
+    /// Standard deviation `σ_i`.
+    pub std_dev: f64,
+}
+
+/// Configuration of the EM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmmConfig {
+    /// Number of components `K` (user-defined in the paper).
+    pub components: usize,
+    /// Maximum EM iterations `ℓ`.
+    pub max_iterations: usize,
+    /// Stop when the mean log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// Lower bound on component standard deviations (avoids collapse onto a
+    /// single sample).
+    pub variance_floor: f64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            components: 3,
+            max_iterations: 200,
+            tolerance: 1e-7,
+            variance_floor: 0.25,
+        }
+    }
+}
+
+/// A fitted 1-D Gaussian mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture {
+    components: Vec<Component>,
+    log_likelihood: f64,
+    iterations: usize,
+}
+
+impl GaussianMixture {
+    /// Fits a mixture to `samples` with the EM algorithm.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or `config.components == 0`.
+    pub fn fit(samples: &[f64], config: &GmmConfig) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a GMM to zero samples");
+        assert!(config.components > 0, "need at least one component");
+        let k = config.components.min(samples.len());
+
+        // Quantile initialisation over the sorted samples.
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let overall_std = std_dev(&sorted).max(config.variance_floor);
+        let mut components: Vec<Component> = (0..k)
+            .map(|i| {
+                let lo = i * sorted.len() / k;
+                let hi = ((i + 1) * sorted.len() / k).max(lo + 1);
+                let chunk = &sorted[lo..hi.min(sorted.len())];
+                Component {
+                    weight: 1.0 / k as f64,
+                    mean: mean(chunk),
+                    std_dev: std_dev(chunk).max(config.variance_floor).min(overall_std * 4.0),
+                }
+            })
+            .collect();
+
+        let n = samples.len();
+        let mut responsibilities = vec![0.0f64; n * k];
+        let mut previous_ll = f64::NEG_INFINITY;
+        let mut iterations = 0usize;
+        let mut log_likelihood = f64::NEG_INFINITY;
+
+        for iteration in 0..config.max_iterations {
+            iterations = iteration + 1;
+            // E step.
+            let mut ll = 0.0f64;
+            for (i, &x) in samples.iter().enumerate() {
+                let mut total = 0.0f64;
+                for (j, c) in components.iter().enumerate() {
+                    let p = c.weight * normal_pdf(x, c.mean, c.std_dev);
+                    responsibilities[i * k + j] = p;
+                    total += p;
+                }
+                let total = total.max(1e-300);
+                for j in 0..k {
+                    responsibilities[i * k + j] /= total;
+                }
+                ll += total.ln();
+            }
+            log_likelihood = ll;
+            // M step.
+            for (j, c) in components.iter_mut().enumerate() {
+                let resp_sum: f64 = (0..n).map(|i| responsibilities[i * k + j]).sum();
+                if resp_sum < 1e-12 {
+                    // Dead component: re-seed it on the global statistics.
+                    c.weight = 1e-6;
+                    c.mean = mean(&sorted);
+                    c.std_dev = overall_std;
+                    continue;
+                }
+                c.weight = resp_sum / n as f64;
+                c.mean = (0..n)
+                    .map(|i| responsibilities[i * k + j] * samples[i])
+                    .sum::<f64>()
+                    / resp_sum;
+                let variance = (0..n)
+                    .map(|i| responsibilities[i * k + j] * (samples[i] - c.mean).powi(2))
+                    .sum::<f64>()
+                    / resp_sum;
+                c.std_dev = variance.sqrt().max(config.variance_floor);
+            }
+            // Renormalise the weights (dead-component re-seeding can disturb
+            // them slightly).
+            let weight_sum: f64 = components.iter().map(|c| c.weight).sum();
+            for c in &mut components {
+                c.weight /= weight_sum;
+            }
+            if (log_likelihood - previous_ll).abs() < config.tolerance * n as f64 {
+                break;
+            }
+            previous_ll = log_likelihood;
+        }
+
+        GaussianMixture {
+            components,
+            log_likelihood,
+            iterations,
+        }
+    }
+
+    /// The fitted components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Final log-likelihood of the training samples.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// Number of EM iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Probability density function of the mixture (Equation 13).
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * normal_pdf(x, c.mean, c.std_dev))
+            .sum()
+    }
+
+    /// Cumulative distribution function of the mixture.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * crate::special::normal_cdf(x, c.mean, c.std_dev))
+            .sum()
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_mixture(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    2.0 + rng.gen::<f64>() * 1.0 // component around 2.5
+                } else {
+                    9.0 + rng.gen::<f64>() * 2.0 // component around 10
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_two_well_separated_components() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sample_mixture(&mut rng, 3000);
+        let gmm = GaussianMixture::fit(
+            &samples,
+            &GmmConfig {
+                components: 2,
+                ..GmmConfig::default()
+            },
+        );
+        let mut means: Vec<f64> = gmm.components().iter().map(|c| c.mean).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 2.5).abs() < 0.5, "low mean {means:?}");
+        assert!((means[1] - 10.0).abs() < 0.5, "high mean {means:?}");
+        let weights: f64 = gmm.components().iter().map(|c| c.weight).sum();
+        assert!((weights - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sample_mixture(&mut rng, 500);
+        let gmm = GaussianMixture::fit(&samples, &GmmConfig::default());
+        let mut integral = 0.0;
+        let mut x = -20.0;
+        while x < 40.0 {
+            integral += gmm.pdf(x) * 0.01;
+            x += 0.01;
+        }
+        assert!((integral - 1.0).abs() < 1e-2, "integral {integral}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = sample_mixture(&mut rng, 400);
+        let gmm = GaussianMixture::fit(&samples, &GmmConfig::default());
+        let mut previous = 0.0;
+        for i in 0..100 {
+            let x = -5.0 + i as f64 * 0.3;
+            let c = gmm.cdf(x);
+            assert!(c >= previous - 1e-12);
+            assert!((0.0..=1.0 + 1e-9).contains(&c));
+            previous = c;
+        }
+    }
+
+    #[test]
+    fn single_component_matches_sample_moments() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let gmm = GaussianMixture::fit(
+            &samples,
+            &GmmConfig {
+                components: 1,
+                ..GmmConfig::default()
+            },
+        );
+        let c = gmm.components()[0];
+        assert!((c.mean - 4.5).abs() < 1e-6);
+        assert!((c.std_dev - 2.872).abs() < 0.01);
+        assert!((c.weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_constant_samples_via_variance_floor() {
+        let samples = vec![5.0; 100];
+        let gmm = GaussianMixture::fit(&samples, &GmmConfig::default());
+        for c in gmm.components() {
+            assert!(c.std_dev >= GmmConfig::default().variance_floor);
+            assert!(c.mean.is_finite());
+        }
+        assert!(gmm.pdf(5.0) > gmm.pdf(20.0));
+    }
+
+    #[test]
+    fn more_components_than_samples_is_clamped() {
+        let samples = vec![1.0, 2.0, 3.0];
+        let gmm = GaussianMixture::fit(
+            &samples,
+            &GmmConfig {
+                components: 10,
+                ..GmmConfig::default()
+            },
+        );
+        assert!(gmm.components().len() <= 3);
+        assert!(gmm.iterations() >= 1);
+        assert!(gmm.log_likelihood().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_input_panics() {
+        GaussianMixture::fit(&[], &GmmConfig::default());
+    }
+}

@@ -1,0 +1,77 @@
+//! The hypergeometric probability mass function (Equation 32).
+//!
+//! `H(x; M, K, N) = C(K, x) · C(M − K, N − x) / C(M, N)` — the probability of
+//! drawing exactly `x` marked items when drawing `N` items without
+//! replacement from a population of `M` items of which `K` are marked. It
+//! appears twice in the model: `Ω1` (how many of the `τ` operations are
+//! vertex relabellings) and `Ω4` (how many relabelled vertices are also
+//! covered by relabelled edges).
+
+use crate::special::ln_binomial;
+
+/// Evaluates `H(x; M, K, N)`. Returns `0.0` outside the support.
+pub fn hypergeometric_pmf(x: i64, m: u64, k: u64, n: u64) -> f64 {
+    if x < 0 || n > m {
+        return 0.0;
+    }
+    let x = x as u64;
+    if x > k || x > n || (n - x) > (m - k) {
+        return 0.0;
+    }
+    let ln = ln_binomial(k as f64, x as f64) + ln_binomial((m - k) as f64, (n - x) as f64)
+        - ln_binomial(m as f64, n as f64);
+    ln.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::binomial;
+
+    #[test]
+    fn matches_direct_binomial_computation() {
+        for (x, m, k, n) in [(2i64, 10u64, 4u64, 5u64), (0, 10, 4, 5), (4, 10, 4, 5), (1, 7, 3, 2)] {
+            let direct =
+                binomial(k, x as u64) * binomial(m - k, n - x as u64) / binomial(m, n);
+            assert!(
+                (hypergeometric_pmf(x, m, k, n) - direct).abs() < 1e-12,
+                "H({x};{m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn sums_to_one_over_the_support() {
+        for (m, k, n) in [(12u64, 5u64, 6u64), (30, 10, 7), (8, 8, 3), (9, 0, 4)] {
+            let total: f64 = (0..=n as i64).map(|x| hypergeometric_pmf(x, m, k, n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "support sum for ({m},{k},{n}) = {total}");
+        }
+    }
+
+    #[test]
+    fn zero_outside_support() {
+        assert_eq!(hypergeometric_pmf(-1, 10, 4, 5), 0.0);
+        assert_eq!(hypergeometric_pmf(5, 10, 4, 5), 0.0); // x > K
+        assert_eq!(hypergeometric_pmf(0, 10, 8, 5), 0.0); // N − x > M − K
+        assert_eq!(hypergeometric_pmf(2, 5, 3, 9), 0.0); // N > M
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // Drawing nothing.
+        assert_eq!(hypergeometric_pmf(0, 10, 3, 0), 1.0);
+        // Drawing everything.
+        assert_eq!(hypergeometric_pmf(3, 3, 3, 3), 1.0);
+        // No marked items at all.
+        assert_eq!(hypergeometric_pmf(0, 6, 0, 4), 1.0);
+    }
+
+    #[test]
+    fn mean_matches_n_k_over_m() {
+        let (m, k, n) = (40u64, 15u64, 12u64);
+        let mean: f64 = (0..=n as i64)
+            .map(|x| x as f64 * hypergeometric_pmf(x, m, k, n))
+            .sum();
+        assert!((mean - n as f64 * k as f64 / m as f64).abs() < 1e-9);
+    }
+}

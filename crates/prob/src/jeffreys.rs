@@ -1,0 +1,188 @@
+//! The Jeffreys prior over GED values, `Λ3 = Pr[GED = τ]` (Section V-C).
+//!
+//! Sampling graph pairs to estimate the GED prior would require exact GED
+//! computations (NP-hard), so the paper falls back to the non-informative
+//! Jeffreys prior
+//!
+//! ```text
+//! Pr[GED = τ] ∝ √( Σ_{ϕ=0}^{2τ} Λ1(τ, ϕ) · Z(τ, ϕ)² ),
+//! Z(τ, ϕ)     = ∂ log Pr[GBD | GED] / ∂ GED |_{GED=τ, GBD=ϕ}
+//! ```
+//!
+//! (Equations 15–17). The value depends only on `τ` and `|V'1|`, so it is
+//! pre-computed into a `(τ, |V'1|)` matrix offline — here one normalised
+//! column per distinct `|V'1|`, cached behind a mutex so that the online
+//! stage can fill in missing columns lazily.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use gbd_graph::LabelAlphabets;
+
+use crate::model::BranchEditModel;
+
+/// Unnormalised Jeffreys weight for one `(τ, |V'1|)` cell:
+/// `√(Σ_ϕ Λ1 · Z²)` with `Z = (∂Λ1/∂τ) / Λ1`, i.e. `√(Σ_ϕ (∂Λ1/∂τ)² / Λ1)`.
+pub fn jeffreys_unnormalized(model: &BranchEditModel, tau: u64) -> f64 {
+    // Share the ϕ-independent inner sums across all ϕ (Equation 22 reuse).
+    let weights = crate::lambda1::branch_touch_weights(model, tau);
+    let weight_derivatives = crate::lambda1::branch_touch_weight_derivatives(model, tau);
+    let mut total = 0.0f64;
+    for phi in 0..=(2 * tau) {
+        let value = crate::lambda1::contract_with_omega3(model, &weights, phi);
+        if value <= 1e-300 {
+            continue;
+        }
+        let derivative = crate::lambda1::contract_with_omega3(model, &weight_derivatives, phi);
+        total += derivative * derivative / value;
+    }
+    total.sqrt()
+}
+
+/// Normalised prior column `Pr[GED = τ]` for `τ ∈ [0, tau_max]` at a fixed
+/// `|V'1|`. Normalising per column keeps the posterior of Algorithm 1
+/// comparable across database graphs of different sizes; the paper's global
+/// constant `C = 1/(k1·k2)` would only rescale every `Φ` identically.
+pub fn jeffreys_column(model: &BranchEditModel, tau_max: u64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..=tau_max).map(|tau| jeffreys_unnormalized(model, tau)).collect();
+    let total: f64 = raw.iter().sum();
+    if total <= 0.0 {
+        // Degenerate fall-back: uniform prior.
+        return vec![1.0 / (tau_max + 1) as f64; (tau_max + 1) as usize];
+    }
+    raw.into_iter().map(|x| x / total).collect()
+}
+
+/// The pre-computed GED prior: one normalised column per `|V'1|`.
+#[derive(Debug)]
+pub struct GedPrior {
+    alphabets: LabelAlphabets,
+    tau_max: u64,
+    columns: Mutex<HashMap<usize, Vec<f64>>>,
+}
+
+impl GedPrior {
+    /// Creates an empty prior for the given alphabets and maximal threshold;
+    /// columns are computed on first use (offline pre-computation simply
+    /// calls [`GedPrior::prepare`] for every expected `|V'1|`).
+    pub fn new(alphabets: LabelAlphabets, tau_max: u64) -> Self {
+        GedPrior {
+            alphabets,
+            tau_max,
+            columns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The maximal `τ` stored per column.
+    pub fn tau_max(&self) -> u64 {
+        self.tau_max
+    }
+
+    /// Pre-computes the columns for the given extended sizes (offline stage).
+    pub fn prepare(&self, extended_sizes: impl IntoIterator<Item = usize>) {
+        for v in extended_sizes {
+            self.column(v);
+        }
+    }
+
+    /// Number of columns currently materialised.
+    pub fn prepared_columns(&self) -> usize {
+        self.columns.lock().expect("ged prior mutex poisoned").len()
+    }
+
+    /// `Pr[GED = τ]` for extended size `v = |V'1|`.
+    pub fn probability(&self, v: usize, tau: u64) -> f64 {
+        if tau > self.tau_max {
+            return 0.0;
+        }
+        self.column(v)[tau as usize]
+    }
+
+    /// Returns (computing and caching if necessary) the whole column for `v`.
+    pub fn column(&self, v: usize) -> Vec<f64> {
+        {
+            let cache = self.columns.lock().expect("ged prior mutex poisoned");
+            if let Some(column) = cache.get(&v) {
+                return column.clone();
+            }
+        }
+        let model = BranchEditModel::new(v, self.alphabets);
+        let column = jeffreys_column(&model, self.tau_max);
+        self.columns
+            .lock()
+            .expect("ged prior mutex poisoned")
+            .insert(v, column.clone());
+        column
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabets() -> LabelAlphabets {
+        LabelAlphabets::new(6, 3)
+    }
+
+    #[test]
+    fn columns_are_normalised_distributions() {
+        let model = BranchEditModel::new(12, alphabets());
+        let column = jeffreys_column(&model, 8);
+        assert_eq!(column.len(), 9);
+        let total: f64 = column.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(column.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn unnormalized_weights_are_finite_and_nonnegative() {
+        let model = BranchEditModel::new(10, alphabets());
+        for tau in 0..=6u64 {
+            let w = jeffreys_unnormalized(&model, tau);
+            assert!(w.is_finite() && w >= 0.0, "weight {w} at τ={tau}");
+        }
+    }
+
+    #[test]
+    fn prior_depends_only_on_tau_and_extended_size() {
+        // Same v and alphabets → identical columns (the property the paper
+        // uses to pre-compute a (τ, |V'1|) matrix).
+        let prior = GedPrior::new(alphabets(), 6);
+        let a = prior.column(15);
+        let b = prior.column(15);
+        assert_eq!(a, b);
+        let c = prior.column(30);
+        assert_ne!(a, c);
+        assert_eq!(prior.prepared_columns(), 2);
+    }
+
+    #[test]
+    fn probability_is_zero_beyond_tau_max() {
+        let prior = GedPrior::new(alphabets(), 5);
+        assert_eq!(prior.probability(10, 6), 0.0);
+        assert!(prior.probability(10, 5) > 0.0);
+    }
+
+    #[test]
+    fn prepare_materialises_columns() {
+        let prior = GedPrior::new(alphabets(), 4);
+        prior.prepare([8usize, 12, 16]);
+        assert_eq!(prior.prepared_columns(), 3);
+        // Reading a prepared column does not add a new one.
+        let _ = prior.probability(12, 2);
+        assert_eq!(prior.prepared_columns(), 3);
+        // Reading an unprepared column computes it lazily.
+        let _ = prior.probability(20, 2);
+        assert_eq!(prior.prepared_columns(), 4);
+    }
+
+    #[test]
+    fn larger_graphs_do_not_produce_nan_columns() {
+        // Exercises the log-space Ω3 path (large D, large v).
+        let prior = GedPrior::new(LabelAlphabets::new(12, 4), 6);
+        let column = prior.column(500);
+        assert!(column.iter().all(|p| p.is_finite()));
+        let total: f64 = column.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,349 @@
+//! The likelihood `Λ1(τ, ϕ) = Pr[GBD = ϕ | GED = τ]` (Equation 8) and its
+//! τ-derivative (used by the Jeffreys prior).
+//!
+//! ```text
+//! Λ1(τ, ϕ) = Σ_x Ω1(x, τ) Σ_m Ω2(m, x, τ) Σ_r Ω3(r, ϕ) Ω4(x, r, m)
+//! ```
+//!
+//! with `x ∈ [0, τ]`, `m ∈ [0, min(2(τ − x), v)]` and `r` in the feasible
+//! range of Lemma 4. The complexity analysis of Section VI-B shows the sum is
+//! `O(τ³)` per (τ, ϕ) and that the partial sums for τ < τ̂ are sub-sums of the
+//! τ̂ computation (Equation 22); [`Lambda1Table`] exploits exactly that by
+//! computing, in one sweep, the whole `(τ, ϕ)` table needed by Algorithm 1.
+
+use crate::model::BranchEditModel;
+
+/// The ϕ-independent part of Equation (8), aggregated over `r`:
+/// `W(r) = Σ_x Ω1(x, τ) Σ_m Ω2(m, x, τ) Ω4(x, r, m)`, so that
+/// `Λ1(τ, ϕ) = Σ_r W(r) · Ω3(r, ϕ)`.
+///
+/// This is the computational form of the paper's reuse argument
+/// (Equation 22): the inner `O(τ³)` work is shared by every `ϕ` and by every
+/// `τ' < τ` inspected by Algorithm 1, so a whole likelihood table costs
+/// `O(τ̂⁴)` instead of `O(τ̂⁶)`.
+pub fn branch_touch_weights(model: &BranchEditModel, tau: u64) -> Vec<f64> {
+    let v = model.v();
+    let r_cap = (3 * tau).min(v) as usize;
+    let mut weights = vec![0.0f64; r_cap + 1];
+    for x in 0..=tau {
+        let w1 = model.omega1(x, tau);
+        if w1 == 0.0 {
+            continue;
+        }
+        let m_max = (2 * (tau - x)).min(v);
+        for m in 0..=m_max {
+            let w2 = model.omega2(m, x, tau);
+            if w2 == 0.0 {
+                continue;
+            }
+            for r in model.r_range(x, m) {
+                let w4 = model.omega4(x, r, m);
+                if w4 != 0.0 && (r as usize) < weights.len() {
+                    weights[r as usize] += w1 * w2 * w4;
+                }
+            }
+        }
+    }
+    weights
+}
+
+/// τ-derivative counterpart of [`branch_touch_weights`]:
+/// `W'(r) = Σ_x [Ω1' Σ_m Ω2 Ω4 + Ω1 Σ_m Ω2' Ω4]`.
+pub fn branch_touch_weight_derivatives(model: &BranchEditModel, tau: u64) -> Vec<f64> {
+    let v = model.v();
+    let r_cap = (3 * tau).min(v) as usize;
+    let mut weights = vec![0.0f64; r_cap + 1];
+    for x in 0..=tau {
+        let w1 = model.omega1(x, tau);
+        let dw1 = model.omega1_dtau(x, tau);
+        let m_max = (2 * (tau - x)).min(v);
+        for m in 0..=m_max {
+            let w2 = model.omega2(m, x, tau);
+            let dw2 = model.omega2_dtau(m, x, tau);
+            if w2 == 0.0 && dw2 == 0.0 {
+                continue;
+            }
+            for r in model.r_range(x, m) {
+                let w4 = model.omega4(x, r, m);
+                if w4 != 0.0 && (r as usize) < weights.len() {
+                    weights[r as usize] += (dw1 * w2 + w1 * dw2) * w4;
+                }
+            }
+        }
+    }
+    weights
+}
+
+/// Contracts a weight vector over `r` with `Ω3(r, ϕ)`.
+pub fn contract_with_omega3(model: &BranchEditModel, weights: &[f64], phi: u64) -> f64 {
+    weights
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w != 0.0)
+        .map(|(r, &w)| w * model.omega3(r as u64, phi))
+        .sum()
+}
+
+/// Direct evaluation of `Λ1(τ, ϕ)`.
+pub fn lambda1(model: &BranchEditModel, tau: u64, phi: u64) -> f64 {
+    let v = model.v();
+    let mut total = 0.0f64;
+    for x in 0..=tau {
+        let w1 = model.omega1(x, tau);
+        if w1 == 0.0 {
+            continue;
+        }
+        let m_max = (2 * (tau - x)).min(v);
+        let mut inner = 0.0f64;
+        for m in 0..=m_max {
+            let w2 = model.omega2(m, x, tau);
+            if w2 == 0.0 {
+                continue;
+            }
+            let mut r_sum = 0.0f64;
+            for r in model.r_range(x, m) {
+                r_sum += model.omega3(r, phi) * model.omega4(x, r, m);
+            }
+            inner += w2 * r_sum;
+        }
+        total += w1 * inner;
+    }
+    total
+}
+
+/// `∂Λ1/∂τ` at integer `(τ, ϕ)` (Equation 35 without the `1/Λ1` factor):
+/// `Σ_x [dΩ1/dτ · Σ_m Ω2 Σ_r Ω3Ω4 + Ω1 · Σ_m dΩ2/dτ Σ_r Ω3Ω4]`.
+pub fn lambda1_derivative(model: &BranchEditModel, tau: u64, phi: u64) -> f64 {
+    let v = model.v();
+    let mut total = 0.0f64;
+    for x in 0..=tau {
+        let w1 = model.omega1(x, tau);
+        let dw1 = model.omega1_dtau(x, tau);
+        let m_max = (2 * (tau - x)).min(v);
+        let mut inner = 0.0f64;
+        let mut inner_derivative = 0.0f64;
+        for m in 0..=m_max {
+            let w2 = model.omega2(m, x, tau);
+            let dw2 = model.omega2_dtau(m, x, tau);
+            if w2 == 0.0 && dw2 == 0.0 {
+                continue;
+            }
+            let mut r_sum = 0.0f64;
+            for r in model.r_range(x, m) {
+                r_sum += model.omega3(r, phi) * model.omega4(x, r, m);
+            }
+            inner += w2 * r_sum;
+            inner_derivative += dw2 * r_sum;
+        }
+        total += dw1 * inner + w1 * inner_derivative;
+    }
+    total
+}
+
+/// Pre-computed table of `Λ1(τ, ϕ)` for `τ ∈ [0, τ̂]` and `ϕ ∈ [0, 2τ̂]`.
+///
+/// Algorithm 1 needs every `τ ≤ τ̂` for the observed `ϕ`; the online stage
+/// therefore builds (or reuses) one table per distinct `|V'1|` and reads the
+/// column for the observed GBD. Values of `ϕ` above `2τ` are impossible
+/// (`GBD ≤ 2·GED`) and stored as zero.
+#[derive(Debug, Clone)]
+pub struct Lambda1Table {
+    tau_max: u64,
+    phi_max: u64,
+    /// Row-major `(τ̂ + 1) × (ϕ_max + 1)` values.
+    values: Vec<f64>,
+}
+
+impl Lambda1Table {
+    /// Builds the table for thresholds up to `tau_max`, sharing the
+    /// ϕ-independent inner sums across all `ϕ` (Equation 22 reuse).
+    pub fn build(model: &BranchEditModel, tau_max: u64) -> Self {
+        let phi_max = 2 * tau_max;
+        let mut values = vec![0.0f64; ((tau_max + 1) * (phi_max + 1)) as usize];
+        for tau in 0..=tau_max {
+            let weights = branch_touch_weights(model, tau);
+            for phi in 0..=(2 * tau).min(phi_max) {
+                values[(tau * (phi_max + 1) + phi) as usize] =
+                    contract_with_omega3(model, &weights, phi);
+            }
+        }
+        Lambda1Table {
+            tau_max,
+            phi_max,
+            values,
+        }
+    }
+
+    /// Largest `τ` stored in the table.
+    pub fn tau_max(&self) -> u64 {
+        self.tau_max
+    }
+
+    /// Largest `ϕ` stored in the table.
+    pub fn phi_max(&self) -> u64 {
+        self.phi_max
+    }
+
+    /// Reads `Λ1(τ, ϕ)`; out-of-range arguments return 0.
+    pub fn get(&self, tau: u64, phi: u64) -> f64 {
+        if tau > self.tau_max || phi > self.phi_max {
+            return 0.0;
+        }
+        self.values[(tau * (self.phi_max + 1) + phi) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::LabelAlphabets;
+
+    fn model(v: usize, lv: usize, le: usize) -> BranchEditModel {
+        BranchEditModel::new(v, LabelAlphabets::new(lv, le))
+    }
+
+    #[test]
+    fn tau_zero_is_a_point_mass_at_phi_zero() {
+        let m = model(6, 4, 3);
+        assert!((lambda1(&m, 0, 0) - 1.0).abs() < 1e-9);
+        assert_eq!(lambda1(&m, 0, 1), 0.0);
+        assert_eq!(lambda1(&m, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn lambda1_vanishes_beyond_two_tau() {
+        // One edit operation changes at most two branches, so Pr[GBD > 2τ] = 0.
+        let m = model(8, 4, 3);
+        for tau in 1..4u64 {
+            for phi in (2 * tau + 1)..(2 * tau + 4) {
+                assert!(
+                    lambda1(&m, tau, phi).abs() < 1e-12,
+                    "Λ1({tau},{phi}) should be 0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda1_is_a_distribution_over_phi() {
+        let m = model(7, 4, 3);
+        for tau in 0..5u64 {
+            let total: f64 = (0..=2 * tau).map(|phi| lambda1(&m, tau, phi)).sum();
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "Λ1(τ={tau}, ·) sums to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_ged_shifts_mass_towards_larger_gbd() {
+        let m = model(20, 8, 4);
+        let mean = |tau: u64| -> f64 {
+            (0..=2 * tau)
+                .map(|phi| phi as f64 * lambda1(&m, tau, phi))
+                .sum()
+        };
+        assert!(mean(1) < mean(3));
+        assert!(mean(3) < mean(6));
+    }
+
+    #[test]
+    fn rich_alphabets_concentrate_gbd_near_its_maximum() {
+        // With many branch types, τ edits almost always produce a large GBD;
+        // the distribution's mode should sit in the upper half of [0, 2τ].
+        let m = model(30, 20, 10);
+        let tau = 4u64;
+        let mode = (0..=2 * tau)
+            .max_by(|&a, &b| {
+                lambda1(&m, tau, a)
+                    .partial_cmp(&lambda1(&m, tau, b))
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(mode >= tau, "mode {mode} should be at least τ={tau}");
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let m = model(9, 5, 3);
+        let table = Lambda1Table::build(&m, 4);
+        for tau in 0..=4u64 {
+            for phi in 0..=8u64 {
+                assert!(
+                    (table.get(tau, phi) - lambda1(&m, tau, phi)).abs() < 1e-12,
+                    "table mismatch at ({tau},{phi})"
+                );
+            }
+        }
+        assert_eq!(table.get(9, 0), 0.0);
+        assert_eq!(table.get(0, 99), 0.0);
+        assert_eq!(table.tau_max(), 4);
+        assert_eq!(table.phi_max(), 8);
+    }
+
+    #[test]
+    fn derivative_is_finite_and_informative() {
+        // The analytic derivative follows the paper's digamma closed forms
+        // (Appendix C-B). The continuous extension is much steeper than the
+        // discrete finite differences near the support boundary, so we only
+        // assert structural properties: finiteness everywhere, zero outside
+        // the support, and a non-degenerate response inside it.
+        let m = model(10, 5, 3);
+        let mut any_nonzero = false;
+        for tau in 1..5u64 {
+            for phi in 0..=(2 * tau + 2) {
+                let d = lambda1_derivative(&m, tau, phi);
+                assert!(d.is_finite(), "dΛ1/dτ not finite at ({tau},{phi})");
+                if phi > 2 * tau {
+                    assert_eq!(d, 0.0, "derivative must vanish outside the support");
+                } else if d != 0.0 {
+                    any_nonzero = true;
+                }
+            }
+        }
+        assert!(any_nonzero, "the derivative should not be identically zero");
+    }
+
+    #[test]
+    fn derivative_sign_tracks_growth_at_the_support_boundary() {
+        // Λ1(τ, 2τ) jumps from 0 (at τ−1, where 2τ is outside the support)
+        // to a positive value, so the derivative there must be positive.
+        let m = model(12, 6, 3);
+        for tau in 2..5u64 {
+            let phi = 2 * tau;
+            let d = lambda1_derivative(&m, tau, phi);
+            assert!(d > 0.0, "expected positive derivative at ({tau},{phi}), got {d}");
+        }
+    }
+
+    #[test]
+    fn weight_vector_form_matches_direct_evaluation() {
+        let m = model(11, 5, 3);
+        for tau in 0..=5u64 {
+            let weights = branch_touch_weights(&m, tau);
+            let derivatives = branch_touch_weight_derivatives(&m, tau);
+            for phi in 0..=(2 * tau) {
+                let via_weights = contract_with_omega3(&m, &weights, phi);
+                assert!(
+                    (via_weights - lambda1(&m, tau, phi)).abs() < 1e-12,
+                    "Λ1 mismatch at ({tau},{phi})"
+                );
+                let via_derivatives = contract_with_omega3(&m, &derivatives, phi);
+                assert!(
+                    (via_derivatives - lambda1_derivative(&m, tau, phi)).abs() < 1e-9,
+                    "∂Λ1/∂τ mismatch at ({tau},{phi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda1_handles_the_smallest_graphs() {
+        let m = model(1, 2, 2);
+        // A single-vertex extended graph has no edge slots; all τ operations
+        // are vertex relabellings of that one vertex.
+        let total: f64 = (0..=2u64).map(|phi| lambda1(&m, 1, phi)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

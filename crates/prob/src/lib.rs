@@ -1,0 +1,49 @@
+//! # gbd-prob — the probabilistic model connecting GBD and GED
+//!
+//! Section V of the paper models the formation of the Graph Branch Distance
+//! (GBD) as the outcome of a random graph-editing process of known length
+//! (the GED), through the Bayesian network
+//!
+//! ```text
+//! GED → S → (X, Y) → Z → R → GBD
+//! ```
+//!
+//! with closed-form conditional factors `Ω1..Ω4` (Appendices E–H), the
+//! likelihood `Λ1 = Pr[GBD = ϕ | GED = τ]` (Equation 8), the GMM-based GBD
+//! prior `Λ2` (Section V-B), and the Jeffreys GED prior `Λ3` (Section V-C).
+//! The posterior `Pr[GED ≤ τ̂ | GBD = ϕ]` (Equation 4) drives the GBDA search
+//! in `gbda-core`.
+//!
+//! Module map:
+//!
+//! * [`special`] — `ln Γ`, digamma, harmonic numbers, `erf`, stable binomials,
+//! * [`hypergeometric`] — the hypergeometric pmf `H(x; M, K, N)` (Equation 32),
+//! * [`model`] — the model parameters and the factors `Ω1..Ω4` with their
+//!   τ-derivatives,
+//! * [`lambda1`] — `Λ1(τ, ϕ)` and `∂Λ1/∂τ` with the prefix-reuse optimisation
+//!   of Equation (22),
+//! * [`gmm`] — 1-D Gaussian mixture fitting by EM (Section V-B),
+//! * [`gbd_prior`] — the prior `Pr[GBD = ϕ]` via continuity correction
+//!   (Equation 14),
+//! * [`jeffreys`] — the Jeffreys prior `Pr[GED = τ]` (Equation 16),
+//! * [`posterior`] — the posterior of Equation (4) used by Algorithm 1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gbd_prior;
+pub mod gmm;
+pub mod hypergeometric;
+pub mod jeffreys;
+pub mod lambda1;
+pub mod model;
+pub mod posterior;
+pub mod special;
+
+pub use gbd_prior::GbdPrior;
+pub use gmm::{GaussianMixture, GmmConfig};
+pub use hypergeometric::hypergeometric_pmf;
+pub use jeffreys::GedPrior;
+pub use lambda1::{lambda1, lambda1_derivative, Lambda1Table};
+pub use model::BranchEditModel;
+pub use posterior::posterior_ged_at_most;

@@ -1,0 +1,359 @@
+//! Model parameters and the conditional factors `Ω1..Ω4`.
+//!
+//! The model reasons about the extended graph `G'1` of the query: a complete
+//! graph with `v = |V'1|` vertices and `C(v, 2)` edge slots, over label
+//! alphabets of sizes `|LV|` and `|LE|`. The four factors are (Appendix C):
+//!
+//! * `Ω1(x, τ) = H(x; v + C(v,2), v, τ)` — probability that a uniformly random
+//!   relabelling sequence of length `τ` contains exactly `x` vertex
+//!   relabellings (Lemma 1),
+//! * `Ω2(m, x, τ)` — probability that the `τ − x` relabelled edges cover
+//!   exactly `m` vertices (inclusion–exclusion, Lemma 2),
+//! * `Ω3(r, ϕ) = C(r, r−ϕ)·(D−1)^ϕ / D^r` — probability of observing branch
+//!   distance `ϕ` given `r` touched branches, where `D` is the number of
+//!   possible branch types (Lemma 3),
+//! * `Ω4(x, r, m) = H(x + m − r; v, m, x)` — probability that exactly
+//!   `x + m − r` relabelled vertices are also covered by relabelled edges
+//!   (Lemma 4).
+//!
+//! The τ-derivatives of `Ω1` and `Ω2` (needed by the Jeffreys prior, Appendix
+//! C-B) use the digamma function as the continuous extension of the harmonic
+//! numbers appearing in the paper's `F1..F4`.
+
+use gbd_graph::LabelAlphabets;
+
+use crate::hypergeometric::hypergeometric_pmf;
+use crate::special::{binomial, digamma, ln_binomial};
+
+/// Parameters of the branch-edit model for one (query, database-graph) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchEditModel {
+    /// `v = |V'1|`: number of vertices of the extended graphs of the pair,
+    /// i.e. `max(|V_Q|, |V_G|)`.
+    pub extended_vertices: usize,
+    /// Label alphabet sizes `|LV|`, `|LE|`.
+    pub alphabets: LabelAlphabets,
+}
+
+impl BranchEditModel {
+    /// Creates a model for extended graphs with `extended_vertices` vertices.
+    pub fn new(extended_vertices: usize, alphabets: LabelAlphabets) -> Self {
+        BranchEditModel {
+            extended_vertices: extended_vertices.max(1),
+            alphabets,
+        }
+    }
+
+    /// `v = |V'1|`.
+    pub fn v(&self) -> u64 {
+        self.extended_vertices as u64
+    }
+
+    /// Number of edge slots of the extended graph, `C(v, 2)`.
+    pub fn edge_slots(&self) -> u64 {
+        let v = self.v();
+        v * (v - 1) / 2
+    }
+
+    /// Natural logarithm of the number of possible branch types
+    /// `D = |LV| · C(v + |LE| − 1, |LE|)` (Equation 33). Computed in log space
+    /// because `D^r` overflows `f64` for the largest graphs of the evaluation.
+    pub fn ln_branch_types(&self) -> f64 {
+        let lv = self.alphabets.vertex_labels as f64;
+        let le = self.alphabets.edge_labels as f64;
+        let v = self.extended_vertices as f64;
+        lv.ln() + ln_binomial(v + le - 1.0, le)
+    }
+
+    /// `Ω1(x, τ)` — Lemma 1 / Equation (28).
+    pub fn omega1(&self, x: u64, tau: u64) -> f64 {
+        let v = self.v();
+        hypergeometric_pmf(x as i64, v + self.edge_slots(), v, tau)
+    }
+
+    /// `∂Ω1/∂τ` at integer `(x, τ)` via digamma (Equation 36).
+    pub fn omega1_dtau(&self, x: u64, tau: u64) -> f64 {
+        let value = self.omega1(x, tau);
+        if value == 0.0 {
+            return 0.0;
+        }
+        let v = self.v() as f64;
+        let e = self.edge_slots() as f64;
+        let tau = tau as f64;
+        let x = x as f64;
+        // d/dτ ln C(E, τ−x) − d/dτ ln C(v+E, τ)
+        let d = -digamma(tau - x + 1.0) + digamma(e - (tau - x) + 1.0) + digamma(tau + 1.0)
+            - digamma(v + e - tau + 1.0);
+        value * d
+    }
+
+    /// `Ω2(m, x, τ)` — Lemma 2 / Equation (29): probability that `τ − x`
+    /// uniformly chosen distinct edge slots of the complete extended graph
+    /// cover exactly `m` vertices.
+    pub fn omega2(&self, m: u64, x: u64, tau: u64) -> f64 {
+        let v = self.v();
+        if x > tau || m > v {
+            return 0.0;
+        }
+        let y = tau - x; // number of relabelled edges
+        let slots = self.edge_slots();
+        if y > slots {
+            return 0.0;
+        }
+        if y == 0 {
+            return if m == 0 { 1.0 } else { 0.0 };
+        }
+        // Exactly-m coverage needs at least enough vertices to host y edges
+        // and at most 2y endpoints.
+        if m > 2 * y || binomial(m, 2) < y as f64 {
+            return 0.0;
+        }
+        let denominator = binomial(slots, y);
+        let choose_vertices = binomial(v, m);
+        let mut inner = 0.0f64;
+        for t in 0..=m {
+            let ways = binomial(t * t.saturating_sub(1) / 2, y);
+            if ways == 0.0 {
+                continue;
+            }
+            let sign = if (m - t) % 2 == 0 { 1.0 } else { -1.0 };
+            inner += sign * binomial(m, t) * ways;
+        }
+        // Inclusion–exclusion counts; clamp tiny negative round-off.
+        (choose_vertices * inner / denominator).max(0.0)
+    }
+
+    /// `∂Ω2/∂τ` at integer `(m, x, τ)` via digamma (Equation 37).
+    pub fn omega2_dtau(&self, m: u64, x: u64, tau: u64) -> f64 {
+        let v = self.v();
+        if x > tau || m > v {
+            return 0.0;
+        }
+        let y = tau - x;
+        let slots = self.edge_slots();
+        if y == 0 || y > slots || m > 2 * y || binomial(m, 2) < y as f64 {
+            return 0.0;
+        }
+        let yf = y as f64;
+        let denominator = binomial(slots, y);
+        let choose_vertices = binomial(v, m);
+        // d/dτ of ln C(slots, y)⁻¹ term.
+        let d_prefactor = -(-digamma(yf + 1.0) + digamma(slots as f64 - yf + 1.0));
+        let mut inner = 0.0f64;
+        let mut inner_derivative = 0.0f64;
+        for t in 0..=m {
+            let pairs = t * t.saturating_sub(1) / 2;
+            let ways = binomial(pairs, y);
+            if ways == 0.0 {
+                continue;
+            }
+            let sign = if (m - t) % 2 == 0 { 1.0 } else { -1.0 };
+            let term = sign * binomial(m, t) * ways;
+            inner += term;
+            // d/dτ ln C(pairs, y) = −ψ(y+1) + ψ(pairs − y + 1).
+            let d_term = -digamma(yf + 1.0) + digamma(pairs as f64 - yf + 1.0);
+            inner_derivative += term * d_term;
+        }
+        choose_vertices * (inner_derivative + inner * d_prefactor) / denominator
+    }
+
+    /// `Ω3(r, ϕ)` — Lemma 3 / Equation (30), evaluated in log space.
+    pub fn omega3(&self, r: u64, phi: u64) -> f64 {
+        if phi > r {
+            return 0.0;
+        }
+        let ln_d = self.ln_branch_types();
+        // D ≥ 1; ln(D−1) needs D > 1. With a single possible branch type every
+        // relabelling is invisible, so GBD must be zero.
+        let d = ln_d.exp();
+        if d <= 1.0 + 1e-12 {
+            return if phi == 0 { 1.0 } else { 0.0 };
+        }
+        let ln_dm1 = (d - 1.0).ln();
+        let ln_choose = ln_binomial(r as f64, (r - phi) as f64);
+        (ln_choose + phi as f64 * ln_dm1 - r as f64 * ln_d).exp()
+    }
+
+    /// `Ω4(x, r, m)` — Lemma 4 / Equation (31).
+    pub fn omega4(&self, x: u64, r: u64, m: u64) -> f64 {
+        let overlap = x as i64 + m as i64 - r as i64;
+        hypergeometric_pmf(overlap, self.v(), m, x)
+    }
+
+    /// Valid range of `r` given `x` and `m`: `r = x + m − t` with the overlap
+    /// `t` between `max(0, x + m − v)` and `min(x, m)`.
+    pub fn r_range(&self, x: u64, m: u64) -> std::ops::RangeInclusive<u64> {
+        let v = self.v();
+        let t_min = (x + m).saturating_sub(v);
+        let t_max = x.min(m);
+        // r decreases as t increases.
+        (x + m - t_max)..=(x + m - t_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::LabelAlphabets;
+
+    fn model(v: usize, lv: usize, le: usize) -> BranchEditModel {
+        BranchEditModel::new(v, LabelAlphabets::new(lv, le))
+    }
+
+    #[test]
+    fn omega1_is_a_distribution_over_x() {
+        let m = model(5, 3, 2);
+        for tau in 0..6u64 {
+            let total: f64 = (0..=tau).map(|x| m.omega1(x, tau)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "Ω1 sums to {total} for τ={tau}");
+        }
+    }
+
+    #[test]
+    fn omega1_at_tau_zero_is_point_mass() {
+        let m = model(4, 3, 2);
+        assert_eq!(m.omega1(0, 0), 1.0);
+        assert_eq!(m.omega1(1, 0), 0.0);
+    }
+
+    #[test]
+    fn omega2_is_a_distribution_over_m() {
+        let m = model(6, 3, 2);
+        for tau in 0..5u64 {
+            for x in 0..=tau {
+                let total: f64 = (0..=m.v()).map(|mm| m.omega2(mm, x, tau)).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-8,
+                    "Ω2 sums to {total} for τ={tau}, x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn omega2_matches_direct_enumeration() {
+        // v = 4 vertices, C(4,2) = 6 edge slots; choose y = 2 edges uniformly
+        // and count how many vertices they cover. Enumerate all C(6,2) = 15
+        // pairs directly and compare against the closed form.
+        let m = model(4, 3, 2);
+        let edges: Vec<(usize, usize)> = (0..4)
+            .flat_map(|i| ((i + 1)..4).map(move |j| (i, j)))
+            .collect();
+        let mut counts = [0usize; 5];
+        for a in 0..edges.len() {
+            for b in (a + 1)..edges.len() {
+                let mut vs = vec![edges[a].0, edges[a].1, edges[b].0, edges[b].1];
+                vs.sort_unstable();
+                vs.dedup();
+                counts[vs.len()] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        for covered in 0..=4u64 {
+            let expected = counts[covered as usize] as f64 / total as f64;
+            let got = m.omega2(covered, 0, 2);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "Ω2({covered}, 0, 2) = {got}, enumeration gives {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn omega2_zero_edges_covers_zero_vertices() {
+        let m = model(5, 3, 2);
+        assert_eq!(m.omega2(0, 2, 2), 1.0);
+        assert_eq!(m.omega2(1, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn omega3_is_a_distribution_over_phi() {
+        let m = model(5, 3, 2);
+        for r in 0..6u64 {
+            let total: f64 = (0..=r).map(|phi| m.omega3(r, phi)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "Ω3 sums to {total} for r={r}");
+        }
+    }
+
+    #[test]
+    fn omega3_prefers_large_phi_when_many_branch_types_exist() {
+        // With a rich label alphabet, touching r branches almost surely
+        // changes all of them: Pr[GBD = r | R = r] should dominate.
+        let m = model(30, 20, 10);
+        let r = 5;
+        let at_r = m.omega3(r, r);
+        let below: f64 = (0..r).map(|phi| m.omega3(r, phi)).sum();
+        assert!(at_r > below, "Ω3({r},{r}) = {at_r} should dominate {below}");
+    }
+
+    #[test]
+    fn omega3_degenerate_single_branch_type() {
+        let m = BranchEditModel::new(1, LabelAlphabets::new(1, 1));
+        // Only one possible branch type: the distance must be zero.
+        assert_eq!(m.omega3(3, 0), 1.0);
+        assert_eq!(m.omega3(3, 2), 0.0);
+    }
+
+    #[test]
+    fn omega4_is_a_distribution_over_r() {
+        let m = model(6, 3, 2);
+        for x in 0..4u64 {
+            for mm in 0..5u64 {
+                let total: f64 = m.r_range(x, mm).map(|r| m.omega4(x, r, mm)).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "Ω4 sums to {total} for x={x}, m={mm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn omega1_derivative_matches_finite_differences() {
+        let m = model(8, 4, 3);
+        for tau in 2..6u64 {
+            for x in 0..=tau.min(3) {
+                let analytic = m.omega1_dtau(x, tau);
+                let numeric = (m.omega1(x, tau + 1) - m.omega1(x, tau - 1)) / 2.0;
+                // The discrete finite difference is only an approximation of
+                // the continuous derivative; they must agree in sign and
+                // rough magnitude.
+                assert!(
+                    (analytic - numeric).abs() < 0.12 + 0.5 * numeric.abs(),
+                    "dΩ1/dτ mismatch at x={x}, τ={tau}: analytic {analytic}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn omega2_derivative_is_finite_and_reasonable() {
+        let m = model(8, 4, 3);
+        for tau in 2..6u64 {
+            for x in 0..tau {
+                for mm in 0..=(2 * (tau - x)).min(8) {
+                    let d = m.omega2_dtau(mm, x, tau);
+                    assert!(d.is_finite(), "dΩ2/dτ not finite at m={mm}, x={x}, τ={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r_range_respects_bounds() {
+        let m = model(5, 3, 2);
+        assert_eq!(m.r_range(2, 3), 3..=5);
+        assert_eq!(m.r_range(0, 0), 0..=0);
+        // x + m exceeds v: overlap is forced.
+        assert_eq!(m.r_range(4, 4), 4..=5);
+    }
+
+    #[test]
+    fn ln_branch_types_grows_with_alphabets_and_size() {
+        let small = model(5, 2, 2).ln_branch_types();
+        let bigger_alphabet = model(5, 10, 2).ln_branch_types();
+        let bigger_graph = model(50, 2, 2).ln_branch_types();
+        assert!(bigger_alphabet > small);
+        assert!(bigger_graph > small);
+    }
+}

@@ -1,0 +1,115 @@
+//! The posterior `Pr[GED ≤ τ̂ | GBD = ϕ]` (Equations 3–4).
+//!
+//! Combining the three quantities computed elsewhere in this crate,
+//!
+//! ```text
+//! Pr[GED ≤ τ̂ | GBD = ϕ] = Σ_{τ=0}^{τ̂} Λ1(τ, ϕ) · Λ3(τ) / Λ2(ϕ),
+//! ```
+//!
+//! which is exactly Step 3 of Algorithm 1. The function is deliberately tiny:
+//! all the heavy lifting happened when `Λ1`, `Λ2` and `Λ3` were prepared, so
+//! the online cost per database graph is `O(τ̂)` table lookups on top of the
+//! `O(τ̂³)` table construction shared across graphs of equal extended size.
+
+use crate::lambda1::Lambda1Table;
+
+/// Evaluates the posterior probability `Pr[GED ≤ τ̂ | GBD = ϕ]`.
+///
+/// * `lambda1` — the likelihood table for the pair's extended size,
+/// * `ged_prior_column` — `Λ3(τ)` for `τ = 0..=τ̂` (same extended size),
+/// * `gbd_prior_probability` — `Λ2(ϕ)` for the observed GBD.
+///
+/// The result is clamped to `[0, 1]`: the model's factors are estimates, so
+/// rounding can push the raw sum slightly above one.
+pub fn posterior_ged_at_most(
+    tau_hat: u64,
+    phi: u64,
+    lambda1: &Lambda1Table,
+    ged_prior_column: &[f64],
+    gbd_prior_probability: f64,
+) -> f64 {
+    assert!(gbd_prior_probability > 0.0, "Λ2 must be positive (it is floored)");
+    let mut total = 0.0f64;
+    for tau in 0..=tau_hat {
+        let prior = ged_prior_column.get(tau as usize).copied().unwrap_or(0.0);
+        if prior == 0.0 {
+            continue;
+        }
+        total += lambda1.get(tau, phi) * prior / gbd_prior_probability;
+    }
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jeffreys::jeffreys_column;
+    use crate::model::BranchEditModel;
+    use gbd_graph::LabelAlphabets;
+
+    fn setup(v: usize, tau_max: u64) -> (Lambda1Table, Vec<f64>) {
+        let model = BranchEditModel::new(v, LabelAlphabets::new(6, 3));
+        (Lambda1Table::build(&model, tau_max), jeffreys_column(&model, tau_max))
+    }
+
+    #[test]
+    fn posterior_is_a_probability() {
+        let (table, prior) = setup(12, 6);
+        for phi in 0..=12u64 {
+            let p = posterior_ged_at_most(6, phi, &table, &prior, 0.05);
+            assert!((0.0..=1.0).contains(&p), "posterior {p} for ϕ={phi}");
+        }
+    }
+
+    #[test]
+    fn posterior_is_monotone_in_tau_hat() {
+        let (table, prior) = setup(10, 8);
+        for phi in 0..=8u64 {
+            let mut previous = 0.0;
+            for tau_hat in 0..=8u64 {
+                let p = posterior_ged_at_most(tau_hat, phi, &table, &prior, 0.1);
+                assert!(p + 1e-12 >= previous, "not monotone at τ̂={tau_hat}, ϕ={phi}");
+                previous = p;
+            }
+        }
+    }
+
+    #[test]
+    fn small_gbd_yields_higher_posterior_than_large_gbd() {
+        let (table, prior) = setup(15, 5);
+        let near = posterior_ged_at_most(5, 1, &table, &prior, 0.08);
+        let far = posterior_ged_at_most(5, 10, &table, &prior, 0.08);
+        assert!(
+            near > far,
+            "a GBD of 1 ({near}) should make small GED more plausible than a GBD of 10 ({far})"
+        );
+    }
+
+    #[test]
+    fn zero_gbd_posterior_scales_with_how_rare_a_zero_gbd_is() {
+        // A GBD of 0 between two database graphs is rare in practice, which is
+        // what makes the posterior large for near-identical graphs: with the
+        // same likelihood and prior, a smaller Λ2(0) gives a larger Φ.
+        let (table, prior) = setup(15, 5);
+        let common = posterior_ged_at_most(5, 0, &table, &prior, 0.2);
+        let rare = posterior_ged_at_most(5, 0, &table, &prior, 0.002);
+        assert!(rare > common);
+        assert!(rare > 0.5, "rare-GBD posterior should be decisive, got {rare}");
+        assert!(common > 0.0);
+    }
+
+    #[test]
+    fn rare_gbd_prior_scales_the_posterior_up() {
+        let (table, prior) = setup(12, 4);
+        let common = posterior_ged_at_most(4, 3, &table, &prior, 0.5);
+        let rare = posterior_ged_at_most(4, 3, &table, &prior, 0.05);
+        assert!(rare >= common);
+    }
+
+    #[test]
+    #[should_panic(expected = "Λ2 must be positive")]
+    fn zero_gbd_prior_is_rejected() {
+        let (table, prior) = setup(8, 3);
+        posterior_ged_at_most(3, 1, &table, &prior, 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Special functions used by the probabilistic model.
+//!
+//! Everything is implemented from scratch on `f64`: the log-gamma function
+//! (Lanczos approximation), the digamma function `ψ` (recurrence plus
+//! asymptotic series — the continuous generalisation of the harmonic numbers
+//! appearing in the paper's closed forms, Appendix C), harmonic numbers,
+//! binomial coefficients evaluated stably in both linear and log space, and
+//! the error function used by the continuity-correction integral.
+
+/// Euler–Mascheroni constant `γ`.
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+/// Natural logarithm of the gamma function, Lanczos approximation (g = 7,
+/// n = 9), accurate to ~1e-13 for positive arguments.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFICIENTS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFICIENTS[0];
+    for (i, &c) in COEFFICIENTS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The digamma function `ψ(x) = d/dx ln Γ(x)` for positive arguments.
+///
+/// Uses the recurrence `ψ(x) = ψ(x + 1) − 1/x` to push the argument above 6,
+/// then the asymptotic expansion.
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0, "digamma implemented for positive arguments only");
+    let mut x = x;
+    let mut result = 0.0;
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+}
+
+/// The `n`-th harmonic number `H(n) = Σ_{k=1}^{n} 1/k` (`H(0) = 0`).
+pub fn harmonic(n: usize) -> f64 {
+    if n < 64 {
+        (1..=n).map(|k| 1.0 / k as f64).sum()
+    } else {
+        // H(n) = ψ(n + 1) + γ.
+        digamma(n as f64 + 1.0) + EULER_MASCHERONI
+    }
+}
+
+/// `ln C(n, k)` evaluated through log-gamma. Returns `f64::NEG_INFINITY` when
+/// the coefficient is zero (`k > n` or negative arguments).
+pub fn ln_binomial(n: f64, k: f64) -> f64 {
+    if k < 0.0 || n < 0.0 || k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0.0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+}
+
+/// Binomial coefficient `C(n, k)` as `f64`, evaluated with a multiplicative
+/// loop for small `k` (exact to machine precision) and through
+/// [`ln_binomial`] otherwise. Returns `0.0` outside the support.
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 1.0;
+    }
+    if k <= 64 {
+        let mut acc = 1.0f64;
+        for i in 0..k {
+            acc = acc * (n - i) as f64 / (i + 1) as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    } else {
+        ln_binomial(n as f64, k as f64).exp()
+    }
+}
+
+/// The error function `erf(x)`, Abramowitz & Stegun 7.1.26, absolute error
+/// below `1.5e-7` — ample for the continuity-correction integral.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(x: f64, mean: f64, std_dev: f64) -> f64 {
+    0.5 * (1.0 + erf((x - mean) / (std_dev * std::f64::consts::SQRT_2)))
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(x: f64, mean: f64, std_dev: f64) -> f64 {
+    let z = (x - mean) / std_dev;
+    (-0.5 * z * z).exp() / (std_dev * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..15 {
+            let expected: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert!(
+                (ln_gamma(n as f64) - expected).abs() < 1e-9,
+                "lnΓ({n}) mismatch"
+            );
+        }
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = −γ.
+        assert!((digamma(1.0) + EULER_MASCHERONI).abs() < 1e-9);
+        // ψ(0.5) = −γ − 2 ln 2.
+        assert!((digamma(0.5) + EULER_MASCHERONI + 2.0 * 2.0_f64.ln()).abs() < 1e-8);
+        // ψ(n + 1) = H(n) − γ.
+        for n in 1usize..30 {
+            assert!(
+                (digamma(n as f64 + 1.0) - (harmonic(n) - EULER_MASCHERONI)).abs() < 1e-8,
+                "ψ({n}+1) vs harmonic mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn digamma_is_the_derivative_of_ln_gamma() {
+        for &x in &[0.7, 1.3, 2.5, 7.0, 42.0] {
+            let h = 1e-5;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            assert!(
+                (digamma(x) - numeric).abs() < 1e-5,
+                "digamma({x}) != d/dx lnΓ"
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_numbers() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // Large-n branch agrees with direct summation.
+        let direct: f64 = (1..=200u64).map(|k| 1.0 / k as f64).sum();
+        assert!((harmonic(200) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_small_and_large() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 0), 1.0);
+        assert_eq!(binomial(10, 10), 1.0);
+        assert_eq!(binomial(4, 7), 0.0);
+        assert!((binomial(50, 25) - 126_410_606_437_752.0).abs() / 126_410_606_437_752.0 < 1e-10);
+        // Pascal identity on larger values.
+        let lhs = binomial(200, 80);
+        let rhs = binomial(199, 79) + binomial(199, 80);
+        assert!((lhs - rhs).abs() / lhs < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_consistent_with_binomial() {
+        for n in 1u64..40 {
+            for k in 0..=n {
+                let a = ln_binomial(n as f64, k as f64);
+                let b = binomial(n, k).ln();
+                assert!((a - b).abs() < 1e-8, "ln C({n},{k})");
+            }
+        }
+        assert_eq!(ln_binomial(3.0, 5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn erf_and_normal_cdf_known_values() {
+        // The A&S 7.1.26 approximation has ~1.5e-7 absolute error.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+        assert!((normal_cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96, 0.0, 1.0) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96, 0.0, 1.0) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        let mut sum = 0.0;
+        let step = 0.01;
+        let mut x = -8.0;
+        while x < 8.0 {
+            sum += normal_pdf(x, 0.0, 1.0) * step;
+            x += step;
+        }
+        assert!((sum - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use gbda::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Builds a reproducible random graph from a seed and size.
+fn graph_from_seed(seed: u64, vertices: usize, degree: f64, labels: usize) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    GeneratorConfig::new(vertices, degree)
+        .with_alphabets(LabelAlphabets::new(labels, labels.min(4)))
+        .generate(&mut rng)
+        .expect("generation succeeds for sane parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GBD is symmetric and bounded by max(|V1|, |V2|).
+    #[test]
+    fn gbd_is_symmetric_and_bounded(seed_a in 0u64..500, seed_b in 500u64..1000,
+                                    n_a in 2usize..14, n_b in 2usize..14) {
+        let a = graph_from_seed(seed_a, n_a, 2.0, 5);
+        let b = graph_from_seed(seed_b, n_b, 2.0, 5);
+        let d_ab = graph_branch_distance(&a, &b);
+        let d_ba = graph_branch_distance(&b, &a);
+        prop_assert_eq!(d_ab, d_ba);
+        prop_assert!(d_ab <= n_a.max(n_b));
+        prop_assert_eq!(graph_branch_distance(&a, &a), 0);
+    }
+
+    /// The full bound chain on random small graphs:
+    /// label LB ≤ GED, ⌈GBD/2⌉ ≤ GED ≤ greedy UB, and LSAP ≤ GED.
+    #[test]
+    fn bounds_sandwich_the_exact_ged(seed_a in 0u64..300, seed_b in 300u64..600,
+                                     n_a in 2usize..7, n_b in 2usize..7) {
+        let a = graph_from_seed(seed_a, n_a, 1.8, 4);
+        let b = graph_from_seed(seed_b, n_b, 1.8, 4);
+        let (exact, _) = exact_ged(&a, &b);
+        prop_assert!(gbda::ged::label_lower_bound(&a, &b) <= exact);
+        prop_assert!(gbda::ged::branch_lower_bound(&a, &b) <= exact);
+        prop_assert!(gbda::ged::greedy_upper_bound(&a, &b) >= exact);
+        prop_assert!(LsapGed.estimate_ged(&a, &b) <= exact as f64 + 1e-9);
+    }
+
+    /// GED is a metric on small graphs: symmetry and triangle inequality.
+    #[test]
+    fn exact_ged_is_symmetric_and_triangular(seed in 0u64..200, n in 2usize..6) {
+        let a = graph_from_seed(seed, n, 1.6, 3);
+        let b = graph_from_seed(seed + 1000, n, 1.6, 3);
+        let c = graph_from_seed(seed + 2000, n, 1.6, 3);
+        let ab = exact_ged(&a, &b).0;
+        let ba = exact_ged(&b, &a).0;
+        let bc = exact_ged(&b, &c).0;
+        let ac = exact_ged(&a, &c).0;
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    /// Branch multisets round-trip through the text format.
+    #[test]
+    fn text_io_round_trips_random_graphs(seed in 0u64..400, n in 1usize..20) {
+        let g = graph_from_seed(seed, n, 2.2, 6);
+        let vocabulary = Vocabulary::new();
+        let text = gbda::graph::io::write_graph(&g, &vocabulary);
+        let mut vocabulary2 = Vocabulary::new();
+        let parsed = gbda::graph::io::parse_graph(&text, &mut vocabulary2).unwrap();
+        prop_assert_eq!(parsed.vertex_count(), g.vertex_count());
+        prop_assert_eq!(parsed.edge_count(), g.edge_count());
+        // Re-serialising the parsed graph is stable.
+        let text2 = gbda::graph::io::write_graph(&parsed, &vocabulary2);
+        let mut vocabulary3 = Vocabulary::new();
+        let reparsed = gbda::graph::io::parse_graph(&text2, &mut vocabulary3).unwrap();
+        prop_assert_eq!(graph_branch_distance(&parsed, &reparsed), 0);
+    }
+
+    /// Λ1(τ, ·) is a probability distribution for random model parameters.
+    #[test]
+    fn lambda1_rows_are_distributions(v in 2usize..20, lv in 1usize..10, le in 1usize..6,
+                                      tau in 0u64..5) {
+        let model = gbda::prob::BranchEditModel::new(v, LabelAlphabets::new(lv, le));
+        let total: f64 = (0..=2 * tau).map(|phi| gbda::prob::lambda1(&model, tau, phi)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "Λ1 row sums to {}", total);
+    }
+
+    /// The Hungarian solver never exceeds the greedy solution.
+    #[test]
+    fn hungarian_is_optimal_relative_to_greedy(seed in 0u64..500, n in 1usize..9) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..9.0)).collect())
+            .collect();
+        let (_, optimal) = gbda::assignment::hungarian(&cost);
+        let (_, greedy) = gbda::assignment::greedy_assignment(&cost);
+        prop_assert!(optimal <= greedy + 1e-9);
+    }
+}
