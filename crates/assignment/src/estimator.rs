@@ -84,10 +84,7 @@ mod tests {
             let b = cfg.generate(&mut rng).unwrap();
             let (exact, _) = exact_ged(&a, &b);
             let est = LsapGed.estimate_ged(&a, &b);
-            assert!(
-                est <= exact as f64 + 1e-9,
-                "LSAP {est} > exact {exact}"
-            );
+            assert!(est <= exact as f64 + 1e-9, "LSAP {est} > exact {exact}");
         }
     }
 

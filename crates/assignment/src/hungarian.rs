@@ -157,7 +157,11 @@ mod tests {
         for n in 2..=6 {
             for _ in 0..10 {
                 let cost: Vec<Vec<f64>> = (0..n)
-                    .map(|_| (0..n).map(|_| (rng.gen_range(0..100) as f64) / 10.0).collect())
+                    .map(|_| {
+                        (0..n)
+                            .map(|_| (rng.gen_range(0..100) as f64) / 10.0)
+                            .collect()
+                    })
                     .collect();
                 let (_, total) = hungarian(&cost);
                 let best = brute_force(&cost);

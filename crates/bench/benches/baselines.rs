@@ -6,7 +6,10 @@ use std::time::Duration;
 
 fn bench_assignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("assignment_solvers");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     for n in [20usize, 60, 120] {
         let cost: Vec<Vec<f64>> = (0..n)

@@ -7,7 +7,10 @@ use std::time::Duration;
 
 fn bench_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact_ged_astar");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     for n in [5usize, 7, 8] {
         let cfg = GeneratorConfig::new(n, 2.0);

@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_gbd(c: &mut Criterion) {
     let mut group = c.benchmark_group("gbd_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     for n in [100usize, 400, 1600] {
         let cfg = GeneratorConfig::new(n, 6.0);
@@ -16,12 +19,16 @@ fn bench_gbd(c: &mut Criterion) {
         let b = cfg.generate(&mut rng).unwrap();
         let ba = BranchMultiset::from_graph(&a);
         let bb = BranchMultiset::from_graph(&b);
-        group.bench_with_input(BenchmarkId::new("precomputed_branches", n), &n, |bencher, _| {
-            bencher.iter(|| ba.gbd(&bb))
-        });
-        group.bench_with_input(BenchmarkId::new("recompute_branches", n), &n, |bencher, _| {
-            bencher.iter(|| gbd_graph::graph_branch_distance(&a, &b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("precomputed_branches", n),
+            &n,
+            |bencher, _| bencher.iter(|| ba.gbd(&bb)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_branches", n),
+            &n,
+            |bencher, _| bencher.iter(|| gbd_graph::graph_branch_distance(&a, &b)),
+        );
     }
     group.finish();
 }

@@ -8,25 +8,34 @@ use std::time::Duration;
 
 fn bench_lambda1(c: &mut Criterion) {
     let mut group = c.benchmark_group("lambda1_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     let model = BranchEditModel::new(50, LabelAlphabets::new(10, 4));
     for tau_hat in [3u64, 6, 10, 20] {
-        group.bench_with_input(BenchmarkId::new("table_with_reuse", tau_hat), &tau_hat, |b, &t| {
-            b.iter(|| Lambda1Table::build(&model, t))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("table_with_reuse", tau_hat),
+            &tau_hat,
+            |b, &t| b.iter(|| Lambda1Table::build(&model, t)),
+        );
     }
     for tau_hat in [3u64, 6, 10] {
-        group.bench_with_input(BenchmarkId::new("naive_per_cell", tau_hat), &tau_hat, |b, &t| {
-            b.iter(|| {
-                let mut total = 0.0;
-                for tau in 0..=t {
-                    for phi in 0..=(2 * tau) {
-                        total += lambda1(&model, tau, phi);
+        group.bench_with_input(
+            BenchmarkId::new("naive_per_cell", tau_hat),
+            &tau_hat,
+            |b, &t| {
+                b.iter(|| {
+                    let mut total = 0.0;
+                    for tau in 0..=t {
+                        for phi in 0..=(2 * tau) {
+                            total += lambda1(&model, tau, phi);
+                        }
                     }
-                }
-                total
-            })
-        });
+                    total
+                })
+            },
+        );
     }
     group.finish();
 }

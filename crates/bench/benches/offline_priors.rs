@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_offline(c: &mut Criterion) {
     let mut group = c.benchmark_group("offline_priors_table4_5");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let dataset = real_like_dataset("GREC");
     let config = GbdaConfig::new(5, 0.9).with_sample_pairs(500);
     group.bench_function("offline_index_grec", |b| {

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_online_real(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_query_real_fig7");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     let dataset = real_like_dataset("AIDS");
     let query = dataset.queries[0].clone();
     let config = GbdaConfig::new(5, 0.9).with_sample_pairs(1000);

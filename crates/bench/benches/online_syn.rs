@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_online_syn(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_query_syn_fig8");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
     for &n in &[100usize, 200, 400] {
         let synthetic = synthetic_dataset(&[n], true);
         let dataset = &synthetic.subsets[0].dataset;

@@ -1,48 +1,38 @@
 //! Regenerates every table and figure of the paper in one run, writing the
-//! results under `results/`.
+//! results under `results/`. Pass experiment names (e.g. `fig7 table3`) to
+//! run a subset of the registry.
 use std::time::Instant;
 
 fn main() {
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+    let registry = gbd_bench::experiments::registry();
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|s| !registry.iter().any(|e| e.name == s.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        let names: Vec<&str> = registry.iter().map(|e| e.name).collect();
+        eprintln!(
+            "error: unknown experiment(s) {unknown:?}; available: {}",
+            names.join(", ")
+        );
+        std::process::exit(2);
+    }
     let started = Instant::now();
     println!("# GBDA experiment suite\n");
 
-    let t3 = gbd_bench::experiments::table3();
-    t3.print();
-    let _ = t3.save("all.md");
-
-    let (t4, t5) = gbd_bench::experiments::table4_and_5();
-    t4.print();
-    t5.print();
-    let _ = t4.save("all.md");
-    let _ = t5.save("all.md");
-
-    for table in [gbd_bench::experiments::fig5(), gbd_bench::experiments::fig6()] {
-        table.print();
-        let _ = table.save("all.md");
+    for experiment in registry {
+        if !selected.is_empty() && !selected.iter().any(|s| s == experiment.name) {
+            continue;
+        }
+        println!("## {} ({})\n", experiment.name, experiment.artefacts);
+        for table in experiment.run() {
+            table.print();
+            let _ = table.save("all.md");
+        }
     }
-
-    let f7 = gbd_bench::experiments::fig7();
-    f7.print();
-    let _ = f7.save("all.md");
-
-    for scale_free in [true, false] {
-        let table = gbd_bench::experiments::fig8_9(scale_free, &[100, 200, 400], 200);
-        table.print();
-        let _ = table.save("all.md");
-    }
-
-    let taus: Vec<u64> = (1..=10).collect();
-    for table in gbd_bench::experiments::fig10_21(&taus) {
-        table.print();
-        let _ = table.save("all.md");
-    }
-    for table in gbd_bench::experiments::fig22_29(&taus) {
-        table.print();
-        let _ = table.save("all.md");
-    }
-    for table in gbd_bench::experiments::fig31_42(&[80, 160], &[15, 20, 25, 30], 160) {
-        table.print();
-        let _ = table.save("all.md");
-    }
-    println!("\ntotal experiment-suite time: {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "\ntotal experiment-suite time: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

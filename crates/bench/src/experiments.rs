@@ -212,8 +212,18 @@ pub fn fig7() -> ExperimentTable {
         let base_config = GbdaConfig::new(10, 0.9).with_sample_pairs(2000);
         let (database, _) = indexed_database(&dataset, &base_config);
         for estimator_time in [
-            evaluate_searcher(&EstimatorSearcher::new(&database, LsapGed, 10.0), &dataset, 10).1,
-            evaluate_searcher(&EstimatorSearcher::new(&database, GreedyGed, 10.0), &dataset, 10).1,
+            evaluate_searcher(
+                &EstimatorSearcher::new(&database, LsapGed, 10.0),
+                &dataset,
+                10,
+            )
+            .1,
+            evaluate_searcher(
+                &EstimatorSearcher::new(&database, GreedyGed, 10.0),
+                &dataset,
+                10,
+            )
+            .1,
             evaluate_searcher(
                 &EstimatorSearcher::new(&database, SeriationGed::default(), 10.0),
                 &dataset,
@@ -241,7 +251,11 @@ pub fn fig7() -> ExperimentTable {
 /// `baseline_size_cap` vertices, mirroring the paper's observation that the
 /// competitors stop being able to handle large graphs.
 pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> ExperimentTable {
-    let name = if scale_free { "Syn-1 (Figure 8)" } else { "Syn-2 (Figure 9)" };
+    let name = if scale_free {
+        "Syn-1 (Figure 8)"
+    } else {
+        "Syn-2 (Figure 9)"
+    };
     let mut table = ExperimentTable::new(
         format!("{name}: query time (seconds per query) vs graph size"),
         &[
@@ -263,13 +277,23 @@ pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> Ex
         // LSAP / seriation only below the cap (they are O(n³) per pair).
         if subset.vertices <= baseline_size_cap {
             row.push(fmt_time(
-                evaluate_searcher(&EstimatorSearcher::new(&database, LsapGed, 30.0), dataset, 30).1,
+                evaluate_searcher(
+                    &EstimatorSearcher::new(&database, LsapGed, 30.0),
+                    dataset,
+                    30,
+                )
+                .1,
             ));
         } else {
             row.push("-".into());
         }
         row.push(fmt_time(
-            evaluate_searcher(&EstimatorSearcher::new(&database, GreedyGed, 30.0), dataset, 30).1,
+            evaluate_searcher(
+                &EstimatorSearcher::new(&database, GreedyGed, 30.0),
+                dataset,
+                30,
+            )
+            .1,
         ));
         if subset.vertices <= baseline_size_cap {
             row.push(fmt_time(
@@ -511,9 +535,113 @@ pub fn fig31_42(
     tables
 }
 
+/// One entry of the experiment registry `run_all` drives.
+pub struct Experiment {
+    /// Stable identifier (binary name suffix, result-file key).
+    pub name: &'static str,
+    /// The paper artefacts this experiment regenerates.
+    pub artefacts: &'static str,
+    runner: fn() -> Vec<ExperimentTable>,
+}
+
+impl Experiment {
+    /// Runs the experiment at its registered full scale.
+    pub fn run(&self) -> Vec<ExperimentTable> {
+        (self.runner)()
+    }
+}
+
+/// Every experiment of the suite, in the order `run_all` executes them,
+/// each bound to the full-scale parameters of the paper reproduction.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "table3",
+            artefacts: "Table III",
+            runner: || vec![table3()],
+        },
+        Experiment {
+            name: "table4_5",
+            artefacts: "Tables IV and V",
+            runner: || {
+                let (t4, t5) = table4_and_5();
+                vec![t4, t5]
+            },
+        },
+        Experiment {
+            name: "fig5",
+            artefacts: "Figure 5",
+            runner: || vec![fig5()],
+        },
+        Experiment {
+            name: "fig6",
+            artefacts: "Figure 6",
+            runner: || vec![fig6()],
+        },
+        Experiment {
+            name: "fig7",
+            artefacts: "Figure 7",
+            runner: || vec![fig7()],
+        },
+        Experiment {
+            name: "fig8_9",
+            artefacts: "Figures 8 and 9",
+            runner: || {
+                [true, false]
+                    .into_iter()
+                    .map(|scale_free| fig8_9(scale_free, &[100, 200, 400], 200))
+                    .collect()
+            },
+        },
+        Experiment {
+            name: "fig10_21",
+            artefacts: "Figures 10-21",
+            runner: || fig10_21(&(1..=10).collect::<Vec<u64>>()),
+        },
+        Experiment {
+            name: "fig22_29",
+            artefacts: "Figures 22-29",
+            runner: || fig22_29(&(1..=10).collect::<Vec<u64>>()),
+        },
+        Experiment {
+            name: "fig31_42",
+            artefacts: "Figures 31-42",
+            runner: || fig31_42(&[80, 160], &[15, 20, 25, 30], 160),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_names_the_full_suite_without_running_it() {
+        let experiments = registry();
+        assert_eq!(experiments.len(), 9, "every experiment must be registered");
+        let mut names: Vec<&str> = experiments.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), experiments.len(), "names must be unique");
+        for exp in &experiments {
+            assert!(!exp.name.is_empty());
+            assert!(!exp.artefacts.is_empty());
+        }
+        // The registry order matches the paper's presentation order.
+        assert_eq!(experiments.first().unwrap().name, "table3");
+        assert_eq!(experiments.last().unwrap().name, "fig31_42");
+    }
+
+    #[test]
+    fn registry_runners_are_wired_to_real_experiments() {
+        // Run only the cheapest entry (fig6 is closed-form, no search
+        // workload) to prove runners execute without driving the full suite.
+        let experiments = registry();
+        let fig6_entry = experiments.iter().find(|e| e.name == "fig6").unwrap();
+        let tables = fig6_entry.run();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 11);
+    }
 
     #[test]
     fn table3_lists_all_six_datasets() {
@@ -530,7 +658,11 @@ mod tests {
         assert_eq!(table.headers.len(), 6);
         // Each column (fixed |V'1|) sums to ~1 over τ.
         for col in 1..table.headers.len() {
-            let total: f64 = table.rows.iter().map(|r| r[col].parse::<f64>().unwrap()).sum();
+            let total: f64 = table
+                .rows
+                .iter()
+                .map(|r| r[col].parse::<f64>().unwrap())
+                .sum();
             assert!((total - 1.0).abs() < 0.02, "column {col} sums to {total}");
         }
     }

@@ -14,4 +14,5 @@ pub mod experiments;
 pub mod table;
 pub mod workloads;
 
+pub use experiments::{registry, Experiment};
 pub use table::ExperimentTable;

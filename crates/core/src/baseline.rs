@@ -124,9 +124,14 @@ mod tests {
     fn searcher_names_are_propagated() {
         let db = database();
         assert_eq!(EstimatorSearcher::new(&db, LsapGed, 1.0).name(), "LSAP");
-        assert_eq!(EstimatorSearcher::new(&db, GreedyGed, 1.0).name(), "greedysort");
         assert_eq!(
-            EstimatorSearcher::new(&db, ExactGed, 1.0).estimator().name(),
+            EstimatorSearcher::new(&db, GreedyGed, 1.0).name(),
+            "greedysort"
+        );
+        assert_eq!(
+            EstimatorSearcher::new(&db, ExactGed, 1.0)
+                .estimator()
+                .name(),
             "exact-astar"
         );
     }

@@ -38,7 +38,9 @@ impl GbdaEstimator {
             .max_by(|&a, &b| {
                 let score_a = table.get(a, phi) * prior[a as usize];
                 let score_b = table.get(b, phi) * prior[b as usize];
-                score_a.partial_cmp(&score_b).unwrap_or(std::cmp::Ordering::Equal)
+                score_a
+                    .partial_cmp(&score_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap_or(0)
     }

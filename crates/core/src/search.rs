@@ -103,7 +103,12 @@ impl<'a> GbdaSearcher<'a> {
     }
 
     /// The posterior `Φ = Pr[GED(Q, G_i) ≤ τ̂ | GBD]` for one database graph.
-    pub fn posterior(&self, query: &Graph, query_branches: &BranchMultiset, graph_index: usize) -> f64 {
+    pub fn posterior(
+        &self,
+        query: &Graph,
+        query_branches: &BranchMultiset,
+        graph_index: usize,
+    ) -> f64 {
         let phi = self.observed_phi(query_branches, graph_index);
         let extended_size = self.extended_size(query, graph_index);
         let lambda1 = self.index.lambda1_table(extended_size);
@@ -251,8 +256,22 @@ mod tests {
     fn gamma_one_returns_a_subset_of_gamma_half() {
         let (family, database, config) = family_setup(3);
         let index = OfflineIndex::build(&database, &config);
-        let loose = GbdaSearcher::new(&database, &index, GbdaConfig { gamma: 0.5, ..config.clone() });
-        let strict = GbdaSearcher::new(&database, &index, GbdaConfig { gamma: 0.99, ..config });
+        let loose = GbdaSearcher::new(
+            &database,
+            &index,
+            GbdaConfig {
+                gamma: 0.5,
+                ..config.clone()
+            },
+        );
+        let strict = GbdaSearcher::new(
+            &database,
+            &index,
+            GbdaConfig {
+                gamma: 0.99,
+                ..config
+            },
+        );
         let query = family.member_graph(0).clone();
         let loose_matches = loose.search(&query).matches;
         let strict_matches = strict.search(&query).matches;

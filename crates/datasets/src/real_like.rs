@@ -127,7 +127,10 @@ pub fn generate_real_like(config: &RealLikeConfig) -> Result<LabeledDataset, Gra
         let center_degree = config.max_known_ged.min(vertices.saturating_sub(2)).max(2);
         let base = GeneratorConfig::new(vertices, profile.average_degree)
             .with_scale_free(profile.scale_free)
-            .with_alphabets(LabelAlphabets::new(profile.vertex_labels, profile.edge_labels))
+            .with_alphabets(LabelAlphabets::new(
+                profile.vertex_labels,
+                profile.edge_labels,
+            ))
             .with_vertex_distribution(LabelDistribution::Zipf(1.0))
             .with_edge_distribution(LabelDistribution::Uniform);
         let family_cfg = KnownGedConfig::new(base, center_degree, cluster_size, center_degree)
@@ -142,8 +145,8 @@ pub fn generate_real_like(config: &RealLikeConfig) -> Result<LabeledDataset, Gra
             remapped.set_name(format!("{}-c{}-m{}", profile.name, cluster, member_idx));
             // The last member of every cluster becomes a query until the
             // query budget is exhausted; everything else goes to the database.
-            let wants_query = queries.len() < profile.query_count
-                && member_idx + 1 == family.members().len();
+            let wants_query =
+                queries.len() < profile.query_count && member_idx + 1 == family.members().len();
             if wants_query {
                 query_origin.push((cluster, member_idx));
                 queries.push(remapped);
@@ -176,9 +179,7 @@ pub fn generate_real_like(config: &RealLikeConfig) -> Result<LabeledDataset, Gra
                 let d = families[q_cluster].known_ged(q_member, g_member);
                 ground_truth.insert(qi, gi, KnownDistance::Exact(d));
             } else {
-                let bound = queries[qi]
-                    .vertex_count()
-                    .max(graphs[gi].vertex_count());
+                let bound = queries[qi].vertex_count().max(graphs[gi].vertex_count());
                 ground_truth.insert(qi, gi, KnownDistance::AtLeast(bound));
             }
         }
@@ -214,10 +215,7 @@ mod tests {
         let profile = cfg.profile.scaled(cfg.scale);
         assert_eq!(ds.database_size(), profile.database_size);
         assert_eq!(ds.query_count(), profile.query_count);
-        assert_eq!(
-            ds.ground_truth.len(),
-            ds.database_size() * ds.query_count()
-        );
+        assert_eq!(ds.ground_truth.len(), ds.database_size() * ds.query_count());
     }
 
     #[test]
@@ -245,7 +243,10 @@ mod tests {
                 }
             }
         }
-        assert!(exact_seen > 0, "every query should have same-cluster graphs");
+        assert!(
+            exact_seen > 0,
+            "every query should have same-cluster graphs"
+        );
     }
 
     #[test]
@@ -278,9 +279,15 @@ mod tests {
     fn queries_have_similar_graphs_at_small_thresholds() {
         let cfg = tiny(DatasetProfile::aids());
         let ds = generate_real_like(&cfg).unwrap();
-        let any_positive = (0..ds.query_count())
-            .any(|q| !ds.ground_truth.positives(q, 10, ds.database_size()).is_empty());
-        assert!(any_positive, "at τ̂ = 10 some query must have a non-empty answer set");
+        let any_positive = (0..ds.query_count()).any(|q| {
+            !ds.ground_truth
+                .positives(q, 10, ds.database_size())
+                .is_empty()
+        });
+        assert!(
+            any_positive,
+            "at τ̂ = 10 some query must have a non-empty answer set"
+        );
     }
 
     #[test]

@@ -94,13 +94,18 @@ pub struct SyntheticDataset {
 pub fn generate_synthetic(config: &SyntheticConfig) -> Result<SyntheticDataset, GraphError> {
     let mut subsets = Vec::with_capacity(config.subset_sizes.len());
     for (subset_idx, &vertices) in config.subset_sizes.iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ (subset_idx as u64) << 32 ^ vertices as u64);
+        let mut rng =
+            StdRng::seed_from_u64(config.seed ^ (subset_idx as u64) << 32 ^ vertices as u64);
         let members = config.graphs_per_subset + config.queries_per_subset;
         let center_degree = config.max_known_ged.min(vertices.saturating_sub(2)).max(2);
         let base = GeneratorConfig::new(vertices, config.average_degree)
             .with_scale_free(config.scale_free)
             .with_alphabets(config.alphabets);
-        let family_cfg = KnownGedConfig::new(base, center_degree, members, center_degree)
+        // The pairwise GED between members i and j is |S_i Δ S_j| ≤
+        // |S_i| + |S_j|, so capping per-member edits at half the budget keeps
+        // every intra-subset distance within `max_known_ged`.
+        let max_edits = (center_degree / 2).max(1);
+        let family_cfg = KnownGedConfig::new(base, center_degree, members, max_edits)
             .with_mode(ModificationMode::RelabelEdges);
         let family = KnownGedFamily::generate(&family_cfg, &mut rng)?;
 
@@ -196,8 +201,20 @@ mod tests {
         let sf_stats = DatasetStats::compute(sf.subsets[1].dataset.graphs.iter());
         let uni_stats = DatasetStats::compute(uni.subsets[1].dataset.graphs.iter());
         // The scale-free subset must have a markedly heavier degree tail.
-        let sf_max: usize = sf.subsets[1].dataset.graphs.iter().map(|g| g.max_degree()).max().unwrap();
-        let uni_max: usize = uni.subsets[1].dataset.graphs.iter().map(|g| g.max_degree()).max().unwrap();
+        let sf_max: usize = sf.subsets[1]
+            .dataset
+            .graphs
+            .iter()
+            .map(|g| g.max_degree())
+            .max()
+            .unwrap();
+        let uni_max: usize = uni.subsets[1]
+            .dataset
+            .graphs
+            .iter()
+            .map(|g| g.max_degree())
+            .max()
+            .unwrap();
         assert!(
             sf_max > uni_max,
             "scale-free max degree {sf_max} should exceed uniform {uni_max}"

@@ -172,7 +172,7 @@ fn completion_cost(g2: &Graph, used: &[bool]) -> usize {
 /// assert_eq!(exact_ged(&g1, &g2).0, 3); // Example 1
 /// ```
 pub fn exact_ged(g1: &Graph, g2: &Graph) -> (usize, AStarStats) {
-    search(g1, g2, usize::MAX).map(|(d, s)| (d, s)).expect("unbounded search always finds the GED")
+    search(g1, g2, usize::MAX).expect("unbounded search always finds the GED")
 }
 
 /// Exact GED if it does not exceed `threshold`; `None` otherwise. The search
@@ -265,7 +265,7 @@ pub fn exact_ged_with_mapping(g1: &Graph, g2: &Graph) -> (usize, VertexMapping) 
         let k = state.assignment.len();
         if k == n1 {
             let total = state.g + completion_cost(g2, &state.used);
-            if best.as_ref().map_or(true, |(c, _)| total < *c) {
+            if best.as_ref().is_none_or(|(c, _)| total < *c) {
                 best = Some((total, state.assignment.clone()));
             }
             continue;
@@ -301,7 +301,9 @@ mod tests {
     use super::*;
     use crate::mapping::mapping_cost;
     use gbd_graph::paper_examples::{figure1_g1, figure1_g2, figure4_g1, figure4_g2};
-    use gbd_graph::{extend_graph, graph_branch_distance, GeneratorConfig, KnownGedConfig, KnownGedFamily};
+    use gbd_graph::{
+        extend_graph, graph_branch_distance, GeneratorConfig, KnownGedConfig, KnownGedFamily,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -333,8 +335,14 @@ mod tests {
     fn ged_to_empty_graph_counts_all_elements() {
         let (g1, _) = figure1_g1();
         let empty = Graph::new();
-        assert_eq!(exact_ged(&g1, &empty).0, g1.vertex_count() + g1.edge_count());
-        assert_eq!(exact_ged(&empty, &g1).0, g1.vertex_count() + g1.edge_count());
+        assert_eq!(
+            exact_ged(&g1, &empty).0,
+            g1.vertex_count() + g1.edge_count()
+        );
+        assert_eq!(
+            exact_ged(&empty, &g1).0,
+            g1.vertex_count() + g1.edge_count()
+        );
         assert_eq!(exact_ged(&empty, &empty).0, 0);
     }
 

@@ -82,7 +82,7 @@ pub fn greedy_mapping(g1: &Graph, g2: &Graph) -> VertexMapping {
                 continue;
             }
             let cost = branch_dissimilarity(branch, other);
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, j));
             }
         }

@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn branch_sorts_edge_labels_on_construction() {
-        let b = Branch::new(Label::new(0), vec![Label::new(5), Label::new(2), Label::new(9)]);
+        let b = Branch::new(
+            Label::new(0),
+            vec![Label::new(5), Label::new(2), Label::new(9)],
+        );
         assert_eq!(
             b.edge_labels(),
             &[Label::new(2), Label::new(5), Label::new(9)]
@@ -242,7 +245,9 @@ mod tests {
 
     #[test]
     fn multiset_intersection_respects_multiplicity() {
-        let b = |v: u32, e: &[u32]| Branch::new(Label::new(v), e.iter().map(|&x| Label::new(x)).collect());
+        let b = |v: u32, e: &[u32]| {
+            Branch::new(Label::new(v), e.iter().map(|&x| Label::new(x)).collect())
+        };
         let m1 = BranchMultiset::from_branches(vec![b(0, &[1]), b(0, &[1]), b(2, &[3])]);
         let m2 = BranchMultiset::from_branches(vec![b(0, &[1]), b(2, &[3]), b(2, &[3])]);
         assert_eq!(m1.intersection_size(&m2), 2);

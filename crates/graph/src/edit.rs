@@ -83,7 +83,10 @@ impl EditOp {
     /// edit sequence is equivalent to a relabelling, which is what the
     /// probabilistic model exploits.
     pub fn is_relabel(&self) -> bool {
-        matches!(self, EditOp::RelabelVertex { .. } | EditOp::RelabelEdge { .. })
+        matches!(
+            self,
+            EditOp::RelabelVertex { .. } | EditOp::RelabelEdge { .. }
+        )
     }
 
     /// Returns `true` for vertex operations (AV, DV, RV).
@@ -206,7 +209,9 @@ impl FromIterator<EditOp> for EditPath {
 mod tests {
     use super::*;
     use crate::branch::graph_branch_distance;
-    use crate::paper_examples::{example_vocabulary, figure1_g1, figure1_g2, figure4_g1, figure4_g2};
+    use crate::paper_examples::{
+        example_vocabulary, figure1_g1, figure1_g2, figure4_g1, figure4_g2,
+    };
 
     /// Example 1: transforming G1 into G2 with three operations — delete edge
     /// (v1, v3), add vertex labelled A, add edge (v3, v4) labelled x.
@@ -311,7 +316,9 @@ mod tests {
             v: VertexId::new(1),
             label: Label::new(1),
         };
-        let av = EditOp::AddVertex { label: Label::new(1) };
+        let av = EditOp::AddVertex {
+            label: Label::new(1),
+        };
         let de = EditOp::DeleteEdge {
             u: VertexId::new(0),
             v: VertexId::new(1),
@@ -324,9 +331,13 @@ mod tests {
 
     #[test]
     fn edit_path_collects_from_iterator() {
-        let ops = vec![
-            EditOp::AddVertex { label: Label::new(0) },
-            EditOp::AddVertex { label: Label::new(1) },
+        let ops = [
+            EditOp::AddVertex {
+                label: Label::new(0),
+            },
+            EditOp::AddVertex {
+                label: Label::new(1),
+            },
         ];
         let path: EditPath = ops.iter().copied().collect();
         assert_eq!(path.len(), 2);

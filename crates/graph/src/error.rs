@@ -36,10 +36,20 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::UnknownVertex(v) => write!(f, "unknown vertex {}", v.index()),
             GraphError::UnknownEdge(u, v) => {
-                write!(f, "no edge between vertices {} and {}", u.index(), v.index())
+                write!(
+                    f,
+                    "no edge between vertices {} and {}",
+                    u.index(),
+                    v.index()
+                )
             }
             GraphError::DuplicateEdge(u, v) => {
-                write!(f, "edge between {} and {} already exists", u.index(), v.index())
+                write!(
+                    f,
+                    "edge between {} and {} already exists",
+                    u.index(),
+                    v.index()
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self loop on vertex {}", v.index()),
             GraphError::VertexNotIsolated(v) => {

@@ -36,7 +36,7 @@ pub fn extend_graph(graph: &Graph, k: usize) -> ExtendedGraph {
     for v in graph.vertices() {
         vertex_labels.push(graph.vertex_label(v).expect("vertex from same graph"));
     }
-    vertex_labels.extend(std::iter::repeat(Label::EPSILON).take(k));
+    vertex_labels.extend(std::iter::repeat_n(Label::EPSILON, k));
 
     let mut edge_labels = vec![vec![Label::EPSILON; n]; n];
     for (key, label) in graph.edges() {
@@ -108,8 +108,8 @@ impl ExtendedGraph {
         assert_eq!(perm.len(), self.vertex_count());
         let n = self.vertex_count();
         let mut cost = 0;
-        for i in 0..n {
-            if self.vertex_labels[i] != other.vertex_labels[perm[i]] {
+        for (label, &p) in self.vertex_labels.iter().zip(perm) {
+            if *label != other.vertex_labels[p] {
                 cost += 1;
             }
         }
@@ -160,8 +160,12 @@ fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 /// Computes GBD between two extended graphs using only concrete branches,
 /// mirroring Definition 4 applied to `G'1`, `G'2`.
 pub fn extended_gbd(a: &ExtendedGraph, b: &ExtendedGraph) -> usize {
-    let mut ba: Vec<(Label, Vec<Label>)> = (0..a.vertex_count()).map(|i| a.concrete_branch(i)).collect();
-    let mut bb: Vec<(Label, Vec<Label>)> = (0..b.vertex_count()).map(|i| b.concrete_branch(i)).collect();
+    let mut ba: Vec<(Label, Vec<Label>)> = (0..a.vertex_count())
+        .map(|i| a.concrete_branch(i))
+        .collect();
+    let mut bb: Vec<(Label, Vec<Label>)> = (0..b.vertex_count())
+        .map(|i| b.concrete_branch(i))
+        .collect();
     ba.sort();
     bb.sort();
     let mut i = 0;

@@ -43,8 +43,9 @@ impl LabelDistribution {
             LabelDistribution::Uniform => rng.gen_range(0..alphabet_size),
             LabelDistribution::Zipf(s) => {
                 // Inverse-CDF sampling over the finite Zipf weights.
-                let weights: Vec<f64> =
-                    (0..alphabet_size).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+                let weights: Vec<f64> = (0..alphabet_size)
+                    .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 let mut u = rng.gen::<f64>() * total;
                 for (k, w) in weights.iter().enumerate() {
@@ -121,13 +122,18 @@ impl GeneratorConfig {
     }
 
     fn vertex_label<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
-        Label::new(self.vertex_label_distribution.sample(self.alphabets.vertex_labels, rng) as u32)
+        Label::new(
+            self.vertex_label_distribution
+                .sample(self.alphabets.vertex_labels, rng) as u32,
+        )
     }
 
     fn edge_label<R: Rng + ?Sized>(&self, rng: &mut R) -> Label {
         Label::new(
             self.edge_label_offset
-                + self.edge_label_distribution.sample(self.alphabets.edge_labels, rng) as u32,
+                + self
+                    .edge_label_distribution
+                    .sample(self.alphabets.edge_labels, rng) as u32,
         )
     }
 
@@ -262,8 +268,14 @@ mod tests {
     fn scale_free_graphs_have_heavier_degree_tail() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 400;
-        let sf = GeneratorConfig::new(n, 4.0).with_scale_free(true).generate(&mut rng).unwrap();
-        let uni = GeneratorConfig::new(n, 4.0).with_scale_free(false).generate(&mut rng).unwrap();
+        let sf = GeneratorConfig::new(n, 4.0)
+            .with_scale_free(true)
+            .generate(&mut rng)
+            .unwrap();
+        let uni = GeneratorConfig::new(n, 4.0)
+            .with_scale_free(false)
+            .generate(&mut rng)
+            .unwrap();
         assert!(
             sf.max_degree() > uni.max_degree(),
             "preferential attachment should concentrate degree (sf max {} vs uniform max {})",
@@ -293,7 +305,10 @@ mod tests {
         for _ in 0..4000 {
             counts[dist.sample(6, &mut rng)] += 1;
         }
-        assert!(counts[0] > counts[5] * 3, "zipf head should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[5] * 3,
+            "zipf head should dominate: {counts:?}"
+        );
     }
 
     #[test]

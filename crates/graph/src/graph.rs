@@ -41,9 +41,7 @@ impl VertexId {
 
 /// Canonical identifier of an undirected edge: the vertex pair with the
 /// smaller id first.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EdgeKey {
     /// Endpoint with the smaller vertex id.
     pub u: VertexId,
@@ -121,7 +119,10 @@ impl Graph {
 
     /// Adds a vertex with the given (non-virtual) label and returns its id.
     pub fn add_vertex(&mut self, label: Label) -> VertexId {
-        debug_assert!(!label.is_virtual(), "concrete graphs store non-virtual labels");
+        debug_assert!(
+            !label.is_virtual(),
+            "concrete graphs store non-virtual labels"
+        );
         let id = VertexId::new(self.vertex_labels.len() as u32);
         self.vertex_labels.push(label);
         self.adjacency.push(Vec::new());
@@ -398,7 +399,10 @@ mod tests {
         assert_eq!(g.degree(VertexId::new(0)).unwrap(), 2);
         assert!(g.has_edge(VertexId::new(0), VertexId::new(2)));
         assert!(g.has_edge(VertexId::new(2), VertexId::new(0)));
-        assert_eq!(g.edge_label(VertexId::new(1), VertexId::new(2)), Some(labeled(11)));
+        assert_eq!(
+            g.edge_label(VertexId::new(1), VertexId::new(2)),
+            Some(labeled(11))
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub fn write_graph(graph: &Graph, vocabulary: &Vocabulary) -> String {
 
 fn label_token(label: Label, vocabulary: &Vocabulary) -> String {
     match vocabulary.resolve(label) {
-        Some(name) if !name.contains(char::is_whitespace) && !name.starts_with('#') => name.to_owned(),
+        Some(name) if !name.contains(char::is_whitespace) && !name.starts_with('#') => {
+            name.to_owned()
+        }
         _ => format!("#{}", label.id()),
     }
 }
@@ -37,7 +39,11 @@ fn write_graph_into(graph: &Graph, vocabulary: &Vocabulary, out: &mut String) {
     out.push('\n');
     for v in graph.vertices() {
         let label = graph.vertex_label(v).expect("vertex from same graph");
-        out.push_str(&format!("v {} {}\n", v.index(), label_token(label, vocabulary)));
+        out.push_str(&format!(
+            "v {} {}\n",
+            v.index(),
+            label_token(label, vocabulary)
+        ));
     }
     for (key, label) in graph.edges() {
         out.push_str(&format!(
@@ -76,15 +82,14 @@ pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Gra
     let mut current: Option<Graph> = None;
     for (line_no, raw_line) in text.lines().enumerate() {
         let line = raw_line.split('#').next().unwrap_or("").trim();
-        let line = if raw_line.trim_start().starts_with('v')
-            || raw_line.trim_start().starts_with('e')
-        {
-            // '#' may legitimately start a raw label token; only strip
-            // comments on structural lines.
-            raw_line.trim()
-        } else {
-            line
-        };
+        let line =
+            if raw_line.trim_start().starts_with('v') || raw_line.trim_start().starts_with('e') {
+                // '#' may legitimately start a raw label token; only strip
+                // comments on structural lines.
+                raw_line.trim()
+            } else {
+                line
+            };
         if line.is_empty() {
             continue;
         }
@@ -103,17 +108,21 @@ pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Gra
                 current = Some(g);
             }
             "v" => {
-                let g = current
-                    .as_mut()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: vertex before 't'", line_no + 1)))?;
+                let g = current.as_mut().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: vertex before 't'", line_no + 1))
+                })?;
                 let idx: usize = parts
                     .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing vertex index", line_no + 1)))?
+                    .ok_or_else(|| {
+                        GraphError::Parse(format!("line {}: missing vertex index", line_no + 1))
+                    })?
                     .parse()
-                    .map_err(|_| GraphError::Parse(format!("line {}: bad vertex index", line_no + 1)))?;
-                let label_tok = parts
-                    .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing vertex label", line_no + 1)))?;
+                    .map_err(|_| {
+                        GraphError::Parse(format!("line {}: bad vertex index", line_no + 1))
+                    })?;
+                let label_tok = parts.next().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: missing vertex label", line_no + 1))
+                })?;
                 if idx != g.vertex_count() {
                     return Err(GraphError::Parse(format!(
                         "line {}: vertex indices must be dense and in order (expected {}, got {idx})",
@@ -124,23 +133,35 @@ pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Gra
                 g.add_vertex(parse_label(label_tok, vocabulary)?);
             }
             "e" => {
-                let g = current
-                    .as_mut()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: edge before 't'", line_no + 1)))?;
+                let g = current.as_mut().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: edge before 't'", line_no + 1))
+                })?;
                 let u: u32 = parts
                     .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1)))?
+                    .ok_or_else(|| {
+                        GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1))
+                    })?
                     .parse()
-                    .map_err(|_| GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1)))?;
+                    .map_err(|_| {
+                        GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1))
+                    })?;
                 let v: u32 = parts
                     .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1)))?
+                    .ok_or_else(|| {
+                        GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1))
+                    })?
                     .parse()
-                    .map_err(|_| GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1)))?;
-                let label_tok = parts
-                    .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge label", line_no + 1)))?;
-                g.add_edge(VertexId::new(u), VertexId::new(v), parse_label(label_tok, vocabulary)?)?;
+                    .map_err(|_| {
+                        GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1))
+                    })?;
+                let label_tok = parts.next().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: missing edge label", line_no + 1))
+                })?;
+                g.add_edge(
+                    VertexId::new(u),
+                    VertexId::new(v),
+                    parse_label(label_tok, vocabulary)?,
+                )?;
             }
             other => {
                 return Err(GraphError::Parse(format!(
@@ -161,7 +182,9 @@ pub fn parse_graph(text: &str, vocabulary: &mut Vocabulary) -> Result<Graph> {
     let mut graphs = parse_database(text, vocabulary)?;
     match graphs.len() {
         1 => Ok(graphs.pop().expect("length checked")),
-        n => Err(GraphError::Parse(format!("expected exactly one graph, found {n}"))),
+        n => Err(GraphError::Parse(format!(
+            "expected exactly one graph, found {n}"
+        ))),
     }
 }
 
@@ -209,19 +232,40 @@ mod tests {
         assert!(text.contains("#777"));
         let mut voc2 = Vocabulary::new();
         let parsed = parse_graph(&text, &mut voc2).unwrap();
-        assert_eq!(parsed.vertex_label(VertexId::new(0)).unwrap(), Label::new(777));
-        assert_eq!(parsed.edge_label(VertexId::new(0), VertexId::new(1)), Some(Label::new(999)));
+        assert_eq!(
+            parsed.vertex_label(VertexId::new(0)).unwrap(),
+            Label::new(777)
+        );
+        assert_eq!(
+            parsed.edge_label(VertexId::new(0), VertexId::new(1)),
+            Some(Label::new(999))
+        );
     }
 
     #[test]
     fn parse_rejects_malformed_input() {
         let mut voc = Vocabulary::new();
-        assert!(parse_database("v 0 C", &mut voc).is_err(), "vertex before t");
-        assert!(parse_database("t g\nv 1 C", &mut voc).is_err(), "non-dense index");
-        assert!(parse_database("t g\nv 0 C\ne 0 5 x", &mut voc).is_err(), "unknown endpoint");
+        assert!(
+            parse_database("v 0 C", &mut voc).is_err(),
+            "vertex before t"
+        );
+        assert!(
+            parse_database("t g\nv 1 C", &mut voc).is_err(),
+            "non-dense index"
+        );
+        assert!(
+            parse_database("t g\nv 0 C\ne 0 5 x", &mut voc).is_err(),
+            "unknown endpoint"
+        );
         assert!(parse_database("t g\nq 0", &mut voc).is_err(), "unknown tag");
-        assert!(parse_database("t g\nv zero C", &mut voc).is_err(), "bad index");
-        assert!(parse_graph("t a\nt b", &mut voc).is_err(), "two graphs for parse_graph");
+        assert!(
+            parse_database("t g\nv zero C", &mut voc).is_err(),
+            "bad index"
+        );
+        assert!(
+            parse_graph("t a\nt b", &mut voc).is_err(),
+            "two graphs for parse_graph"
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ pub struct KnownGedConfig {
 
 impl KnownGedConfig {
     /// Convenience constructor with [`ModificationMode::DeleteEdges`].
-    pub fn new(base: GeneratorConfig, center_degree: usize, family_size: usize, max_edits: usize) -> Self {
+    pub fn new(
+        base: GeneratorConfig,
+        center_degree: usize,
+        family_size: usize,
+        max_edits: usize,
+    ) -> Self {
         KnownGedConfig {
             base,
             center_degree,
@@ -123,11 +128,7 @@ impl KnownGedFamily {
         let mut template = cfg.base.generate(rng)?;
         let center = Self::ensure_center(&mut template, cfg.center_degree, rng)?;
         Self::uniquify_center_neighbourhood(&mut template, center)?;
-        let center_edges: Vec<(VertexId, Label)> = template
-            .neighbors(center)?
-            .iter()
-            .copied()
-            .collect();
+        let center_edges: Vec<(VertexId, Label)> = template.neighbors(center)?.to_vec();
 
         let mut members = Vec::with_capacity(cfg.family_size);
         for m in 0..cfg.family_size {
@@ -153,7 +154,11 @@ impl KnownGedFamily {
 
     /// Picks (or builds) a modification center of at least `degree` by adding
     /// edges from the highest-degree vertex to non-adjacent vertices.
-    fn ensure_center<R: Rng + ?Sized>(g: &mut Graph, degree: usize, rng: &mut R) -> Result<VertexId> {
+    fn ensure_center<R: Rng + ?Sized>(
+        g: &mut Graph,
+        degree: usize,
+        rng: &mut R,
+    ) -> Result<VertexId> {
         let center = g
             .vertices()
             .max_by_key(|&v| g.degree(v).unwrap_or(0))
@@ -277,7 +282,8 @@ mod tests {
     #[test]
     fn family_members_have_expected_counts() {
         let mut rng = StdRng::seed_from_u64(1);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng)
+            .unwrap();
         assert_eq!(fam.len(), 10);
         assert!(!fam.is_empty());
         assert!(fam.max_possible_ged() >= 4);
@@ -289,7 +295,8 @@ mod tests {
     #[test]
     fn known_ged_is_a_metric_on_subsets() {
         let mut rng = StdRng::seed_from_u64(2);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng)
+            .unwrap();
         for i in 0..fam.len() {
             assert_eq!(fam.known_ged(i, i), 0);
             for j in 0..fam.len() {
@@ -304,7 +311,8 @@ mod tests {
     #[test]
     fn relabel_mode_preserves_topology() {
         let mut rng = StdRng::seed_from_u64(3);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng)
+            .unwrap();
         let template_edges = fam.template().edge_count();
         for m in fam.members() {
             assert_eq!(m.graph().edge_count(), template_edges);
@@ -315,10 +323,14 @@ mod tests {
     #[test]
     fn delete_mode_removes_exactly_the_selected_edges() {
         let mut rng = StdRng::seed_from_u64(4);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng)
+            .unwrap();
         let template_edges = fam.template().edge_count();
         for m in fam.members() {
-            assert_eq!(m.graph().edge_count(), template_edges - m.modified_edges().len());
+            assert_eq!(
+                m.graph().edge_count(),
+                template_edges - m.modified_edges().len()
+            );
         }
     }
 
@@ -328,7 +340,8 @@ mod tests {
         // conversely GED ≥ ⌈GBD / 2⌉ — a cheap sanity check of consistency
         // between the construction and the branch distance.
         let mut rng = StdRng::seed_from_u64(5);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::RelabelEdges), &mut rng)
+            .unwrap();
         for i in 0..fam.len() {
             for j in 0..fam.len() {
                 let gbd = graph_branch_distance(fam.member_graph(i), fam.member_graph(j));
@@ -341,7 +354,8 @@ mod tests {
     #[test]
     fn center_neighbourhood_is_uniquified() {
         let mut rng = StdRng::seed_from_u64(6);
-        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng).unwrap();
+        let fam = KnownGedFamily::generate(&small_config(ModificationMode::DeleteEdges), &mut rng)
+            .unwrap();
         let t = fam.template();
         let c = fam.center();
         let mut vertex_labels: Vec<Label> = t
@@ -353,12 +367,20 @@ mod tests {
         let before = vertex_labels.len();
         vertex_labels.sort_unstable();
         vertex_labels.dedup();
-        assert_eq!(vertex_labels.len(), before, "neighbour vertex labels must be unique");
+        assert_eq!(
+            vertex_labels.len(),
+            before,
+            "neighbour vertex labels must be unique"
+        );
         let mut edge_labels: Vec<Label> = t.neighbors(c).unwrap().iter().map(|&(_, l)| l).collect();
         let before = edge_labels.len();
         edge_labels.sort_unstable();
         edge_labels.dedup();
-        assert_eq!(edge_labels.len(), before, "center edge labels must be unique");
+        assert_eq!(
+            edge_labels.len(),
+            before,
+            "center edge labels must be unique"
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ pub fn fit_power_law(degree_histogram: &[usize]) -> Option<PowerLawFit> {
         .iter()
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
-    let r_squared = if ss_tot < 1e-12 { 0.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot < 1e-12 {
+        0.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(PowerLawFit {
         exponent: -slope,
         r_squared,
@@ -249,7 +253,11 @@ mod tests {
             })
             .collect();
         let fit = fit_power_law(&histogram).unwrap();
-        assert!((fit.exponent - 2.5).abs() < 0.2, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 2.5).abs() < 0.2,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.95);
     }
 

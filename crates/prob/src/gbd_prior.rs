@@ -97,12 +97,12 @@ mod tests {
         let samples = bimodal_samples(5000);
         let prior = GbdPrior::fit(&samples, 20, &GmmConfig::default());
         // Empirical frequencies.
-        let mut histogram = vec![0usize; 21];
+        let mut histogram = [0usize; 21];
         for &s in &samples {
             histogram[s as usize] += 1;
         }
-        for phi in 0..=20usize {
-            let empirical = histogram[phi] as f64 / samples.len() as f64;
+        for (phi, &count) in histogram.iter().enumerate() {
+            let empirical = count as f64 / samples.len() as f64;
             let fitted = prior.probability(phi);
             assert!(
                 (empirical - fitted).abs() < 0.08,

@@ -74,7 +74,9 @@ impl GaussianMixture {
                 Component {
                     weight: 1.0 / k as f64,
                     mean: mean(chunk),
-                    std_dev: std_dev(chunk).max(config.variance_floor).min(overall_std * 4.0),
+                    std_dev: std_dev(chunk)
+                        .max(config.variance_floor)
+                        .min(overall_std * 4.0),
                 }
             })
             .collect();

@@ -30,9 +30,13 @@ mod tests {
 
     #[test]
     fn matches_direct_binomial_computation() {
-        for (x, m, k, n) in [(2i64, 10u64, 4u64, 5u64), (0, 10, 4, 5), (4, 10, 4, 5), (1, 7, 3, 2)] {
-            let direct =
-                binomial(k, x as u64) * binomial(m - k, n - x as u64) / binomial(m, n);
+        for (x, m, k, n) in [
+            (2i64, 10u64, 4u64, 5u64),
+            (0, 10, 4, 5),
+            (4, 10, 4, 5),
+            (1, 7, 3, 2),
+        ] {
+            let direct = binomial(k, x as u64) * binomial(m - k, n - x as u64) / binomial(m, n);
             assert!(
                 (hypergeometric_pmf(x, m, k, n) - direct).abs() < 1e-12,
                 "H({x};{m},{k},{n})"
@@ -44,7 +48,10 @@ mod tests {
     fn sums_to_one_over_the_support() {
         for (m, k, n) in [(12u64, 5u64, 6u64), (30, 10, 7), (8, 8, 3), (9, 0, 4)] {
             let total: f64 = (0..=n as i64).map(|x| hypergeometric_pmf(x, m, k, n)).sum();
-            assert!((total - 1.0).abs() < 1e-9, "support sum for ({m},{k},{n}) = {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "support sum for ({m},{k},{n}) = {total}"
+            );
         }
     }
 

@@ -44,7 +44,9 @@ pub fn jeffreys_unnormalized(model: &BranchEditModel, tau: u64) -> f64 {
 /// comparable across database graphs of different sizes; the paper's global
 /// constant `C = 1/(k1·k2)` would only rescale every `Φ` identically.
 pub fn jeffreys_column(model: &BranchEditModel, tau_max: u64) -> Vec<f64> {
-    let raw: Vec<f64> = (0..=tau_max).map(|tau| jeffreys_unnormalized(model, tau)).collect();
+    let raw: Vec<f64> = (0..=tau_max)
+        .map(|tau| jeffreys_unnormalized(model, tau))
+        .collect();
     let total: f64 = raw.iter().sum();
     if total <= 0.0 {
         // Degenerate fall-back: uniform prior.

@@ -229,10 +229,7 @@ mod tests {
         let m = model(7, 4, 3);
         for tau in 0..5u64 {
             let total: f64 = (0..=2 * tau).map(|phi| lambda1(&m, tau, phi)).sum();
-            assert!(
-                (total - 1.0).abs() < 1e-6,
-                "Λ1(τ={tau}, ·) sums to {total}"
-            );
+            assert!((total - 1.0).abs() < 1e-6, "Λ1(τ={tau}, ·) sums to {total}");
         }
     }
 
@@ -313,7 +310,10 @@ mod tests {
         for tau in 2..5u64 {
             let phi = 2 * tau;
             let d = lambda1_derivative(&m, tau, phi);
-            assert!(d > 0.0, "expected positive derivative at ({tau},{phi}), got {d}");
+            assert!(
+                d > 0.0,
+                "expected positive derivative at ({tau},{phi}), got {d}"
+            );
         }
     }
 

@@ -116,7 +116,7 @@ impl BranchEditModel {
             if ways == 0.0 {
                 continue;
             }
-            let sign = if (m - t) % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (m - t).is_multiple_of(2) { 1.0 } else { -1.0 };
             inner += sign * binomial(m, t) * ways;
         }
         // Inclusion–exclusion counts; clamp tiny negative round-off.
@@ -147,7 +147,7 @@ impl BranchEditModel {
             if ways == 0.0 {
                 continue;
             }
-            let sign = if (m - t) % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (m - t).is_multiple_of(2) { 1.0 } else { -1.0 };
             let term = sign * binomial(m, t) * ways;
             inner += term;
             // d/dτ ln C(pairs, y) = −ψ(y+1) + ψ(pairs − y + 1).

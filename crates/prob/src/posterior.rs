@@ -28,7 +28,10 @@ pub fn posterior_ged_at_most(
     ged_prior_column: &[f64],
     gbd_prior_probability: f64,
 ) -> f64 {
-    assert!(gbd_prior_probability > 0.0, "Λ2 must be positive (it is floored)");
+    assert!(
+        gbd_prior_probability > 0.0,
+        "Λ2 must be positive (it is floored)"
+    );
     let mut total = 0.0f64;
     for tau in 0..=tau_hat {
         let prior = ged_prior_column.get(tau as usize).copied().unwrap_or(0.0);
@@ -49,7 +52,10 @@ mod tests {
 
     fn setup(v: usize, tau_max: u64) -> (Lambda1Table, Vec<f64>) {
         let model = BranchEditModel::new(v, LabelAlphabets::new(6, 3));
-        (Lambda1Table::build(&model, tau_max), jeffreys_column(&model, tau_max))
+        (
+            Lambda1Table::build(&model, tau_max),
+            jeffreys_column(&model, tau_max),
+        )
     }
 
     #[test]
@@ -68,7 +74,10 @@ mod tests {
             let mut previous = 0.0;
             for tau_hat in 0..=8u64 {
                 let p = posterior_ged_at_most(tau_hat, phi, &table, &prior, 0.1);
-                assert!(p + 1e-12 >= previous, "not monotone at τ̂={tau_hat}, ϕ={phi}");
+                assert!(
+                    p + 1e-12 >= previous,
+                    "not monotone at τ̂={tau_hat}, ϕ={phi}"
+                );
                 previous = p;
             }
         }
@@ -94,7 +103,10 @@ mod tests {
         let common = posterior_ged_at_most(5, 0, &table, &prior, 0.2);
         let rare = posterior_ged_at_most(5, 0, &table, &prior, 0.002);
         assert!(rare > common);
-        assert!(rare > 0.5, "rare-GBD posterior should be decisive, got {rare}");
+        assert!(
+            rare > 0.5,
+            "rare-GBD posterior should be decisive, got {rare}"
+        );
         assert!(common > 0.0);
     }
 

@@ -51,12 +51,10 @@ impl SymmetricMatrix {
     /// Matrix–vector product.
     pub fn multiply(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.n);
-        let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
-            let row = &self.data[i * self.n..(i + 1) * self.n];
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
-        }
-        out
+        self.data
+            .chunks_exact(self.n)
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Frobenius norm of the off-diagonal part — the Jacobi convergence

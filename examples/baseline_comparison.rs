@@ -18,8 +18,7 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let base = GeneratorConfig::new(18, 2.4).with_alphabets(LabelAlphabets::new(10, 4));
-    let family_cfg =
-        KnownGedConfig::new(base, 8, 25, 8).with_mode(ModificationMode::RelabelEdges);
+    let family_cfg = KnownGedConfig::new(base, 8, 25, 8).with_mode(ModificationMode::RelabelEdges);
     let family = KnownGedFamily::generate(&family_cfg, &mut rng).expect("family generation");
 
     let estimators: Vec<Box<dyn GedEstimate>> = vec![
@@ -43,7 +42,8 @@ fn main() {
         for i in 0..family.len() {
             for j in (i + 1)..family.len() {
                 let truth = family.known_ged(i, j) as f64;
-                let estimate = estimator.estimate_ged(family.member_graph(i), family.member_graph(j));
+                let estimate =
+                    estimator.estimate_ged(family.member_graph(i), family.member_graph(j));
                 absolute += (estimate - truth).abs();
                 signed += estimate - truth;
                 pairs += 1;

@@ -21,9 +21,10 @@ fn evaluate(
 ) {
     let mut confusions = Vec::new();
     for (query_idx, outcome) in outcomes {
-        let positives = dataset
-            .ground_truth
-            .positives(*query_idx, tau_hat, dataset.database_size());
+        let positives =
+            dataset
+                .ground_truth
+                .positives(*query_idx, tau_hat, dataset.database_size());
         confusions.push(Confusion::from_sets(&outcome.matches, &positives));
     }
     let total = gbda::engine::aggregate(confusions.iter());

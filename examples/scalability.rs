@@ -48,5 +48,7 @@ fn main() {
         let greedy_time = time_per_query(&greedy);
         println!("{n:10} | {gbda_time:20.4} | {greedy_time:19.4}");
     }
-    println!("(GBDA should scale close to linearly; the assignment baseline degrades much faster.)");
+    println!(
+        "(GBDA should scale close to linearly; the assignment baseline degrades much faster.)"
+    );
 }

@@ -112,7 +112,11 @@ fn all_methods_run_on_the_same_fingerprint_like_workload() {
             .queries
             .iter()
             .any(|q| !searcher.search(q).matches.is_empty());
-        assert!(any_match, "{} returned nothing for every query", searcher.name());
+        assert!(
+            any_match,
+            "{} returned nothing for every query",
+            searcher.name()
+        );
     }
 }
 
@@ -124,14 +128,14 @@ fn gbd_respects_the_two_tau_bound_against_known_geds() {
     let dataset = aids_like();
     for (qi, query) in dataset.queries.iter().enumerate() {
         for (gi, graph) in dataset.graphs.iter().enumerate() {
-            if let Some(gbd_datasets_distance) = dataset.ground_truth.get(qi, gi) {
-                if let gbda::datasets::KnownDistance::Exact(ged) = gbd_datasets_distance {
-                    let gbd = graph_branch_distance(query, graph);
-                    assert!(
-                        gbd <= 2 * ged,
-                        "GBD {gbd} > 2·GED {ged} for query {qi}, graph {gi}"
-                    );
-                }
+            if let Some(gbda::datasets::KnownDistance::Exact(ged)) =
+                dataset.ground_truth.get(qi, gi)
+            {
+                let gbd = graph_branch_distance(query, graph);
+                assert!(
+                    gbd <= 2 * ged,
+                    "GBD {gbd} > 2·GED {ged} for query {qi}, graph {gi}"
+                );
             }
         }
     }

@@ -73,5 +73,8 @@ fn example_5_gbd_prior_on_a_fingerprint_like_sample() {
     let mass: f64 = (0..=database.max_vertices())
         .map(|phi| index.gbd_prior().probability(phi))
         .sum();
-    assert!(mass > 0.9, "prior mass over the observable range is only {mass}");
+    assert!(
+        mass > 0.9,
+        "prior mass over the observable range is only {mass}"
+    );
 }

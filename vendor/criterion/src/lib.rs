@@ -1,0 +1,368 @@
+//! Offline vendored shim for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! mean-of-samples timer instead of criterion's statistical machinery.
+//! Results print as `name/param  time: <mean> ns/iter (±stddev, N samples)`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards CLI args; honour a plain substring filter
+        // and ignore criterion-specific flags (`--bench`, `--save-baseline x`…).
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--save-baseline" || arg == "--baseline" || arg == "--load-baseline" {
+                let _ = args.next();
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run(id, &mut f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| full_name.contains(needle))
+    }
+}
+
+/// Identifies one benchmark, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id varying only by parameter within a group.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if !group.is_empty() {
+            parts.push(group);
+        }
+        if !self.function.is_empty() {
+            parts.push(&self.function);
+        }
+        let mut name = parts.join("/");
+        if let Some(parameter) = &self.parameter {
+            if !name.is_empty() {
+                name.push('/');
+            }
+            name.push_str(parameter);
+        }
+        name
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets throughput reporting (accepted, not reported by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |bencher: &mut Bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; dropping works too).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_name = id.render(&self.name);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(m) => println!(
+                "{full_name:<52} time: {:>12} /iter (±{}, {} samples)",
+                format_ns(m.mean_ns),
+                format_ns(m.stddev_ns),
+                m.samples,
+            ),
+            None => println!("{full_name:<52} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Accepted for API parity with criterion's throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    stddev_ns: f64,
+    samples: usize,
+}
+
+/// Times a closure, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, timing batches sized so one batch fits the per-sample
+    /// budget derived from `measurement_time / sample_size`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate the per-batch iteration count together.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut iters_per_batch: u64 = 1;
+        let mut last_batch_ns: f64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            last_batch_ns = start.elapsed().as_nanos() as f64;
+            let sample_budget_ns =
+                self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+            if Instant::now() >= warm_deadline && last_batch_ns >= sample_budget_ns * 0.5 {
+                break;
+            }
+            if last_batch_ns < sample_budget_ns * 0.5 {
+                // Grow toward the per-sample budget, at most 8x per step so a
+                // mis-calibrated growth can't overshoot the time budget badly.
+                let growth = if last_batch_ns > 0.0 {
+                    (sample_budget_ns / last_batch_ns).clamp(1.5, 8.0)
+                } else {
+                    8.0
+                };
+                iters_per_batch =
+                    ((iters_per_batch as f64 * growth) as u64).max(iters_per_batch + 1);
+            } else if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time * 2;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            sample_means.push(start.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+            if Instant::now() >= deadline {
+                break; // Never exceed twice the configured budget.
+            }
+        }
+        let n = sample_means.len() as f64;
+        let mean = sample_means.iter().sum::<f64>() / n;
+        let variance = sample_means.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        self.result = Some(Measurement {
+            mean_ns: mean,
+            stddev_ns: variance.sqrt(),
+            samples: sample_means.len(),
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut criterion = Criterion { filter: None };
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran > 0, "closure should have been driven by the bencher");
+    }
+
+    #[test]
+    fn benchmark_ids_render_hierarchically() {
+        assert_eq!(BenchmarkId::new("f", 10).render("g"), "g/f/10");
+        assert_eq!(BenchmarkId::from("plain").render(""), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline vendored shim for `proptest`.
+//!
+//! Implements the slice of the proptest surface this workspace's
+//! property-based tests use: the [`proptest!`] macro over `arg in range`
+//! strategies, [`ProptestConfig::with_cases`], and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is **no shrinking** and the case stream is
+//! deterministic (seeded per test from the test body's address-independent
+//! counter), so failures reproduce across runs.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test function at a
+/// time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                runner.begin_case(case);
+                $(let $arg = $crate::strategy::Strategy::pick(&$strat, &mut runner);)+
+                let describe = || {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!("{} = {:?}, ", stringify!($arg), &$arg));)+
+                    s
+                };
+                let run = || $body;
+                if let Err(message) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                    .map_err(|payload| $crate::test_runner::panic_message(payload))
+                {
+                    panic!(
+                        "proptest case {}/{} failed with inputs [{}]: {}",
+                        case + 1,
+                        runner.cases(),
+                        describe(),
+                        message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sampled values stay inside their strategy ranges.
+        #[test]
+        fn ranges_are_respected(a in 3u64..9, b in 0usize..=4, x in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4);
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        /// The default config also expands and runs.
+        #[test]
+        fn default_config_works(n in 1usize..5) {
+            prop_assert_ne!(n, 0);
+            prop_assert_eq!(n, n);
+        }
+    }
+
+    // No `#[test]` inside this expansion: it is driven by the outer test so
+    // the panic message can be asserted on.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        fn always_fails(n in 10u64..20) {
+            prop_assert!(n < 10, "n was {}", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_inputs() {
+        always_fails();
+    }
+}

@@ -1,0 +1,61 @@
+//! Input strategies: plain ranges sample uniformly.
+
+use crate::test_runner::TestRunner;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of sampled test inputs.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one input for the current test case.
+    fn pick(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn pick(&self, runner: &mut TestRunner) -> f64 {
+        use rand::Rng;
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn pick(&self, runner: &mut TestRunner) -> f32 {
+        use rand::Rng;
+        runner.rng().gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields the same value (mirrors `proptest::prop::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}

@@ -1,0 +1,80 @@
+//! Test-runner state: configuration and the per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// Configuration mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim trims that for CI budget
+        // since there is no failure persistence to amortise reruns.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    test_seed: u64,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test. The name seeds the RNG so each
+    /// property gets an independent but reproducible case stream.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            test_seed: seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of cases this runner executes.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Re-seeds the RNG for `case` so a failing case is reproducible in
+    /// isolation from the cases before it.
+    pub fn begin_case(&mut self, case: u32) {
+        self.rng = StdRng::seed_from_u64(self.test_seed ^ (u64::from(case) << 32));
+    }
+
+    /// The RNG strategies sample from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Extracts a readable message from a `catch_unwind` payload.
+pub fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,102 @@
+//! Uniform range sampling, mirroring `rand::distributions::uniform`.
+
+/// Maps 64 random bits onto `[0, 1)` with 53 bits of precision.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable from 64 random bits via the standard distribution,
+/// backing `Rng::gen`.
+pub trait StandardSample {
+    /// Produces one standard-distributed value from uniform bits.
+    fn standard_sample(bits: u64) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample(bits: u64) -> f64 {
+        unit_f64(bits)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+/// Uniform sampling from range types, mirroring `SampleRange` of rand 0.8.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce uniformly distributed samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range. Panics if it is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_sample_range {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                    // Multiply-shift bounded sampling; bias is < 2^-64 per draw.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as $wide;
+                    self.start.wrapping_add(hi as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "gen_range: empty range");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as $wide;
+                    start.wrapping_add(hi as $t)
+                }
+            }
+        )*};
+    }
+
+    int_sample_range!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+    );
+
+    macro_rules! float_sample_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u = super::unit_f64(rng.next_u64()) as $t;
+                    let sampled = self.start + (self.end - self.start) * u;
+                    // Floating rounding can land exactly on `end`; stay half-open.
+                    if sampled < self.end { sampled } else { self.start }
+                }
+            }
+        )*};
+    }
+
+    float_sample_range!(f32, f64);
+}

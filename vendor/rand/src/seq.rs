@@ -1,0 +1,59 @@
+//! Slice helpers, mirroring `rand::seq::SliceRandom`.
+
+use crate::{Rng, RngCore};
+
+/// Random selection and shuffling on slices.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut seen = [false; 5];
+        let pool = [0usize, 1, 2, 3, 4];
+        for _ in 0..200 {
+            seen[*pool.choose(&mut rng).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline vendored shim for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so a
+//! future PR can persist indexes and datasets, but nothing in-tree serializes
+//! yet and the build environment has no crates.io access. This shim keeps the
+//! derive sites compiling by providing marker traits and no-op derive macros;
+//! swapping in the real `serde` later requires no source changes outside
+//! `Cargo.toml`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    &'static str,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+macro_rules! impl_tuples {
+    ($(($($n:ident),+)),* $(,)?) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+    )*};
+}
+
+impl_tuples!((A), (A, B), (A, B, C), (A, B, C, D));
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    S: Default,
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}

@@ -1,0 +1,106 @@
+//! Offline vendored shim for `serde_derive`: emits empty marker-trait impls
+//! for the shimmed `serde` crate, accepting (and ignoring) `#[serde(...)]`
+//! helper attributes such as `#[serde(skip)]`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name and generic parameter names from a derive input.
+///
+/// Handles the shapes this workspace uses: plain (optionally `pub`) structs
+/// and enums, with at most simple generic parameters (lifetimes or type
+/// idents without bounds beyond `:`-clauses, which are ignored for the
+/// marker impl since the shim traits have no requirements).
+fn parse_name_and_generics(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`), doc comments and visibility up to the kind
+    // keyword, then take the following identifier as the type name.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kind = ident.to_string();
+            if kind == "struct" || kind == "enum" || kind == "union" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+
+    // Collect top-level generic parameter names between `<` and the matching `>`.
+    let mut generics = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        let mut lifetime = false;
+        for tt in tokens {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                    lifetime = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                    lifetime = true;
+                }
+                TokenTree::Ident(ident) if depth == 1 && at_param_start => {
+                    let text = ident.to_string();
+                    if text != "const" {
+                        let prefix = if lifetime { "'" } else { "" };
+                        generics.push(format!("{prefix}{text}"));
+                        at_param_start = false;
+                    }
+                }
+                _ => {
+                    if depth == 1 {
+                        at_param_start = false;
+                    }
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn impl_header(generics: &[String], extra: Option<&str>) -> (String, String) {
+    let mut params: Vec<String> = extra.map(|e| e.to_string()).into_iter().collect();
+    params.extend(generics.iter().cloned());
+    let impl_generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+/// No-op `Serialize` derive: `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    let (impl_generics, ty_generics) = impl_header(&generics, None);
+    format!("impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+/// No-op `Deserialize` derive: `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    let (impl_generics, ty_generics) = impl_header(&generics, Some("'de"));
+    format!("impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
