@@ -1,6 +1,6 @@
 //! The Riesen–Bunke bipartite cost matrix.
 //!
-//! GED estimation via LSAP [11] builds an `(n1 + n2) × (n1 + n2)` matrix:
+//! GED estimation via LSAP \[11\] builds an `(n1 + n2) × (n1 + n2)` matrix:
 //!
 //! ```text
 //!         ┌                         ┐

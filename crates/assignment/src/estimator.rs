@@ -13,7 +13,7 @@ use crate::cost_matrix::bipartite_cost_matrix;
 use crate::greedy::greedy_assignment;
 use crate::hungarian::hungarian;
 
-/// The LSAP baseline [11]: exact bipartite assignment via the Hungarian
+/// The LSAP baseline \[11\]: exact bipartite assignment via the Hungarian
 /// algorithm, `O((n1 + n2)³)` per pair.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LsapGed;
@@ -34,7 +34,7 @@ impl GedEstimate for LsapGed {
     }
 }
 
-/// The Greedy-Sort-GED baseline [12]: greedy bipartite assignment,
+/// The Greedy-Sort-GED baseline \[12\]: greedy bipartite assignment,
 /// `O((n1 + n2)² log (n1 + n2))` per pair.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GreedyGed;

@@ -1,4 +1,4 @@
-//! Greedy assignment (Greedy-Sort-GED, Riesen, Ferrer & Bunke [12]).
+//! Greedy assignment (Greedy-Sort-GED, Riesen, Ferrer & Bunke \[12\]).
 //!
 //! Instead of solving the LSAP exactly, the greedy variant repeatedly picks
 //! the globally cheapest remaining `(row, column)` pair. Sorting all entries

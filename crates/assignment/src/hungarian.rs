@@ -2,7 +2,7 @@
 //!
 //! The implementation is the standard `O(n³)` shortest-augmenting-path
 //! formulation with dual potentials, operating on a dense square matrix of
-//! `f64` costs. It is used by the LSAP baseline [11] to compute the exact
+//! `f64` costs. It is used by the LSAP baseline \[11\] to compute the exact
 //! minimum-cost bipartite vertex assignment.
 
 /// Solves the square LSAP `min Σ cost[i][assignment[i]]`.

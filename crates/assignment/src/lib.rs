@@ -4,7 +4,7 @@
 //! assignment problem (LSAP) over a *bipartite* cost matrix that assigns each
 //! vertex of `G1` (plus deletion slots) to a vertex of `G2` (plus insertion
 //! slots), with local edge structure folded into the entry costs
-//! (Riesen & Bunke [11], [12]):
+//! (Riesen & Bunke \[11\], \[12\]):
 //!
 //! * **LSAP** — the exact assignment found with the Hungarian algorithm in
 //!   `O(n³)`. Its optimal value lower-bounds the exact GED, so LSAP-based

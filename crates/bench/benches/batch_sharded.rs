@@ -1,0 +1,52 @@
+//! Batch query throughput of the sharded [`QueryEngine`].
+//!
+//! One engine, one 1 000-graph database, a batch of queries: the scan is
+//! distributed over `GbdaConfig::shards` worker threads via
+//! `std::thread::scope`, all workers sharing the posterior memo. The shard
+//! sweep demonstrates >1 shard scaling against the single-shard engine on
+//! the identical workload (results are bit-identical by construction).
+//! Shard workers only help with real parallel hardware: on a single-core
+//! host the sweep reads as flat (spawn overhead only), so interpret it
+//! against the core count of the machine running it.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets};
+use gbda_core::{GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_batch_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_sharded_1k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    let mut graphs: Vec<Graph> = Vec::with_capacity(1000);
+    for size in [40usize, 48, 56, 64] {
+        let cfg = GeneratorConfig::new(size, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
+        graphs.extend(
+            cfg.generate_many(250, &mut rng)
+                .expect("generation succeeds"),
+        );
+    }
+    let queries: Vec<Graph> = (0..16).map(|i| graphs[i * 31].clone()).collect();
+    let database = GraphDatabase::from_graphs(graphs);
+    let base = GbdaConfig::new(5, 0.8).with_sample_pairs(500);
+    let index = OfflineIndex::build(&database, &base).expect("offline stage builds");
+
+    for shards in [1usize, 2, 4] {
+        let engine = QueryEngine::new(&database, &index, base.clone().with_shards(shards));
+        // Warm the posterior memo once so the sweep measures scan
+        // parallelism, not first-touch posterior evaluation.
+        let _ = engine.search(&queries[0]);
+        group.bench_with_input(BenchmarkId::new("search_batch", shards), &shards, |b, _| {
+            b.iter(|| engine.search_batch(&queries))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sharded);
+criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Benchmarks the O(nd) GBD computation (Section III) as the graph size
-//! grows, plus the ablation of the pre-computed sorted branch multisets
-//! against recomputing branches per comparison.
+//! grows: the flat interned `(id, count)` runs of the engine's arena storage
+//! against the pre-computed sorted branch multisets of the seed, and the
+//! ablation of recomputing branches per comparison.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbd_graph::{BranchMultiset, GeneratorConfig};
+use gbd_graph::{BranchCatalog, BranchMultiset, GeneratorConfig};
 use rand::SeedableRng;
 use std::time::Duration;
 
@@ -19,6 +20,15 @@ fn bench_gbd(c: &mut Criterion) {
         let b = cfg.generate(&mut rng).unwrap();
         let ba = BranchMultiset::from_graph(&a);
         let bb = BranchMultiset::from_graph(&b);
+        let mut catalog = BranchCatalog::new();
+        let fa = catalog.flatten(&ba);
+        let fb = catalog.flatten(&bb);
+        assert_eq!(fa.gbd(&fb), ba.gbd(&bb));
+        group.bench_with_input(
+            BenchmarkId::new("flat_interned_runs", n),
+            &n,
+            |bencher, _| bencher.iter(|| fa.gbd(&fb)),
+        );
         group.bench_with_input(
             BenchmarkId::new("precomputed_branches", n),
             &n,

@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gbd_assignment::{GreedyGed, LsapGed};
 use gbd_bench::workloads::{indexed_database, real_like_dataset};
 use gbd_seriation::SeriationGed;
-use gbda_core::{EstimatorSearcher, GbdaConfig, GbdaSearcher, SimilaritySearcher};
+use gbda_core::{EstimatorSearcher, GbdaConfig, QueryEngine, SimilaritySearcher};
 use std::time::Duration;
 
 fn bench_online_real(c: &mut Criterion) {
@@ -16,9 +16,9 @@ fn bench_online_real(c: &mut Criterion) {
     let dataset = real_like_dataset("AIDS");
     let query = dataset.queries[0].clone();
     let config = GbdaConfig::new(5, 0.9).with_sample_pairs(1000);
-    let (database, index) = indexed_database(&dataset, &config);
+    let (database, index) = indexed_database(&dataset, &config).expect("offline stage builds");
 
-    let gbda = GbdaSearcher::new(&database, &index, config);
+    let gbda = QueryEngine::new(&database, &index, config);
     group.bench_function("GBDA_tau5", |b| b.iter(|| gbda.search(&query)));
     let lsap = EstimatorSearcher::new(&database, LsapGed, 5.0);
     group.bench_function("LSAP", |b| b.iter(|| lsap.search(&query)));

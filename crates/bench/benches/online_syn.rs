@@ -1,9 +1,22 @@
-//! Figure-8/9 microbenchmark: per-query time vs graph size on synthetic data
-//! (GBDA vs the cheapest competitor).
+//! Online-stage microbenchmark on synthetic workloads.
+//!
+//! Two groups:
+//!
+//! * `online_query_syn_fig8` — per-query time vs graph size (GBDA vs the
+//!   cheapest competitor), the Figure-8 axis;
+//! * `online_query_syn_1k` — one query against a 1 000-graph database:
+//!   the memoized + flat-storage engine scan against the seed-faithful
+//!   sequential scan (`reference_search`), which re-evaluates the posterior
+//!   per graph and merges heap-allocated branch multisets.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbd_assignment::GreedyGed;
 use gbd_bench::workloads::{indexed_database, synthetic_dataset};
-use gbda_core::{EstimatorSearcher, GbdaConfig, GbdaSearcher, SimilaritySearcher};
+use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets};
+use gbda_core::{
+    EstimatorSearcher, GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine, SimilaritySearcher,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Duration;
 
 fn bench_online_syn(c: &mut Criterion) {
@@ -17,8 +30,8 @@ fn bench_online_syn(c: &mut Criterion) {
         let dataset = &synthetic.subsets[0].dataset;
         let query = dataset.queries[0].clone();
         let config = GbdaConfig::new(10, 0.8).with_sample_pairs(30);
-        let (database, index) = indexed_database(dataset, &config);
-        let gbda = GbdaSearcher::new(&database, &index, config);
+        let (database, index) = indexed_database(dataset, &config).expect("offline stage builds");
+        let gbda = QueryEngine::new(&database, &index, config);
         group.bench_with_input(BenchmarkId::new("GBDA_tau10", n), &n, |b, _| {
             b.iter(|| gbda.search(&query))
         });
@@ -27,6 +40,35 @@ fn bench_online_syn(c: &mut Criterion) {
             b.iter(|| greedy.search(&query))
         });
     }
+    group.finish();
+
+    // The acceptance workload: 1 000 database graphs of mixed sizes. The
+    // engine pays |sizes| × ϕ_max posterior evaluations once, then answers
+    // every other pair from the memo over flat integer runs; the seed path
+    // pays a full posterior evaluation and a multiset merge per graph.
+    let mut group = c.benchmark_group("online_query_syn_1k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let mut rng = StdRng::seed_from_u64(0x1000);
+    let mut graphs: Vec<Graph> = Vec::with_capacity(1000);
+    for size in [40usize, 48, 56, 64] {
+        let cfg = GeneratorConfig::new(size, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
+        graphs.extend(
+            cfg.generate_many(250, &mut rng)
+                .expect("generation succeeds"),
+        );
+    }
+    let query = graphs[17].clone();
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(5, 0.8).with_sample_pairs(500);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
+    let engine = QueryEngine::new(&database, &index, config);
+    group.bench_function("engine_memoized_flat", |b| b.iter(|| engine.search(&query)));
+    group.bench_function("seed_sequential_scan", |b| {
+        b.iter(|| engine.reference_search(&query))
+    });
     group.finish();
 }
 

@@ -1,7 +1,7 @@
 //! Regenerates Figures 10–21 (precision / recall / F1 vs τ̂ on real-like data).
 fn main() {
     let taus: Vec<u64> = (1..=10).collect();
-    for table in gbd_bench::experiments::fig10_21(&taus) {
+    for table in gbd_bench::experiments::fig10_21(&taus).expect("offline stage builds") {
         table.print();
         let _ = table.save("fig10_21.md");
     }

@@ -2,7 +2,8 @@
 fn main() {
     let sizes = [80usize, 160, 320];
     let taus = [15u64, 20, 25, 30];
-    for table in gbd_bench::experiments::fig31_42(&sizes, &taus, 160) {
+    for table in gbd_bench::experiments::fig31_42(&sizes, &taus, 160).expect("offline stage builds")
+    {
         table.print();
         let _ = table.save("fig31_42.md");
     }

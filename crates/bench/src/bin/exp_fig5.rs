@@ -1,6 +1,6 @@
 //! Regenerates Figure 5 (GBD prior: sampled histogram vs GMM fit).
 fn main() {
-    let table = gbd_bench::experiments::fig5();
+    let table = gbd_bench::experiments::fig5().expect("offline stage builds");
     table.print();
     let _ = table.save("fig5.md");
 }

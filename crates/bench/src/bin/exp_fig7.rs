@@ -1,6 +1,6 @@
 //! Regenerates Figure 7 (query time on real-like datasets).
 fn main() {
-    let table = gbd_bench::experiments::fig7();
+    let table = gbd_bench::experiments::fig7().expect("offline stage builds");
     table.print();
     let _ = table.save("fig7.md");
 }

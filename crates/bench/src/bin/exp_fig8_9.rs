@@ -2,7 +2,8 @@
 fn main() {
     let sizes = [100usize, 200, 400, 800];
     for scale_free in [true, false] {
-        let table = gbd_bench::experiments::fig8_9(scale_free, &sizes, 200);
+        let table =
+            gbd_bench::experiments::fig8_9(scale_free, &sizes, 200).expect("offline stage builds");
         table.print();
         let _ = table.save("fig8_9.md");
     }

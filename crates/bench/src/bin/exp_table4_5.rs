@@ -1,6 +1,6 @@
 //! Regenerates Tables IV and V (offline prior computation costs).
 fn main() {
-    let (t4, t5) = gbd_bench::experiments::table4_and_5();
+    let (t4, t5) = gbd_bench::experiments::table4_and_5().expect("offline stage builds");
     t4.print();
     t5.print();
     let _ = t4.save("table4.md");

@@ -26,7 +26,14 @@ fn main() {
             continue;
         }
         println!("## {} ({})\n", experiment.name, experiment.artefacts);
-        for table in experiment.run() {
+        let tables = match experiment.run() {
+            Ok(tables) => tables,
+            Err(error) => {
+                eprintln!("error: experiment {} failed: {error}", experiment.name);
+                std::process::exit(1);
+            }
+        };
+        for table in tables {
             table.print();
             let _ = table.save("all.md");
         }

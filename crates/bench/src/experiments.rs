@@ -15,7 +15,7 @@ use gbd_prob::jeffreys::jeffreys_column;
 use gbd_prob::BranchEditModel;
 use gbd_seriation::SeriationGed;
 use gbda_core::{
-    aggregate, Confusion, EstimatorSearcher, GbdaConfig, GbdaSearcher, GbdaVariant,
+    aggregate, Confusion, EngineResult, EstimatorSearcher, GbdaConfig, GbdaVariant, QueryEngine,
     SimilaritySearcher,
 };
 
@@ -92,7 +92,7 @@ pub fn table3() -> ExperimentTable {
 
 /// Tables IV and V — time and space costs of the offline stage (GBD prior and
 /// GED prior) on every dataset substitute.
-pub fn table4_and_5() -> (ExperimentTable, ExperimentTable) {
+pub fn table4_and_5() -> EngineResult<(ExperimentTable, ExperimentTable)> {
     let mut gbd_table = ExperimentTable::new(
         "Table IV: costs of computing the GBD prior distribution",
         &["Data set", "Sampled pairs", "Time (s)", "Stored entries"],
@@ -103,7 +103,7 @@ pub fn table4_and_5() -> (ExperimentTable, ExperimentTable) {
     );
     let config = GbdaConfig::new(10, 0.9).with_sample_pairs(2000);
     for dataset in real_like_datasets() {
-        let (_, index) = indexed_database(&dataset, &config);
+        let (_, index) = indexed_database(&dataset, &config)?;
         let stats = index.stats();
         gbd_table.push_row(vec![
             dataset.name.clone(),
@@ -120,7 +120,7 @@ pub fn table4_and_5() -> (ExperimentTable, ExperimentTable) {
     for (name, scale_free) in [("Syn-1", true), ("Syn-2", false)] {
         let syn = synthetic_dataset(&[100, 200], scale_free);
         for subset in &syn.subsets {
-            let (_, index) = indexed_database(&subset.dataset, &config);
+            let (_, index) = indexed_database(&subset.dataset, &config)?;
             let stats = index.stats();
             let label = format!("{name} ({}v)", subset.vertices);
             gbd_table.push_row(vec![
@@ -136,15 +136,15 @@ pub fn table4_and_5() -> (ExperimentTable, ExperimentTable) {
             ]);
         }
     }
-    (gbd_table, ged_table)
+    Ok((gbd_table, ged_table))
 }
 
 /// Figure 5 — sampled GBD histogram vs the fitted GMM prior on the
 /// Fingerprint-like dataset.
-pub fn fig5() -> ExperimentTable {
+pub fn fig5() -> EngineResult<ExperimentTable> {
     let dataset = crate::workloads::real_like_dataset("Fingerprint");
     let config = GbdaConfig::new(10, 0.9).with_sample_pairs(20_000);
-    let (database, index) = indexed_database(&dataset, &config);
+    let (database, index) = indexed_database(&dataset, &config)?;
     // Empirical histogram over all pairs (the database is small enough).
     let mut histogram = vec![0usize; database.max_vertices() + 1];
     let mut pairs = 0usize;
@@ -166,7 +166,7 @@ pub fn fig5() -> ExperimentTable {
             fmt(index.gbd_prior().probability(phi)),
         ]);
     }
-    table
+    Ok(table)
 }
 
 /// Figure 6 — the Jeffreys prior of GEDs over a grid of `(τ, |V'1|)` values.
@@ -194,7 +194,7 @@ pub fn fig6() -> ExperimentTable {
 
 /// Figure 7 — average query response time of every method on the real-like
 /// datasets, with GBDA at τ̂ = 1, 5, 10.
-pub fn fig7() -> ExperimentTable {
+pub fn fig7() -> EngineResult<ExperimentTable> {
     let mut table = ExperimentTable::new(
         "Figure 7: query time (seconds per query) on real-like datasets",
         &[
@@ -210,7 +210,7 @@ pub fn fig7() -> ExperimentTable {
     for dataset in real_like_datasets() {
         let mut row = vec![dataset.name.clone()];
         let base_config = GbdaConfig::new(10, 0.9).with_sample_pairs(2000);
-        let (database, _) = indexed_database(&dataset, &base_config);
+        let (database, _) = indexed_database(&dataset, &base_config)?;
         for estimator_time in [
             evaluate_searcher(
                 &EstimatorSearcher::new(&database, LsapGed, 10.0),
@@ -235,14 +235,14 @@ pub fn fig7() -> ExperimentTable {
         }
         for tau_hat in [1u64, 5, 10] {
             let config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
-            let (database, index) = indexed_database(&dataset, &config);
-            let searcher = GbdaSearcher::new(&database, &index, config);
+            let (database, index) = indexed_database(&dataset, &config)?;
+            let searcher = QueryEngine::new(&database, &index, config);
             let (_, seconds) = evaluate_searcher(&searcher, &dataset, tau_hat as usize);
             row.push(fmt_time(seconds));
         }
         table.push_row(row);
     }
-    table
+    Ok(table)
 }
 
 /// Figures 8 and 9 — query time versus graph size on the synthetic datasets.
@@ -250,7 +250,11 @@ pub fn fig7() -> ExperimentTable {
 /// The expensive `O(n³)` baselines (LSAP, seriation) are only run up to
 /// `baseline_size_cap` vertices, mirroring the paper's observation that the
 /// competitors stop being able to handle large graphs.
-pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> ExperimentTable {
+pub fn fig8_9(
+    scale_free: bool,
+    sizes: &[usize],
+    baseline_size_cap: usize,
+) -> EngineResult<ExperimentTable> {
     let name = if scale_free {
         "Syn-1 (Figure 8)"
     } else {
@@ -273,7 +277,7 @@ pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> Ex
         let dataset = &subset.dataset;
         let mut row = vec![subset.vertices.to_string()];
         let base_config = GbdaConfig::new(10, 0.8).with_sample_pairs(50);
-        let (database, _) = indexed_database(dataset, &base_config);
+        let (database, _) = indexed_database(dataset, &base_config)?;
         // LSAP / seriation only below the cap (they are O(n³) per pair).
         if subset.vertices <= baseline_size_cap {
             row.push(fmt_time(
@@ -309,20 +313,20 @@ pub fn fig8_9(scale_free: bool, sizes: &[usize], baseline_size_cap: usize) -> Ex
         }
         for tau_hat in [10u64, 20, 30] {
             let config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(50);
-            let (database, index) = indexed_database(dataset, &config);
-            let searcher = GbdaSearcher::new(&database, &index, config);
+            let (database, index) = indexed_database(dataset, &config)?;
+            let searcher = QueryEngine::new(&database, &index, config);
             let (_, seconds) = evaluate_searcher(&searcher, dataset, tau_hat as usize);
             row.push(fmt_time(seconds));
         }
         table.push_row(row);
     }
-    table
+    Ok(table)
 }
 
 /// Figures 10–21 — precision, recall and F1 versus τ̂ on every real-like
 /// dataset for GBDA (γ = 0.7, 0.8, 0.9) and the three baselines. Returns one
 /// table per (dataset, metric).
-pub fn fig10_21(tau_values: &[u64]) -> Vec<ExperimentTable> {
+pub fn fig10_21(tau_values: &[u64]) -> EngineResult<Vec<ExperimentTable>> {
     let gammas = [0.7, 0.8, 0.9];
     let mut tables = Vec::new();
     for dataset in real_like_datasets() {
@@ -348,7 +352,7 @@ pub fn fig10_21(tau_values: &[u64]) -> Vec<ExperimentTable> {
             .collect();
         for &tau_hat in tau_values {
             let base_config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
-            let (database, index) = indexed_database(&dataset, &base_config);
+            let (database, index) = indexed_database(&dataset, &base_config)?;
             let mut results: Vec<Confusion> = Vec::new();
             results.push(
                 evaluate_searcher(
@@ -376,7 +380,7 @@ pub fn fig10_21(tau_values: &[u64]) -> Vec<ExperimentTable> {
             );
             for gamma in gammas {
                 let config = GbdaConfig::new(tau_hat, gamma).with_sample_pairs(2000);
-                let searcher = GbdaSearcher::new(&database, &index, config);
+                let searcher = QueryEngine::new(&database, &index, config);
                 results.push(evaluate_searcher(&searcher, &dataset, tau_hat as usize).0);
             }
             for (metric_idx, table) in per_metric.iter_mut().enumerate() {
@@ -394,12 +398,12 @@ pub fn fig10_21(tau_values: &[u64]) -> Vec<ExperimentTable> {
         }
         tables.extend(per_metric);
     }
-    tables
+    Ok(tables)
 }
 
 /// Figures 22–29 — F1 of standard GBDA against its V1 (α = 10, 50, 100) and
 /// V2 (w = 0.1, 0.5) variants, per real-like dataset (γ = 0.9).
-pub fn fig22_29(tau_values: &[u64]) -> Vec<ExperimentTable> {
+pub fn fig22_29(tau_values: &[u64]) -> EngineResult<Vec<ExperimentTable>> {
     let mut tables = Vec::new();
     for dataset in real_like_datasets() {
         let mut table = ExperimentTable::new(
@@ -419,7 +423,7 @@ pub fn fig22_29(tau_values: &[u64]) -> Vec<ExperimentTable> {
         );
         for &tau_hat in tau_values {
             let base_config = GbdaConfig::new(tau_hat, 0.9).with_sample_pairs(2000);
-            let (database, index) = indexed_database(&dataset, &base_config);
+            let (database, index) = indexed_database(&dataset, &base_config)?;
             let variants: Vec<GbdaVariant> = vec![
                 GbdaVariant::Standard,
                 GbdaVariant::AverageExtendedSize { sample_graphs: 10 },
@@ -431,7 +435,7 @@ pub fn fig22_29(tau_values: &[u64]) -> Vec<ExperimentTable> {
             let mut row = vec![tau_hat.to_string()];
             for variant in variants {
                 let config = base_config.clone().with_variant(variant);
-                let searcher = GbdaSearcher::new(&database, &index, config);
+                let searcher = QueryEngine::new(&database, &index, config);
                 let (confusion, _) = evaluate_searcher(&searcher, &dataset, tau_hat as usize);
                 row.push(fmt(confusion.f1()));
             }
@@ -439,7 +443,7 @@ pub fn fig22_29(tau_values: &[u64]) -> Vec<ExperimentTable> {
         }
         tables.push(table);
     }
-    tables
+    Ok(tables)
 }
 
 /// Figures 31–42 — precision / recall / F1 versus graph size on Syn-1 for
@@ -449,7 +453,7 @@ pub fn fig31_42(
     sizes: &[usize],
     tau_values: &[u64],
     baseline_size_cap: usize,
-) -> Vec<ExperimentTable> {
+) -> EngineResult<Vec<ExperimentTable>> {
     let gammas = [0.6, 0.7, 0.8];
     let synthetic = synthetic_dataset(sizes, true);
     let mut tables = Vec::new();
@@ -474,7 +478,7 @@ pub fn fig31_42(
         for subset in &synthetic.subsets {
             let dataset = &subset.dataset;
             let base_config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(50);
-            let (database, index) = indexed_database(dataset, &base_config);
+            let (database, index) = indexed_database(dataset, &base_config)?;
             let mut results: Vec<Option<Confusion>> = Vec::new();
             if subset.vertices <= baseline_size_cap {
                 results.push(Some(
@@ -510,7 +514,7 @@ pub fn fig31_42(
             }
             for gamma in gammas {
                 let config = GbdaConfig::new(tau_hat, gamma).with_sample_pairs(50);
-                let searcher = GbdaSearcher::new(&database, &index, config);
+                let searcher = QueryEngine::new(&database, &index, config);
                 results.push(Some(
                     evaluate_searcher(&searcher, dataset, tau_hat as usize).0,
                 ));
@@ -532,7 +536,7 @@ pub fn fig31_42(
         }
         tables.extend(per_metric);
     }
-    tables
+    Ok(tables)
 }
 
 /// One entry of the experiment registry `run_all` drives.
@@ -541,12 +545,16 @@ pub struct Experiment {
     pub name: &'static str,
     /// The paper artefacts this experiment regenerates.
     pub artefacts: &'static str,
-    runner: fn() -> Vec<ExperimentTable>,
+    runner: fn() -> EngineResult<Vec<ExperimentTable>>,
 }
 
 impl Experiment {
     /// Runs the experiment at its registered full scale.
-    pub fn run(&self) -> Vec<ExperimentTable> {
+    ///
+    /// # Errors
+    /// Propagates [`gbda_core::EngineError`] from the offline stage of any
+    /// workload the experiment indexes.
+    pub fn run(&self) -> EngineResult<Vec<ExperimentTable>> {
         (self.runner)()
     }
 }
@@ -558,30 +566,30 @@ pub fn registry() -> Vec<Experiment> {
         Experiment {
             name: "table3",
             artefacts: "Table III",
-            runner: || vec![table3()],
+            runner: || Ok(vec![table3()]),
         },
         Experiment {
             name: "table4_5",
             artefacts: "Tables IV and V",
             runner: || {
-                let (t4, t5) = table4_and_5();
-                vec![t4, t5]
+                let (t4, t5) = table4_and_5()?;
+                Ok(vec![t4, t5])
             },
         },
         Experiment {
             name: "fig5",
             artefacts: "Figure 5",
-            runner: || vec![fig5()],
+            runner: || Ok(vec![fig5()?]),
         },
         Experiment {
             name: "fig6",
             artefacts: "Figure 6",
-            runner: || vec![fig6()],
+            runner: || Ok(vec![fig6()]),
         },
         Experiment {
             name: "fig7",
             artefacts: "Figure 7",
-            runner: || vec![fig7()],
+            runner: || Ok(vec![fig7()?]),
         },
         Experiment {
             name: "fig8_9",
@@ -638,7 +646,7 @@ mod tests {
         // workload) to prove runners execute without driving the full suite.
         let experiments = registry();
         let fig6_entry = experiments.iter().find(|e| e.name == "fig6").unwrap();
-        let tables = fig6_entry.run();
+        let tables = fig6_entry.run().unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].rows.len(), 11);
     }
@@ -669,7 +677,7 @@ mod tests {
 
     #[test]
     fn effectiveness_tables_have_one_row_per_tau() {
-        let tables = fig22_29(&[1, 2]);
+        let tables = fig22_29(&[1, 2]).unwrap();
         assert_eq!(tables.len(), 4);
         assert!(tables.iter().all(|t| t.rows.len() == 2));
     }

@@ -6,7 +6,7 @@ use gbd_datasets::{
     generate_real_like, generate_synthetic, DatasetProfile, LabeledDataset, RealLikeConfig,
     SyntheticConfig, SyntheticDataset,
 };
-use gbda_core::{GbdaConfig, GraphDatabase, OfflineIndex};
+use gbda_core::{EngineResult, GbdaConfig, GraphDatabase, OfflineIndex};
 
 /// Default scale applied to the real-dataset profiles so the whole experiment
 /// suite runs in minutes on laptop hardware (the paper's counts divided by
@@ -58,13 +58,17 @@ pub fn synthetic_dataset(sizes: &[usize], scale_free: bool) -> SyntheticDataset 
 
 /// Builds the database and offline index for one dataset under a GBDA
 /// configuration.
+///
+/// # Errors
+/// Propagates [`gbda_core::EngineError`] from the offline stage (e.g. a
+/// dataset with fewer than two graphs).
 pub fn indexed_database(
     dataset: &LabeledDataset,
     config: &GbdaConfig,
-) -> (GraphDatabase, OfflineIndex) {
+) -> EngineResult<(GraphDatabase, OfflineIndex)> {
     let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
-    let index = OfflineIndex::build(&database, config);
-    (database, index)
+    let index = OfflineIndex::build(&database, config)?;
+    Ok((database, index))
 }
 
 #[cfg(test)]
@@ -95,7 +99,7 @@ mod tests {
     fn indexed_database_builds_offline_stage() {
         let ds = real_like_dataset("GREC");
         let config = GbdaConfig::new(3, 0.8).with_sample_pairs(200);
-        let (database, index) = indexed_database(&ds, &config);
+        let (database, index) = indexed_database(&ds, &config).unwrap();
         assert_eq!(database.len(), ds.database_size());
         assert!(index.stats().sampled_pairs > 0);
     }

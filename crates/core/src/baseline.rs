@@ -70,6 +70,7 @@ impl<'a, E: GedEstimate> SimilaritySearcher for EstimatorSearcher<'a, E> {
             matches,
             posteriors,
             seconds: started.elapsed().as_secs_f64(),
+            ..SearchOutcome::default()
         }
     }
 }
@@ -81,6 +82,16 @@ impl<'a> SimilaritySearcher for GbdaSearcher<'a> {
 
     fn search(&self, query: &Graph) -> SearchOutcome {
         GbdaSearcher::search(self, query)
+    }
+}
+
+impl<'a> SimilaritySearcher for crate::engine::QueryEngine<'a> {
+    fn name(&self) -> String {
+        "GBDA".to_owned()
+    }
+
+    fn search(&self, query: &Graph) -> SearchOutcome {
+        crate::engine::QueryEngine::search(self, query)
     }
 }
 

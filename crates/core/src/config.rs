@@ -38,6 +38,14 @@ pub struct GbdaConfig {
     pub seed: u64,
     /// Which estimator variant to run.
     pub variant: GbdaVariant,
+    /// Number of shards a database scan is split into; each shard is scanned
+    /// by its own thread under `std::thread::scope`. `1` keeps the scan on
+    /// the calling thread.
+    pub shards: usize,
+    /// Whether [`crate::SearchOutcome::posteriors`] is filled for every
+    /// database graph. Disabling it lets the engine answer most graphs with
+    /// a single integer comparison against the per-size ϕ threshold.
+    pub record_posteriors: bool,
 }
 
 impl Default for GbdaConfig {
@@ -49,6 +57,8 @@ impl Default for GbdaConfig {
             gmm: GmmConfig::default(),
             seed: 0x6BDA,
             variant: GbdaVariant::Standard,
+            shards: 1,
+            record_posteriors: true,
         }
     }
 }
@@ -81,6 +91,18 @@ impl GbdaConfig {
         self.seed = seed;
         self
     }
+
+    /// Overrides the number of scan shards (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides whether per-graph posteriors are recorded in outcomes.
+    pub fn with_record_posteriors(mut self, record: bool) -> Self {
+        self.record_posteriors = record;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +115,19 @@ mod tests {
         assert_eq!(c.tau_hat, 5);
         assert!((c.gamma - 0.9).abs() < 1e-12);
         assert_eq!(c.variant, GbdaVariant::Standard);
+        assert_eq!(c.shards, 1);
+        assert!(c.record_posteriors);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_one() {
+        let c = GbdaConfig::default().with_shards(0);
+        assert_eq!(c.shards, 1);
+        let c = GbdaConfig::default()
+            .with_shards(8)
+            .with_record_posteriors(false);
+        assert_eq!(c.shards, 8);
+        assert!(!c.record_posteriors);
     }
 
     #[test]

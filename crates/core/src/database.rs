@@ -1,19 +1,39 @@
-//! The graph database `D` with pre-computed branch multisets.
+//! The graph database `D` with pre-computed branch storage.
 //!
 //! Section III assumes the auxiliary structures of every method (branch
 //! multisets here, cost matrices for LSAP, adjacency matrices for seriation)
 //! are pre-computed and stored with the graphs; [`GraphDatabase`] does exactly
 //! that for GBDA so the online stage only pays the `O(nd)` merge per pair.
+//!
+//! Branches are stored twice, serving different stages:
+//!
+//! * one [`BranchMultiset`] per graph — the faithful construction-time form,
+//!   still used by diagnostics and by code that inspects actual branches;
+//! * a workspace-wide [`BranchCatalog`] plus one **flat branch set** per
+//!   graph, all runs packed into a single contiguous arena. The hot GBD path
+//!   is a branchless merge over `(u32 id, u32 count)` slices of that arena —
+//!   no pointer chasing through per-branch edge-label vectors.
 
-use gbd_graph::{BranchMultiset, DatasetStats, Graph, LabelAlphabets};
+use gbd_graph::{
+    BranchCatalog, BranchMultiset, BranchRun, DatasetStats, FlatBranchView, Graph, LabelAlphabets,
+};
 
-/// A graph database with one pre-computed [`BranchMultiset`] per graph.
+/// A graph database with pre-computed branch multisets and an arena of flat
+/// interned branch sets.
 #[derive(Debug, Clone)]
 pub struct GraphDatabase {
     graphs: Vec<Graph>,
     branches: Vec<BranchMultiset>,
+    /// Interned branch vocabulary of the whole database.
+    catalog: BranchCatalog,
+    /// All flat runs, one contiguous allocation for cache locality.
+    arena: Vec<BranchRun>,
+    /// `spans[i]` is the arena range holding graph `i`'s runs.
+    spans: Vec<(u32, u32)>,
     alphabets: LabelAlphabets,
     max_vertices: usize,
+    /// Sorted distinct vertex counts, used to bound posterior memoization.
+    distinct_sizes: Vec<usize>,
 }
 
 impl GraphDatabase {
@@ -30,13 +50,30 @@ impl GraphDatabase {
     /// the probabilistic model should use even if a small database happens to
     /// exercise only part of it).
     pub fn with_alphabets(graphs: Vec<Graph>, alphabets: LabelAlphabets) -> Self {
-        let branches = graphs.iter().map(BranchMultiset::from_graph).collect();
+        let branches: Vec<BranchMultiset> = graphs.iter().map(BranchMultiset::from_graph).collect();
+        let mut catalog = BranchCatalog::new();
+        let mut arena = Vec::new();
+        let mut spans = Vec::with_capacity(branches.len());
+        for multiset in &branches {
+            let flat = catalog.flatten(multiset);
+            let start =
+                u32::try_from(arena.len()).expect("fewer than 2^32 branch runs in the arena");
+            arena.extend_from_slice(flat.runs());
+            spans.push((start, flat.runs().len() as u32));
+        }
         let max_vertices = graphs.iter().map(Graph::vertex_count).max().unwrap_or(0);
+        let mut distinct_sizes: Vec<usize> = graphs.iter().map(Graph::vertex_count).collect();
+        distinct_sizes.sort_unstable();
+        distinct_sizes.dedup();
         GraphDatabase {
             graphs,
             branches,
+            catalog,
+            arena,
+            spans,
             alphabets,
             max_vertices,
+            distinct_sizes,
         }
     }
 
@@ -65,6 +102,25 @@ impl GraphDatabase {
         &self.branches[i]
     }
 
+    /// The interned branch vocabulary of the database.
+    pub fn catalog(&self) -> &BranchCatalog {
+        &self.catalog
+    }
+
+    /// The flat branch set of the `i`-th graph, borrowed from the arena.
+    pub fn flat(&self, i: usize) -> FlatBranchView<'_> {
+        let (start, len) = self.spans[i];
+        FlatBranchView::new(
+            &self.arena[start as usize..(start + len) as usize],
+            self.graphs[i].vertex_count(),
+        )
+    }
+
+    /// Total number of `(id, count)` runs stored in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Label alphabet sizes used by the probabilistic model.
     pub fn alphabets(&self) -> LabelAlphabets {
         self.alphabets
@@ -75,14 +131,27 @@ impl GraphDatabase {
         self.max_vertices
     }
 
-    /// GBD between two database graphs using the pre-computed multisets.
+    /// Sorted distinct vertex counts across the database. The posterior of
+    /// Algorithm 1 depends on the pair only through `(|V'1|, ϕ)`, so this
+    /// bounds how many distinct posteriors a whole scan can evaluate.
+    pub fn distinct_sizes(&self) -> &[usize] {
+        &self.distinct_sizes
+    }
+
+    /// GBD between two database graphs over the flat arena storage.
     pub fn gbd_between(&self, i: usize, j: usize) -> usize {
-        self.branches[i].gbd(&self.branches[j])
+        self.flat(i).gbd(self.flat(j))
     }
 
     /// GBD between an external (query) branch multiset and the `i`-th graph.
     pub fn gbd_to(&self, query: &BranchMultiset, i: usize) -> usize {
         query.gbd(&self.branches[i])
+    }
+
+    /// GBD between a query flattened against [`Self::catalog`] and the `i`-th
+    /// graph — the hot-path variant of [`Self::gbd_to`].
+    pub fn gbd_to_flat(&self, query: FlatBranchView<'_>, i: usize) -> usize {
+        query.gbd(self.flat(i))
     }
 }
 
@@ -124,6 +193,35 @@ mod tests {
         let query = BranchMultiset::from_graph(&q);
         assert_eq!(db.gbd_to(&query, 0), 0);
         assert_eq!(db.gbd_to(&query, 1), 3);
+        let flat = db.catalog().flatten_lookup(&query);
+        assert_eq!(db.gbd_to_flat(flat.as_view(), 0), 0);
+        assert_eq!(db.gbd_to_flat(flat.as_view(), 1), 3);
+    }
+
+    #[test]
+    fn flat_storage_agrees_with_multisets() {
+        let db = db();
+        for i in 0..db.len() {
+            assert_eq!(db.flat(i).len(), db.branches(i).len());
+            for j in 0..db.len() {
+                assert_eq!(
+                    db.flat(i).gbd(db.flat(j)),
+                    db.branches(i).gbd(db.branches(j)),
+                    "flat and multiset GBD disagree on pair ({i}, {j})"
+                );
+            }
+        }
+        assert!(!db.catalog().is_empty());
+        assert_eq!(
+            db.arena_len(),
+            db.flat(0).runs().len() + db.flat(1).runs().len()
+        );
+    }
+
+    #[test]
+    fn distinct_sizes_are_sorted_and_deduplicated() {
+        let db = db();
+        assert_eq!(db.distinct_sizes(), &[3, 4]);
     }
 
     #[test]
@@ -139,5 +237,7 @@ mod tests {
         let db = GraphDatabase::from_graphs(Vec::new());
         assert!(db.is_empty());
         assert_eq!(db.max_vertices(), 0);
+        assert_eq!(db.arena_len(), 0);
+        assert!(db.distinct_sizes().is_empty());
     }
 }

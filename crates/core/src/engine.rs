@@ -1,0 +1,560 @@
+//! The query execution layer: [`QueryEngine`].
+//!
+//! [`crate::GbdaSearcher`] answers one query with one sequential loop; this
+//! module is the production-shaped engine behind it. One engine instance owns
+//! the per-configuration memo state and offers three execution modes:
+//!
+//! * [`QueryEngine::search`] — one query, scanned over `config.shards`
+//!   database shards with `std::thread::scope`,
+//! * [`QueryEngine::search_batch`] — many queries, distributed over the
+//!   shards (each worker scans its queries sequentially),
+//! * [`QueryEngine::reference_search`] — the seed-faithful uncached
+//!   sequential scan, kept as the equivalence baseline for tests and
+//!   benchmarks.
+//!
+//! Per pair, the hot path is: one branchless merge over the flat interned
+//! branch runs (`ϕ`), then either a [`PosteriorCache`] lookup or — when
+//! posterior recording is off — a single integer comparison against the
+//! per-size ϕ threshold. All modes return bit-identical matches and
+//! posteriors because every path evaluates the same
+//! [`gbd_prob::posterior_ged_at_most`] on the same inputs.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use gbd_graph::{BranchMultiset, FlatBranchSet, Graph};
+use gbd_prob::posterior_ged_at_most;
+
+use crate::config::{GbdaConfig, GbdaVariant};
+use crate::database::GraphDatabase;
+use crate::offline::OfflineIndex;
+use crate::posterior_cache::PosteriorCache;
+use crate::search::{SearchOutcome, SearchStats};
+
+/// Per-shard scan accounting, merged into [`SearchStats`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardStats {
+    cache_hits: usize,
+    cache_misses: usize,
+    threshold_accepts: usize,
+    evaluated: usize,
+}
+
+impl ShardStats {
+    fn absorb(&mut self, other: ShardStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.threshold_accepts += other.threshold_accepts;
+        self.evaluated += other.evaluated;
+    }
+}
+
+/// The GBDA query engine: database + offline index + configuration + memo
+/// state (posterior cache and per-size ϕ thresholds).
+pub struct QueryEngine<'a> {
+    database: &'a GraphDatabase,
+    index: &'a OfflineIndex,
+    config: GbdaConfig,
+    /// `|V'1|` override used by the GBDA-V1 variant.
+    fixed_extended_size: Option<usize>,
+    cache: PosteriorCache,
+    /// `phi_thresholds[|V'1|]` is the largest ϕ of the contiguous prefix with
+    /// `Φ ≥ γ` (`None` when even ϕ = 0 misses the bar).
+    phi_thresholds: RwLock<HashMap<usize, Option<u64>>>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine. For the GBDA-V1 variant the average extended size
+    /// is sampled here, once, exactly as the paper describes.
+    pub fn new(database: &'a GraphDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
+        let fixed_extended_size = match config.variant {
+            GbdaVariant::AverageExtendedSize { sample_graphs } => {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA1FA);
+                let mut indices: Vec<usize> = (0..database.len()).collect();
+                indices.shuffle(&mut rng);
+                let sample: Vec<usize> = indices.into_iter().take(sample_graphs.max(1)).collect();
+                let avg = sample
+                    .iter()
+                    .map(|&i| database.graph(i).vertex_count())
+                    .sum::<usize>() as f64
+                    / sample.len() as f64;
+                Some(avg.round().max(1.0) as usize)
+            }
+            _ => None,
+        };
+        QueryEngine {
+            database,
+            index,
+            fixed_extended_size,
+            cache: PosteriorCache::new(config.tau_hat),
+            phi_thresholds: RwLock::new(HashMap::new()),
+            config,
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &GbdaConfig {
+        &self.config
+    }
+
+    /// The database scanned by this engine.
+    pub fn database(&self) -> &GraphDatabase {
+        self.database
+    }
+
+    /// The offline index backing the probabilistic model.
+    pub fn index(&self) -> &OfflineIndex {
+        self.index
+    }
+
+    /// The fixed `|V'1|` of the GBDA-V1 variant, if active.
+    pub fn fixed_extended_size(&self) -> Option<usize> {
+        self.fixed_extended_size
+    }
+
+    /// The shared posterior memo.
+    pub fn posterior_cache(&self) -> &PosteriorCache {
+        &self.cache
+    }
+
+    /// The branch distance fed into the model for one pair, honouring the
+    /// GBDA-V2 variant (Equation 26). The value is rounded to the nearest
+    /// integer ϕ because the model is defined over integer branch distances.
+    ///
+    /// This diagnostic path merges the stored multisets directly; scans use
+    /// the flat interned runs via one per-query flatten instead.
+    pub fn observed_phi(&self, query: &BranchMultiset, graph_index: usize) -> u64 {
+        match self.config.variant {
+            GbdaVariant::WeightedGbd { weight } => {
+                let value = query.weighted_gbd(self.database.branches(graph_index), weight);
+                value.round().max(0.0) as u64
+            }
+            _ => self.database.gbd_to(query, graph_index) as u64,
+        }
+    }
+
+    fn observed_phi_flat(&self, query: &FlatBranchSet, graph_index: usize) -> u64 {
+        match self.config.variant {
+            GbdaVariant::WeightedGbd { weight } => {
+                let value = query
+                    .as_view()
+                    .weighted_gbd(self.database.flat(graph_index), weight);
+                value.round().max(0.0) as u64
+            }
+            _ => query.as_view().gbd(self.database.flat(graph_index)) as u64,
+        }
+    }
+
+    /// The extended size `|V'1|` used for one pair, honouring GBDA-V1.
+    fn extended_size(&self, query: &Graph, graph_index: usize) -> usize {
+        match self.fixed_extended_size {
+            Some(v) => v,
+            None => query
+                .vertex_count()
+                .max(self.database.graph(graph_index).vertex_count())
+                .max(1),
+        }
+    }
+
+    /// The memoized posterior `Φ = Pr[GED ≤ τ̂ | GBD = ϕ]` for one
+    /// `(|V'1|, ϕ)` key.
+    pub fn posterior_value(&self, extended_size: usize, phi: u64) -> f64 {
+        self.cache.posterior(self.index, extended_size, phi)
+    }
+
+    /// The largest ϕ of the contiguous prefix `{0, 1, …}` whose posteriors
+    /// all clear `γ`, for one extended size; `None` when ϕ = 0 already
+    /// misses. Exploits that `Φ` decays in ϕ in practice: a scan can then
+    /// accept `ϕ ≤ threshold` with a single integer comparison. Values past
+    /// the prefix still fall back to a memoized posterior compare, so
+    /// non-monotone tails cannot change any result.
+    pub fn phi_threshold(&self, extended_size: usize) -> Option<u64> {
+        if let Some(&threshold) = self.phi_thresholds.read().get(&extended_size) {
+            return threshold;
+        }
+        let cap = self.database.max_vertices().max(extended_size) as u64;
+        let mut threshold = None;
+        for phi in 0..=cap {
+            if self.cache.posterior(self.index, extended_size, phi) >= self.config.gamma {
+                threshold = Some(phi);
+            } else {
+                break;
+            }
+        }
+        self.phi_thresholds.write().insert(extended_size, threshold);
+        threshold
+    }
+
+    /// Runs Algorithm 1 for one query graph over `config.shards` database
+    /// shards.
+    pub fn search(&self, query: &Graph) -> SearchOutcome {
+        self.search_with_shards(query, self.config.shards)
+    }
+
+    /// Runs a batch of queries, distributing them over `config.shards`
+    /// worker threads. Each worker scans its queries sequentially; all
+    /// workers share the posterior memo. Outcomes keep the input order and
+    /// are identical to running [`Self::search`] per query.
+    pub fn search_batch(&self, queries: &[Graph]) -> Vec<SearchOutcome> {
+        let shards = self.config.shards.max(1);
+        if shards <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.search(q)).collect();
+        }
+        let workers = shards.min(queries.len());
+        let chunk = queries.len().div_ceil(workers);
+        let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
+        outcomes.resize_with(queries.len(), || None);
+        std::thread::scope(|scope| {
+            for (query_chunk, outcome_chunk) in
+                queries.chunks(chunk).zip(outcomes.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (query, slot) in query_chunk.iter().zip(outcome_chunk.iter_mut()) {
+                        *slot = Some(self.search_with_shards(query, 1));
+                    }
+                });
+            }
+        });
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every batch slot is filled by its worker"))
+            .collect()
+    }
+
+    fn search_with_shards(&self, query: &Graph, shards: usize) -> SearchOutcome {
+        let started = Instant::now();
+        let flatten_started = Instant::now();
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.database.catalog().flatten_lookup(&query_branches);
+        let flatten_seconds = flatten_started.elapsed().as_secs_f64();
+
+        let n = self.database.len();
+        let shards = shards.max(1).min(n.max(1));
+        let record = self.config.record_posteriors;
+        let mut posteriors = if record { vec![0.0f64; n] } else { Vec::new() };
+
+        let scan_started = Instant::now();
+        let mut matches = Vec::new();
+        let mut totals = ShardStats::default();
+        if shards <= 1 {
+            let slice = record.then_some(posteriors.as_mut_slice());
+            let (shard_matches, stats) = self.scan_range(query, &query_flat, 0..n, slice);
+            matches = shard_matches;
+            totals.absorb(stats);
+        } else {
+            let chunk = n.div_ceil(shards);
+            let ranges: Vec<Range<usize>> = (0..shards)
+                .map(|k| (k * chunk)..n.min((k + 1) * chunk))
+                .collect();
+            let mut results: Vec<(Vec<usize>, ShardStats)> = Vec::with_capacity(shards);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                if record {
+                    for (range, slice) in ranges.iter().cloned().zip(posteriors.chunks_mut(chunk)) {
+                        let query_flat = &query_flat;
+                        handles.push(
+                            scope.spawn(move || {
+                                self.scan_range(query, query_flat, range, Some(slice))
+                            }),
+                        );
+                    }
+                } else {
+                    for range in ranges.iter().cloned() {
+                        let query_flat = &query_flat;
+                        handles.push(
+                            scope.spawn(move || self.scan_range(query, query_flat, range, None)),
+                        );
+                    }
+                }
+                for handle in handles {
+                    results.push(handle.join().expect("scan shard panicked"));
+                }
+            });
+            // Shards cover contiguous index ranges in order, so concatenating
+            // preserves the database ordering of matches.
+            for (shard_matches, stats) in results {
+                matches.extend(shard_matches);
+                totals.absorb(stats);
+            }
+        }
+
+        SearchOutcome {
+            matches,
+            posteriors,
+            seconds: started.elapsed().as_secs_f64(),
+            stats: SearchStats {
+                shards,
+                flatten_seconds,
+                scan_seconds: scan_started.elapsed().as_secs_f64(),
+                cache_hits: totals.cache_hits,
+                cache_misses: totals.cache_misses,
+                threshold_accepts: totals.threshold_accepts,
+                evaluated: totals.evaluated,
+            },
+        }
+    }
+
+    /// Scans one contiguous database range; `posteriors` (when recording) is
+    /// the output slice for exactly that range.
+    ///
+    /// Each scan keeps a thread-local memo in front of the shared
+    /// [`PosteriorCache`], so the steady-state inner loop touches no lock at
+    /// all — repeated `(|V'1|, ϕ)` keys within one shard resolve locally.
+    fn scan_range(
+        &self,
+        query: &Graph,
+        query_flat: &FlatBranchSet,
+        range: Range<usize>,
+        mut posteriors: Option<&mut [f64]>,
+    ) -> (Vec<usize>, ShardStats) {
+        let mut matches = Vec::new();
+        let mut stats = ShardStats::default();
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let start = range.start;
+        for i in range {
+            stats.evaluated += 1;
+            let phi = self.observed_phi_flat(query_flat, i);
+            let extended_size = self.extended_size(query, i);
+            if posteriors.is_none() {
+                if let Some(threshold) = self.phi_threshold(extended_size) {
+                    if phi <= threshold {
+                        stats.threshold_accepts += 1;
+                        matches.push(i);
+                        continue;
+                    }
+                }
+            }
+            let key = (extended_size, phi);
+            let posterior = match local.get(&key) {
+                Some(&posterior) => {
+                    stats.cache_hits += 1;
+                    posterior
+                }
+                None => {
+                    let (posterior, hit) =
+                        self.cache.posterior_tracked(self.index, extended_size, phi);
+                    local.insert(key, posterior);
+                    if hit {
+                        stats.cache_hits += 1;
+                    } else {
+                        stats.cache_misses += 1;
+                    }
+                    posterior
+                }
+            };
+            if let Some(slice) = posteriors.as_deref_mut() {
+                slice[i - start] = posterior;
+            }
+            if posterior >= self.config.gamma {
+                matches.push(i);
+            }
+        }
+        (matches, stats)
+    }
+
+    /// The seed-faithful sequential scan: branch-multiset merges and a fresh
+    /// posterior evaluation per database graph, no memoization, no flat
+    /// storage, no sharding. Kept as the equivalence baseline for tests and
+    /// the `online_syn` benchmark.
+    pub fn reference_search(&self, query: &Graph) -> SearchOutcome {
+        let started = Instant::now();
+        let query_branches = BranchMultiset::from_graph(query);
+        let mut matches = Vec::new();
+        let mut posteriors = Vec::with_capacity(self.database.len());
+        for i in 0..self.database.len() {
+            let phi = match self.config.variant {
+                GbdaVariant::WeightedGbd { weight } => {
+                    let value = query_branches.weighted_gbd(self.database.branches(i), weight);
+                    value.round().max(0.0) as u64
+                }
+                _ => self.database.gbd_to(&query_branches, i) as u64,
+            };
+            let extended_size = self.extended_size(query, i);
+            let lambda1 = self.index.lambda1_table(extended_size);
+            let ged_prior = self.index.ged_prior().column(extended_size);
+            let gbd_prior = self.index.gbd_prior().probability(phi as usize);
+            let posterior =
+                posterior_ged_at_most(self.config.tau_hat, phi, &lambda1, &ged_prior, gbd_prior);
+            posteriors.push(posterior);
+            if posterior >= self.config.gamma {
+                matches.push(i);
+            }
+        }
+        SearchOutcome {
+            matches,
+            posteriors,
+            seconds: started.elapsed().as_secs_f64(),
+            stats: SearchStats {
+                shards: 1,
+                evaluated: self.database.len(),
+                cache_misses: self.database.len(),
+                ..SearchStats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::known_ged::ModificationMode;
+    use gbd_graph::{GeneratorConfig, KnownGedConfig, KnownGedFamily, LabelAlphabets};
+
+    fn family_setup(tau_hat: u64) -> (KnownGedFamily, GraphDatabase, GbdaConfig) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let base = GeneratorConfig::new(20, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
+        let cfg = KnownGedConfig::new(base, 10, 30, 10).with_mode(ModificationMode::RelabelEdges);
+        let family = KnownGedFamily::generate(&cfg, &mut rng).unwrap();
+        let graphs: Vec<_> = family.members().iter().map(|m| m.graph().clone()).collect();
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(tau_hat, 0.5).with_sample_pairs(400);
+        (family, database, config)
+    }
+
+    fn outcomes_identical(a: &SearchOutcome, b: &SearchOutcome) {
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.posteriors.len(), b.posteriors.len());
+        for (x, y) in a.posteriors.iter().zip(&b.posteriors) {
+            assert_eq!(x.to_bits(), y.to_bits(), "posteriors diverge");
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_seed_reference_path() {
+        let (family, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config);
+        for q in 0..3 {
+            let query = family.member_graph(q).clone();
+            outcomes_identical(&engine.search(&query), &engine.reference_search(&query));
+        }
+    }
+
+    #[test]
+    fn sharded_scan_equals_sequential_scan() {
+        let (family, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let sequential = QueryEngine::new(&database, &index, config.clone());
+        let sharded = QueryEngine::new(&database, &index, config.with_shards(4));
+        let query = family.member_graph(0).clone();
+        let a = sequential.search(&query);
+        let b = sharded.search(&query);
+        outcomes_identical(&a, &b);
+        assert_eq!(b.stats.shards, 4);
+        assert_eq!(b.stats.evaluated, database.len());
+    }
+
+    #[test]
+    fn shards_never_exceed_the_database_size() {
+        let (family, database, config) = family_setup(3);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config.with_shards(10_000));
+        let outcome = engine.search(family.member_graph(0));
+        assert!(outcome.stats.shards <= database.len());
+    }
+
+    #[test]
+    fn batch_search_keeps_order_and_equals_per_query_search() {
+        let (family, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config.with_shards(3));
+        let queries: Vec<Graph> = (0..5).map(|i| family.member_graph(i).clone()).collect();
+        let batch = engine.search_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (query, outcome) in queries.iter().zip(&batch) {
+            outcomes_identical(outcome, &engine.search(query));
+        }
+    }
+
+    #[test]
+    fn memoization_collapses_the_scan_to_few_evaluations() {
+        let (family, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config);
+        let query = family.member_graph(0).clone();
+        let first = engine.search(&query);
+        // Misses are bounded by |sizes| × (ϕ_max + 1), not by |D|.
+        let bound =
+            database.distinct_sizes().len() * (database.max_vertices() + query.vertex_count() + 1);
+        assert!(first.stats.cache_misses <= bound);
+        // A repeat scan is answered entirely from the memo.
+        let second = engine.search(&query);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, database.len());
+        outcomes_identical(&first, &second);
+    }
+
+    #[test]
+    fn threshold_fast_path_returns_identical_matches() {
+        let (family, database, config) = family_setup(5);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let recording = QueryEngine::new(&database, &index, config.clone());
+        let fast = QueryEngine::new(&database, &index, config.with_record_posteriors(false));
+        for q in 0..4 {
+            let query = family.member_graph(q).clone();
+            let a = recording.search(&query);
+            let b = fast.search(&query);
+            assert_eq!(a.matches, b.matches, "fast path diverges on query {q}");
+            assert!(b.posteriors.is_empty());
+        }
+        // The fast path actually exercises the integer comparison.
+        let outcome = fast.search(family.member_graph(0));
+        assert!(outcome.stats.threshold_accepts > 0);
+    }
+
+    #[test]
+    fn phi_threshold_is_the_largest_accepting_prefix() {
+        let (_, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let gamma = config.gamma;
+        let engine = QueryEngine::new(&database, &index, config);
+        let size = database.max_vertices();
+        match engine.phi_threshold(size) {
+            Some(t) => {
+                for phi in 0..=t {
+                    assert!(engine.posterior_value(size, phi) >= gamma);
+                }
+                assert!(engine.posterior_value(size, t + 1) < gamma);
+            }
+            None => assert!(engine.posterior_value(size, 0) < gamma),
+        }
+    }
+
+    #[test]
+    fn variant_v1_uses_a_fixed_extended_size() {
+        let (family, database, config) = family_setup(3);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let v1 = config
+            .clone()
+            .with_variant(GbdaVariant::AverageExtendedSize { sample_graphs: 5 });
+        let engine = QueryEngine::new(&database, &index, v1);
+        assert!(engine.fixed_extended_size().is_some());
+        let outcome = engine.search(family.member_graph(1));
+        assert_eq!(outcome.posteriors.len(), database.len());
+        outcomes_identical(&outcome, &engine.reference_search(family.member_graph(1)));
+    }
+
+    #[test]
+    fn variant_v2_changes_the_observed_distance() {
+        let (family, database, config) = family_setup(3);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let standard = QueryEngine::new(&database, &index, config.clone());
+        let v2 = QueryEngine::new(
+            &database,
+            &index,
+            config.with_variant(GbdaVariant::WeightedGbd { weight: 0.1 }),
+        );
+        let query = family.member_graph(0).clone();
+        let branches = BranchMultiset::from_graph(&query);
+        // With w = 0.1 the intersection barely counts, so the observed ϕ is
+        // larger than the true GBD for the identical graph.
+        assert!(v2.observed_phi(&branches, 0) > standard.observed_phi(&branches, 0));
+        outcomes_identical(&v2.search(&query), &v2.reference_search(&query));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type of the search engine.
+
+use std::fmt;
+
+use gbd_graph::GraphError;
+
+/// Convenient result alias for engine operations.
+pub type EngineResult<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while building or querying the GBDA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The offline stage needs at least two graphs to sample pairs from.
+    DatabaseTooSmall {
+        /// Number of graphs actually present.
+        len: usize,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DatabaseTooSmall { len } => write!(
+                f,
+                "the offline stage needs at least two graphs to sample pairs, got {len}"
+            ),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = EngineError::DatabaseTooSmall { len: 1 };
+        assert!(e.to_string().contains("at least two graphs"));
+        assert!(e.to_string().contains('1'));
+        let e = EngineError::from(GraphError::Parse("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn graph_errors_expose_their_source() {
+        use std::error::Error;
+        let e = EngineError::from(GraphError::Parse("x".into()));
+        assert!(e.source().is_some());
+        assert!(EngineError::DatabaseTooSmall { len: 0 }.source().is_none());
+    }
+}

@@ -6,13 +6,18 @@
 //! returns every `G ∈ D` with `Pr[GED(Q, G) ≤ τ̂ | GBD(Q, G)] ≥ γ` — in
 //! `O(nd + τ̂³)` per database graph instead of the NP-hard exact search.
 //!
-//! * [`database`] — the graph database with pre-computed branch multisets,
+//! * [`database`] — the graph database with pre-computed branch multisets
+//!   plus the arena-backed flat interned branch sets,
 //! * [`offline`] — the offline stage (GBD prior, GED prior, Λ1 table cache),
 //! * [`search`] — the online stage (Algorithm 1) plus the GBDA-V1/V2
 //!   variants,
+//! * [`engine`] — the execution layer: [`QueryEngine`] with batch queries,
+//!   shard-parallel scans and per-stage statistics,
+//! * [`posterior_cache`] — memoization of the posterior per `(|V'1|, ϕ)`,
 //! * [`baseline`] — a uniform [`SimilaritySearcher`] interface shared with
 //!   the LSAP / Greedy-Sort-GED / seriation baselines,
 //! * [`estimator`] — GBDA as a point estimator of the GED,
+//! * [`error`] — the engine error type,
 //! * [`metrics`] — precision / recall / F1 used by the effectiveness
 //!   experiments.
 //!
@@ -26,7 +31,7 @@
 //! let query = graphs[0].clone();
 //! let database = GraphDatabase::from_graphs(graphs);
 //! let config = GbdaConfig::new(3, 0.8).with_sample_pairs(200);
-//! let index = OfflineIndex::build(&database, &config);
+//! let index = OfflineIndex::build(&database, &config).unwrap();
 //! let searcher = GbdaSearcher::new(&database, &index, config);
 //! let outcome = searcher.search(&query);
 //! assert!(outcome.matches.contains(&0)); // the query itself is similar
@@ -38,15 +43,21 @@
 pub mod baseline;
 pub mod config;
 pub mod database;
+pub mod engine;
+pub mod error;
 pub mod estimator;
 pub mod metrics;
 pub mod offline;
+pub mod posterior_cache;
 pub mod search;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
 pub use config::{GbdaConfig, GbdaVariant};
 pub use database::GraphDatabase;
+pub use engine::QueryEngine;
+pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
-pub use search::{GbdaSearcher, SearchOutcome};
+pub use posterior_cache::PosteriorCache;
+pub use search::{GbdaSearcher, SearchOutcome, SearchStats};

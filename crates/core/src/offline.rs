@@ -12,7 +12,7 @@
 //! so that the online stage shares the `O(τ̂³)` table across all database
 //! graphs of equal size, exactly as the complexity analysis assumes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +25,44 @@ use gbd_prob::{BranchEditModel, GbdPrior, GedPrior, Lambda1Table};
 
 use crate::config::GbdaConfig;
 use crate::database::GraphDatabase;
+use crate::error::{EngineError, EngineResult};
+
+/// Decodes a linear pair index `p ∈ [0, n(n−1)/2)` into the `(i, j)` pair
+/// (`i < j`) it enumerates, rows ordered by `i`.
+fn pair_from_index(p: usize, n: usize) -> (usize, usize) {
+    // offset(i) = number of pairs in rows 0..i = i(n−1) − i(i−1)/2.
+    let offset = |i: usize| i * (2 * n - i - 1) / 2;
+    let mut lo = 0usize;
+    let mut hi = n - 2;
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if offset(mid) <= p {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    (lo, lo + 1 + (p - offset(lo)))
+}
+
+/// Samples `k` *distinct* pair indices from `[0, total)` without replacement
+/// (Robert Floyd's algorithm), returned in sorted order for determinism.
+fn sample_distinct_pairs(total: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    debug_assert!(k <= total);
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k);
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    for j in (total - k)..total {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            picked.push(t);
+        } else {
+            chosen.insert(j);
+            picked.push(j);
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
 
 /// Costs of the offline stage, reported by the Table IV / Table V experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -33,7 +71,8 @@ pub struct OfflineStats {
     pub gbd_prior_seconds: f64,
     /// Wall-clock seconds spent computing the GED prior columns.
     pub ged_prior_seconds: f64,
-    /// Number of graph pairs actually sampled.
+    /// Number of *distinct* graph pairs actually sampled (the sampler draws
+    /// without replacement, so this is also the number of unique pairs).
     pub sampled_pairs: usize,
     /// Number of stored `Pr[GBD = ϕ]` entries (space cost `O(n)`).
     pub gbd_prior_entries: usize,
@@ -42,6 +81,7 @@ pub struct OfflineStats {
 }
 
 /// The pre-computed priors plus the per-size likelihood-table cache.
+#[derive(Debug)]
 pub struct OfflineIndex {
     gbd_prior: GbdPrior,
     ged_prior: GedPrior,
@@ -54,13 +94,15 @@ pub struct OfflineIndex {
 impl OfflineIndex {
     /// Runs the offline stage for `database` under `config`.
     ///
-    /// # Panics
-    /// Panics if the database has fewer than two graphs (no pair to sample).
-    pub fn build(database: &GraphDatabase, config: &GbdaConfig) -> Self {
-        assert!(
-            database.len() >= 2,
-            "the offline stage needs at least two graphs to sample pairs"
-        );
+    /// # Errors
+    /// Returns [`EngineError::DatabaseTooSmall`] if the database has fewer
+    /// than two graphs (no pair to sample the GBD prior from).
+    pub fn build(database: &GraphDatabase, config: &GbdaConfig) -> EngineResult<Self> {
+        if database.len() < 2 {
+            return Err(EngineError::DatabaseTooSmall {
+                len: database.len(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // Step 1.1–1.4: sample pairs, compute GBDs, fit the GMM, discretise.
@@ -76,12 +118,10 @@ impl OfflineIndex {
                 }
             }
         } else {
-            while samples.len() < sample_count {
-                let i = rng.gen_range(0..database.len());
-                let j = rng.gen_range(0..database.len());
-                if i == j {
-                    continue;
-                }
+            // Larger databases: draw distinct pairs without replacement so
+            // no pair is double-counted in the Λ2 fit.
+            for p in sample_distinct_pairs(total_pairs, sample_count, &mut rng) {
+                let (i, j) = pair_from_index(p, database.len());
                 samples.push(database.gbd_between(i, j) as f64);
             }
         }
@@ -89,15 +129,15 @@ impl OfflineIndex {
         let gbd_prior_seconds = started.elapsed().as_secs_f64();
 
         // GED prior: one Jeffreys column per distinct graph size in the
-        // database; query-specific sizes are filled in lazily online.
+        // database; query-specific sizes are filled in lazily online. The
+        // model clamps sizes to at least 1, so 0 and 1 collapse.
         let started = Instant::now();
         let ged_prior = GedPrior::new(database.alphabets(), config.tau_hat);
         let mut sizes: Vec<usize> = database
-            .graphs()
+            .distinct_sizes()
             .iter()
-            .map(|g| g.vertex_count().max(1))
+            .map(|&s| s.max(1))
             .collect();
-        sizes.sort_unstable();
         sizes.dedup();
         ged_prior.prepare(sizes.iter().copied());
         let ged_prior_seconds = started.elapsed().as_secs_f64();
@@ -109,14 +149,14 @@ impl OfflineIndex {
             gbd_prior_entries: gbd_prior.table().len(),
             ged_prior_entries: sizes.len() * (config.tau_hat as usize + 1),
         };
-        OfflineIndex {
+        Ok(OfflineIndex {
             gbd_prior,
             ged_prior,
             lambda1_tables: RwLock::new(HashMap::new()),
             alphabets: database.alphabets(),
             tau_max: config.tau_hat,
             stats,
-        }
+        })
     }
 
     /// The GBD prior `Λ2`.
@@ -179,10 +219,39 @@ mod tests {
     }
 
     #[test]
+    fn pair_index_decoding_round_trips() {
+        for n in [2usize, 3, 5, 12] {
+            let mut expected = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    expected.push((i, j));
+                }
+            }
+            for (p, &pair) in expected.iter().enumerate() {
+                assert_eq!(pair_from_index(p, n), pair, "p = {p}, n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_draws_distinct_sorted_pairs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (total, k) in [(10usize, 10usize), (100, 37), (1000, 999), (50, 1)] {
+            let picked = sample_distinct_pairs(total, k, &mut rng);
+            assert_eq!(picked.len(), k);
+            assert!(
+                picked.windows(2).all(|w| w[0] < w[1]),
+                "duplicates or unsorted"
+            );
+            assert!(picked.iter().all(|&p| p < total));
+        }
+    }
+
+    #[test]
     fn build_produces_usable_priors_and_stats() {
         let db = small_database();
         let config = GbdaConfig::new(4, 0.8).with_sample_pairs(100);
-        let index = OfflineIndex::build(&db, &config);
+        let index = OfflineIndex::build(&db, &config).unwrap();
         let stats = index.stats();
         assert!(stats.sampled_pairs > 0);
         assert!(stats.gbd_prior_entries >= db.max_vertices());
@@ -198,15 +267,25 @@ mod tests {
     fn small_databases_enumerate_all_pairs() {
         let db = small_database();
         let config = GbdaConfig::new(3, 0.8).with_sample_pairs(100_000);
-        let index = OfflineIndex::build(&db, &config);
+        let index = OfflineIndex::build(&db, &config).unwrap();
         assert_eq!(index.stats().sampled_pairs, 20 * 19 / 2);
+    }
+
+    #[test]
+    fn sampled_pairs_reflect_unique_pairs_on_larger_databases() {
+        // 20 graphs → 190 pairs; requesting 150 must yield 150 *distinct*
+        // pairs (the old with-replacement sampler could double-count).
+        let db = small_database();
+        let config = GbdaConfig::new(3, 0.8).with_sample_pairs(150);
+        let index = OfflineIndex::build(&db, &config).unwrap();
+        assert_eq!(index.stats().sampled_pairs, 150);
     }
 
     #[test]
     fn lambda1_tables_are_cached_per_extended_size() {
         let db = small_database();
         let config = GbdaConfig::new(3, 0.8).with_sample_pairs(50);
-        let index = OfflineIndex::build(&db, &config);
+        let index = OfflineIndex::build(&db, &config).unwrap();
         assert_eq!(index.cached_lambda1_tables(), 0);
         let a = index.lambda1_table(12);
         let b = index.lambda1_table(12);
@@ -216,9 +295,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two graphs")]
-    fn refuses_degenerate_databases() {
+    fn refuses_degenerate_databases_with_an_error() {
         let db = GraphDatabase::from_graphs(Vec::new());
-        OfflineIndex::build(&db, &GbdaConfig::default());
+        let err = OfflineIndex::build(&db, &GbdaConfig::default()).unwrap_err();
+        assert_eq!(err, crate::EngineError::DatabaseTooSmall { len: 0 });
+        assert!(err.to_string().contains("at least two graphs"));
     }
 }

@@ -1,0 +1,174 @@
+//! Memoization of the posterior `Φ = Pr[GED ≤ τ̂ | GBD = ϕ]`.
+//!
+//! Step 3 of Algorithm 1 looks expensive per database graph, but the value
+//! only depends on the pair through `(|V'1|, ϕ)`: the extended size selects
+//! the `Λ1` table and the `Λ3` column, and `ϕ` selects the `Λ1` row and the
+//! `Λ2` denominator. A database has few distinct sizes and `ϕ` is bounded by
+//! the largest extended size, so a whole scan collapses to at most
+//! `|sizes| × ϕ_max` genuine posterior evaluations — everything else is a
+//! lookup. [`PosteriorCache`] performs exactly the computation of the seed
+//! path (same [`posterior_ged_at_most`] call on the same inputs), so cached
+//! results are bit-identical to uncached ones.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use gbd_prob::posterior_ged_at_most;
+
+use crate::offline::OfflineIndex;
+
+/// A thread-safe memo of posterior values keyed by `(|V'1|, ϕ)`.
+///
+/// The cache is tied to one `τ̂` (the third determinant of the posterior);
+/// the engine owns one cache per configuration.
+#[derive(Debug)]
+pub struct PosteriorCache {
+    tau_hat: u64,
+    map: RwLock<HashMap<(usize, u64), f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PosteriorCache {
+    /// Creates an empty cache for the given similarity threshold `τ̂`.
+    pub fn new(tau_hat: u64) -> Self {
+        PosteriorCache {
+            tau_hat,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The threshold `τ̂` this cache memoizes posteriors for.
+    pub fn tau_hat(&self) -> u64 {
+        self.tau_hat
+    }
+
+    /// The posterior `Pr[GED ≤ τ̂ | GBD = ϕ]` for extended size `|V'1|`,
+    /// computed on first use and remembered afterwards.
+    pub fn posterior(&self, index: &OfflineIndex, extended_size: usize, phi: u64) -> f64 {
+        self.posterior_tracked(index, extended_size, phi).0
+    }
+
+    /// Like [`Self::posterior`], additionally reporting whether the value was
+    /// already memoized (used for per-query statistics).
+    pub fn posterior_tracked(
+        &self,
+        index: &OfflineIndex,
+        extended_size: usize,
+        phi: u64,
+    ) -> (f64, bool) {
+        let key = (extended_size, phi);
+        if let Some(&value) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (value, true);
+        }
+        // Exactly the seed evaluation path, so the memo is bit-identical.
+        let lambda1 = index.lambda1_table(extended_size);
+        let ged_prior = index.ged_prior().column(extended_size);
+        let gbd_prior = index.gbd_prior().probability(phi as usize);
+        let value = posterior_ged_at_most(self.tau_hat, phi, &lambda1, &ged_prior, gbd_prior);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // A racing thread may have inserted concurrently; both computed the
+        // same deterministic value, so either insert wins harmlessly.
+        self.map.write().insert(key, value);
+        (value, false)
+    }
+
+    /// Number of memoized `(|V'1|, ϕ)` entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Total lookup hits since creation.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses (genuine evaluations) since creation.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GbdaConfig;
+    use crate::database::GraphDatabase;
+    use gbd_graph::{GeneratorConfig, LabelAlphabets};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphDatabase, OfflineIndex, GbdaConfig) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = GeneratorConfig::new(10, 2.0).with_alphabets(LabelAlphabets::new(5, 3));
+        let graphs = cfg.generate_many(12, &mut rng).unwrap();
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(4, 0.8).with_sample_pairs(60);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        (database, index, config)
+    }
+
+    #[test]
+    fn cached_values_are_bit_identical_to_uncached_evaluation() {
+        let (_, index, config) = setup();
+        let cache = PosteriorCache::new(config.tau_hat);
+        for size in [8usize, 10, 12] {
+            for phi in 0..=10u64 {
+                let cached = cache.posterior(&index, size, phi);
+                let lambda1 = index.lambda1_table(size);
+                let ged_prior = index.ged_prior().column(size);
+                let gbd_prior = index.gbd_prior().probability(phi as usize);
+                let direct =
+                    posterior_ged_at_most(config.tau_hat, phi, &lambda1, &ged_prior, gbd_prior);
+                assert_eq!(
+                    cached.to_bits(),
+                    direct.to_bits(),
+                    "cache diverges at size {size}, ϕ = {phi}"
+                );
+                // And the memoized re-read returns the very same bits.
+                assert_eq!(
+                    cache.posterior(&index, size, phi).to_bits(),
+                    direct.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_tracked() {
+        let (_, index, config) = setup();
+        let cache = PosteriorCache::new(config.tau_hat);
+        assert!(cache.is_empty());
+        let (_, hit) = cache.posterior_tracked(&index, 10, 3);
+        assert!(!hit);
+        let (_, hit) = cache.posterior_tracked(&index, 10, 3);
+        assert!(hit);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.tau_hat(), config.tau_hat);
+    }
+
+    #[test]
+    fn distinct_keys_are_memoized_separately() {
+        let (_, index, config) = setup();
+        let cache = PosteriorCache::new(config.tau_hat);
+        let a = cache.posterior(&index, 10, 0);
+        let b = cache.posterior(&index, 10, 9);
+        let c = cache.posterior(&index, 12, 0);
+        assert_eq!(cache.len(), 3);
+        // A GBD of 0 makes a small GED far more plausible than a GBD of 9.
+        assert!(a > b);
+        assert!(c > 0.0);
+    }
+}

@@ -2,28 +2,44 @@
 //!
 //! For each database graph `G`:
 //!
-//! 1. compute `GBD(Q, G)` from the pre-computed branch multisets (`O(nd)`),
+//! 1. compute `GBD(Q, G)` from the pre-computed flat branch runs (`O(nd)`),
 //! 2. evaluate `Φ = Pr[GED(Q, G) ≤ τ̂ | GBD(Q, G) = ϕ]
-//!    = Σ_τ Λ1(Q', G'; τ, ϕ) · Λ3(τ) / Λ2(ϕ)` (`O(τ̂³)` shared per extended
-//!    size, `O(τ̂)` lookups per graph),
+//!    = Σ_τ Λ1(Q', G'; τ, ϕ) · Λ3(τ) / Λ2(ϕ)` — memoized per
+//!    `(|V'1|, ϕ)` by the engine's [`crate::PosteriorCache`],
 //! 3. report `G` when `Φ ≥ γ`.
 //!
-//! The searcher also implements the two ablation variants of Section VII-D
-//! (GBDA-V1 and GBDA-V2) by swapping the extended size or the branch
-//! distance fed into the model.
-
-use std::time::Instant;
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+//! [`GbdaSearcher`] is the stable single-query facade over
+//! [`crate::QueryEngine`], which adds batch execution and sharded scans. The
+//! two ablation variants of Section VII-D (GBDA-V1 and GBDA-V2) are handled
+//! by the engine by swapping the extended size or the branch distance fed
+//! into the model.
 
 use gbd_graph::{BranchMultiset, Graph};
-use gbd_prob::posterior_ged_at_most;
 
-use crate::config::{GbdaConfig, GbdaVariant};
+use crate::config::GbdaConfig;
 use crate::database::GraphDatabase;
+use crate::engine::QueryEngine;
 use crate::offline::OfflineIndex;
+
+/// Per-stage execution statistics of one search.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of database shards the scan actually used.
+    pub shards: usize,
+    /// Seconds spent extracting and flattening the query's branches.
+    pub flatten_seconds: f64,
+    /// Seconds spent scanning the database (all shards, wall clock).
+    pub scan_seconds: f64,
+    /// Posterior lookups answered from the memo.
+    pub cache_hits: usize,
+    /// Posterior lookups that required a genuine evaluation.
+    pub cache_misses: usize,
+    /// Graphs accepted by the per-size ϕ-threshold integer comparison alone
+    /// (only exercised when posterior recording is off).
+    pub threshold_accepts: usize,
+    /// Database graphs scanned.
+    pub evaluated: usize,
+}
 
 /// Result of one similarity search.
 #[derive(Debug, Clone, Default)]
@@ -31,75 +47,39 @@ pub struct SearchOutcome {
     /// Indices of database graphs with `Φ ≥ γ`.
     pub matches: Vec<usize>,
     /// The posterior `Φ` for every database graph (same indexing as the
-    /// database), useful for diagnostics and the experiment harness.
+    /// database), useful for diagnostics and the experiment harness. Empty
+    /// when [`GbdaConfig::record_posteriors`] is off.
     pub posteriors: Vec<f64>,
     /// Wall-clock seconds of the online stage for this query.
     pub seconds: f64,
+    /// Per-stage timing and pruning statistics.
+    pub stats: SearchStats,
 }
 
-/// The GBDA searcher: database + offline index + configuration.
+/// The GBDA searcher: the stable single-query interface over
+/// [`QueryEngine`].
 pub struct GbdaSearcher<'a> {
-    database: &'a GraphDatabase,
-    index: &'a OfflineIndex,
-    config: GbdaConfig,
-    /// `|V'1|` override used by the GBDA-V1 variant.
-    fixed_extended_size: Option<usize>,
+    engine: QueryEngine<'a>,
 }
 
 impl<'a> GbdaSearcher<'a> {
     /// Creates a searcher. For the GBDA-V1 variant the average extended size
     /// is sampled here, once, exactly as the paper describes.
     pub fn new(database: &'a GraphDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
-        let fixed_extended_size = match config.variant {
-            GbdaVariant::AverageExtendedSize { sample_graphs } => {
-                let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA1FA);
-                let mut indices: Vec<usize> = (0..database.len()).collect();
-                indices.shuffle(&mut rng);
-                let sample: Vec<usize> = indices.into_iter().take(sample_graphs.max(1)).collect();
-                let avg = sample
-                    .iter()
-                    .map(|&i| database.graph(i).vertex_count())
-                    .sum::<usize>() as f64
-                    / sample.len() as f64;
-                Some(avg.round().max(1.0) as usize)
-            }
-            _ => None,
-        };
         GbdaSearcher {
-            database,
-            index,
-            config,
-            fixed_extended_size,
+            engine: QueryEngine::new(database, index, config),
         }
     }
 
     /// The configuration this searcher runs with.
     pub fn config(&self) -> &GbdaConfig {
-        &self.config
+        self.engine.config()
     }
 
-    /// The branch distance fed into the model for one pair, honouring the
-    /// GBDA-V2 variant (Equation 26). The value is rounded to the nearest
-    /// integer ϕ because the model is defined over integer branch distances.
-    fn observed_phi(&self, query: &BranchMultiset, graph_index: usize) -> u64 {
-        match self.config.variant {
-            GbdaVariant::WeightedGbd { weight } => {
-                let value = query.weighted_gbd(self.database.branches(graph_index), weight);
-                value.round().max(0.0) as u64
-            }
-            _ => self.database.gbd_to(query, graph_index) as u64,
-        }
-    }
-
-    /// The extended size `|V'1|` used for one pair, honouring GBDA-V1.
-    fn extended_size(&self, query: &Graph, graph_index: usize) -> usize {
-        match self.fixed_extended_size {
-            Some(v) => v,
-            None => query
-                .vertex_count()
-                .max(self.database.graph(graph_index).vertex_count())
-                .max(1),
-        }
+    /// The underlying query engine (batch execution, sharded scans, memo
+    /// statistics).
+    pub fn engine(&self) -> &QueryEngine<'a> {
+        &self.engine
     }
 
     /// The posterior `Φ = Pr[GED(Q, G_i) ≤ τ̂ | GBD]` for one database graph.
@@ -109,38 +89,32 @@ impl<'a> GbdaSearcher<'a> {
         query_branches: &BranchMultiset,
         graph_index: usize,
     ) -> f64 {
-        let phi = self.observed_phi(query_branches, graph_index);
-        let extended_size = self.extended_size(query, graph_index);
-        let lambda1 = self.index.lambda1_table(extended_size);
-        let ged_prior = self.index.ged_prior().column(extended_size);
-        let gbd_prior = self.index.gbd_prior().probability(phi as usize);
-        posterior_ged_at_most(self.config.tau_hat, phi, &lambda1, &ged_prior, gbd_prior)
+        let phi = self.engine.observed_phi(query_branches, graph_index);
+        let extended_size = match self.engine.fixed_extended_size() {
+            Some(v) => v,
+            None => query
+                .vertex_count()
+                .max(self.engine.database().graph(graph_index).vertex_count())
+                .max(1),
+        };
+        self.engine.posterior_value(extended_size, phi)
     }
 
     /// Runs Algorithm 1 for one query graph.
     pub fn search(&self, query: &Graph) -> SearchOutcome {
-        let started = Instant::now();
-        let query_branches = BranchMultiset::from_graph(query);
-        let mut matches = Vec::new();
-        let mut posteriors = Vec::with_capacity(self.database.len());
-        for i in 0..self.database.len() {
-            let phi = self.posterior(query, &query_branches, i);
-            posteriors.push(phi);
-            if phi >= self.config.gamma {
-                matches.push(i);
-            }
-        }
-        SearchOutcome {
-            matches,
-            posteriors,
-            seconds: started.elapsed().as_secs_f64(),
-        }
+        self.engine.search(query)
+    }
+
+    /// Runs a batch of queries (see [`QueryEngine::search_batch`]).
+    pub fn search_batch(&self, queries: &[Graph]) -> Vec<SearchOutcome> {
+        self.engine.search_batch(queries)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::GbdaVariant;
     use gbd_graph::known_ged::ModificationMode;
     use gbd_graph::{GeneratorConfig, KnownGedConfig, KnownGedFamily, LabelAlphabets};
     use rand::rngs::StdRng;
@@ -162,7 +136,7 @@ mod tests {
     #[test]
     fn identical_graph_is_always_returned() {
         let (family, database, config) = family_setup(3);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let searcher = GbdaSearcher::new(&database, &index, config);
         let query = family.member_graph(0).clone();
         let outcome = searcher.search(&query);
@@ -173,12 +147,14 @@ mod tests {
         );
         assert_eq!(outcome.posteriors.len(), database.len());
         assert!(outcome.seconds >= 0.0);
+        assert_eq!(outcome.stats.evaluated, database.len());
+        assert_eq!(outcome.stats.shards, 1);
     }
 
     #[test]
     fn posteriors_decrease_with_distance_on_average() {
         let (family, database, config) = family_setup(5);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let searcher = GbdaSearcher::new(&database, &index, config);
         let query = family.member_graph(0).clone();
         let outcome = searcher.search(&query);
@@ -204,7 +180,7 @@ mod tests {
     #[test]
     fn search_is_reasonably_effective_on_a_known_family() {
         let (family, database, config) = family_setup(4);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let searcher = GbdaSearcher::new(&database, &index, config.clone());
         let query = family.member_graph(0).clone();
         let outcome = searcher.search(&query);
@@ -222,14 +198,30 @@ mod tests {
     }
 
     #[test]
+    fn posterior_accessor_matches_search_results() {
+        let (family, database, config) = family_setup(3);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let searcher = GbdaSearcher::new(&database, &index, config);
+        let query = family.member_graph(0).clone();
+        let branches = BranchMultiset::from_graph(&query);
+        let outcome = searcher.search(&query);
+        for i in 0..database.len() {
+            assert_eq!(
+                searcher.posterior(&query, &branches, i).to_bits(),
+                outcome.posteriors[i].to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn variant_v1_uses_a_fixed_extended_size() {
         let (family, database, config) = family_setup(3);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let v1 = config
             .clone()
             .with_variant(GbdaVariant::AverageExtendedSize { sample_graphs: 5 });
         let searcher = GbdaSearcher::new(&database, &index, v1);
-        assert!(searcher.fixed_extended_size.is_some());
+        assert!(searcher.engine().fixed_extended_size().is_some());
         let query = family.member_graph(1).clone();
         let outcome = searcher.search(&query);
         assert_eq!(outcome.posteriors.len(), database.len());
@@ -238,7 +230,7 @@ mod tests {
     #[test]
     fn variant_v2_changes_the_observed_distance() {
         let (family, database, config) = family_setup(3);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let standard = GbdaSearcher::new(&database, &index, config.clone());
         let v2 = GbdaSearcher::new(
             &database,
@@ -249,13 +241,15 @@ mod tests {
         let branches = BranchMultiset::from_graph(&query);
         // With w = 0.1 the intersection barely counts, so the observed ϕ is
         // larger than the true GBD for the identical graph.
-        assert!(v2.observed_phi(&branches, 0) > standard.observed_phi(&branches, 0));
+        assert!(
+            v2.engine().observed_phi(&branches, 0) > standard.engine().observed_phi(&branches, 0)
+        );
     }
 
     #[test]
     fn gamma_one_returns_a_subset_of_gamma_half() {
         let (family, database, config) = family_setup(3);
-        let index = OfflineIndex::build(&database, &config);
+        let index = OfflineIndex::build(&database, &config).unwrap();
         let loose = GbdaSearcher::new(
             &database,
             &index,

@@ -1,6 +1,6 @@
 //! Exact GED via A\* search over vertex mappings.
 //!
-//! This is the classical exact algorithm the paper refers to ([5], [6]):
+//! This is the classical exact algorithm the paper refers to (\[5\], \[6\]):
 //! vertices of the first graph are assigned, one at a time, to vertices of
 //! the second graph or to `ε` (deletion). Each partial assignment carries the
 //! edit cost it has already induced (`g`) plus an admissible lower bound on

@@ -7,6 +7,8 @@
 //! * simple labeled undirected [`Graph`]s with interned [`Label`]s,
 //! * [`Branch`]es (Definition 2) and the Graph Branch Distance
 //!   ([`graph_branch_distance`], Definition 4),
+//! * interned flat branch storage ([`BranchCatalog`], [`FlatBranchSet`]) that
+//!   turns the GBD merge into a walk over integer `(id, count)` runs,
 //! * graph edit operations (Definition 1) and edit paths,
 //! * extended graphs (Definition 5) used by the probabilistic model,
 //! * random graph generators (uniform and scale-free) and the Appendix-I
@@ -22,6 +24,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod branch;
+pub mod catalog;
 pub mod edit;
 pub mod error;
 pub mod extended;
@@ -34,6 +37,7 @@ pub mod paper_examples;
 pub mod statistics;
 
 pub use branch::{graph_branch_distance, Branch, BranchMultiset};
+pub use catalog::{BranchCatalog, BranchRun, FlatBranchSet, FlatBranchView, UNKNOWN_BRANCH_ID};
 pub use edit::{EditOp, EditPath};
 pub use error::{GraphError, Result};
 pub use extended::{extend_graph, extension_factor};

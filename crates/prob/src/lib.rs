@@ -20,7 +20,7 @@
 //! * [`hypergeometric`] — the hypergeometric pmf `H(x; M, K, N)` (Equation 32),
 //! * [`model`] — the model parameters and the factors `Ω1..Ω4` with their
 //!   τ-derivatives,
-//! * [`lambda1`] — `Λ1(τ, ϕ)` and `∂Λ1/∂τ` with the prefix-reuse optimisation
+//! * [`mod@lambda1`] — `Λ1(τ, ϕ)` and `∂Λ1/∂τ` with the prefix-reuse optimisation
 //!   of Equation (22),
 //! * [`gmm`] — 1-D Gaussian mixture fitting by EM (Section V-B),
 //! * [`gbd_prior`] — the prior `Pr[GBD = ϕ]` via continuity correction

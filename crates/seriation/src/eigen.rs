@@ -3,7 +3,7 @@
 //! Jacobi iteration is simple, numerically robust for symmetric matrices and
 //! entirely dependency-free, which is all the seriation baseline needs: the
 //! paper only extracts the *leading* eigenvalues/eigenvector of adjacency
-//! matrices ([13], [14]).
+//! matrices (\[13\], \[14\]).
 
 use crate::matrix::SymmetricMatrix;
 

@@ -11,7 +11,7 @@ use gbd_graph::Graph;
 
 use crate::seriation::{sequence_edit_distance, seriation_signature};
 
-/// The graph-seriation baseline [13].
+/// The graph-seriation baseline \[13\].
 #[derive(Debug, Clone, Copy)]
 pub struct SeriationGed {
     /// Weight of the spectral (eigenvalue) component relative to the label

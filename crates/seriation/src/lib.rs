@@ -1,6 +1,6 @@
 //! # gbd-seriation — spectral seriation GED baseline
 //!
-//! The third competitor of the paper (Robles-Kelly & Hancock [13]) estimates
+//! The third competitor of the paper (Robles-Kelly & Hancock \[13\]) estimates
 //! the GED through *graph seriation*: the adjacency matrix of each graph is
 //! decomposed spectrally, its leading eigenvector induces a serial ordering
 //! of the vertices, and the edit distance between the resulting label strings

@@ -57,4 +57,23 @@ fn main() {
         );
     }
     println!("(LSAP and greedysort under-estimate by construction; seriation has no bound; GBDA is capped at its τ̂ budget.)");
+
+    // As a sanity check, run the actual similarity search over the same
+    // family through the query engine: the template (member 0) must retrieve
+    // itself.
+    let graphs: Vec<_> = (0..family.len())
+        .map(|i| family.member_graph(i).clone())
+        .collect();
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(5, 0.8).with_sample_pairs(200);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
+    let engine = QueryEngine::new(&database, &index, config);
+    let outcome = engine.search(family.member_graph(0));
+    println!(
+        "engine search on the family: {} of {} members within τ̂ = 5 at γ = 0.8 \
+         (template retrieved: {})",
+        outcome.matches.len(),
+        database.len(),
+        outcome.matches.contains(&0)
+    );
 }

@@ -53,8 +53,8 @@ fn main() {
 
     let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
     let gbda_config = GbdaConfig::new(tau_hat, gamma).with_sample_pairs(2000);
-    let index = OfflineIndex::build(&database, &gbda_config);
-    let gbda = GbdaSearcher::new(&database, &index, gbda_config);
+    let index = OfflineIndex::build(&database, &gbda_config).expect("offline stage builds");
+    let gbda = QueryEngine::new(&database, &index, gbda_config);
     let lsap = EstimatorSearcher::new(&database, LsapGed, tau_hat as f64);
     let greedy = EstimatorSearcher::new(&database, GreedyGed, tau_hat as f64);
     let seriation = EstimatorSearcher::new(&database, SeriationGed::default(), tau_hat as f64);

@@ -26,20 +26,23 @@ fn main() {
     // 2. Offline stage: pre-compute the GBD and GED priors.
     let database = GraphDatabase::from_graphs(graphs);
     let config = GbdaConfig::new(4, 0.8).with_sample_pairs(1000);
-    let index = OfflineIndex::build(&database, &config);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
     let stats = index.stats();
     println!(
         "offline stage: GBD prior {:.3}s over {} pairs, GED prior {:.3}s",
         stats.gbd_prior_seconds, stats.sampled_pairs, stats.ged_prior_seconds
     );
 
-    // 3. Online stage: Algorithm 1.
-    let searcher = GbdaSearcher::new(&database, &index, config);
+    // 3. Online stage: Algorithm 1, served by the query engine.
+    let searcher = QueryEngine::new(&database, &index, config);
     let outcome = searcher.search(&query);
     println!(
-        "GBDA returned {} graphs with Pr[GED ≤ 4 | GBD] ≥ 0.8 in {:.4}s:",
+        "GBDA returned {} graphs with Pr[GED ≤ 4 | GBD] ≥ 0.8 in {:.4}s \
+         ({} posterior evaluations, {} memo hits):",
         outcome.matches.len(),
-        outcome.seconds
+        outcome.seconds,
+        outcome.stats.cache_misses,
+        outcome.stats.cache_hits
     );
     for &i in &outcome.matches {
         println!(

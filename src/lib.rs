@@ -32,11 +32,15 @@
 //! // Offline: pre-compute the priors; Online: run Algorithm 1.
 //! let database = GraphDatabase::from_graphs(graphs);
 //! let config = GbdaConfig::new(3, 0.8).with_sample_pairs(300);
-//! let index = OfflineIndex::build(&database, &config);
+//! let index = OfflineIndex::build(&database, &config).unwrap();
 //! let searcher = GbdaSearcher::new(&database, &index, config);
 //! let result = searcher.search(&query);
 //! assert!(result.matches.contains(&3));
 //! ```
+//!
+//! For batch workloads, [`prelude::QueryEngine`] adds `search_batch` and
+//! shard-parallel scans (`GbdaConfig::with_shards`); see the crate README's
+//! "Query engine architecture" section.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -58,13 +62,14 @@ pub mod prelude {
     };
     pub use gbd_ged::{exact_ged, GedEstimate};
     pub use gbd_graph::{
-        graph_branch_distance, Branch, BranchMultiset, GeneratorConfig, Graph, Label,
-        LabelAlphabets, Vocabulary,
+        graph_branch_distance, Branch, BranchCatalog, BranchMultiset, FlatBranchSet,
+        GeneratorConfig, Graph, Label, LabelAlphabets, Vocabulary,
     };
     pub use gbd_seriation::SeriationGed;
     pub use gbda_core::{
-        Confusion, EstimatorSearcher, GbdaConfig, GbdaEstimator, GbdaSearcher, GbdaVariant,
-        GraphDatabase, OfflineIndex, SearchOutcome, SimilaritySearcher,
+        Confusion, EngineError, EngineResult, EstimatorSearcher, GbdaConfig, GbdaEstimator,
+        GbdaSearcher, GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache, QueryEngine,
+        SearchOutcome, SearchStats, SimilaritySearcher,
     };
 }
 

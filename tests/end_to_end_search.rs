@@ -32,7 +32,7 @@ fn gbda_is_effective_on_an_aids_like_dataset() {
     let tau_hat = 5u64;
     let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
     let config = GbdaConfig::new(tau_hat, 0.7).with_sample_pairs(1500);
-    let index = OfflineIndex::build(&database, &config);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
     let gbda = GbdaSearcher::new(&database, &index, config);
     let result = evaluate(&gbda, &dataset, tau_hat as usize);
     assert!(
@@ -59,7 +59,7 @@ fn lsap_has_perfect_recall_and_gbda_has_competitive_f1() {
     );
 
     let config = GbdaConfig::new(tau_hat, 0.7).with_sample_pairs(1500);
-    let index = OfflineIndex::build(&database, &config);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
     let gbda = GbdaSearcher::new(&database, &index, config);
     let gbda_result = evaluate(&gbda, &dataset, tau_hat as usize);
     // On the cluster-structured substitute every edit touches the same
@@ -87,7 +87,7 @@ fn all_methods_run_on_the_same_fingerprint_like_workload() {
     let tau_hat = 4u64;
     let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
     let gbda_config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(500);
-    let index = OfflineIndex::build(&database, &gbda_config);
+    let index = OfflineIndex::build(&database, &gbda_config).expect("offline stage builds");
 
     let searchers: Vec<Box<dyn SimilaritySearcher>> = vec![
         Box::new(GbdaSearcher::new(&database, &index, gbda_config)),

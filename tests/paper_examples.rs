@@ -69,7 +69,7 @@ fn example_5_gbd_prior_on_a_fingerprint_like_sample() {
     let dataset = generate_real_like(&config).unwrap();
     let database = GraphDatabase::with_alphabets(dataset.graphs.clone(), dataset.alphabets);
     let gbda_config = GbdaConfig::new(3, 0.8).with_sample_pairs(2000);
-    let index = OfflineIndex::build(&database, &gbda_config);
+    let index = OfflineIndex::build(&database, &gbda_config).expect("offline stage builds");
     let mass: f64 = (0..=database.max_vertices())
         .map(|phi| index.gbd_prior().probability(phi))
         .sum();

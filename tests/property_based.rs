@@ -83,6 +83,61 @@ proptest! {
         prop_assert!((total - 1.0).abs() < 1e-6, "Λ1 row sums to {}", total);
     }
 
+    /// Flat interned branch sets compute exactly the multiset GBD — both
+    /// when the catalog interned both graphs (database side) and when one
+    /// side is a read-only lookup with possible unknowns (query side).
+    #[test]
+    fn flat_branch_sets_match_multiset_gbd(seed_a in 0u64..400, seed_b in 400u64..800,
+                                           n_a in 1usize..16, n_b in 1usize..16) {
+        let a = graph_from_seed(seed_a, n_a, 2.2, 5);
+        let b = graph_from_seed(seed_b, n_b, 2.2, 5);
+        let ma = BranchMultiset::from_graph(&a);
+        let mb = BranchMultiset::from_graph(&b);
+
+        // Database side: both sets fully interned.
+        let mut catalog = BranchCatalog::new();
+        let fa = catalog.flatten(&ma);
+        let fb = catalog.flatten(&mb);
+        prop_assert_eq!(fa.gbd(&fb), ma.gbd(&mb));
+        prop_assert_eq!(fb.gbd(&fa), mb.gbd(&ma));
+        prop_assert_eq!(fa.intersection_size(&fb), ma.intersection_size(&mb));
+        for w in [0.0, 0.3, 1.0] {
+            prop_assert_eq!(fa.weighted_gbd(&fb, w), ma.weighted_gbd(&mb, w));
+        }
+
+        // Query side: only `a` is catalogued, `b` is looked up read-only.
+        let mut db_catalog = BranchCatalog::new();
+        let db_side = db_catalog.flatten(&ma);
+        let query_side = db_catalog.flatten_lookup(&mb);
+        prop_assert_eq!(query_side.gbd(&db_side), mb.gbd(&ma));
+    }
+
+    /// The engine's posterior memo is bit-identical to evaluating the
+    /// uncached `posterior_ged_at_most` on the same priors.
+    #[test]
+    fn posterior_cache_is_bit_identical_to_uncached(seed in 0u64..100, tau_hat in 1u64..6,
+                                                    size in 2usize..20, phi in 0u64..15) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let graphs = GeneratorConfig::new(10, 2.0)
+            .with_alphabets(LabelAlphabets::new(5, 3))
+            .generate_many(10, &mut rng)
+            .unwrap();
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(45);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let cache = PosteriorCache::new(tau_hat);
+        let lambda1 = index.lambda1_table(size);
+        let ged_prior = index.ged_prior().column(size);
+        let gbd_prior = index.gbd_prior().probability(phi as usize);
+        let direct = gbda::prob::posterior_ged_at_most(
+            tau_hat, phi, &lambda1, &ged_prior, gbd_prior,
+        );
+        // First call computes, second call reads the memo; both must carry
+        // the exact bits of the direct evaluation.
+        prop_assert_eq!(cache.posterior(&index, size, phi).to_bits(), direct.to_bits());
+        prop_assert_eq!(cache.posterior(&index, size, phi).to_bits(), direct.to_bits());
+    }
+
     /// The Hungarian solver never exceeds the greedy solution.
     #[test]
     fn hungarian_is_optimal_relative_to_greedy(seed in 0u64..500, n in 1usize..9) {

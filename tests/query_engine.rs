@@ -1,0 +1,138 @@
+//! Equivalence guarantees of the query engine's execution modes: sharded
+//! scans, batch execution and the threshold fast path must return exactly
+//! the results of the seed-faithful sequential scan, for the standard
+//! estimator and for both ablation variants (GBDA-V1, GBDA-V2).
+
+use gbda::prelude::*;
+use rand::SeedableRng;
+
+fn workload() -> (Vec<Graph>, GraphDatabase) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE9E);
+    let mut graphs = Vec::new();
+    // Mixed sizes so the extended size genuinely varies across the scan.
+    for size in [10usize, 13, 16] {
+        let cfg = GeneratorConfig::new(size, 2.2).with_alphabets(LabelAlphabets::new(6, 3));
+        graphs.extend(cfg.generate_many(20, &mut rng).unwrap());
+    }
+    let queries: Vec<Graph> = (0..6).map(|i| graphs[i * 7].clone()).collect();
+    (queries, GraphDatabase::from_graphs(graphs))
+}
+
+fn assert_outcomes_identical(a: &SearchOutcome, b: &SearchOutcome, context: &str) {
+    assert_eq!(a.matches, b.matches, "matches diverge: {context}");
+    assert_eq!(
+        a.posteriors.len(),
+        b.posteriors.len(),
+        "posterior lengths diverge: {context}"
+    );
+    for (i, (x, y)) in a.posteriors.iter().zip(&b.posteriors).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "posterior {i} diverges ({x} vs {y}): {context}"
+        );
+    }
+}
+
+fn check_variant(variant: GbdaVariant, label: &str) {
+    let (queries, database) = workload();
+    let config = GbdaConfig::new(4, 0.7)
+        .with_sample_pairs(300)
+        .with_variant(variant);
+    let index = OfflineIndex::build(&database, &config).unwrap();
+
+    let sequential = QueryEngine::new(&database, &index, config.clone());
+    let sharded = QueryEngine::new(&database, &index, config.clone().with_shards(4));
+
+    // Per-query: sharded scan ≡ sequential scan ≡ seed reference scan.
+    for (qi, query) in queries.iter().enumerate() {
+        let reference = sequential.reference_search(query);
+        assert_outcomes_identical(
+            &sequential.search(query),
+            &reference,
+            &format!("{label}, sequential vs reference, query {qi}"),
+        );
+        assert_outcomes_identical(
+            &sharded.search(query),
+            &reference,
+            &format!("{label}, sharded vs reference, query {qi}"),
+        );
+    }
+
+    // Batch: order preserved, outcomes identical to per-query search.
+    let batch = sharded.search_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (qi, (query, outcome)) in queries.iter().zip(&batch).enumerate() {
+        assert_outcomes_identical(
+            outcome,
+            &sequential.search(query),
+            &format!("{label}, batch vs sequential, query {qi}"),
+        );
+    }
+}
+
+#[test]
+fn sharded_and_batch_execution_match_sequential_for_standard_gbda() {
+    check_variant(GbdaVariant::Standard, "standard");
+}
+
+#[test]
+fn sharded_and_batch_execution_match_sequential_for_variant_v1() {
+    check_variant(
+        GbdaVariant::AverageExtendedSize { sample_graphs: 8 },
+        "V1(α=8)",
+    );
+}
+
+#[test]
+fn sharded_and_batch_execution_match_sequential_for_variant_v2() {
+    check_variant(GbdaVariant::WeightedGbd { weight: 0.5 }, "V2(w=0.5)");
+}
+
+#[test]
+fn threshold_fast_path_matches_recorded_scan_for_all_variants() {
+    for (variant, label) in [
+        (GbdaVariant::Standard, "standard"),
+        (
+            GbdaVariant::AverageExtendedSize { sample_graphs: 8 },
+            "V1(α=8)",
+        ),
+        (GbdaVariant::WeightedGbd { weight: 0.5 }, "V2(w=0.5)"),
+    ] {
+        let (queries, database) = workload();
+        let config = GbdaConfig::new(4, 0.7)
+            .with_sample_pairs(300)
+            .with_variant(variant);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let recording = QueryEngine::new(&database, &index, config.clone());
+        let fast = QueryEngine::new(
+            &database,
+            &index,
+            config.with_record_posteriors(false).with_shards(2),
+        );
+        for (qi, query) in queries.iter().enumerate() {
+            let a = recording.search(query);
+            let b = fast.search(query);
+            assert_eq!(a.matches, b.matches, "{label}, query {qi}");
+            assert!(b.posteriors.is_empty());
+        }
+    }
+}
+
+#[test]
+fn search_stats_account_for_every_database_graph() {
+    let (queries, database) = workload();
+    let config = GbdaConfig::new(3, 0.8)
+        .with_sample_pairs(300)
+        .with_shards(3);
+    let index = OfflineIndex::build(&database, &config).unwrap();
+    let engine = QueryEngine::new(&database, &index, config);
+    let outcome = engine.search(&queries[0]);
+    assert_eq!(outcome.stats.evaluated, database.len());
+    assert_eq!(
+        outcome.stats.cache_hits + outcome.stats.cache_misses,
+        database.len()
+    );
+    assert_eq!(outcome.stats.shards, 3);
+    assert!(outcome.stats.scan_seconds >= 0.0);
+}

@@ -2,7 +2,8 @@
 //!
 //! Implements the slice of the proptest surface this workspace's
 //! property-based tests use: the [`proptest!`] macro over `arg in range`
-//! strategies, [`ProptestConfig::with_cases`], and the `prop_assert*` macros.
+//! strategies, [`test_runner::ProptestConfig::with_cases`], and the
+//! `prop_assert*` macros.
 //!
 //! Unlike real proptest there is **no shrinking** and the case stream is
 //! deterministic (seeded per test from the test body's address-independent
