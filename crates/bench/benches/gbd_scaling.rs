@@ -1,9 +1,12 @@
 //! Benchmarks the O(nd) GBD computation (Section III) as the graph size
 //! grows: the flat interned `(id, count)` runs of the engine's arena storage
 //! against the pre-computed sorted branch multisets of the seed, and the
-//! ablation of recomputing branches per comparison.
+//! ablation of recomputing branches per comparison. A second group times
+//! building the CSR inverted branch index (the count-filter substrate) as
+//! the database grows.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gbd_graph::{BranchCatalog, BranchMultiset, GeneratorConfig};
+use gbd_graph::{BranchCatalog, BranchMultiset, GeneratorConfig, LabelAlphabets};
+use gbda_core::GraphDatabase;
 use rand::SeedableRng;
 use std::time::Duration;
 
@@ -39,6 +42,26 @@ fn bench_gbd(c: &mut Criterion) {
             &n,
             |bencher, _| bencher.iter(|| gbd_graph::graph_branch_distance(&a, &b)),
         );
+    }
+    group.finish();
+
+    // Building the inverted branch index: two counting passes over the
+    // arena, no sorting. Timed apart from full database construction so
+    // index cost is visible on its own as databases grow.
+    let mut group = c.benchmark_group("postings_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for n in [250usize, 1000, 4000] {
+        let cfg = GeneratorConfig::new(48, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
+        let graphs = cfg.generate_many(n, &mut rng).unwrap();
+        let db = GraphDatabase::from_graphs(graphs);
+        assert_eq!(db.postings_len(), db.arena_len());
+        group.bench_with_input(BenchmarkId::new("inverted_index", n), &n, |bencher, _| {
+            bencher.iter(|| db.rebuild_inverted_index())
+        });
     }
     group.finish();
 }

@@ -1,22 +1,22 @@
 //! Online-stage microbenchmark on synthetic workloads.
 //!
-//! Two groups:
+//! Three groups:
 //!
 //! * `online_query_syn_fig8` — per-query time vs graph size (GBDA vs the
 //!   cheapest competitor), the Figure-8 axis;
 //! * `online_query_syn_1k` — one query against a 1 000-graph database:
 //!   the memoized + flat-storage engine scan against the seed-faithful
 //!   sequential scan (`reference_search`), which re-evaluates the posterior
-//!   per graph and merges heap-allocated branch multisets.
+//!   per graph and merges heap-allocated branch multisets;
+//! * `filter_cascade` — the cascade on/off ablation at 1 000 and 10 000
+//!   graphs (posterior recording off, so the bound stages can skip whole
+//!   size buckets).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gbd_assignment::GreedyGed;
-use gbd_bench::workloads::{indexed_database, synthetic_dataset};
-use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets};
+use gbd_bench::workloads::{indexed_database, mixed_size_online_workload, synthetic_dataset};
 use gbda_core::{
     EstimatorSearcher, GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine, SimilaritySearcher,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Duration;
 
 fn bench_online_syn(c: &mut Criterion) {
@@ -51,24 +51,52 @@ fn bench_online_syn(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    let mut rng = StdRng::seed_from_u64(0x1000);
-    let mut graphs: Vec<Graph> = Vec::with_capacity(1000);
-    for size in [40usize, 48, 56, 64] {
-        let cfg = GeneratorConfig::new(size, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
-        graphs.extend(
-            cfg.generate_many(250, &mut rng)
-                .expect("generation succeeds"),
-        );
-    }
-    let query = graphs[17].clone();
+    let (graphs, query) = mixed_size_online_workload(1000);
     let database = GraphDatabase::from_graphs(graphs);
     let config = GbdaConfig::new(5, 0.8).with_sample_pairs(500);
     let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
-    let engine = QueryEngine::new(&database, &index, config);
-    group.bench_function("engine_memoized_flat", |b| b.iter(|| engine.search(&query)));
+    let engine = QueryEngine::new(&database, &index, config.clone());
+    let merge_engine =
+        QueryEngine::new(&database, &index, config.clone().with_filter_cascade(false));
+    group.bench_function("engine_cascade_flat", |b| b.iter(|| engine.search(&query)));
+    group.bench_function("engine_memoized_flat", |b| {
+        b.iter(|| merge_engine.search(&query))
+    });
     group.bench_function("seed_sequential_scan", |b| {
         b.iter(|| engine.reference_search(&query))
     });
+    group.finish();
+
+    // The cascade on/off ablation at 1k and 10k graphs, posterior recording
+    // off: with the cascade on, whole size buckets resolve from the L1 bound
+    // and the remainder from the inverted-index count filter; with it off,
+    // every graph pays a flat merge (plus the ϕ-threshold compare).
+    let mut group = c.benchmark_group("filter_cascade");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 10_000] {
+        let (graphs, query) = mixed_size_online_workload(n);
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(5, 0.8)
+            .with_sample_pairs(500)
+            .with_record_posteriors(false);
+        let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
+        let cascade_on = QueryEngine::new(&database, &index, config.clone());
+        let cascade_off =
+            QueryEngine::new(&database, &index, config.clone().with_filter_cascade(false));
+        assert_eq!(
+            cascade_on.search(&query).matches,
+            cascade_off.search(&query).matches
+        );
+        group.bench_with_input(BenchmarkId::new("cascade_on", n), &n, |b, _| {
+            b.iter(|| cascade_on.search(&query))
+        });
+        group.bench_with_input(BenchmarkId::new("cascade_off", n), &n, |b, _| {
+            b.iter(|| cascade_off.search(&query))
+        });
+    }
     group.finish();
 }
 

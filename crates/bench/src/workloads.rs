@@ -6,7 +6,37 @@ use gbd_datasets::{
     generate_real_like, generate_synthetic, DatasetProfile, LabeledDataset, RealLikeConfig,
     SyntheticConfig, SyntheticDataset,
 };
+use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets};
 use gbda_core::{EngineResult, GbdaConfig, GraphDatabase, OfflineIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Vertex counts of the four size buckets mixed by
+/// [`mixed_size_online_workload`].
+pub const MIXED_SIZE_BUCKETS: [usize; 4] = [40, 48, 56, 64];
+
+/// The mixed-size online-scan workload shared by the `online_syn` criterion
+/// bench and the `bench_online_syn` JSON binary — one definition so their
+/// numbers stay comparable: exactly `n ≥ 1` graphs over
+/// [`MIXED_SIZE_BUCKETS`] (seed `0x1000`), with one database member as the
+/// query. When `n` is not a multiple of the bucket count, the trailing
+/// bucket is truncated; multiples split evenly.
+pub fn mixed_size_online_workload(n: usize) -> (Vec<Graph>, Graph) {
+    assert!(n >= 1, "a workload needs at least one graph");
+    let mut rng = StdRng::seed_from_u64(0x1000);
+    let per_bucket = n.div_ceil(MIXED_SIZE_BUCKETS.len());
+    let mut graphs: Vec<Graph> = Vec::with_capacity(per_bucket * MIXED_SIZE_BUCKETS.len());
+    for size in MIXED_SIZE_BUCKETS {
+        let cfg = GeneratorConfig::new(size, 2.4).with_alphabets(LabelAlphabets::new(8, 4));
+        graphs.extend(
+            cfg.generate_many(per_bucket, &mut rng)
+                .expect("generation succeeds"),
+        );
+    }
+    graphs.truncate(n);
+    let query = graphs[graphs.len().min(18) - 1].clone();
+    (graphs, query)
+}
 
 /// Default scale applied to the real-dataset profiles so the whole experiment
 /// suite runs in minutes on laptop hardware (the paper's counts divided by
@@ -93,6 +123,28 @@ mod tests {
         let ds = synthetic_dataset(&[50, 80], true);
         assert_eq!(ds.subsets.len(), 2);
         assert_eq!(ds.subsets[0].vertices, 50);
+    }
+
+    #[test]
+    fn mixed_size_workload_is_deterministic_and_bucketed() {
+        let (graphs, query) = mixed_size_online_workload(40);
+        assert_eq!(graphs.len(), 40);
+        assert_eq!(graphs[17].vertex_count(), query.vertex_count());
+        for (b, &size) in MIXED_SIZE_BUCKETS.iter().enumerate() {
+            assert_eq!(graphs[b * 10].vertex_count(), size);
+        }
+        let (again, _) = mixed_size_online_workload(40);
+        assert_eq!(
+            gbd_graph::graph_branch_distance(&graphs[0], &again[0]),
+            0,
+            "same seed must regenerate the same workload"
+        );
+        // Tiny and non-multiple sizes still return exactly n graphs and an
+        // in-range query.
+        for n in [1usize, 2, 8, 10] {
+            let (small, _) = mixed_size_online_workload(n);
+            assert_eq!(small.len(), n);
+        }
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct GbdaConfig {
     /// database graph. Disabling it lets the engine answer most graphs with
     /// a single integer comparison against the per-size ϕ threshold.
     pub record_posteriors: bool,
+    /// Whether scans run the candidate-pruning cascade of [`crate::filter`]:
+    /// monotone GBD bounds plus the inverted-index count filter, resolving
+    /// most graphs without merging their branch runs. Results are
+    /// bit-identical with the cascade on or off; disabling it forces the
+    /// exact flat merge for every graph (the pre-cascade scan).
+    pub filter_cascade: bool,
 }
 
 impl Default for GbdaConfig {
@@ -59,6 +65,7 @@ impl Default for GbdaConfig {
             variant: GbdaVariant::Standard,
             shards: 1,
             record_posteriors: true,
+            filter_cascade: true,
         }
     }
 }
@@ -103,6 +110,12 @@ impl GbdaConfig {
         self.record_posteriors = record;
         self
     }
+
+    /// Overrides whether scans run the filter cascade of [`crate::filter`].
+    pub fn with_filter_cascade(mut self, enabled: bool) -> Self {
+        self.filter_cascade = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +130,13 @@ mod tests {
         assert_eq!(c.variant, GbdaVariant::Standard);
         assert_eq!(c.shards, 1);
         assert!(c.record_posteriors);
+        assert!(c.filter_cascade);
+    }
+
+    #[test]
+    fn filter_cascade_can_be_disabled() {
+        let c = GbdaConfig::default().with_filter_cascade(false);
+        assert!(!c.filter_cascade);
     }
 
     #[test]

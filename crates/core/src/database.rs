@@ -13,13 +13,38 @@
 //!   graph, all runs packed into a single contiguous arena. The hot GBD path
 //!   is a branchless merge over `(u32 id, u32 count)` slices of that arena —
 //!   no pointer chasing through per-branch edge-label vectors.
+//!
+//! On top of the arena the database pre-computes what the filter cascade of
+//! [`crate::filter`] needs to skip most of those merges:
+//!
+//! * **per-graph aggregates** — vertex count, distinct-run count and largest
+//!   run multiplicity, each in its own flat array so the scan touches a
+//!   couple of integers instead of a `Graph`;
+//! * **size buckets** — every graph is assigned the index of its vertex
+//!   count within [`GraphDatabase::distinct_sizes`], so per-size decisions (posterior
+//!   thresholds) are computed once per bucket and shared by every graph in
+//!   it;
+//! * a CSR-style **inverted branch index** mapping branch id →
+//!   [`Posting`] list of `(graph, count)`, sorted by graph index. Walking
+//!   the query's runs over these postings yields the *exact* multiset
+//!   intersection with every database graph without merging any runs.
 
 use gbd_graph::{
     BranchCatalog, BranchMultiset, BranchRun, DatasetStats, FlatBranchView, Graph, LabelAlphabets,
 };
 
-/// A graph database with pre-computed branch multisets and an arena of flat
-/// interned branch sets.
+/// One entry of the inverted branch index: graph `graph` contains `count`
+/// copies of the branch whose postings list this entry belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Database index of the graph.
+    pub graph: u32,
+    /// Multiplicity of the branch in that graph.
+    pub count: u32,
+}
+
+/// A graph database with pre-computed branch multisets, an arena of flat
+/// interned branch sets, per-graph aggregates and an inverted branch index.
 #[derive(Debug, Clone)]
 pub struct GraphDatabase {
     graphs: Vec<Graph>,
@@ -34,6 +59,49 @@ pub struct GraphDatabase {
     max_vertices: usize,
     /// Sorted distinct vertex counts, used to bound posterior memoization.
     distinct_sizes: Vec<usize>,
+    /// `sizes[i]` is graph `i`'s vertex count (`|B_i|`, total branches).
+    sizes: Vec<u32>,
+    /// `buckets[i]` indexes graph `i`'s vertex count in `distinct_sizes`.
+    buckets: Vec<u32>,
+    /// `run_counts[i]` is the number of distinct branch runs of graph `i`.
+    run_counts: Vec<u32>,
+    /// `max_run_counts[i]` is the largest run multiplicity of graph `i`.
+    max_run_counts: Vec<u32>,
+    /// CSR offsets: branch id `b`'s postings live at
+    /// `postings[posting_offsets[b]..posting_offsets[b + 1]]`.
+    posting_offsets: Vec<u32>,
+    /// All postings, grouped by branch id, sorted by graph index within
+    /// each group.
+    postings: Vec<Posting>,
+}
+
+/// Builds the CSR inverted index from the per-graph arena spans with two
+/// counting passes (no sorting): postings inherit the ascending graph order.
+fn build_inverted_index(
+    branch_count: usize,
+    spans: &[(u32, u32)],
+    arena: &[BranchRun],
+) -> (Vec<u32>, Vec<Posting>) {
+    let mut offsets = vec![0u32; branch_count + 1];
+    for run in arena {
+        offsets[run.id as usize + 1] += 1;
+    }
+    for b in 0..branch_count {
+        offsets[b + 1] += offsets[b];
+    }
+    let mut cursors: Vec<u32> = offsets[..branch_count].to_vec();
+    let mut postings = vec![Posting { graph: 0, count: 0 }; arena.len()];
+    for (graph, &(start, len)) in spans.iter().enumerate() {
+        for run in &arena[start as usize..(start + len) as usize] {
+            let slot = cursors[run.id as usize];
+            postings[slot as usize] = Posting {
+                graph: graph as u32,
+                count: run.count,
+            };
+            cursors[run.id as usize] = slot + 1;
+        }
+    }
+    (offsets, postings)
 }
 
 impl GraphDatabase {
@@ -65,6 +133,27 @@ impl GraphDatabase {
         let mut distinct_sizes: Vec<usize> = graphs.iter().map(Graph::vertex_count).collect();
         distinct_sizes.sort_unstable();
         distinct_sizes.dedup();
+        let sizes: Vec<u32> = graphs.iter().map(|g| g.vertex_count() as u32).collect();
+        let buckets: Vec<u32> = graphs
+            .iter()
+            .map(|g| {
+                distinct_sizes
+                    .binary_search(&g.vertex_count())
+                    .expect("every vertex count is in distinct_sizes") as u32
+            })
+            .collect();
+        let run_counts: Vec<u32> = spans.iter().map(|&(_, len)| len).collect();
+        let max_run_counts: Vec<u32> = spans
+            .iter()
+            .map(|&(start, len)| {
+                arena[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|run| run.count)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let (posting_offsets, postings) = build_inverted_index(catalog.len(), &spans, &arena);
         GraphDatabase {
             graphs,
             branches,
@@ -74,6 +163,12 @@ impl GraphDatabase {
             alphabets,
             max_vertices,
             distinct_sizes,
+            sizes,
+            buckets,
+            run_counts,
+            max_run_counts,
+            posting_offsets,
+            postings,
         }
     }
 
@@ -136,6 +231,53 @@ impl GraphDatabase {
     /// bounds how many distinct posteriors a whole scan can evaluate.
     pub fn distinct_sizes(&self) -> &[usize] {
         &self.distinct_sizes
+    }
+
+    /// Vertex count of the `i`-th graph, read from the flat aggregate array
+    /// (no `Graph` pointer chase on the scan hot path).
+    pub fn size_of(&self, i: usize) -> usize {
+        self.sizes[i] as usize
+    }
+
+    /// Index of the `i`-th graph's vertex count in [`Self::distinct_sizes`] —
+    /// its *size bucket*. Per-size threshold decisions are computed once per
+    /// bucket and shared by every graph in it.
+    pub fn bucket_of(&self, i: usize) -> usize {
+        self.buckets[i] as usize
+    }
+
+    /// Number of distinct branch runs of the `i`-th graph.
+    pub fn distinct_runs(&self, i: usize) -> usize {
+        self.run_counts[i] as usize
+    }
+
+    /// Largest run multiplicity of the `i`-th graph (0 for an empty graph).
+    pub fn max_run_count(&self, i: usize) -> u32 {
+        self.max_run_counts[i]
+    }
+
+    /// The postings list of one catalogued branch id: every `(graph, count)`
+    /// pair with that branch, sorted by graph index.
+    ///
+    /// # Panics
+    /// Panics if `branch_id` was not produced by [`Self::catalog`].
+    pub fn postings(&self, branch_id: u32) -> &[Posting] {
+        let start = self.posting_offsets[branch_id as usize] as usize;
+        let end = self.posting_offsets[branch_id as usize + 1] as usize;
+        &self.postings[start..end]
+    }
+
+    /// Total number of postings in the inverted index (equals
+    /// [`Self::arena_len`]: one posting per stored run).
+    pub fn postings_len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Rebuilds the inverted index from the stored arena spans and returns
+    /// it. Diagnostic / benchmarking hook: the constructor already built and
+    /// stored an identical index.
+    pub fn rebuild_inverted_index(&self) -> (Vec<u32>, Vec<Posting>) {
+        build_inverted_index(self.catalog.len(), &self.spans, &self.arena)
     }
 
     /// GBD between two database graphs over the flat arena storage.
@@ -222,6 +364,58 @@ mod tests {
     fn distinct_sizes_are_sorted_and_deduplicated() {
         let db = db();
         assert_eq!(db.distinct_sizes(), &[3, 4]);
+    }
+
+    #[test]
+    fn aggregates_mirror_the_flat_sets() {
+        let db = db();
+        for i in 0..db.len() {
+            assert_eq!(db.size_of(i), db.graph(i).vertex_count());
+            assert_eq!(db.distinct_sizes()[db.bucket_of(i)], db.size_of(i));
+            assert_eq!(db.distinct_runs(i), db.flat(i).runs().len());
+            assert_eq!(
+                db.max_run_count(i),
+                db.flat(i).runs().iter().map(|r| r.count).max().unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn inverted_index_reconstructs_every_flat_set() {
+        let db = db();
+        // Collect (graph, id, count) triples back out of the postings.
+        let mut from_postings: Vec<Vec<(u32, u32)>> = vec![Vec::new(); db.len()];
+        let mut total = 0usize;
+        for id in 0..db.catalog().len() as u32 {
+            let postings = db.postings(id);
+            // Sorted by graph index within each list.
+            assert!(postings.windows(2).all(|w| w[0].graph < w[1].graph));
+            for p in postings {
+                from_postings[p.graph as usize].push((id, p.count));
+                total += 1;
+            }
+        }
+        assert_eq!(total, db.postings_len());
+        assert_eq!(db.postings_len(), db.arena_len());
+        for (i, gathered) in from_postings.iter().enumerate() {
+            let runs: Vec<(u32, u32)> = db.flat(i).runs().iter().map(|r| (r.id, r.count)).collect();
+            // Postings were gathered in ascending id order, runs are sorted
+            // by id, so the two sequences must be identical.
+            assert_eq!(gathered, &runs, "postings diverge for graph {i}");
+        }
+    }
+
+    #[test]
+    fn rebuild_inverted_index_matches_the_stored_index() {
+        let db = db();
+        let (offsets, postings) = db.rebuild_inverted_index();
+        assert_eq!(offsets.len(), db.catalog().len() + 1);
+        assert_eq!(postings.len(), db.postings_len());
+        for id in 0..db.catalog().len() as u32 {
+            let rebuilt =
+                &postings[offsets[id as usize] as usize..offsets[id as usize + 1] as usize];
+            assert_eq!(rebuilt, db.postings(id));
+        }
     }
 
     #[test]

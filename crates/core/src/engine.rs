@@ -12,18 +12,25 @@
 //!   sequential scan, kept as the equivalence baseline for tests and
 //!   benchmarks.
 //!
-//! Per pair, the hot path is: one branchless merge over the flat interned
-//! branch runs (`ϕ`), then either a [`PosteriorCache`] lookup or — when
-//! posterior recording is off — a single integer comparison against the
-//! per-size ϕ threshold. All modes return bit-identical matches and
-//! posteriors because every path evaluates the same
-//! [`gbd_prob::posterior_ged_at_most`] on the same inputs.
+//! Per pair, the hot path depends on [`GbdaConfig::filter_cascade`]. With
+//! the cascade on (the default), most graphs are resolved by the pruning
+//! layer of [`crate::filter`]: whole size buckets are accepted or rejected
+//! from the L1 size bound, per-graph aggregates refine the bound, and the
+//! inverted-index count filter supplies the exact `ϕ` of the survivors —
+//! without merging a single branch run. With the cascade off, every pair
+//! pays one branchless merge over the flat interned branch runs, then
+//! either a [`PosteriorCache`] lookup or — when posterior recording is off —
+//! a single integer comparison against the per-size ϕ threshold. All modes
+//! return bit-identical matches and posteriors because every path evaluates
+//! the same [`gbd_prob::posterior_ged_at_most`] on the same inputs, and the
+//! count filter reproduces the merge's intersection exactly.
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,26 +40,33 @@ use gbd_prob::posterior_ged_at_most;
 
 use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::GraphDatabase;
+use crate::filter::{FilterCascade, SizeDecision};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 use crate::search::{SearchOutcome, SearchStats};
 
-/// Per-shard scan accounting, merged into [`SearchStats`].
-#[derive(Debug, Clone, Copy, Default)]
-struct ShardStats {
-    cache_hits: usize,
-    cache_misses: usize,
-    threshold_accepts: usize,
-    evaluated: usize,
+/// Stage-1 classification of one size bucket: the L1 size bound is constant
+/// over a bucket, so whole buckets resolve with two integer comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BucketClass {
+    /// Every possible ϕ of the bucket lies in the accepting prefix.
+    Accept,
+    /// Every possible ϕ of the bucket lies in the rejecting suffix.
+    Reject,
+    /// The bucket's ϕ interval straddles a region boundary; later stages
+    /// decide per graph.
+    Gray,
 }
 
-impl ShardStats {
-    fn absorb(&mut self, other: ShardStats) {
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.threshold_accepts += other.threshold_accepts;
-        self.evaluated += other.evaluated;
-    }
+/// Per-query scan state shared by all shards: the flattened query, the
+/// optional filter cascade and — in fast (non-recording) cascade mode — one
+/// [`SizeDecision`] and stage-1 class per size bucket.
+struct ScanContext<'q> {
+    query_size: usize,
+    query_flat: &'q FlatBranchSet,
+    cascade: Option<FilterCascade<'q>>,
+    bucket_decisions: Vec<SizeDecision>,
+    bucket_classes: Vec<BucketClass>,
 }
 
 /// The GBDA query engine: database + offline index + configuration + memo
@@ -64,9 +78,10 @@ pub struct QueryEngine<'a> {
     /// `|V'1|` override used by the GBDA-V1 variant.
     fixed_extended_size: Option<usize>,
     cache: PosteriorCache,
-    /// `phi_thresholds[|V'1|]` is the largest ϕ of the contiguous prefix with
-    /// `Φ ≥ γ` (`None` when even ϕ = 0 misses the bar).
-    phi_thresholds: RwLock<HashMap<usize, Option<u64>>>,
+    /// Memoized per-extended-size accept/reject regions of the posterior
+    /// (see [`SizeDecision`]); shared by the threshold fast path and the
+    /// filter cascade.
+    decisions: RwLock<HashMap<usize, SizeDecision>>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -93,7 +108,7 @@ impl<'a> QueryEngine<'a> {
             index,
             fixed_extended_size,
             cache: PosteriorCache::new(config.tau_hat),
-            phi_thresholds: RwLock::new(HashMap::new()),
+            decisions: RwLock::new(HashMap::new()),
             config,
         }
     }
@@ -153,12 +168,15 @@ impl<'a> QueryEngine<'a> {
 
     /// The extended size `|V'1|` used for one pair, honouring GBDA-V1.
     fn extended_size(&self, query: &Graph, graph_index: usize) -> usize {
+        self.extended_size_for(query.vertex_count(), self.database.size_of(graph_index))
+    }
+
+    /// [`Self::extended_size`] over raw vertex counts — the scan-side form
+    /// that reads the database's flat size array instead of a `Graph`.
+    fn extended_size_for(&self, query_size: usize, graph_size: usize) -> usize {
         match self.fixed_extended_size {
             Some(v) => v,
-            None => query
-                .vertex_count()
-                .max(self.database.graph(graph_index).vertex_count())
-                .max(1),
+            None => query_size.max(graph_size).max(1),
         }
     }
 
@@ -168,27 +186,53 @@ impl<'a> QueryEngine<'a> {
         self.cache.posterior(self.index, extended_size, phi)
     }
 
-    /// The largest ϕ of the contiguous prefix `{0, 1, …}` whose posteriors
-    /// all clear `γ`, for one extended size; `None` when ϕ = 0 already
-    /// misses. Exploits that `Φ` decays in ϕ in practice: a scan can then
-    /// accept `ϕ ≤ threshold` with a single integer comparison. Values past
-    /// the prefix still fall back to a memoized posterior compare, so
-    /// non-monotone tails cannot change any result.
-    pub fn phi_threshold(&self, extended_size: usize) -> Option<u64> {
-        if let Some(&threshold) = self.phi_thresholds.read().get(&extended_size) {
-            return threshold;
+    /// The accept/reject regions of the posterior for one extended size,
+    /// computed once per engine from the memoized posterior and cached.
+    ///
+    /// The accepting prefix is the largest contiguous `{0, 1, …}` range
+    /// whose posteriors all clear `γ`; the rejecting suffix is the largest
+    /// contiguous tail up to `cap` whose posteriors all miss it. ϕ values
+    /// between the regions (possible when `Φ` is non-monotone in ϕ) fall
+    /// back to a memoized posterior compare, so the regions cannot change
+    /// any result.
+    pub fn size_decision(&self, extended_size: usize) -> SizeDecision {
+        if let Some(&decision) = self.decisions.read().get(&extended_size) {
+            return decision;
         }
         let cap = self.database.max_vertices().max(extended_size) as u64;
-        let mut threshold = None;
+        let mut accept_max = None;
         for phi in 0..=cap {
             if self.cache.posterior(self.index, extended_size, phi) >= self.config.gamma {
-                threshold = Some(phi);
+                accept_max = Some(phi);
             } else {
                 break;
             }
         }
-        self.phi_thresholds.write().insert(extended_size, threshold);
-        threshold
+        let mut reject_min = cap + 1;
+        for phi in (0..=cap).rev() {
+            // Mirror the scan's `posterior >= gamma` branch exactly, so a
+            // NaN-producing model fault could never flip a decision.
+            if self.cache.posterior(self.index, extended_size, phi) >= self.config.gamma {
+                break;
+            }
+            reject_min = phi;
+        }
+        let decision = SizeDecision {
+            extended_size,
+            cap,
+            accept_max,
+            reject_min,
+        };
+        self.decisions.write().insert(extended_size, decision);
+        decision
+    }
+
+    /// The largest ϕ of the contiguous prefix `{0, 1, …}` whose posteriors
+    /// all clear `γ`, for one extended size; `None` when ϕ = 0 already
+    /// misses. Exploits that `Φ` decays in ϕ in practice: a scan can then
+    /// accept `ϕ ≤ threshold` with a single integer comparison.
+    pub fn phi_threshold(&self, extended_size: usize) -> Option<u64> {
+        self.size_decision(extended_size).accept_max
     }
 
     /// Runs Algorithm 1 for one query graph over `config.shards` database
@@ -197,34 +241,108 @@ impl<'a> QueryEngine<'a> {
         self.search_with_shards(query, self.config.shards)
     }
 
-    /// Runs a batch of queries, distributing them over `config.shards`
-    /// worker threads. Each worker scans its queries sequentially; all
-    /// workers share the posterior memo. Outcomes keep the input order and
-    /// are identical to running [`Self::search`] per query.
+    /// Runs a batch of queries over `config.shards` worker threads. One
+    /// thread scope is built for the whole batch and the workers pull
+    /// queries from a shared cursor (work stealing), so a handful of slow
+    /// queries cannot idle the other workers the way fixed chunks would.
+    /// All workers share the posterior memo. Outcomes keep the input order
+    /// and are identical to running [`Self::search`] per query.
     pub fn search_batch(&self, queries: &[Graph]) -> Vec<SearchOutcome> {
+        self.search_batch_with_stats(queries).0
+    }
+
+    /// [`Self::search_batch`] plus the batch-aggregated [`SearchStats`]:
+    /// counters (including the filter cascade's per-stage skip counts) are
+    /// summed over all queries, timings are summed, and `shards` reports
+    /// the number of worker threads the batch actually used.
+    pub fn search_batch_with_stats(&self, queries: &[Graph]) -> (Vec<SearchOutcome>, SearchStats) {
         let shards = self.config.shards.max(1);
-        if shards <= 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.search(q)).collect();
+        let mut batch_workers = None;
+        let outcomes: Vec<SearchOutcome> = if shards <= 1 || queries.len() <= 1 {
+            queries.iter().map(|q| self.search(q)).collect()
+        } else {
+            let workers = shards.min(queries.len());
+            batch_workers = Some(workers);
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<SearchOutcome>>> =
+                (0..queries.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        if next >= queries.len() {
+                            break;
+                        }
+                        let outcome = self.search_with_shards(&queries[next], 1);
+                        *slots[next].lock() = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("every batch slot is filled by a worker")
+                })
+                .collect()
+        };
+        let mut stats = SearchStats::default();
+        for outcome in &outcomes {
+            stats.absorb(&outcome.stats);
         }
-        let workers = shards.min(queries.len());
-        let chunk = queries.len().div_ceil(workers);
-        let mut outcomes: Vec<Option<SearchOutcome>> = Vec::new();
-        outcomes.resize_with(queries.len(), || None);
-        std::thread::scope(|scope| {
-            for (query_chunk, outcome_chunk) in
-                queries.chunks(chunk).zip(outcomes.chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (query, slot) in query_chunk.iter().zip(outcome_chunk.iter_mut()) {
-                        *slot = Some(self.search_with_shards(query, 1));
-                    }
-                });
+        // Work-stealing workers scan each query unsharded (shards = 1 in
+        // every outcome), so report the batch's actual worker count instead.
+        if let Some(workers) = batch_workers {
+            stats.shards = workers;
+        }
+        (outcomes, stats)
+    }
+
+    /// Builds the per-query scan context: the flattened query, the cascade
+    /// state and — in fast cascade mode — the per-bucket decisions and
+    /// stage-1 classes, computed once and shared by every shard.
+    fn scan_context<'q>(
+        &'q self,
+        query: &'q Graph,
+        query_flat: &'q FlatBranchSet,
+    ) -> ScanContext<'q> {
+        let query_size = query.vertex_count();
+        let weight = match self.config.variant {
+            GbdaVariant::WeightedGbd { weight } => Some(weight),
+            _ => None,
+        };
+        let cascade = self
+            .config
+            .filter_cascade
+            .then(|| FilterCascade::new(self.database, query_flat, weight));
+        let mut bucket_decisions = Vec::new();
+        let mut bucket_classes = Vec::new();
+        if let Some(cascade) = &cascade {
+            if !self.config.record_posteriors {
+                for &size in self.database.distinct_sizes() {
+                    let decision = self.size_decision(self.extended_size_for(query_size, size));
+                    let class = if cascade.bounds_usable() {
+                        let (lb, ub) = cascade.size_bounds(size);
+                        match decision.classify_interval(lb, ub) {
+                            Some(true) => BucketClass::Accept,
+                            Some(false) => BucketClass::Reject,
+                            None => BucketClass::Gray,
+                        }
+                    } else {
+                        BucketClass::Gray
+                    };
+                    bucket_decisions.push(decision);
+                    bucket_classes.push(class);
+                }
             }
-        });
-        outcomes
-            .into_iter()
-            .map(|outcome| outcome.expect("every batch slot is filled by its worker"))
-            .collect()
+        }
+        ScanContext {
+            query_size,
+            query_flat,
+            cascade,
+            bucket_decisions,
+            bucket_classes,
+        }
     }
 
     fn search_with_shards(&self, query: &Graph, shards: usize) -> SearchOutcome {
@@ -232,6 +350,7 @@ impl<'a> QueryEngine<'a> {
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.database.catalog().flatten_lookup(&query_branches);
+        let ctx = self.scan_context(query, &query_flat);
         let flatten_seconds = flatten_started.elapsed().as_secs_f64();
 
         let n = self.database.len();
@@ -241,35 +360,29 @@ impl<'a> QueryEngine<'a> {
 
         let scan_started = Instant::now();
         let mut matches = Vec::new();
-        let mut totals = ShardStats::default();
+        let mut totals = SearchStats::default();
         if shards <= 1 {
             let slice = record.then_some(posteriors.as_mut_slice());
-            let (shard_matches, stats) = self.scan_range(query, &query_flat, 0..n, slice);
+            let (shard_matches, stats) = self.scan_range(&ctx, 0..n, slice);
             matches = shard_matches;
-            totals.absorb(stats);
+            totals.absorb(&stats);
         } else {
             let chunk = n.div_ceil(shards);
             let ranges: Vec<Range<usize>> = (0..shards)
                 .map(|k| (k * chunk)..n.min((k + 1) * chunk))
                 .collect();
-            let mut results: Vec<(Vec<usize>, ShardStats)> = Vec::with_capacity(shards);
+            let mut results: Vec<(Vec<usize>, SearchStats)> = Vec::with_capacity(shards);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(shards);
                 if record {
                     for (range, slice) in ranges.iter().cloned().zip(posteriors.chunks_mut(chunk)) {
-                        let query_flat = &query_flat;
-                        handles.push(
-                            scope.spawn(move || {
-                                self.scan_range(query, query_flat, range, Some(slice))
-                            }),
-                        );
+                        let ctx = &ctx;
+                        handles.push(scope.spawn(move || self.scan_range(ctx, range, Some(slice))));
                     }
                 } else {
                     for range in ranges.iter().cloned() {
-                        let query_flat = &query_flat;
-                        handles.push(
-                            scope.spawn(move || self.scan_range(query, query_flat, range, None)),
-                        );
+                        let ctx = &ctx;
+                        handles.push(scope.spawn(move || self.scan_range(ctx, range, None)));
                     }
                 }
                 for handle in handles {
@@ -280,48 +393,151 @@ impl<'a> QueryEngine<'a> {
             // preserves the database ordering of matches.
             for (shard_matches, stats) in results {
                 matches.extend(shard_matches);
-                totals.absorb(stats);
+                totals.absorb(&stats);
             }
         }
+        totals.shards = shards;
+        totals.flatten_seconds = flatten_seconds;
+        totals.scan_seconds = scan_started.elapsed().as_secs_f64();
 
         SearchOutcome {
             matches,
             posteriors,
             seconds: started.elapsed().as_secs_f64(),
-            stats: SearchStats {
-                shards,
-                flatten_seconds,
-                scan_seconds: scan_started.elapsed().as_secs_f64(),
-                cache_hits: totals.cache_hits,
-                cache_misses: totals.cache_misses,
-                threshold_accepts: totals.threshold_accepts,
-                evaluated: totals.evaluated,
-            },
+            stats: totals,
+        }
+    }
+
+    /// Looks up the memoized posterior through the scan's thread-local memo
+    /// in front of the shared [`PosteriorCache`], so the steady-state inner
+    /// loop touches no lock at all — repeated `(|V'1|, ϕ)` keys within one
+    /// shard resolve locally.
+    fn lookup_posterior(
+        &self,
+        local: &mut HashMap<(usize, u64), f64>,
+        stats: &mut SearchStats,
+        extended_size: usize,
+        phi: u64,
+    ) -> f64 {
+        let key = (extended_size, phi);
+        match local.get(&key) {
+            Some(&posterior) => {
+                stats.cache_hits += 1;
+                posterior
+            }
+            None => {
+                let (posterior, hit) = self.cache.posterior_tracked(self.index, extended_size, phi);
+                local.insert(key, posterior);
+                if hit {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+                posterior
+            }
         }
     }
 
     /// Scans one contiguous database range; `posteriors` (when recording) is
     /// the output slice for exactly that range.
     ///
-    /// Each scan keeps a thread-local memo in front of the shared
-    /// [`PosteriorCache`], so the steady-state inner loop touches no lock at
-    /// all — repeated `(|V'1|, ϕ)` keys within one shard resolve locally.
+    /// With the cascade on, the range's exact intersections are accumulated
+    /// from the inverted index once (when any bucket needs them) and each
+    /// graph is resolved by the first cascade stage that can decide it; the
+    /// flat branch-run merge only runs when the cascade is off.
     fn scan_range(
         &self,
-        query: &Graph,
-        query_flat: &FlatBranchSet,
+        ctx: &ScanContext<'_>,
         range: Range<usize>,
         mut posteriors: Option<&mut [f64]>,
-    ) -> (Vec<usize>, ShardStats) {
+    ) -> (Vec<usize>, SearchStats) {
+        let record = posteriors.is_some();
         let mut matches = Vec::new();
-        let mut stats = ShardStats::default();
+        let mut stats = SearchStats::default();
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
         let start = range.start;
+
+        // Stage 3 input: exact per-graph intersections from the inverted
+        // index. Skipped entirely when stage 1 already classified every
+        // size bucket of a fast scan.
+        let accumulator: Option<Vec<u32>> = ctx.cascade.as_ref().and_then(|cascade| {
+            let needed = record || ctx.bucket_classes.contains(&BucketClass::Gray);
+            needed.then(|| cascade.intersections(range.clone()))
+        });
+
         for i in range {
             stats.evaluated += 1;
-            let phi = self.observed_phi_flat(query_flat, i);
-            let extended_size = self.extended_size(query, i);
-            if posteriors.is_none() {
+            let extended_size = self.extended_size_for(ctx.query_size, self.database.size_of(i));
+
+            if let Some(cascade) = &ctx.cascade {
+                if record {
+                    // Recording scans need a posterior per graph, so only
+                    // the merge is skippable: ϕ comes from the count filter.
+                    let acc = accumulator.as_ref().expect("recording scans accumulate");
+                    let phi = cascade.phi_exact(i, acc[i - start]);
+                    stats.postings_resolved += 1;
+                    let posterior =
+                        self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
+                    if let Some(slice) = posteriors.as_deref_mut() {
+                        slice[i - start] = posterior;
+                    }
+                    if posterior >= self.config.gamma {
+                        matches.push(i);
+                    }
+                    continue;
+                }
+                let bucket = self.database.bucket_of(i);
+                let decision = ctx.bucket_decisions[bucket];
+                match ctx.bucket_classes[bucket] {
+                    BucketClass::Accept => {
+                        stats.bound_accepted += 1;
+                        matches.push(i);
+                    }
+                    BucketClass::Reject => {
+                        stats.bound_rejected += 1;
+                    }
+                    BucketClass::Gray => {
+                        // Stage 2: refine the bound with per-graph aggregates.
+                        if cascade.bounds_usable() {
+                            let (lb, ub) = cascade.refined_bounds(i);
+                            match decision.classify_interval(lb, ub) {
+                                Some(true) => {
+                                    stats.bound_accepted += 1;
+                                    matches.push(i);
+                                    continue;
+                                }
+                                Some(false) => {
+                                    stats.bound_rejected += 1;
+                                    continue;
+                                }
+                                None => {}
+                            }
+                        }
+                        // Stage 3: the exact ϕ from the count filter.
+                        let acc = accumulator.as_ref().expect("gray buckets accumulate");
+                        let phi = cascade.phi_exact(i, acc[i - start]);
+                        stats.postings_resolved += 1;
+                        if decision.accepts(phi) {
+                            stats.threshold_accepts += 1;
+                            matches.push(i);
+                        } else if !decision.rejects(phi) {
+                            // Between the regions (or past the cap): memoized
+                            // posterior compare, exactly like the merge path.
+                            let posterior =
+                                self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
+                            if posterior >= self.config.gamma {
+                                matches.push(i);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // Cascade off: the exact flat branch-run merge.
+            stats.merged += 1;
+            let phi = self.observed_phi_flat(ctx.query_flat, i);
+            if !record {
                 if let Some(threshold) = self.phi_threshold(extended_size) {
                     if phi <= threshold {
                         stats.threshold_accepts += 1;
@@ -330,24 +546,7 @@ impl<'a> QueryEngine<'a> {
                     }
                 }
             }
-            let key = (extended_size, phi);
-            let posterior = match local.get(&key) {
-                Some(&posterior) => {
-                    stats.cache_hits += 1;
-                    posterior
-                }
-                None => {
-                    let (posterior, hit) =
-                        self.cache.posterior_tracked(self.index, extended_size, phi);
-                    local.insert(key, posterior);
-                    if hit {
-                        stats.cache_hits += 1;
-                    } else {
-                        stats.cache_misses += 1;
-                    }
-                    posterior
-                }
-            };
+            let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
             if let Some(slice) = posteriors.as_deref_mut() {
                 slice[i - start] = posterior;
             }
@@ -394,6 +593,7 @@ impl<'a> QueryEngine<'a> {
                 shards: 1,
                 evaluated: self.database.len(),
                 cache_misses: self.database.len(),
+                merged: self.database.len(),
                 ..SearchStats::default()
             },
         }
@@ -523,6 +723,133 @@ mod tests {
                 assert!(engine.posterior_value(size, t + 1) < gamma);
             }
             None => assert!(engine.posterior_value(size, 0) < gamma),
+        }
+    }
+
+    /// A workload whose vertex counts are spread far enough apart that the
+    /// L1 size bound genuinely rejects whole buckets.
+    fn spread_setup(tau_hat: u64) -> (Vec<Graph>, GraphDatabase, GbdaConfig) {
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut graphs = Vec::new();
+        for size in [8usize, 16, 24, 32] {
+            let cfg = GeneratorConfig::new(size, 2.2).with_alphabets(LabelAlphabets::new(6, 3));
+            graphs.extend(cfg.generate_many(10, &mut rng).unwrap());
+        }
+        let queries: Vec<Graph> = (0..4).map(|i| graphs[i * 11].clone()).collect();
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(tau_hat, 0.8).with_sample_pairs(300);
+        (queries, database, config)
+    }
+
+    #[test]
+    fn cascade_scan_is_bit_identical_to_the_merge_scan() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        for record in [true, false] {
+            let with = QueryEngine::new(
+                &database,
+                &index,
+                config.clone().with_record_posteriors(record),
+            );
+            let without = QueryEngine::new(
+                &database,
+                &index,
+                config
+                    .clone()
+                    .with_record_posteriors(record)
+                    .with_filter_cascade(false),
+            );
+            for (qi, query) in queries.iter().enumerate() {
+                let a = with.search(query);
+                let b = without.search(query);
+                assert_eq!(a.matches, b.matches, "record={record}, query {qi}");
+                for (x, y) in a.posteriors.iter().zip(&b.posteriors) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "record={record}, query {qi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_stages_account_for_every_graph_and_skip_all_merges() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let fast = QueryEngine::new(&database, &index, config.with_record_posteriors(false));
+        let mut bound_rejections = 0;
+        for query in &queries {
+            let stats = fast.search(query).stats;
+            assert_eq!(
+                stats.bound_rejected
+                    + stats.bound_accepted
+                    + stats.postings_resolved
+                    + stats.merged,
+                stats.evaluated,
+                "stage counters must partition the scan"
+            );
+            assert_eq!(stats.evaluated, database.len());
+            assert_eq!(stats.merged, 0, "the cascade never merges");
+            assert_eq!(stats.skipped_merges(), database.len());
+            bound_rejections += stats.bound_rejected;
+        }
+        assert!(
+            bound_rejections > 0,
+            "spread sizes must trigger L1 bound rejections"
+        );
+    }
+
+    #[test]
+    fn disabled_cascade_merges_every_graph() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config.with_filter_cascade(false));
+        let stats = engine.search(&queries[0]).stats;
+        assert_eq!(stats.merged, database.len());
+        assert_eq!(stats.skipped_merges(), 0);
+    }
+
+    #[test]
+    fn size_decisions_agree_with_the_memoized_posterior() {
+        let (_, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let gamma = config.gamma;
+        let engine = QueryEngine::new(&database, &index, config);
+        for &size in database.distinct_sizes() {
+            let decision = engine.size_decision(size);
+            assert_eq!(decision.cap, database.max_vertices() as u64);
+            for phi in 0..=decision.cap {
+                let accepted = engine.posterior_value(size, phi) >= gamma;
+                if decision.accepts(phi) {
+                    assert!(accepted, "accepting prefix lies at size {size}, ϕ {phi}");
+                }
+                if decision.rejects(phi) {
+                    assert!(!accepted, "rejecting suffix lies at size {size}, ϕ {phi}");
+                }
+            }
+            assert_eq!(engine.phi_threshold(size), decision.accept_max);
+        }
+    }
+
+    #[test]
+    fn batch_stats_aggregate_the_filter_counters() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(
+            &database,
+            &index,
+            config.with_record_posteriors(false).with_shards(3),
+        );
+        let (outcomes, stats) = engine.search_batch_with_stats(&queries);
+        assert_eq!(outcomes.len(), queries.len());
+        assert_eq!(stats.evaluated, database.len() * queries.len());
+        assert_eq!(stats.shards, 3, "batch stats report the worker count");
+        let per_query: usize = outcomes.iter().map(|o| o.stats.bound_rejected).sum();
+        assert_eq!(stats.bound_rejected, per_query);
+        assert_eq!(
+            stats.skipped_merges() + stats.merged,
+            database.len() * queries.len()
+        );
+        for (query, outcome) in queries.iter().zip(&outcomes) {
+            outcomes_identical(outcome, &engine.search(query));
         }
     }
 

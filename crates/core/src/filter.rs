@@ -1,0 +1,330 @@
+//! The candidate-pruning layer: a cascade of monotone GBD bounds plus the
+//! inverted-index count filter.
+//!
+//! The online decision for one database graph `G` only needs the posterior
+//! `Φ = Pr[GED ≤ τ̂ | GBD = ϕ]` compared against `γ`, and `Φ` depends on the
+//! pair only through `(|V'1|, ϕ)`. Because the extended size is shared by
+//! every graph in a size bucket, the whole decision collapses to "where does
+//! ϕ fall inside this bucket's [`SizeDecision`]": an *accepting prefix*
+//! `ϕ ≤ accept_max` and a *rejecting suffix* `ϕ ≥ reject_min`, both derived
+//! from the same memoized posterior the exact path evaluates. A graph can
+//! therefore be resolved from *bounds* on ϕ alone:
+//!
+//! 1. **L1 size bound** — `|B_Q ∩ B_G| ≤ min(known(Q), |G|)`, so
+//!    `ϕ ≥ max(|Q|, |G|) − min(known(Q), |G|)`. Constant per size bucket:
+//!    whole buckets are accepted or rejected with two comparisons.
+//! 2. **Distinct-run bound** — at most `min(d_Q, d_G)` distinct branches can
+//!    match, each at most `min(maxrun_Q, maxrun_G)` times. Per graph, still
+//!    only aggregate reads.
+//! 3. **Partial-intersection count filter** — walking the query's runs over
+//!    the database's inverted postings accumulates the *exact*
+//!    `|B_Q ∩ B_G|` for every graph in a range, so ϕ is known exactly
+//!    without merging a single run pair.
+//!
+//! Every stage is conservative: a bound decides only when the entire
+//! possible ϕ interval lands inside the accepting prefix or the rejecting
+//! suffix, and the count filter reproduces the merge's intersection
+//! bit-for-bit, so cascade results are identical to the exact scan.
+
+use std::ops::Range;
+
+use gbd_graph::{FlatBranchSet, UNKNOWN_BRANCH_ID};
+
+use crate::database::GraphDatabase;
+
+/// The per-extended-size accept/reject regions of the posterior, shared by
+/// every graph in a size bucket.
+///
+/// Built by `QueryEngine::size_decision` from the memoized posterior: the
+/// accepting prefix is the largest `ϕ` range `{0, …, accept_max}` whose
+/// posteriors all clear `γ`, the rejecting suffix is the smallest
+/// `reject_min` such that every `ϕ ∈ [reject_min, cap]` misses `γ`. Values
+/// between the two regions (possible when the posterior is non-monotone in
+/// ϕ) always fall back to a memoized posterior comparison, so the regions
+/// can never change a result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeDecision {
+    /// The extended size `|V'1|` this decision applies to.
+    pub extended_size: usize,
+    /// Largest ϕ the decision covers; ϕ beyond `cap` is never classified.
+    pub cap: u64,
+    /// Largest ϕ of the contiguous accepting prefix (`None` when ϕ = 0
+    /// already misses `γ`).
+    pub accept_max: Option<u64>,
+    /// Smallest ϕ of the contiguous rejecting suffix (`cap + 1` when even
+    /// ϕ = cap clears `γ`).
+    pub reject_min: u64,
+}
+
+impl SizeDecision {
+    /// Returns `true` when `Φ(ϕ) ≥ γ` is guaranteed.
+    pub fn accepts(&self, phi: u64) -> bool {
+        matches!(self.accept_max, Some(t) if phi <= t)
+    }
+
+    /// Returns `true` when `Φ(ϕ) < γ` is guaranteed.
+    pub fn rejects(&self, phi: u64) -> bool {
+        phi >= self.reject_min && phi <= self.cap
+    }
+
+    /// Classifies a whole ϕ interval: `Some(true)` when every value in
+    /// `[lb, ub]` is accepted, `Some(false)` when every value is rejected,
+    /// `None` when the interval straddles a region boundary.
+    pub fn classify_interval(&self, lb: u64, ub: u64) -> Option<bool> {
+        debug_assert!(lb <= ub);
+        if self.accepts(ub) {
+            // The prefix is contiguous from 0, so accepting `ub` accepts all.
+            Some(true)
+        } else if lb >= self.reject_min && ub <= self.cap {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-query pruning state: the query's flat runs plus the handful of
+/// aggregates the bound stages read.
+///
+/// The cascade is variant-aware: for GBDA-V2 the observed distance is the
+/// weighted `VGBD = max{|V1|, |V2|} − w · |B_Q ∩ B_G|` (Equation 26), which
+/// is monotone in the intersection only for `w ≥ 0` — [`Self::bounds_usable`]
+/// gates the bound stages accordingly, while the count filter stays exact
+/// for any weight.
+#[derive(Debug)]
+pub struct FilterCascade<'a> {
+    database: &'a GraphDatabase,
+    query: &'a FlatBranchSet,
+    /// `|Q|` — all query branches, unknowns included (what GBD divides on).
+    query_total: usize,
+    /// Query branches with a catalogued id (only these can intersect).
+    query_known: usize,
+    /// Number of distinct catalogued query runs.
+    query_known_runs: usize,
+    /// Largest multiplicity among the catalogued query runs.
+    query_max_run: u32,
+    /// `Some(w)` for GBDA-V2, `None` for the plain GBD.
+    weight: Option<f64>,
+}
+
+impl<'a> FilterCascade<'a> {
+    /// Builds the cascade state for one query (already flattened against the
+    /// database catalog). `weight` is `Some` for the GBDA-V2 variant.
+    pub fn new(database: &'a GraphDatabase, query: &'a FlatBranchSet, weight: Option<f64>) -> Self {
+        let view = query.as_view();
+        FilterCascade {
+            database,
+            query,
+            query_total: view.len(),
+            query_known: view.known_len(),
+            query_known_runs: view.known_runs().len(),
+            query_max_run: view.max_known_run_count(),
+            weight,
+        }
+    }
+
+    /// Whether the bound stages may be used: the observed distance must be
+    /// monotone non-increasing in the intersection size. Always true for the
+    /// plain GBD; true for the weighted variant only when `w ≥ 0`.
+    pub fn bounds_usable(&self) -> bool {
+        self.weight.is_none_or(|w| w >= 0.0)
+    }
+
+    /// The observed distance for a graph of `graph_total` vertices with
+    /// intersection `inter` — exactly the arithmetic of
+    /// [`gbd_graph::FlatBranchView::gbd`] / `weighted_gbd` plus the engine's
+    /// rounding, so a value computed from the count filter is bit-identical
+    /// to one computed from a merge.
+    pub fn phi_from_intersection(&self, graph_total: usize, inter: usize) -> u64 {
+        let max = self.query_total.max(graph_total);
+        match self.weight {
+            None => (max - inter) as u64,
+            Some(w) => {
+                let value = max as f64 - w * inter as f64;
+                value.round().max(0.0) as u64
+            }
+        }
+    }
+
+    /// Stage 1 — the L1 size/total-count bound, constant over a size bucket:
+    /// `(ϕ_lb, ϕ_ub)` for any graph with `graph_total` vertices.
+    ///
+    /// Only catalogued query branches can match, so
+    /// `|B_Q ∩ B_G| ≤ min(known(Q), |G|)` and ϕ is at least the distance at
+    /// that intersection; ϕ is at most the distance at intersection 0.
+    pub fn size_bounds(&self, graph_total: usize) -> (u64, u64) {
+        let inter_ub = self.query_known.min(graph_total);
+        (
+            self.phi_from_intersection(graph_total, inter_ub),
+            self.phi_from_intersection(graph_total, 0),
+        )
+    }
+
+    /// Stage 2 — the distinct-run refinement for one graph: at most
+    /// `min(d_Q, d_G)` distinct branches can match, each contributing at
+    /// most `min(maxrun_Q, maxrun_G)` copies.
+    pub fn refined_bounds(&self, graph: usize) -> (u64, u64) {
+        let graph_total = self.database.size_of(graph);
+        let runs = self
+            .query_known_runs
+            .min(self.database.distinct_runs(graph));
+        let per_run = self.query_max_run.min(self.database.max_run_count(graph)) as usize;
+        let inter_ub = self.query_known.min(graph_total).min(runs * per_run);
+        (
+            self.phi_from_intersection(graph_total, inter_ub),
+            self.phi_from_intersection(graph_total, 0),
+        )
+    }
+
+    /// Stage 3 — the count filter: walks the query's runs over the inverted
+    /// postings and accumulates the **exact** multiset intersection
+    /// `|B_Q ∩ B_G|` for every graph in `range` (indexed relative to
+    /// `range.start`). Graphs sharing no branch with the query are never
+    /// touched and keep intersection 0.
+    pub fn intersections(&self, range: Range<usize>) -> Vec<u32> {
+        let mut acc = vec![0u32; range.len()];
+        for run in self.query.runs() {
+            if run.id == UNKNOWN_BRANCH_ID {
+                continue; // unknown branches match nothing
+            }
+            let postings = self.database.postings(run.id);
+            let lo = postings.partition_point(|p| (p.graph as usize) < range.start);
+            for posting in &postings[lo..] {
+                let graph = posting.graph as usize;
+                if graph >= range.end {
+                    break;
+                }
+                acc[graph - range.start] += run.count.min(posting.count);
+            }
+        }
+        acc
+    }
+
+    /// The exact observed distance for one graph given its accumulated
+    /// intersection from [`Self::intersections`].
+    pub fn phi_exact(&self, graph: usize, intersection: u32) -> u64 {
+        self.phi_from_intersection(self.database.size_of(graph), intersection as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::{BranchMultiset, GeneratorConfig, Graph, LabelAlphabets};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (GraphDatabase, Vec<Graph>) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut graphs = Vec::new();
+        for size in [6usize, 9, 12] {
+            let cfg = GeneratorConfig::new(size, 2.0).with_alphabets(LabelAlphabets::new(4, 3));
+            graphs.extend(cfg.generate_many(8, &mut rng).unwrap());
+        }
+        // Queries from a different seed so some branches are unknown.
+        let cfg = GeneratorConfig::new(10, 2.0).with_alphabets(LabelAlphabets::new(4, 3));
+        let queries = cfg.generate_many(4, &mut rng).unwrap();
+        (GraphDatabase::from_graphs(graphs), queries)
+    }
+
+    #[test]
+    fn count_filter_reproduces_the_merge_intersection() {
+        let (db, queries) = setup();
+        for query in &queries {
+            let multiset = BranchMultiset::from_graph(query);
+            let flat = db.catalog().flatten_lookup(&multiset);
+            let cascade = FilterCascade::new(&db, &flat, None);
+            let acc = cascade.intersections(0..db.len());
+            for (i, &acc_i) in acc.iter().enumerate() {
+                let merged = flat.as_view().intersection_size(db.flat(i));
+                assert_eq!(acc_i as usize, merged, "intersection diverges on {i}");
+                assert_eq!(
+                    cascade.phi_exact(i, acc_i),
+                    flat.as_view().gbd(db.flat(i)) as u64,
+                    "exact ϕ diverges on {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_filter_respects_sub_ranges() {
+        let (db, queries) = setup();
+        let multiset = BranchMultiset::from_graph(&queries[0]);
+        let flat = db.catalog().flatten_lookup(&multiset);
+        let cascade = FilterCascade::new(&db, &flat, None);
+        let full = cascade.intersections(0..db.len());
+        for range in [0..5usize, 5..db.len(), 11..12, 3..3] {
+            let partial = cascade.intersections(range.clone());
+            assert_eq!(partial.len(), range.len());
+            for (offset, value) in partial.iter().enumerate() {
+                assert_eq!(*value, full[range.start + offset]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_the_exact_distance() {
+        let (db, queries) = setup();
+        for weight in [None, Some(0.0), Some(0.4), Some(1.0)] {
+            for query in &queries {
+                let multiset = BranchMultiset::from_graph(query);
+                let flat = db.catalog().flatten_lookup(&multiset);
+                let cascade = FilterCascade::new(&db, &flat, weight);
+                assert!(cascade.bounds_usable());
+                let acc = cascade.intersections(0..db.len());
+                for (i, &acc_i) in acc.iter().enumerate() {
+                    let phi = cascade.phi_exact(i, acc_i);
+                    let (lb1, ub1) = cascade.size_bounds(db.size_of(i));
+                    let (lb2, ub2) = cascade.refined_bounds(i);
+                    assert!(lb1 <= phi && phi <= ub1, "stage-1 bound violated on {i}");
+                    assert!(lb2 <= phi && phi <= ub2, "stage-2 bound violated on {i}");
+                    assert!(lb2 >= lb1, "stage 2 must refine stage 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_weights_disable_the_bound_stages() {
+        let (db, queries) = setup();
+        let multiset = BranchMultiset::from_graph(&queries[0]);
+        let flat = db.catalog().flatten_lookup(&multiset);
+        let cascade = FilterCascade::new(&db, &flat, Some(-0.5));
+        assert!(!cascade.bounds_usable());
+        // The count filter stays exact regardless of the weight.
+        let acc = cascade.intersections(0..db.len());
+        for (i, &acc_i) in acc.iter().enumerate() {
+            let expected = flat.as_view().weighted_gbd(db.flat(i), -0.5);
+            assert_eq!(
+                cascade.phi_exact(i, acc_i),
+                expected.round().max(0.0) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn size_decision_classifies_intervals_conservatively() {
+        let d = SizeDecision {
+            extended_size: 10,
+            cap: 10,
+            accept_max: Some(2),
+            reject_min: 6,
+        };
+        assert!(d.accepts(0) && d.accepts(2) && !d.accepts(3));
+        assert!(d.rejects(6) && d.rejects(10) && !d.rejects(5) && !d.rejects(11));
+        assert_eq!(d.classify_interval(0, 2), Some(true));
+        assert_eq!(d.classify_interval(6, 10), Some(false));
+        assert_eq!(d.classify_interval(2, 6), None); // straddles the gap
+        assert_eq!(d.classify_interval(5, 5), None); // inside the gap
+        assert_eq!(d.classify_interval(8, 11), None); // exceeds the cap
+        let none = SizeDecision {
+            extended_size: 10,
+            cap: 10,
+            accept_max: None,
+            reject_min: 0,
+        };
+        assert!(!none.accepts(0));
+        assert_eq!(none.classify_interval(0, 10), Some(false));
+    }
+}

@@ -13,6 +13,9 @@
 //!   variants,
 //! * [`engine`] — the execution layer: [`QueryEngine`] with batch queries,
 //!   shard-parallel scans and per-stage statistics,
+//! * [`filter`] — the candidate-pruning layer: the lower-bound filter
+//!   cascade and inverted-index count filter that resolve most graphs
+//!   without merging their branch runs,
 //! * [`posterior_cache`] — memoization of the posterior per `(|V'1|, ϕ)`,
 //! * [`baseline`] — a uniform [`SimilaritySearcher`] interface shared with
 //!   the LSAP / Greedy-Sort-GED / seriation baselines,
@@ -46,6 +49,7 @@ pub mod database;
 pub mod engine;
 pub mod error;
 pub mod estimator;
+pub mod filter;
 pub mod metrics;
 pub mod offline;
 pub mod posterior_cache;
@@ -53,10 +57,11 @@ pub mod search;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
 pub use config::{GbdaConfig, GbdaVariant};
-pub use database::GraphDatabase;
+pub use database::{GraphDatabase, Posting};
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
+pub use filter::{FilterCascade, SizeDecision};
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
 pub use posterior_cache::PosteriorCache;

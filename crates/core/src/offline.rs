@@ -4,7 +4,9 @@
 //!
 //! 1. the **GBD prior** `Λ2` — GBDs of `N` sampled database pairs are fitted
 //!    with a Gaussian mixture and discretised via continuity correction
-//!    (Section V-B, cost `O(N·n·d)`),
+//!    (Section V-B, cost `O(N·n·d)`); the pair GBDs are computed on
+//!    `GbdaConfig::shards` scoped threads with a bit-identical result for
+//!    any shard count,
 //! 2. the **GED prior** `Λ3` — the Jeffreys prior, one normalised column per
 //!    extended size `|V'1|` (Section V-C, cost `O(n·τ̂⁵)`).
 //!
@@ -106,24 +108,49 @@ impl OfflineIndex {
         let mut rng = StdRng::seed_from_u64(config.seed);
 
         // Step 1.1–1.4: sample pairs, compute GBDs, fit the GMM, discretise.
+        // Pair selection is sequential (it consumes the seeded RNG); the GBD
+        // computation of the selected pairs — the offline sampling
+        // bottleneck — is spread over `config.shards` scoped threads. Each
+        // worker writes a disjoint slice of the pre-sized sample buffer, so
+        // the sample order (and therefore the Λ2 fit) is bit-identical for
+        // any shard count.
         let started = Instant::now();
         let total_pairs = database.len() * (database.len() - 1) / 2;
         let sample_count = config.sample_pairs.min(total_pairs.max(1));
-        let mut samples = Vec::with_capacity(sample_count);
-        if total_pairs <= config.sample_pairs {
+        let pairs: Vec<(usize, usize)> = if total_pairs <= config.sample_pairs {
             // Small databases: enumerate every pair instead of sampling.
+            let mut pairs = Vec::with_capacity(total_pairs);
             for i in 0..database.len() {
                 for j in (i + 1)..database.len() {
-                    samples.push(database.gbd_between(i, j) as f64);
+                    pairs.push((i, j));
                 }
             }
+            pairs
         } else {
             // Larger databases: draw distinct pairs without replacement so
             // no pair is double-counted in the Λ2 fit.
-            for p in sample_distinct_pairs(total_pairs, sample_count, &mut rng) {
-                let (i, j) = pair_from_index(p, database.len());
-                samples.push(database.gbd_between(i, j) as f64);
+            sample_distinct_pairs(total_pairs, sample_count, &mut rng)
+                .into_iter()
+                .map(|p| pair_from_index(p, database.len()))
+                .collect()
+        };
+        let mut samples = vec![0.0f64; pairs.len()];
+        let workers = config.shards.max(1).min(pairs.len().max(1));
+        if workers <= 1 {
+            for (slot, &(i, j)) in samples.iter_mut().zip(&pairs) {
+                *slot = database.gbd_between(i, j) as f64;
             }
+        } else {
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(samples.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, &(i, j)) in out_chunk.iter_mut().zip(pair_chunk) {
+                            *slot = database.gbd_between(i, j) as f64;
+                        }
+                    });
+                }
+            });
         }
         let gbd_prior = GbdPrior::fit(&samples, database.max_vertices(), &config.gmm);
         let gbd_prior_seconds = started.elapsed().as_secs_f64();
@@ -279,6 +306,35 @@ mod tests {
         let config = GbdaConfig::new(3, 0.8).with_sample_pairs(150);
         let index = OfflineIndex::build(&db, &config).unwrap();
         assert_eq!(index.stats().sampled_pairs, 150);
+    }
+
+    #[test]
+    fn sharded_offline_build_is_bit_identical_to_sequential() {
+        let db = small_database();
+        for sample_pairs in [100_000usize, 150] {
+            // 100k enumerates every pair, 150 samples without replacement —
+            // both paths must be deterministic across shard counts.
+            let sequential = GbdaConfig::new(4, 0.8).with_sample_pairs(sample_pairs);
+            let index_seq = OfflineIndex::build(&db, &sequential).unwrap();
+            for shards in [2usize, 3, 8, 64] {
+                let index_par =
+                    OfflineIndex::build(&db, &sequential.clone().with_shards(shards)).unwrap();
+                assert_eq!(
+                    index_seq.stats().sampled_pairs,
+                    index_par.stats().sampled_pairs
+                );
+                let a = index_seq.gbd_prior().table();
+                let b = index_par.gbd_prior().table();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "Λ2 diverges with {shards} shards / {sample_pairs} pairs"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

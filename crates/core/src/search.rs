@@ -39,6 +39,42 @@ pub struct SearchStats {
     pub threshold_accepts: usize,
     /// Database graphs scanned.
     pub evaluated: usize,
+    /// Graphs rejected by a cascade bound stage alone — no ϕ was computed
+    /// for them at all (only exercised when posterior recording is off and
+    /// [`GbdaConfig::filter_cascade`] is on).
+    pub bound_rejected: usize,
+    /// Graphs accepted by a cascade bound stage alone — the upper bound on ϕ
+    /// already fell inside the accepting prefix.
+    pub bound_accepted: usize,
+    /// Graphs whose exact ϕ came from the inverted-index count filter
+    /// instead of a branch-run merge.
+    pub postings_resolved: usize,
+    /// Graphs that fell through to the exact flat branch-run merge (every
+    /// graph when the cascade is off; none when it is on).
+    pub merged: usize,
+}
+
+impl SearchStats {
+    /// Database graphs resolved without a flat branch-run merge.
+    pub fn skipped_merges(&self) -> usize {
+        self.bound_rejected + self.bound_accepted + self.postings_resolved
+    }
+
+    /// Sums another search's counters and timings into this one (used to
+    /// aggregate batch statistics); `shards` keeps the maximum observed.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.shards = self.shards.max(other.shards);
+        self.flatten_seconds += other.flatten_seconds;
+        self.scan_seconds += other.scan_seconds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.threshold_accepts += other.threshold_accepts;
+        self.evaluated += other.evaluated;
+        self.bound_rejected += other.bound_rejected;
+        self.bound_accepted += other.bound_accepted;
+        self.postings_resolved += other.postings_resolved;
+        self.merged += other.merged;
+    }
 }
 
 /// Result of one similarity search.

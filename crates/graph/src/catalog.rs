@@ -191,6 +191,21 @@ impl FlatBranchSet {
         }
     }
 
+    /// Number of branches with a catalogued id (total minus the unknown run).
+    pub fn known_len(&self) -> usize {
+        self.as_view().known_len()
+    }
+
+    /// The runs with catalogued ids (the unknown-sentinel run stripped).
+    pub fn known_runs(&self) -> &[BranchRun] {
+        self.as_view().known_runs()
+    }
+
+    /// Largest multiplicity among the catalogued runs (0 when there are none).
+    pub fn max_known_run_count(&self) -> u32 {
+        self.as_view().max_known_run_count()
+    }
+
     /// Multiset intersection size against another flat set.
     pub fn intersection_size(&self, other: &FlatBranchSet) -> usize {
         self.as_view().intersection_size(other.as_view())
@@ -237,6 +252,44 @@ impl<'a> FlatBranchView<'a> {
     /// Returns `true` for the empty multiset.
     pub fn is_empty(self) -> bool {
         self.total == 0
+    }
+
+    /// Number of branches with a catalogued id (total minus the unknown run).
+    ///
+    /// Only catalogued branches can contribute to an intersection, so this is
+    /// the tightest multiset-level upper bound on `|B_Q ∩ B_G|` that needs no
+    /// per-pair work: `|B_Q ∩ B_G| ≤ min(known_len(Q), known_len(G))`.
+    pub fn known_len(self) -> usize {
+        self.total - self.unknown_count()
+    }
+
+    /// Multiplicity of the trailing [`UNKNOWN_BRANCH_ID`] run (0 without one).
+    pub fn unknown_count(self) -> usize {
+        match self.runs.last() {
+            Some(run) if run.id == UNKNOWN_BRANCH_ID => run.count as usize,
+            _ => 0,
+        }
+    }
+
+    /// The runs with catalogued ids (the unknown-sentinel run stripped).
+    pub fn known_runs(self) -> &'a [BranchRun] {
+        match self.runs.last() {
+            Some(run) if run.id == UNKNOWN_BRANCH_ID => &self.runs[..self.runs.len() - 1],
+            _ => self.runs,
+        }
+    }
+
+    /// Largest multiplicity among the catalogued runs (0 when there are
+    /// none). Each of the ≤ `min(d_Q, d_G)` common distinct branches
+    /// contributes at most `min` of the two multiplicities, so
+    /// `|B_Q ∩ B_G| ≤ min(d_Q, d_G) · min(max_run(Q), max_run(G))` — the
+    /// distinct-run bound of the filter cascade.
+    pub fn max_known_run_count(self) -> u32 {
+        self.known_runs()
+            .iter()
+            .map(|run| run.count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Multiset intersection size `|B_G1 ∩ B_G2|` as a merge over integer
@@ -411,6 +464,38 @@ mod tests {
         assert_eq!(view.gbd(flat.as_view()), 0);
         assert_eq!(view.len(), 2);
         assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn aggregates_split_known_and_unknown_runs() {
+        let mut catalog = BranchCatalog::new();
+        // Intern two branches so they are "known" to the catalog.
+        catalog.intern(branch(0, &[1]));
+        catalog.intern(branch(2, &[3]));
+        let multiset = BranchMultiset::from_branches(vec![
+            branch(0, &[1]),
+            branch(0, &[1]),
+            branch(0, &[1]),
+            branch(2, &[3]),
+            branch(99, &[]), // unknown to the catalog
+            branch(98, &[]), // unknown to the catalog
+        ]);
+        let flat = catalog.flatten_lookup(&multiset);
+        assert_eq!(flat.len(), 6);
+        assert_eq!(flat.known_len(), 4);
+        assert_eq!(flat.as_view().unknown_count(), 2);
+        assert_eq!(flat.known_runs().len(), 2);
+        assert_eq!(flat.max_known_run_count(), 3);
+        // A fully interned set has no unknown run to strip.
+        let fully = catalog.flatten(&BranchMultiset::from_branches(vec![branch(0, &[1])]));
+        assert_eq!(fully.known_len(), 1);
+        assert_eq!(fully.known_runs(), fully.runs());
+        assert_eq!(fully.max_known_run_count(), 1);
+        // Empty sets report zero everywhere.
+        let empty = catalog.flatten_lookup(&BranchMultiset::default());
+        assert_eq!(empty.known_len(), 0);
+        assert_eq!(empty.max_known_run_count(), 0);
+        assert!(empty.known_runs().is_empty());
     }
 
     #[test]

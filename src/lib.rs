@@ -67,9 +67,9 @@ pub mod prelude {
     };
     pub use gbd_seriation::SeriationGed;
     pub use gbda_core::{
-        Confusion, EngineError, EngineResult, EstimatorSearcher, GbdaConfig, GbdaEstimator,
-        GbdaSearcher, GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache, QueryEngine,
-        SearchOutcome, SearchStats, SimilaritySearcher,
+        Confusion, EngineError, EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig,
+        GbdaEstimator, GbdaSearcher, GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache,
+        Posting, QueryEngine, SearchOutcome, SearchStats, SimilaritySearcher, SizeDecision,
     };
 }
 

@@ -138,6 +138,93 @@ proptest! {
         prop_assert_eq!(cache.posterior(&index, size, phi).to_bits(), direct.to_bits());
     }
 
+    /// Every filter-cascade bound is a true lower/upper bound on the exact
+    /// observed branch distance, and the inverted-index count filter
+    /// reproduces the merge's intersection exactly — for the plain GBD and
+    /// the weighted V2 distance alike.
+    #[test]
+    fn filter_bounds_sandwich_the_exact_distance(seed in 0u64..120, q_seed in 1000u64..1120,
+                                                 n_lo in 3usize..10, q_size in 3usize..18,
+                                                 w_tenths in 0usize..11) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut graphs = Vec::new();
+        for size in [n_lo, n_lo + 5, n_lo + 9] {
+            let cfg = GeneratorConfig::new(size, 2.0)
+                .with_alphabets(LabelAlphabets::new(5, 3));
+            graphs.extend(cfg.generate_many(5, &mut rng).unwrap());
+        }
+        let database = GraphDatabase::from_graphs(graphs);
+        let query = graph_from_seed(q_seed, q_size, 2.0, 5);
+        let multiset = BranchMultiset::from_graph(&query);
+        let flat = database.catalog().flatten_lookup(&multiset);
+        let weight = (w_tenths > 0).then(|| w_tenths as f64 / 10.0);
+        let cascade = FilterCascade::new(&database, &flat, weight);
+        prop_assert!(cascade.bounds_usable());
+        let acc = cascade.intersections(0..database.len());
+        for (i, &acc_i) in acc.iter().enumerate() {
+            let merged_inter = flat.as_view().intersection_size(database.flat(i));
+            prop_assert_eq!(acc_i as usize, merged_inter, "count filter diverges on {}", i);
+            let phi = cascade.phi_exact(i, acc_i);
+            let expected = match weight {
+                None => flat.as_view().gbd(database.flat(i)) as u64,
+                Some(w) => flat.as_view().weighted_gbd(database.flat(i), w)
+                    .round().max(0.0) as u64,
+            };
+            prop_assert_eq!(phi, expected, "exact ϕ diverges on {}", i);
+            let (lb1, ub1) = cascade.size_bounds(database.size_of(i));
+            let (lb2, ub2) = cascade.refined_bounds(i);
+            prop_assert!(lb1 <= phi && phi <= ub1, "stage-1 bound violated on {}", i);
+            prop_assert!(lb2 <= phi && phi <= ub2, "stage-2 bound violated on {}", i);
+            prop_assert!(lb2 >= lb1 && ub2 <= ub1, "stage 2 must refine stage 1");
+        }
+    }
+
+    /// The cascade-enabled engine is bit-identical to the seed-faithful
+    /// `reference_search` across the standard, V1 and V2 modes, recording
+    /// posteriors or not.
+    #[test]
+    fn cascade_search_matches_reference_search(seed in 0u64..40, variant_pick in 0usize..3,
+                                               tau_hat in 2u64..5, record in 0usize..2) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut graphs = Vec::new();
+        for size in [8usize, 12, 16] {
+            let cfg = GeneratorConfig::new(size, 2.2)
+                .with_alphabets(LabelAlphabets::new(6, 3));
+            graphs.extend(cfg.generate_many(8, &mut rng).unwrap());
+        }
+        let queries: Vec<Graph> = vec![graphs[0].clone(), graphs[15].clone()];
+        let database = GraphDatabase::from_graphs(graphs);
+        let variant = match variant_pick {
+            0 => GbdaVariant::Standard,
+            1 => GbdaVariant::AverageExtendedSize { sample_graphs: 5 },
+            _ => GbdaVariant::WeightedGbd { weight: 0.4 },
+        };
+        let config = GbdaConfig::new(tau_hat, 0.75)
+            .with_sample_pairs(150)
+            .with_variant(variant);
+        prop_assert!(config.filter_cascade, "the cascade must default to on");
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(
+            &database,
+            &index,
+            config.with_record_posteriors(record == 1),
+        );
+        for query in &queries {
+            let cascade = engine.search(query);
+            let reference = engine.reference_search(query);
+            prop_assert_eq!(&cascade.matches, &reference.matches);
+            prop_assert_eq!(cascade.stats.merged, 0);
+            if record == 1 {
+                prop_assert_eq!(cascade.posteriors.len(), reference.posteriors.len());
+                for (x, y) in cascade.posteriors.iter().zip(&reference.posteriors) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "posterior bits diverge");
+                }
+            } else {
+                prop_assert!(cascade.posteriors.is_empty());
+            }
+        }
+    }
+
     /// The Hungarian solver never exceeds the greedy solution.
     #[test]
     fn hungarian_is_optimal_relative_to_greedy(seed in 0u64..500, n in 1usize..9) {

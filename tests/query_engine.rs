@@ -1,7 +1,8 @@
 //! Equivalence guarantees of the query engine's execution modes: sharded
-//! scans, batch execution and the threshold fast path must return exactly
-//! the results of the seed-faithful sequential scan, for the standard
-//! estimator and for both ablation variants (GBDA-V1, GBDA-V2).
+//! scans, batch execution, the threshold fast path and the filter cascade
+//! must return exactly the results of the seed-faithful sequential scan,
+//! for the standard estimator and for both ablation variants (GBDA-V1,
+//! GBDA-V2).
 
 use gbda::prelude::*;
 use rand::SeedableRng;
@@ -117,6 +118,77 @@ fn threshold_fast_path_matches_recorded_scan_for_all_variants() {
             assert!(b.posteriors.is_empty());
         }
     }
+}
+
+#[test]
+fn filter_cascade_is_bit_identical_to_the_merge_scan_for_all_variants() {
+    for (variant, label) in [
+        (GbdaVariant::Standard, "standard"),
+        (
+            GbdaVariant::AverageExtendedSize { sample_graphs: 8 },
+            "V1(α=8)",
+        ),
+        (GbdaVariant::WeightedGbd { weight: 0.5 }, "V2(w=0.5)"),
+    ] {
+        let (queries, database) = workload();
+        let config = GbdaConfig::new(4, 0.7)
+            .with_sample_pairs(300)
+            .with_variant(variant);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        for record in [true, false] {
+            let cascade = QueryEngine::new(
+                &database,
+                &index,
+                config.clone().with_record_posteriors(record),
+            );
+            let merge = QueryEngine::new(
+                &database,
+                &index,
+                config
+                    .clone()
+                    .with_record_posteriors(record)
+                    .with_filter_cascade(false),
+            );
+            for (qi, query) in queries.iter().enumerate() {
+                let a = cascade.search(query);
+                let b = merge.search(query);
+                let context = format!("{label}, record={record}, query {qi}");
+                assert_outcomes_identical(&a, &b, &context);
+                // The cascade run never merged a single graph; the merge run
+                // merged all of them.
+                assert_eq!(a.stats.merged, 0, "{context}");
+                assert_eq!(a.stats.skipped_merges(), database.len(), "{context}");
+                assert_eq!(b.stats.merged, database.len(), "{context}");
+            }
+        }
+    }
+}
+
+#[test]
+fn cascade_stage_counters_partition_sharded_and_batch_scans() {
+    let (queries, database) = workload();
+    let config = GbdaConfig::new(4, 0.7)
+        .with_sample_pairs(300)
+        .with_record_posteriors(false)
+        .with_shards(4);
+    let index = OfflineIndex::build(&database, &config).unwrap();
+    let engine = QueryEngine::new(&database, &index, config);
+    for query in &queries {
+        let stats = engine.search(query).stats;
+        assert_eq!(
+            stats.bound_rejected + stats.bound_accepted + stats.postings_resolved + stats.merged,
+            database.len(),
+            "stage counters must partition the scan"
+        );
+    }
+    let (outcomes, batch_stats) = engine.search_batch_with_stats(&queries);
+    assert_eq!(outcomes.len(), queries.len());
+    assert_eq!(
+        batch_stats.skipped_merges() + batch_stats.merged,
+        database.len() * queries.len(),
+        "batch stats must aggregate the filter counters"
+    );
+    assert_eq!(batch_stats.evaluated, database.len() * queries.len());
 }
 
 #[test]
