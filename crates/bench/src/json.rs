@@ -82,7 +82,10 @@ impl JsonValue {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::Number(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
+                // `-0.0` must keep its sign through the integer shortcut
+                // (`-0.0 as i64` is `0`); `{}` renders it as "-0", which
+                // parses back to a negative zero bit-for-bit.
+                if n.fract() == 0.0 && n.abs() < 1e15 && !(*n == 0.0 && n.is_sign_negative()) {
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     let _ = write!(out, "{n}");
@@ -271,6 +274,31 @@ impl Parser<'_> {
         }
     }
 
+    /// Reads the four hex digits of a `\uXXXX` escape. Expects `pos` to sit
+    /// on the `u`; leaves it on the final hex digit (the caller's shared
+    /// `pos += 1` then steps past it).
+    fn hex_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Consumes a `\u` escape introducer, leaving `pos` on the `u` (where
+    /// [`Self::hex_escape`] expects it).
+    fn expect_escape_u(&mut self) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '\\u' at byte {}", self.pos))
+        }
+    }
+
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -293,14 +321,26 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                            out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
-                            self.pos += 4;
+                            let code = self.hex_escape()?;
+                            let c = match code {
+                                // A high surrogate must be followed by a
+                                // `\uXXXX` low surrogate; the pair encodes
+                                // one supplementary-plane character.
+                                0xD800..=0xDBFF => {
+                                    self.pos += 1; // past the final hex digit
+                                    if self.expect_escape_u().is_err() {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => return Err("unpaired low surrogate".into()),
+                                code => code,
+                            };
+                            out.push(char::from_u32(c).ok_or("invalid \\u escape")?);
                         }
                         _ => return Err(format!("invalid escape at byte {}", self.pos)),
                     }
@@ -408,5 +448,171 @@ mod tests {
         assert_eq!(JsonValue::Number(1.5).as_usize(), None);
         assert_eq!(JsonValue::Number(7.0).as_usize(), Some(7));
         assert_eq!(JsonValue::Bool(true).as_usize(), None);
+    }
+
+    /// `-0.0` has an all-integer fractional part but must not take the
+    /// `as i64` shortcut — "0" would parse back to `+0.0` and lose the sign
+    /// bit.
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        let rendered = JsonValue::Number(-0.0).render();
+        assert_eq!(rendered.trim(), "-0");
+        let parsed = parse(&rendered).unwrap();
+        let n = parsed.as_f64().unwrap();
+        assert_eq!(n.to_bits(), (-0.0f64).to_bits());
+        // And the positive zero stays a plain "0".
+        assert_eq!(JsonValue::Number(0.0).render().trim(), "0");
+    }
+
+    #[test]
+    fn extreme_numbers_round_trip_bit_exactly() {
+        for value in [
+            1e300,
+            -1e300,
+            5e-324, // smallest subnormal
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            (1u64 << 53) as f64,
+            1e15,       // first value past the integer shortcut
+            1e15 - 1.0, // last value inside it
+            -123456789.000001,
+        ] {
+            let rendered = JsonValue::Number(value).render();
+            let parsed = parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), value.to_bits(), "{value} diverges");
+        }
+    }
+
+    /// JSON encodes supplementary-plane characters as surrogate pairs; the
+    /// parser must combine them (and reject unpaired halves).
+    #[test]
+    fn surrogate_pairs_parse_to_supplementary_characters() {
+        let parsed = parse("\"\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("😀"));
+        let parsed = parse("\"a\\uD834\\uDD1Eb\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("a𝄞b"));
+        for bad in [
+            "\"\\uD83D\"",        // high surrogate at end of string
+            "\"\\uD83D rest\"",   // high surrogate without a second escape
+            "\"\\uD83D\\n\"",     // high surrogate followed by another escape
+            "\"\\uD83D\\u0041\"", // high surrogate with a non-low partner
+            "\"\\uDE00\"",        // unpaired low surrogate
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Bit-exact structural equality: the derived `PartialEq` uses `f64 ==`,
+    /// which calls `-0.0` and `0.0` equal and can therefore mask a lost sign
+    /// bit.
+    fn bit_equal(a: &JsonValue, b: &JsonValue) -> bool {
+        match (a, b) {
+            (JsonValue::Number(x), JsonValue::Number(y)) => x.to_bits() == y.to_bits(),
+            (JsonValue::Array(xs), JsonValue::Array(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_equal(x, y))
+            }
+            (JsonValue::Object(xs), JsonValue::Object(ys)) => {
+                xs.len() == ys.len()
+                    && xs
+                        .iter()
+                        .zip(ys)
+                        .all(|((ka, va), (kb, vb))| ka == kb && bit_equal(va, vb))
+            }
+            _ => a == b,
+        }
+    }
+
+    /// A finite `f64` drawn from the edge-case-heavy corners: signed zeros,
+    /// subnormals, huge exponents, exact integers around the writer's
+    /// integer-shortcut boundary, and ordinary values.
+    fn number(rng: &mut StdRng) -> f64 {
+        match rng.gen_range(0u32..8) {
+            0 => -0.0,
+            1 => 0.0,
+            2 => 5e-324 * (1 + rng.gen_range(0u64..5)) as f64,
+            3 => {
+                (if rng.gen_range(0u32..2) == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }) * 1e300
+            }
+            4 => (rng.gen_range(0i64..4) * 500_000_000_000_000 - 1_000_000_000_000_000) as f64,
+            5 => rng.gen_range(-1e15f64..1e15).trunc(),
+            6 => rng.gen_range(-1.0e6..1.0e6),
+            _ => rng.gen_range(-1.0..1.0) * 10f64.powi(rng.gen_range(-30i32..30)),
+        }
+    }
+
+    /// A string sampling the escape space: quotes, backslashes, control
+    /// characters, multi-byte UTF-8 and supplementary-plane characters.
+    fn string(rng: &mut StdRng) -> String {
+        let alphabet = [
+            "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\r", "\u{0}", "\u{1}", "\u{1f}", "é", "ε",
+            "中", "😀", "𝄞", "/",
+        ];
+        (0..rng.gen_range(0usize..12))
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+
+    /// A random JSON document of bounded depth and width.
+    fn value(rng: &mut StdRng, depth: usize) -> JsonValue {
+        let leaf_only = depth == 0;
+        match rng.gen_range(0u32..if leaf_only { 4 } else { 6 }) {
+            0 => JsonValue::Null,
+            1 => JsonValue::Bool(rng.gen_range(0u32..2) == 0),
+            2 => JsonValue::Number(number(rng)),
+            3 => JsonValue::String(string(rng)),
+            4 => JsonValue::Array(
+                (0..rng.gen_range(0usize..5))
+                    .map(|_| value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => JsonValue::Object(
+                (0..rng.gen_range(0usize..5))
+                    .map(|k| (format!("{}{k}", string(rng)), value(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// render → parse is the identity, bit-for-bit, on nested documents
+        /// full of escape and numeric edge cases.
+        #[test]
+        fn rendered_documents_parse_back_bit_identically(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let document = value(&mut rng, 3);
+            let rendered = document.render();
+            let parsed = parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendered JSON must parse: {e}\n{rendered}"));
+            prop_assert!(
+                bit_equal(&parsed, &document),
+                "round trip diverges:\n{rendered}"
+            );
+        }
+
+        /// Numbers alone round-trip bit-exactly (denser sampling than the
+        /// document test).
+        #[test]
+        fn numbers_round_trip_bit_exactly(seed in 0u64..50_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = number(&mut rng);
+            let rendered = JsonValue::Number(n).render();
+            let parsed = parse(&rendered).unwrap().as_f64().unwrap();
+            prop_assert_eq!(parsed.to_bits(), n.to_bits());
+        }
     }
 }

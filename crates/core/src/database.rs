@@ -30,8 +30,11 @@
 //!   intersection with every database graph without merging any runs.
 
 use gbd_graph::{
-    BranchCatalog, BranchMultiset, BranchRun, DatasetStats, FlatBranchView, Graph, LabelAlphabets,
+    Branch, BranchCatalog, BranchMultiset, BranchRun, DatasetStats, FlatBranchView, Graph,
+    LabelAlphabets,
 };
+
+use crate::error::{EngineError, EngineResult};
 
 /// One entry of the inverted branch index: graph `graph` contains `count`
 /// copies of the branch whose postings list this entry belongs to.
@@ -295,6 +298,264 @@ impl GraphDatabase {
     pub fn gbd_to_flat(&self, query: FlatBranchView<'_>, i: usize) -> usize {
         query.gbd(self.flat(i))
     }
+
+    /// Clones this database's raw parts — the serialisable form a storage
+    /// engine persists. Branch multisets are *not* part of the export: they
+    /// are fully derivable from the catalog and the arena, and
+    /// [`Self::from_parts`] reconstructs them without re-extracting a single
+    /// branch from a graph.
+    pub fn to_parts(&self) -> DatabaseParts {
+        DatabaseParts {
+            graphs: self.graphs.clone(),
+            branches: self.catalog.branches().to_vec(),
+            arena: self.arena.clone(),
+            spans: self.spans.clone(),
+            alphabets: self.alphabets,
+            distinct_sizes: self.distinct_sizes.clone(),
+            sizes: self.sizes.clone(),
+            buckets: self.buckets.clone(),
+            run_counts: self.run_counts.clone(),
+            max_run_counts: self.max_run_counts.clone(),
+            posting_offsets: self.posting_offsets.clone(),
+            postings: self.postings.clone(),
+        }
+    }
+
+    /// Rebuilds a database from exported (or deserialised) parts without
+    /// recomputing the catalog, the aggregates or the inverted index.
+    ///
+    /// Every cross-structure invariant the scan relies on is validated, so a
+    /// corrupted export yields [`EngineError::CorruptDatabase`] here rather
+    /// than a panic (or a wrong answer) during a later query. The per-graph
+    /// branch multisets are reconstructed from the catalog by expanding each
+    /// graph's runs in sorted branch order — a clone per branch instead of
+    /// the extraction, comparison sort and interning hash of
+    /// [`Self::from_graphs`].
+    pub fn from_parts(parts: DatabaseParts) -> EngineResult<Self> {
+        let corrupt = |reason: String| EngineError::CorruptDatabase { reason };
+        let DatabaseParts {
+            graphs,
+            branches,
+            arena,
+            spans,
+            alphabets,
+            distinct_sizes,
+            sizes,
+            buckets,
+            run_counts,
+            max_run_counts,
+            posting_offsets,
+            postings,
+        } = parts;
+        let n = graphs.len();
+        for (name, len) in [
+            ("spans", spans.len()),
+            ("sizes", sizes.len()),
+            ("buckets", buckets.len()),
+            ("run_counts", run_counts.len()),
+            ("max_run_counts", max_run_counts.len()),
+        ] {
+            if len != n {
+                return Err(corrupt(format!("{name} has {len} entries for {n} graphs")));
+            }
+        }
+        let catalog =
+            BranchCatalog::from_branches(branches).map_err(|e| corrupt(format!("catalog: {e}")))?;
+
+        // Spans must tile the arena contiguously and every run must be a
+        // valid, id-sorted reference into the catalog.
+        let mut expected_start = 0u32;
+        for (i, &(start, len)) in spans.iter().enumerate() {
+            if start != expected_start {
+                return Err(corrupt(format!(
+                    "span {i} does not start at {expected_start}"
+                )));
+            }
+            let end = (start as usize)
+                .checked_add(len as usize)
+                .filter(|&end| end <= arena.len())
+                .ok_or_else(|| corrupt(format!("span {i} exceeds the arena")))?;
+            expected_start = end as u32;
+            let runs = &arena[start as usize..end];
+            let mut total = 0usize;
+            for (k, run) in runs.iter().enumerate() {
+                if run.id as usize >= catalog.len() {
+                    return Err(corrupt(format!(
+                        "graph {i} run {k} has unknown id {}",
+                        run.id
+                    )));
+                }
+                if k > 0 && runs[k - 1].id >= run.id {
+                    return Err(corrupt(format!("graph {i} runs are not id-sorted")));
+                }
+                if run.count == 0 {
+                    return Err(corrupt(format!("graph {i} run {k} has count 0")));
+                }
+                total += run.count as usize;
+            }
+            if graphs[i].vertex_count() != sizes[i] as usize {
+                return Err(corrupt(format!(
+                    "graph {i} size disagrees with its aggregate"
+                )));
+            }
+            if total != sizes[i] as usize {
+                return Err(corrupt(format!(
+                    "graph {i} runs sum to {total}, size is {}",
+                    sizes[i]
+                )));
+            }
+            if run_counts[i] != len {
+                return Err(corrupt(format!(
+                    "graph {i} run count disagrees with its span"
+                )));
+            }
+            let max_run = runs.iter().map(|r| r.count).max().unwrap_or(0);
+            if max_run_counts[i] != max_run {
+                return Err(corrupt(format!("graph {i} max run count is stale")));
+            }
+        }
+        if expected_start as usize != arena.len() {
+            return Err(corrupt("spans do not cover the whole arena".into()));
+        }
+
+        // The size-bucket table: sorted, duplicate-free, exactly the sizes
+        // that occur (a phantom bucket would leak into posterior decisions).
+        if !distinct_sizes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("distinct_sizes is not strictly ascending".into()));
+        }
+        let mut seen = vec![false; distinct_sizes.len()];
+        for (i, (&size, &bucket)) in sizes.iter().zip(&buckets).enumerate() {
+            match distinct_sizes.get(bucket as usize) {
+                Some(&expected) if expected == size as usize => seen[bucket as usize] = true,
+                _ => return Err(corrupt(format!("graph {i} has a stale size bucket"))),
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(corrupt("distinct_sizes lists a size no graph has".into()));
+        }
+        let max_vertices = distinct_sizes.last().copied().unwrap_or(0);
+
+        // Postings: structurally safe CSR over the same graphs. Deep
+        // agreement with the arena is covered by the caller's checksum (and
+        // by [`Self::verify_postings`] where callers want the full audit).
+        if posting_offsets.len() != catalog.len() + 1 {
+            return Err(corrupt(format!(
+                "posting offsets have {} entries for {} branches",
+                posting_offsets.len(),
+                catalog.len()
+            )));
+        }
+        if posting_offsets.first().copied().unwrap_or(0) != 0
+            || !posting_offsets.windows(2).all(|w| w[0] <= w[1])
+            || posting_offsets.last().copied().unwrap_or(0) as usize != postings.len()
+        {
+            return Err(corrupt("posting offsets are not a monotone cover".into()));
+        }
+        if postings.len() != arena.len() {
+            return Err(corrupt(format!(
+                "{} postings for {} arena runs",
+                postings.len(),
+                arena.len()
+            )));
+        }
+        for window in posting_offsets.windows(2) {
+            let list = &postings[window[0] as usize..window[1] as usize];
+            for (k, posting) in list.iter().enumerate() {
+                if posting.graph as usize >= n {
+                    return Err(corrupt(format!(
+                        "posting references graph {}",
+                        posting.graph
+                    )));
+                }
+                if k > 0 && list[k - 1].graph >= posting.graph {
+                    return Err(corrupt("a postings list is not graph-sorted".into()));
+                }
+            }
+        }
+
+        // Reconstruct the branch multisets: expand each graph's runs in
+        // sorted branch order (rank table computed once for the catalog).
+        let mut order: Vec<u32> = (0..catalog.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| catalog.branch(a).cmp(catalog.branch(b)));
+        let mut rank = vec![0u32; catalog.len()];
+        for (position, &id) in order.iter().enumerate() {
+            rank[id as usize] = position as u32;
+        }
+        let branches: Vec<BranchMultiset> = spans
+            .iter()
+            .map(|&(start, len)| {
+                let mut runs: Vec<&BranchRun> = arena[start as usize..(start + len) as usize]
+                    .iter()
+                    .collect();
+                runs.sort_unstable_by_key(|run| rank[run.id as usize]);
+                let mut expanded = Vec::with_capacity(runs.iter().map(|r| r.count as usize).sum());
+                for run in runs {
+                    for _ in 0..run.count {
+                        expanded.push(catalog.branch(run.id).clone());
+                    }
+                }
+                BranchMultiset::from_sorted_branches(expanded)
+            })
+            .collect();
+
+        Ok(GraphDatabase {
+            graphs,
+            branches,
+            catalog,
+            arena,
+            spans,
+            alphabets,
+            max_vertices,
+            distinct_sizes,
+            sizes,
+            buckets,
+            run_counts,
+            max_run_counts,
+            posting_offsets,
+            postings,
+        })
+    }
+
+    /// Audits the stored inverted index against a fresh rebuild from the
+    /// arena — the deep consistency check [`Self::from_parts`] leaves to the
+    /// storage layer's checksum. Linear in the arena; used by equivalence
+    /// tests and the `bench_store --check` smoke.
+    pub fn verify_postings(&self) -> bool {
+        let (offsets, postings) = self.rebuild_inverted_index();
+        offsets == self.posting_offsets && postings == self.postings
+    }
+}
+
+/// The raw, serialisable parts of a [`GraphDatabase`]: what
+/// [`GraphDatabase::to_parts`] exports and a snapshot file stores. All fields
+/// are plain data; [`GraphDatabase::from_parts`] revalidates every
+/// cross-structure invariant before a database is rebuilt around them.
+#[derive(Debug, Clone)]
+pub struct DatabaseParts {
+    /// The graphs, in database order.
+    pub graphs: Vec<Graph>,
+    /// The interned branch vocabulary in id order (`branches[i]` has id `i`).
+    pub branches: Vec<Branch>,
+    /// All flat branch runs, concatenated per graph.
+    pub arena: Vec<BranchRun>,
+    /// `spans[i]` is the `(start, len)` arena range of graph `i`.
+    pub spans: Vec<(u32, u32)>,
+    /// Label alphabet sizes used by the probabilistic model.
+    pub alphabets: LabelAlphabets,
+    /// Sorted distinct vertex counts.
+    pub distinct_sizes: Vec<usize>,
+    /// Per-graph vertex counts.
+    pub sizes: Vec<u32>,
+    /// Per-graph size-bucket indices into `distinct_sizes`.
+    pub buckets: Vec<u32>,
+    /// Per-graph distinct-run counts.
+    pub run_counts: Vec<u32>,
+    /// Per-graph largest run multiplicities.
+    pub max_run_counts: Vec<u32>,
+    /// CSR offsets of the inverted branch index.
+    pub posting_offsets: Vec<u32>,
+    /// CSR postings of the inverted branch index.
+    pub postings: Vec<Posting>,
 }
 
 #[cfg(test)]
@@ -433,5 +694,148 @@ mod tests {
         assert_eq!(db.max_vertices(), 0);
         assert_eq!(db.arena_len(), 0);
         assert!(db.distinct_sizes().is_empty());
+    }
+
+    /// Aggregates and the inverted index stay well-defined on the degenerate
+    /// databases the multi-graph tests never build.
+    #[test]
+    fn single_graph_database_aggregates_are_consistent() {
+        let (g1, _) = figure1_g1();
+        let db = GraphDatabase::from_graphs(vec![g1.clone()]);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.distinct_sizes(), &[g1.vertex_count()]);
+        assert_eq!(db.bucket_of(0), 0);
+        assert_eq!(db.size_of(0), g1.vertex_count());
+        assert_eq!(db.distinct_runs(0), db.flat(0).runs().len());
+        assert_eq!(db.postings_len(), db.arena_len());
+        assert_eq!(db.gbd_between(0, 0), 0);
+        assert!(db.verify_postings());
+        // A graph with no edges still catalogues one branch per vertex.
+        let mut lonely = Graph::new();
+        lonely.add_vertex(gbd_graph::Label::new(0));
+        let db = GraphDatabase::from_graphs(vec![lonely]);
+        assert_eq!(db.size_of(0), 1);
+        assert_eq!(db.distinct_runs(0), 1);
+        assert_eq!(db.max_run_count(0), 1);
+    }
+
+    #[test]
+    fn empty_database_postings_and_parts_are_consistent() {
+        let db = GraphDatabase::from_graphs(Vec::new());
+        assert!(db.verify_postings());
+        let rebuilt = GraphDatabase::from_parts(db.to_parts()).unwrap();
+        assert!(rebuilt.is_empty());
+        assert_eq!(rebuilt.arena_len(), 0);
+        assert!(rebuilt.catalog().is_empty());
+    }
+
+    fn parts_db() -> GraphDatabase {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        let mut named = g1.clone();
+        named.set_name("named-one");
+        GraphDatabase::from_graphs(vec![named, g2, g1])
+    }
+
+    #[test]
+    fn parts_round_trip_reconstructs_an_identical_database() {
+        let db = parts_db();
+        let rebuilt = GraphDatabase::from_parts(db.to_parts()).unwrap();
+        assert_eq!(rebuilt.len(), db.len());
+        assert_eq!(rebuilt.alphabets(), db.alphabets());
+        assert_eq!(rebuilt.max_vertices(), db.max_vertices());
+        assert_eq!(rebuilt.distinct_sizes(), db.distinct_sizes());
+        assert_eq!(rebuilt.arena_len(), db.arena_len());
+        assert_eq!(rebuilt.postings_len(), db.postings_len());
+        for i in 0..db.len() {
+            assert_eq!(rebuilt.graph(i).name(), db.graph(i).name());
+            assert_eq!(rebuilt.flat(i).runs(), db.flat(i).runs());
+            assert_eq!(rebuilt.size_of(i), db.size_of(i));
+            assert_eq!(rebuilt.bucket_of(i), db.bucket_of(i));
+            assert_eq!(rebuilt.distinct_runs(i), db.distinct_runs(i));
+            assert_eq!(rebuilt.max_run_count(i), db.max_run_count(i));
+            // The reconstructed multisets are the real thing: same branches,
+            // same order, same GBD.
+            assert_eq!(rebuilt.branches(i), db.branches(i));
+            for j in 0..db.len() {
+                assert_eq!(rebuilt.gbd_between(i, j), db.gbd_between(i, j));
+            }
+        }
+        for id in 0..db.catalog().len() as u32 {
+            assert_eq!(rebuilt.catalog().branch(id), db.catalog().branch(id));
+            assert_eq!(rebuilt.postings(id), db.postings(id));
+        }
+        assert!(rebuilt.verify_postings());
+    }
+
+    #[test]
+    fn corrupted_parts_are_rejected_not_panicked_on() {
+        let db = parts_db();
+        let corrupt = |mutate: &dyn Fn(&mut DatabaseParts)| {
+            let mut parts = db.to_parts();
+            mutate(&mut parts);
+            GraphDatabase::from_parts(parts).unwrap_err()
+        };
+        type Mutation = Box<dyn Fn(&mut DatabaseParts)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            (
+                "missing span",
+                Box::new(|p| {
+                    p.spans.pop();
+                }),
+            ),
+            ("size mismatch", Box::new(|p| p.sizes[0] += 1)),
+            ("stale bucket", Box::new(|p| p.buckets[0] = 1)),
+            ("bucket out of range", Box::new(|p| p.buckets[0] = 99)),
+            ("stale run count", Box::new(|p| p.run_counts[1] += 1)),
+            ("stale max run", Box::new(|p| p.max_run_counts[1] += 1)),
+            (
+                "unsorted distinct sizes",
+                Box::new(|p| p.distinct_sizes.reverse()),
+            ),
+            (
+                "phantom distinct size",
+                Box::new(|p| {
+                    p.distinct_sizes.push(1000);
+                }),
+            ),
+            (
+                "duplicate catalog branch",
+                Box::new(|p| p.branches[1] = p.branches[0].clone()),
+            ),
+            ("arena id out of range", Box::new(|p| p.arena[0].id = 9999)),
+            ("zero-count run", Box::new(|p| p.arena[0].count = 0)),
+            ("span overflow", Box::new(|p| p.spans[0].1 += 1)),
+            (
+                "offsets truncated",
+                Box::new(|p| {
+                    p.posting_offsets.pop();
+                }),
+            ),
+            (
+                "offsets not monotone",
+                Box::new(|p| {
+                    let last = p.posting_offsets.len() - 1;
+                    p.posting_offsets[last] = 0;
+                }),
+            ),
+            (
+                "posting graph out of range",
+                Box::new(|p| p.postings[0].graph = 99),
+            ),
+            (
+                "postings dropped",
+                Box::new(|p| {
+                    p.postings.pop();
+                }),
+            ),
+        ];
+        for (name, mutate) in cases {
+            let err = corrupt(&*mutate);
+            assert!(
+                matches!(err, EngineError::CorruptDatabase { .. }),
+                "{name}: expected CorruptDatabase, got {err}"
+            );
+        }
     }
 }

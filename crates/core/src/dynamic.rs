@@ -1,0 +1,865 @@
+//! The dynamic layer of the storage engine: [`DynamicDatabase`] and
+//! [`DynamicEngine`].
+//!
+//! [`crate::GraphDatabase`] is immutable by design — its arena, aggregates
+//! and CSR postings are sealed at construction, which is exactly what makes
+//! the scan fast. Production workloads also need *inserts* and *deletes*
+//! without a stop-the-world rebuild, so the dynamic layer follows the
+//! classic LSM shape:
+//!
+//! * an immutable **base segment** (a plain [`GraphDatabase`], possibly
+//!   loaded from a snapshot file),
+//! * an append-only **delta segment** holding inserted graphs with the same
+//!   per-graph structures (flat interned runs, aggregates, a small inverted
+//!   index), so delta graphs go through the same filter cascade as base
+//!   graphs,
+//! * **tombstone bitsets** marking removed graphs in either segment,
+//! * a growing [`BranchCatalog`] whose ids extend the base catalog — base
+//!   ids are a strict prefix, so one query flattening serves both segments.
+//!
+//! [`DynamicDatabase::compact`] folds delta and tombstones into a fresh base
+//! segment; afterwards the database is structurally identical to
+//! [`GraphDatabase::with_alphabets`] over the surviving graphs. At *any*
+//! point — compacted or not — [`DynamicEngine`] returns bit-identical
+//! matches and posteriors to a [`crate::QueryEngine`] over a freshly built
+//! database of the survivors (given the same [`OfflineIndex`]), for every
+//! variant and cascade mode; the equivalence proptests in the workspace
+//! exercise random insert/remove/compact interleavings.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use gbd_graph::{
+    BranchCatalog, BranchMultiset, BranchRun, FlatBranchSet, FlatBranchView, Graph, LabelAlphabets,
+};
+
+use crate::config::{GbdaConfig, GbdaVariant};
+use crate::database::{GraphDatabase, Posting};
+use crate::error::{EngineError, EngineResult};
+use crate::filter::{compute_size_decision, FilterCascade, SegmentIndex, SizeDecision};
+use crate::offline::OfflineIndex;
+use crate::posterior_cache::PosteriorCache;
+use crate::search::SearchStats;
+
+/// A fixed-universe bitset marking removed graphs of one segment.
+///
+/// Slots are appended unset (a new graph is alive) and can only flip from
+/// alive to tombstoned — removal is monotone until a compaction resets the
+/// segment.
+#[derive(Debug, Clone, Default)]
+pub struct Tombstones {
+    words: Vec<u64>,
+    len: usize,
+    set: usize,
+}
+
+impl Tombstones {
+    /// An all-alive bitset over `len` slots.
+    pub fn new(len: usize) -> Self {
+        Tombstones {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            set: 0,
+        }
+    }
+
+    /// Number of slots tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no slots are tracked at all.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of tombstoned slots.
+    pub fn set_count(&self) -> usize {
+        self.set
+    }
+
+    /// Whether slot `i` is tombstoned.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Appends one alive slot.
+    fn push_alive(&mut self) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+    }
+
+    /// Tombstones slot `i`; returns `false` when it already was.
+    fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if self.words[i / 64] & mask != 0 {
+            return false;
+        }
+        self.words[i / 64] |= mask;
+        self.set += 1;
+        true
+    }
+}
+
+/// The append-only delta segment: inserted graphs with the same per-graph
+/// structures as the base [`GraphDatabase`] — flat interned runs in a
+/// contiguous arena, scan aggregates, and a small inverted index — so the
+/// filter cascade prunes delta graphs exactly like base graphs.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaSegment {
+    graphs: Vec<Graph>,
+    arena: Vec<BranchRun>,
+    spans: Vec<(u32, u32)>,
+    sizes: Vec<u32>,
+    run_counts: Vec<u32>,
+    max_run_counts: Vec<u32>,
+    /// Branch id → postings, sorted by delta-local graph index (appends
+    /// arrive in insertion order, so sortedness is free).
+    postings: HashMap<u32, Vec<Posting>>,
+}
+
+impl DeltaSegment {
+    /// Number of graphs in the delta (tombstoned ones included).
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Returns `true` when nothing has been inserted since the last
+    /// compaction.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The `i`-th delta graph.
+    pub fn graph(&self, i: usize) -> &Graph {
+        &self.graphs[i]
+    }
+
+    /// Total `(id, count)` runs stored in the delta arena.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Appends one graph whose runs are already flattened against the
+    /// owning database's catalog.
+    fn push(&mut self, graph: Graph, flat: &FlatBranchSet) {
+        let delta_index = self.graphs.len() as u32;
+        let start = u32::try_from(self.arena.len()).expect("fewer than 2^32 delta runs");
+        let runs = flat.runs();
+        self.arena.extend_from_slice(runs);
+        self.spans.push((start, runs.len() as u32));
+        self.sizes.push(graph.vertex_count() as u32);
+        self.run_counts.push(runs.len() as u32);
+        self.max_run_counts
+            .push(runs.iter().map(|r| r.count).max().unwrap_or(0));
+        for run in runs {
+            self.postings.entry(run.id).or_default().push(Posting {
+                graph: delta_index,
+                count: run.count,
+            });
+        }
+        self.graphs.push(graph);
+    }
+}
+
+impl SegmentIndex for DeltaSegment {
+    fn segment_len(&self) -> usize {
+        self.len()
+    }
+
+    fn size_of(&self, i: usize) -> usize {
+        self.sizes[i] as usize
+    }
+
+    fn distinct_runs(&self, i: usize) -> usize {
+        self.run_counts[i] as usize
+    }
+
+    fn max_run_count(&self, i: usize) -> u32 {
+        self.max_run_counts[i]
+    }
+
+    fn postings_of(&self, branch_id: u32) -> &[Posting] {
+        self.postings
+            .get(&branch_id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn flat_view(&self, i: usize) -> FlatBranchView<'_> {
+        let (start, len) = self.spans[i];
+        FlatBranchView::new(
+            &self.arena[start as usize..(start + len) as usize],
+            self.sizes[i] as usize,
+        )
+    }
+}
+
+/// Where a live graph id currently resides.
+#[derive(Debug, Clone, Copy)]
+enum Location {
+    Base(usize),
+    Delta(usize),
+}
+
+/// A graph database that absorbs inserts and deletes without rebuilding its
+/// immutable base segment. See the [module docs](self) for the layout.
+///
+/// Graph ids are stable `u64`s: the initial base graphs get `0..len` (their
+/// base indices), every insert gets the next fresh id, and ids survive
+/// [`Self::compact`].
+#[derive(Debug, Clone)]
+pub struct DynamicDatabase {
+    base: GraphDatabase,
+    /// The base catalog plus every branch first seen by an insert; base ids
+    /// are a strict prefix of this catalog's id space.
+    catalog: BranchCatalog,
+    alphabets: LabelAlphabets,
+    delta: DeltaSegment,
+    base_tombstones: Tombstones,
+    delta_tombstones: Tombstones,
+    base_ids: Vec<u64>,
+    delta_ids: Vec<u64>,
+    locations: HashMap<u64, Location>,
+    next_id: u64,
+    /// Upper bound on the live maximum vertex count (never shrinks on
+    /// remove; only used to cap posterior decision tables, so an
+    /// overestimate costs nothing but a few extra memo entries).
+    max_vertices_hint: usize,
+}
+
+impl DynamicDatabase {
+    /// Wraps an immutable base segment (built by
+    /// [`GraphDatabase::from_graphs`] or loaded from a snapshot).
+    pub fn new(base: GraphDatabase) -> Self {
+        let n = base.len();
+        let base_ids: Vec<u64> = (0..n as u64).collect();
+        let locations = base_ids
+            .iter()
+            .map(|&id| (id, Location::Base(id as usize)))
+            .collect();
+        DynamicDatabase {
+            catalog: base.catalog().clone(),
+            alphabets: base.alphabets(),
+            max_vertices_hint: base.max_vertices(),
+            base_tombstones: Tombstones::new(n),
+            delta_tombstones: Tombstones::new(0),
+            base_ids,
+            delta_ids: Vec::new(),
+            locations,
+            next_id: n as u64,
+            delta: DeltaSegment::default(),
+            base,
+        }
+    }
+
+    /// The immutable base segment.
+    pub fn base(&self) -> &GraphDatabase {
+        &self.base
+    }
+
+    /// The append-only delta segment.
+    pub fn delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    /// The combined branch catalog (base ids first, delta-discovered ids
+    /// after). Queries are flattened against this.
+    pub fn catalog(&self) -> &BranchCatalog {
+        &self.catalog
+    }
+
+    /// Label alphabet sizes of the probabilistic model, fixed at
+    /// construction (the domain alphabet, not whatever subset the current
+    /// live set happens to exercise).
+    pub fn alphabets(&self) -> LabelAlphabets {
+        self.alphabets
+    }
+
+    /// Number of live graphs.
+    pub fn len(&self) -> usize {
+        (self.base.len() - self.base_tombstones.set_count()) + self.delta.len()
+            - self.delta_tombstones.set_count()
+    }
+
+    /// Returns `true` when no graph is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of tombstoned graphs awaiting compaction (both segments).
+    pub fn tombstone_count(&self) -> usize {
+        self.base_tombstones.set_count() + self.delta_tombstones.set_count()
+    }
+
+    /// Upper bound on the live maximum vertex count.
+    pub fn max_vertices_hint(&self) -> usize {
+        self.max_vertices_hint
+    }
+
+    /// Whether `id` refers to a live graph.
+    pub fn contains(&self, id: u64) -> bool {
+        self.locations.contains_key(&id)
+    }
+
+    /// The live graph with the given id.
+    pub fn graph(&self, id: u64) -> Option<&Graph> {
+        match self.locations.get(&id)? {
+            Location::Base(i) => Some(self.base.graph(*i)),
+            Location::Delta(i) => Some(self.delta.graph(*i)),
+        }
+    }
+
+    /// Iterates over `(id, graph)` for every live graph in **canonical
+    /// order**: base graphs by base index, then delta graphs by insertion
+    /// order. This is the order a compaction (and the equivalence tests'
+    /// fresh rebuild) preserves.
+    pub fn live_graphs(&self) -> impl Iterator<Item = (u64, &Graph)> + '_ {
+        let base = (0..self.base.len())
+            .filter(|&i| !self.base_tombstones.get(i))
+            .map(|i| (self.base_ids[i], self.base.graph(i)));
+        let delta = (0..self.delta.len())
+            .filter(|&i| !self.delta_tombstones.get(i))
+            .map(|i| (self.delta_ids[i], self.delta.graph(i)));
+        base.chain(delta)
+    }
+
+    /// Live graph ids in canonical order.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.live_graphs().map(|(id, _)| id).collect()
+    }
+
+    /// Inserts a graph into the delta segment and returns its stable id.
+    ///
+    /// Cost is proportional to the graph itself: one branch extraction, one
+    /// flatten against the shared catalog (interning unseen branches), and
+    /// one postings append per distinct run — no base structure is touched.
+    pub fn insert(&mut self, graph: Graph) -> u64 {
+        let multiset = BranchMultiset::from_graph(&graph);
+        let flat = self.catalog.flatten(&multiset);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.max_vertices_hint = self.max_vertices_hint.max(graph.vertex_count());
+        let delta_index = self.delta.len();
+        self.delta.push(graph, &flat);
+        self.delta_ids.push(id);
+        self.delta_tombstones.push_alive();
+        self.locations.insert(id, Location::Delta(delta_index));
+        id
+    }
+
+    /// Removes a graph by id (a tombstone mark; storage is reclaimed by the
+    /// next [`Self::compact`]).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownGraphId`] when the id never existed or was
+    /// already removed.
+    pub fn remove(&mut self, id: u64) -> EngineResult<()> {
+        match self.locations.remove(&id) {
+            Some(Location::Base(i)) => {
+                self.base_tombstones.set(i);
+                Ok(())
+            }
+            Some(Location::Delta(i)) => {
+                self.delta_tombstones.set(i);
+                Ok(())
+            }
+            None => Err(EngineError::UnknownGraphId(id)),
+        }
+    }
+
+    /// Folds the delta segment and all tombstones into a fresh immutable
+    /// base — rebuilding arena, aggregates and CSR postings over exactly the
+    /// surviving graphs — and empties the delta. Ids are preserved.
+    ///
+    /// Afterwards the base segment is structurally identical to
+    /// [`GraphDatabase::with_alphabets`] over [`Self::live_graphs`] (same
+    /// construction, same canonical order). Returns the number of surviving
+    /// graphs.
+    pub fn compact(&mut self) -> usize {
+        let (ids, graphs): (Vec<u64>, Vec<Graph>) = self
+            .live_graphs()
+            .map(|(id, graph)| (id, graph.clone()))
+            .unzip();
+        self.base = GraphDatabase::with_alphabets(graphs, self.alphabets);
+        self.catalog = self.base.catalog().clone();
+        self.base_tombstones = Tombstones::new(self.base.len());
+        self.delta = DeltaSegment::default();
+        self.delta_ids.clear();
+        self.delta_tombstones = Tombstones::new(0);
+        self.locations = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, Location::Base(i)))
+            .collect();
+        self.base_ids = ids;
+        self.max_vertices_hint = self.base.max_vertices();
+        self.base.len()
+    }
+}
+
+/// Result of one dynamic search: like [`crate::SearchOutcome`], but keyed by
+/// stable graph ids instead of database indices.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicOutcome {
+    /// Ids of the live graphs that were scanned, in canonical order.
+    pub ids: Vec<u64>,
+    /// Ids of the live graphs with `Φ ≥ γ`, in canonical order.
+    pub matches: Vec<u64>,
+    /// The posterior of every live graph, aligned with [`Self::ids`]
+    /// (empty when [`GbdaConfig::record_posteriors`] is off).
+    pub posteriors: Vec<f64>,
+    /// Wall-clock seconds of the scan.
+    pub seconds: f64,
+    /// Per-stage counters, directly comparable with a static engine's.
+    pub stats: SearchStats,
+}
+
+/// Per-query context shared by the per-segment scans.
+struct QueryContext<'q> {
+    size: usize,
+    flat: &'q FlatBranchSet,
+    weight: Option<f64>,
+}
+
+/// The segment-aware query engine over a [`DynamicDatabase`].
+///
+/// Mirrors [`crate::QueryEngine`] — same variants, same cascade, same
+/// posterior memo — but scans base and delta segments under their tombstone
+/// masks. Given the same [`OfflineIndex`] and configuration, its results are
+/// bit-identical to a `QueryEngine` over a freshly built database of the
+/// live graphs.
+pub struct DynamicEngine<'a> {
+    dynamic: &'a DynamicDatabase,
+    index: &'a OfflineIndex,
+    config: GbdaConfig,
+    /// `|V'1|` override of the GBDA-V1 variant, sampled over the live set in
+    /// canonical order — exactly how [`crate::QueryEngine::new`] samples a
+    /// static database of the same graphs.
+    fixed_extended_size: Option<usize>,
+    cache: PosteriorCache,
+    decisions: RwLock<HashMap<usize, SizeDecision>>,
+}
+
+impl<'a> DynamicEngine<'a> {
+    /// Creates an engine over the database's *current* live set. After an
+    /// insert, remove or compact, create a new engine (the borrow checker
+    /// enforces this: mutation needs `&mut DynamicDatabase`).
+    pub fn new(dynamic: &'a DynamicDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
+        let fixed_extended_size = match config.variant {
+            GbdaVariant::AverageExtendedSize { sample_graphs } => {
+                let live: Vec<usize> = dynamic
+                    .live_graphs()
+                    .map(|(_, graph)| graph.vertex_count())
+                    .collect();
+                Some(crate::engine::average_extended_size(
+                    config.seed,
+                    sample_graphs,
+                    &live,
+                ))
+            }
+            _ => None,
+        };
+        DynamicEngine {
+            dynamic,
+            index,
+            fixed_extended_size,
+            cache: PosteriorCache::new(config.tau_hat),
+            decisions: RwLock::new(HashMap::new()),
+            config,
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &GbdaConfig {
+        &self.config
+    }
+
+    /// The fixed `|V'1|` of the GBDA-V1 variant, if active.
+    pub fn fixed_extended_size(&self) -> Option<usize> {
+        self.fixed_extended_size
+    }
+
+    fn extended_size_for(&self, query_size: usize, graph_size: usize) -> usize {
+        match self.fixed_extended_size {
+            Some(v) => v,
+            None => query_size.max(graph_size).max(1),
+        }
+    }
+
+    fn size_decision(&self, extended_size: usize) -> SizeDecision {
+        if let Some(&decision) = self.decisions.read().get(&extended_size) {
+            return decision;
+        }
+        let cap = self.dynamic.max_vertices_hint().max(extended_size) as u64;
+        let decision = compute_size_decision(
+            &self.cache,
+            self.index,
+            self.config.gamma,
+            extended_size,
+            cap,
+        );
+        self.decisions.write().insert(extended_size, decision);
+        decision
+    }
+
+    fn lookup_posterior(
+        &self,
+        local: &mut HashMap<(usize, u64), f64>,
+        stats: &mut SearchStats,
+        extended_size: usize,
+        phi: u64,
+    ) -> f64 {
+        crate::engine::lookup_posterior_memoized(
+            &self.cache,
+            self.index,
+            local,
+            stats,
+            extended_size,
+            phi,
+        )
+    }
+
+    /// Runs Algorithm 1 over the live set: base then delta, each under its
+    /// tombstone mask, both through the same filter cascade.
+    pub fn search(&self, query: &Graph) -> DynamicOutcome {
+        let started = Instant::now();
+        let flatten_started = Instant::now();
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let ctx = QueryContext {
+            size: query.vertex_count(),
+            flat: &query_flat,
+            weight: match self.config.variant {
+                GbdaVariant::WeightedGbd { weight } => Some(weight),
+                _ => None,
+            },
+        };
+        let mut outcome = DynamicOutcome::default();
+        outcome.stats.shards = 1;
+        outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+
+        let scan_started = Instant::now();
+        self.scan_segment(
+            self.dynamic.base(),
+            &self.dynamic.base_tombstones,
+            &self.dynamic.base_ids,
+            &ctx,
+            &mut outcome,
+            &mut local,
+        );
+        self.scan_segment(
+            self.dynamic.delta(),
+            &self.dynamic.delta_tombstones,
+            &self.dynamic.delta_ids,
+            &ctx,
+            &mut outcome,
+            &mut local,
+        );
+        outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
+        outcome.seconds = started.elapsed().as_secs_f64();
+        outcome
+    }
+
+    /// Scans one segment under its tombstone mask. The same decision
+    /// machinery as `QueryEngine::scan_range`, expressed over the
+    /// [`SegmentIndex`] abstraction; per-graph results are independent of
+    /// the neighbours, so skipping tombstoned slots cannot change the
+    /// survivors' values.
+    fn scan_segment<S: SegmentIndex>(
+        &self,
+        segment: &S,
+        tombstones: &Tombstones,
+        ids: &[u64],
+        ctx: &QueryContext<'_>,
+        outcome: &mut DynamicOutcome,
+        local: &mut HashMap<(usize, u64), f64>,
+    ) {
+        let record = self.config.record_posteriors;
+        let cascade = self
+            .config
+            .filter_cascade
+            .then(|| FilterCascade::new(segment, ctx.flat, ctx.weight));
+        // Stage-3 input, built lazily: a fast scan whose bound stages
+        // resolve every live graph never walks a postings list at all
+        // (mirroring `QueryEngine::scan_range`, which skips accumulation
+        // when no size bucket is gray).
+        let mut intersections: Option<Vec<u32>> = None;
+        let stats = &mut outcome.stats;
+        for i in 0..segment.segment_len() {
+            if tombstones.get(i) {
+                continue;
+            }
+            stats.evaluated += 1;
+            outcome.ids.push(ids[i]);
+            let extended_size = self.extended_size_for(ctx.size, segment.size_of(i));
+
+            if let Some(cascade) = &cascade {
+                let mut phi_exact = || {
+                    let acc = intersections
+                        .get_or_insert_with(|| cascade.intersections(0..segment.segment_len()));
+                    cascade.phi_exact(i, acc[i])
+                };
+                if record {
+                    // Recording scans need a posterior per graph, so only
+                    // the merge is skippable: ϕ comes from the count filter.
+                    let phi = phi_exact();
+                    stats.postings_resolved += 1;
+                    let posterior = self.lookup_posterior(local, stats, extended_size, phi);
+                    outcome.posteriors.push(posterior);
+                    if posterior >= self.config.gamma {
+                        outcome.matches.push(ids[i]);
+                    }
+                    continue;
+                }
+                let decision = self.size_decision(extended_size);
+                if cascade.bounds_usable() {
+                    let (lb, ub) = cascade.refined_bounds(i);
+                    match decision.classify_interval(lb, ub) {
+                        Some(true) => {
+                            stats.bound_accepted += 1;
+                            outcome.matches.push(ids[i]);
+                            continue;
+                        }
+                        Some(false) => {
+                            stats.bound_rejected += 1;
+                            continue;
+                        }
+                        None => {}
+                    }
+                }
+                let phi = phi_exact();
+                stats.postings_resolved += 1;
+                if decision.accepts(phi) {
+                    stats.threshold_accepts += 1;
+                    outcome.matches.push(ids[i]);
+                } else if !decision.rejects(phi) {
+                    let posterior = self.lookup_posterior(local, stats, extended_size, phi);
+                    if posterior >= self.config.gamma {
+                        outcome.matches.push(ids[i]);
+                    }
+                }
+                continue;
+            }
+
+            // Cascade off: the exact flat branch-run merge.
+            stats.merged += 1;
+            let phi = match ctx.weight {
+                Some(w) => {
+                    let value = ctx.flat.as_view().weighted_gbd(segment.flat_view(i), w);
+                    value.round().max(0.0) as u64
+                }
+                None => ctx.flat.as_view().gbd(segment.flat_view(i)) as u64,
+            };
+            if !record {
+                if let Some(threshold) = self.size_decision(extended_size).accept_max {
+                    if phi <= threshold {
+                        stats.threshold_accepts += 1;
+                        outcome.matches.push(ids[i]);
+                        continue;
+                    }
+                }
+            }
+            let posterior = self.lookup_posterior(local, stats, extended_size, phi);
+            if record {
+                outcome.posteriors.push(posterior);
+            }
+            if posterior >= self.config.gamma {
+                outcome.matches.push(ids[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use gbd_graph::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graphs(seed: u64, count: usize, size: usize) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GeneratorConfig::new(size, 2.2)
+            .with_alphabets(LabelAlphabets::new(6, 3))
+            .generate_many(count, &mut rng)
+            .unwrap()
+    }
+
+    fn setup() -> (DynamicDatabase, OfflineIndex, GbdaConfig) {
+        let base = GraphDatabase::from_graphs(graphs(11, 16, 12));
+        let config = GbdaConfig::new(4, 0.7).with_sample_pairs(200);
+        let index = OfflineIndex::build(&base, &config).unwrap();
+        (DynamicDatabase::new(base), index, config)
+    }
+
+    #[test]
+    fn tombstones_track_set_slots() {
+        let mut t = Tombstones::new(70);
+        assert_eq!(t.len(), 70);
+        assert!(!t.is_empty());
+        assert_eq!(t.set_count(), 0);
+        assert!(t.set(0));
+        assert!(t.set(69));
+        assert!(!t.set(69), "double-set is reported");
+        assert_eq!(t.set_count(), 2);
+        assert!(t.get(0) && t.get(69) && !t.get(35));
+        t.push_alive();
+        assert_eq!(t.len(), 71);
+        assert!(!t.get(70));
+        assert!(Tombstones::new(0).is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_across_insert_remove_compact() {
+        let (mut dynamic, _, _) = setup();
+        assert_eq!(dynamic.len(), 16);
+        let inserted = dynamic.insert(graphs(99, 1, 10).pop().unwrap());
+        assert_eq!(inserted, 16);
+        assert!(dynamic.contains(inserted));
+        assert_eq!(dynamic.len(), 17);
+        dynamic.remove(3).unwrap();
+        assert!(!dynamic.contains(3));
+        assert_eq!(
+            dynamic.remove(3).unwrap_err(),
+            EngineError::UnknownGraphId(3)
+        );
+        assert_eq!(
+            dynamic.remove(1000).unwrap_err(),
+            EngineError::UnknownGraphId(1000)
+        );
+        assert_eq!(dynamic.tombstone_count(), 1);
+        let live_before = dynamic.live_ids();
+        let survivors = dynamic.compact();
+        assert_eq!(survivors, 16);
+        assert_eq!(dynamic.live_ids(), live_before, "compaction preserves ids");
+        assert_eq!(dynamic.tombstone_count(), 0);
+        assert!(dynamic.delta().is_empty());
+        assert!(dynamic.contains(inserted));
+        // The next insert keeps counting upward.
+        let next = dynamic.insert(graphs(98, 1, 10).pop().unwrap());
+        assert_eq!(next, 17);
+    }
+
+    #[test]
+    fn delta_segment_mirrors_base_structures() {
+        let (mut dynamic, _, _) = setup();
+        let extra = graphs(55, 3, 14);
+        for g in extra.clone() {
+            dynamic.insert(g);
+        }
+        let delta = dynamic.delta();
+        assert_eq!(delta.len(), 3);
+        for (i, g) in extra.iter().enumerate() {
+            assert_eq!(delta.size_of(i), g.vertex_count());
+            let flat = dynamic.catalog().flatten_graph(g);
+            assert_eq!(delta.flat_view(i).runs(), flat.runs());
+            assert_eq!(delta.distinct_runs(i), flat.runs().len());
+            assert_eq!(
+                delta.max_run_count(i),
+                flat.runs().iter().map(|r| r.count).max().unwrap_or(0)
+            );
+        }
+        // Delta postings reconstruct every delta flat set, like the base CSR.
+        let mut gathered: Vec<Vec<(u32, u32)>> = vec![Vec::new(); delta.len()];
+        for id in 0..dynamic.catalog().len() as u32 {
+            let postings = delta.postings_of(id);
+            assert!(postings.windows(2).all(|w| w[0].graph < w[1].graph));
+            for p in postings {
+                gathered[p.graph as usize].push((id, p.count));
+            }
+        }
+        for (i, mut runs) in gathered.into_iter().enumerate() {
+            runs.sort_unstable_by_key(|&(id, _)| id);
+            let expected: Vec<(u32, u32)> = delta
+                .flat_view(i)
+                .runs()
+                .iter()
+                .map(|r| (r.id, r.count))
+                .collect();
+            assert_eq!(runs, expected, "delta postings diverge for graph {i}");
+        }
+    }
+
+    #[test]
+    fn compacted_base_equals_a_fresh_build() {
+        let (mut dynamic, _, _) = setup();
+        for g in graphs(77, 4, 10) {
+            dynamic.insert(g);
+        }
+        dynamic.remove(0).unwrap();
+        dynamic.remove(17).unwrap();
+        let survivors: Vec<Graph> = dynamic.live_graphs().map(|(_, g)| g.clone()).collect();
+        dynamic.compact();
+        let fresh = GraphDatabase::with_alphabets(survivors, dynamic.alphabets());
+        let base = dynamic.base();
+        assert_eq!(base.len(), fresh.len());
+        assert_eq!(base.arena_len(), fresh.arena_len());
+        assert_eq!(base.postings_len(), fresh.postings_len());
+        assert_eq!(base.distinct_sizes(), fresh.distinct_sizes());
+        for i in 0..base.len() {
+            assert_eq!(base.flat(i).runs(), fresh.flat(i).runs());
+            assert_eq!(base.size_of(i), fresh.size_of(i));
+        }
+        assert!(base.verify_postings());
+    }
+
+    /// One engine-level spot check; the cross-mode interleaving equivalence
+    /// lives in the workspace-level proptests.
+    #[test]
+    fn dynamic_search_matches_a_fresh_static_engine() {
+        let (mut dynamic, index, config) = setup();
+        for g in graphs(123, 5, 13) {
+            dynamic.insert(g);
+        }
+        dynamic.remove(2).unwrap();
+        dynamic.remove(18).unwrap();
+        let query = dynamic.base().graph(5).clone();
+
+        let survivors: Vec<Graph> = dynamic.live_graphs().map(|(_, g)| g.clone()).collect();
+        let ids = dynamic.live_ids();
+        let fresh = GraphDatabase::with_alphabets(survivors, dynamic.alphabets());
+        for cascade in [true, false] {
+            let config = config.clone().with_filter_cascade(cascade);
+            let static_engine = QueryEngine::new(&fresh, &index, config.clone());
+            let dynamic_engine = DynamicEngine::new(&dynamic, &index, config);
+            let expected = static_engine.search(&query);
+            let got = dynamic_engine.search(&query);
+            assert_eq!(got.ids, ids);
+            let expected_ids: Vec<u64> = expected.matches.iter().map(|&i| ids[i]).collect();
+            assert_eq!(got.matches, expected_ids, "cascade={cascade}");
+            assert_eq!(got.posteriors.len(), expected.posteriors.len());
+            for (a, b) in got.posteriors.iter().zip(&expected.posteriors) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cascade={cascade}");
+            }
+            assert_eq!(got.stats.evaluated, fresh.len());
+        }
+    }
+
+    #[test]
+    fn empty_dynamic_database_is_searchable() {
+        let base = GraphDatabase::from_graphs(graphs(5, 2, 8));
+        let config = GbdaConfig::new(3, 0.8).with_sample_pairs(50);
+        let index = OfflineIndex::build(&base, &config).unwrap();
+        let mut dynamic = DynamicDatabase::new(base);
+        dynamic.remove(0).unwrap();
+        dynamic.remove(1).unwrap();
+        assert!(dynamic.is_empty());
+        let query = graphs(6, 1, 8).pop().unwrap();
+        let engine = DynamicEngine::new(&dynamic, &index, config);
+        let outcome = engine.search(&query);
+        assert!(outcome.ids.is_empty());
+        assert!(outcome.matches.is_empty());
+        assert_eq!(outcome.stats.evaluated, 0);
+        assert_eq!(dynamic.compact(), 0);
+        assert!(dynamic.base().is_empty());
+    }
+}

@@ -69,6 +69,55 @@ struct ScanContext<'q> {
     bucket_classes: Vec<BucketClass>,
 }
 
+/// The GBDA-V1 extended-size sampling: shuffle the graph positions with the
+/// variant's derived seed, take `sample_graphs`, average their vertex
+/// counts. Shared by [`QueryEngine`] and [`crate::DynamicEngine`] — the
+/// dynamic engine's bit-identity contract requires the two to stay in
+/// lock-step, so there is exactly one implementation.
+pub(crate) fn average_extended_size(
+    seed: u64,
+    sample_graphs: usize,
+    vertex_counts: &[usize],
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA1FA);
+    let mut indices: Vec<usize> = (0..vertex_counts.len()).collect();
+    indices.shuffle(&mut rng);
+    let sample: Vec<usize> = indices.into_iter().take(sample_graphs.max(1)).collect();
+    let avg = sample.iter().map(|&i| vertex_counts[i]).sum::<usize>() as f64 / sample.len() as f64;
+    avg.round().max(1.0) as usize
+}
+
+/// Memoized posterior lookup through a scan's thread-local memo in front of
+/// the shared [`PosteriorCache`], so the steady-state inner loop touches no
+/// lock at all. Shared by [`QueryEngine`] and [`crate::DynamicEngine`] for
+/// the same lock-step reason as [`average_extended_size`].
+pub(crate) fn lookup_posterior_memoized(
+    cache: &PosteriorCache,
+    index: &OfflineIndex,
+    local: &mut HashMap<(usize, u64), f64>,
+    stats: &mut SearchStats,
+    extended_size: usize,
+    phi: u64,
+) -> f64 {
+    let key = (extended_size, phi);
+    match local.get(&key) {
+        Some(&posterior) => {
+            stats.cache_hits += 1;
+            posterior
+        }
+        None => {
+            let (posterior, hit) = cache.posterior_tracked(index, extended_size, phi);
+            local.insert(key, posterior);
+            if hit {
+                stats.cache_hits += 1;
+            } else {
+                stats.cache_misses += 1;
+            }
+            posterior
+        }
+    }
+}
+
 /// The GBDA query engine: database + offline index + configuration + memo
 /// state (posterior cache and per-size ϕ thresholds).
 pub struct QueryEngine<'a> {
@@ -90,16 +139,8 @@ impl<'a> QueryEngine<'a> {
     pub fn new(database: &'a GraphDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
         let fixed_extended_size = match config.variant {
             GbdaVariant::AverageExtendedSize { sample_graphs } => {
-                let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA1FA);
-                let mut indices: Vec<usize> = (0..database.len()).collect();
-                indices.shuffle(&mut rng);
-                let sample: Vec<usize> = indices.into_iter().take(sample_graphs.max(1)).collect();
-                let avg = sample
-                    .iter()
-                    .map(|&i| database.graph(i).vertex_count())
-                    .sum::<usize>() as f64
-                    / sample.len() as f64;
-                Some(avg.round().max(1.0) as usize)
+                let counts: Vec<usize> = (0..database.len()).map(|i| database.size_of(i)).collect();
+                Some(average_extended_size(config.seed, sample_graphs, &counts))
             }
             _ => None,
         };
@@ -200,29 +241,13 @@ impl<'a> QueryEngine<'a> {
             return decision;
         }
         let cap = self.database.max_vertices().max(extended_size) as u64;
-        let mut accept_max = None;
-        for phi in 0..=cap {
-            if self.cache.posterior(self.index, extended_size, phi) >= self.config.gamma {
-                accept_max = Some(phi);
-            } else {
-                break;
-            }
-        }
-        let mut reject_min = cap + 1;
-        for phi in (0..=cap).rev() {
-            // Mirror the scan's `posterior >= gamma` branch exactly, so a
-            // NaN-producing model fault could never flip a decision.
-            if self.cache.posterior(self.index, extended_size, phi) >= self.config.gamma {
-                break;
-            }
-            reject_min = phi;
-        }
-        let decision = SizeDecision {
+        let decision = crate::filter::compute_size_decision(
+            &self.cache,
+            self.index,
+            self.config.gamma,
             extended_size,
             cap,
-            accept_max,
-            reject_min,
-        };
+        );
         self.decisions.write().insert(extended_size, decision);
         decision
     }
@@ -419,23 +444,7 @@ impl<'a> QueryEngine<'a> {
         extended_size: usize,
         phi: u64,
     ) -> f64 {
-        let key = (extended_size, phi);
-        match local.get(&key) {
-            Some(&posterior) => {
-                stats.cache_hits += 1;
-                posterior
-            }
-            None => {
-                let (posterior, hit) = self.cache.posterior_tracked(self.index, extended_size, phi);
-                local.insert(key, posterior);
-                if hit {
-                    stats.cache_hits += 1;
-                } else {
-                    stats.cache_misses += 1;
-                }
-                posterior
-            }
-        }
+        lookup_posterior_memoized(&self.cache, self.index, local, stats, extended_size, phi)
     }
 
     /// Scans one contiguous database range; `posteriors` (when recording) is

@@ -17,6 +17,15 @@ pub enum EngineError {
     },
     /// An underlying graph operation failed.
     Graph(GraphError),
+    /// Exported database parts (e.g. from a snapshot file) violate a
+    /// cross-structure invariant and cannot back a database.
+    CorruptDatabase {
+        /// Which invariant failed.
+        reason: String,
+    },
+    /// A dynamic-database operation referenced a graph id that does not
+    /// exist or was already removed.
+    UnknownGraphId(u64),
 }
 
 impl fmt::Display for EngineError {
@@ -27,6 +36,12 @@ impl fmt::Display for EngineError {
                 "the offline stage needs at least two graphs to sample pairs, got {len}"
             ),
             EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::CorruptDatabase { reason } => {
+                write!(f, "corrupt database parts: {reason}")
+            }
+            EngineError::UnknownGraphId(id) => {
+                write!(f, "graph id {id} does not exist or was removed")
+            }
         }
     }
 }
@@ -57,6 +72,12 @@ mod tests {
         assert!(e.to_string().contains('1'));
         let e = EngineError::from(GraphError::Parse("bad".into()));
         assert!(e.to_string().contains("bad"));
+        let e = EngineError::CorruptDatabase {
+            reason: "spans overlap".into(),
+        };
+        assert!(e.to_string().contains("spans overlap"));
+        let e = EngineError::UnknownGraphId(42);
+        assert!(e.to_string().contains("42"));
     }
 
     #[test]

@@ -28,9 +28,113 @@
 
 use std::ops::Range;
 
-use gbd_graph::{FlatBranchSet, UNKNOWN_BRANCH_ID};
+use gbd_graph::FlatBranchSet;
 
-use crate::database::GraphDatabase;
+use crate::database::{GraphDatabase, Posting};
+use crate::offline::OfflineIndex;
+use crate::posterior_cache::PosteriorCache;
+
+/// The slice of database structure the filter cascade reads, abstracted so
+/// the same cascade code prunes any *segment*: the immutable base
+/// [`GraphDatabase`] or the append-only delta segment of
+/// [`crate::DynamicDatabase`]. Graph indices are segment-local.
+pub trait SegmentIndex {
+    /// Number of graphs in the segment.
+    fn segment_len(&self) -> usize;
+
+    /// Vertex count of the segment's `i`-th graph.
+    fn size_of(&self, i: usize) -> usize;
+
+    /// Number of distinct branch runs of the segment's `i`-th graph.
+    fn distinct_runs(&self, i: usize) -> usize;
+
+    /// Largest run multiplicity of the segment's `i`-th graph.
+    fn max_run_count(&self, i: usize) -> u32;
+
+    /// The `(graph, count)` postings of one branch id, sorted by
+    /// segment-local graph index. Ids the segment has never stored — the
+    /// unknown sentinel, or ids interned after this segment was sealed —
+    /// yield an empty list rather than a panic; that is what makes a query
+    /// flattened against a *newer* catalog safe to run against an *older*
+    /// segment.
+    fn postings_of(&self, branch_id: u32) -> &[Posting];
+
+    /// The flat branch runs of the segment's `i`-th graph — the merge-path
+    /// fallback when the cascade is disabled.
+    fn flat_view(&self, i: usize) -> gbd_graph::FlatBranchView<'_>;
+}
+
+impl SegmentIndex for GraphDatabase {
+    fn segment_len(&self) -> usize {
+        self.len()
+    }
+
+    fn size_of(&self, i: usize) -> usize {
+        GraphDatabase::size_of(self, i)
+    }
+
+    fn distinct_runs(&self, i: usize) -> usize {
+        GraphDatabase::distinct_runs(self, i)
+    }
+
+    fn max_run_count(&self, i: usize) -> u32 {
+        GraphDatabase::max_run_count(self, i)
+    }
+
+    fn postings_of(&self, branch_id: u32) -> &[Posting] {
+        if (branch_id as usize) < self.catalog().len() {
+            self.postings(branch_id)
+        } else {
+            &[]
+        }
+    }
+
+    fn flat_view(&self, i: usize) -> gbd_graph::FlatBranchView<'_> {
+        self.flat(i)
+    }
+}
+
+/// Computes the accept/reject regions of the memoized posterior for one
+/// extended size: the largest contiguous accepting prefix `{0, …}` whose
+/// posteriors all clear `gamma` and the largest contiguous rejecting suffix
+/// (up to `cap`) whose posteriors all miss it. Shared by
+/// [`crate::QueryEngine`] and the dynamic engine so both resolve graphs from
+/// the *same* regions.
+///
+/// `cap` only bounds how far the regions extend — a ϕ beyond it always falls
+/// back to a posterior comparison — so an over- or under-estimated cap can
+/// never change a search result, only how often the fallback runs.
+pub fn compute_size_decision(
+    cache: &PosteriorCache,
+    index: &OfflineIndex,
+    gamma: f64,
+    extended_size: usize,
+    cap: u64,
+) -> SizeDecision {
+    let mut accept_max = None;
+    for phi in 0..=cap {
+        if cache.posterior(index, extended_size, phi) >= gamma {
+            accept_max = Some(phi);
+        } else {
+            break;
+        }
+    }
+    let mut reject_min = cap + 1;
+    for phi in (0..=cap).rev() {
+        // Mirror the scan's `posterior >= gamma` branch exactly, so a
+        // NaN-producing model fault could never flip a decision.
+        if cache.posterior(index, extended_size, phi) >= gamma {
+            break;
+        }
+        reject_min = phi;
+    }
+    SizeDecision {
+        extended_size,
+        cap,
+        accept_max,
+        reject_min,
+    }
+}
 
 /// The per-extended-size accept/reject regions of the posterior, shared by
 /// every graph in a size bucket.
@@ -92,8 +196,8 @@ impl SizeDecision {
 /// gates the bound stages accordingly, while the count filter stays exact
 /// for any weight.
 #[derive(Debug)]
-pub struct FilterCascade<'a> {
-    database: &'a GraphDatabase,
+pub struct FilterCascade<'a, S: SegmentIndex = GraphDatabase> {
+    database: &'a S,
     query: &'a FlatBranchSet,
     /// `|Q|` — all query branches, unknowns included (what GBD divides on).
     query_total: usize,
@@ -107,10 +211,11 @@ pub struct FilterCascade<'a> {
     weight: Option<f64>,
 }
 
-impl<'a> FilterCascade<'a> {
+impl<'a, S: SegmentIndex> FilterCascade<'a, S> {
     /// Builds the cascade state for one query (already flattened against the
-    /// database catalog). `weight` is `Some` for the GBDA-V2 variant.
-    pub fn new(database: &'a GraphDatabase, query: &'a FlatBranchSet, weight: Option<f64>) -> Self {
+    /// catalog the segment's runs are interned in — or any *extension* of
+    /// it). `weight` is `Some` for the GBDA-V2 variant.
+    pub fn new(database: &'a S, query: &'a FlatBranchSet, weight: Option<f64>) -> Self {
         let view = query.as_view();
         FilterCascade {
             database,
@@ -180,14 +285,13 @@ impl<'a> FilterCascade<'a> {
     /// postings and accumulates the **exact** multiset intersection
     /// `|B_Q ∩ B_G|` for every graph in `range` (indexed relative to
     /// `range.start`). Graphs sharing no branch with the query are never
-    /// touched and keep intersection 0.
+    /// touched and keep intersection 0. Query runs the segment has no
+    /// postings for — unknown branches, or ids interned after the segment
+    /// was built — contribute nothing, exactly as in a merge.
     pub fn intersections(&self, range: Range<usize>) -> Vec<u32> {
         let mut acc = vec![0u32; range.len()];
         for run in self.query.runs() {
-            if run.id == UNKNOWN_BRANCH_ID {
-                continue; // unknown branches match nothing
-            }
-            let postings = self.database.postings(run.id);
+            let postings = self.database.postings_of(run.id);
             let lo = postings.partition_point(|p| (p.graph as usize) < range.start);
             for posting in &postings[lo..] {
                 let graph = posting.graph as usize;
@@ -301,6 +405,68 @@ mod tests {
                 expected.round().max(0.0) as u64
             );
         }
+    }
+
+    #[test]
+    fn cascade_is_well_defined_on_an_empty_database() {
+        let db = GraphDatabase::from_graphs(Vec::new());
+        let query = BranchMultiset::from_graph(&{
+            let mut rng = StdRng::seed_from_u64(3);
+            GeneratorConfig::new(6, 1.8)
+                .with_alphabets(LabelAlphabets::new(3, 2))
+                .generate(&mut rng)
+                .unwrap()
+        });
+        let flat = db.catalog().flatten_lookup(&query);
+        let cascade = FilterCascade::new(&db, &flat, None);
+        assert!(cascade.bounds_usable());
+        assert!(cascade.intersections(0..0).is_empty());
+        // Every query branch is unknown to an empty catalog, so the size
+        // bound degenerates to "nothing can intersect".
+        let (lb, ub) = cascade.size_bounds(0);
+        assert_eq!(lb, ub);
+        assert_eq!(ub, query.len() as u64);
+    }
+
+    #[test]
+    fn cascade_is_exact_on_a_single_graph_database() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = GeneratorConfig::new(8, 2.0).with_alphabets(LabelAlphabets::new(4, 3));
+        let only = cfg.generate(&mut rng).unwrap();
+        let query = cfg.generate(&mut rng).unwrap();
+        let db = GraphDatabase::from_graphs(vec![only]);
+        let multiset = BranchMultiset::from_graph(&query);
+        let flat = db.catalog().flatten_lookup(&multiset);
+        let cascade = FilterCascade::new(&db, &flat, None);
+        let acc = cascade.intersections(0..1);
+        assert_eq!(acc.len(), 1);
+        assert_eq!(
+            cascade.phi_exact(0, acc[0]),
+            flat.as_view().gbd(db.flat(0)) as u64
+        );
+        let (lb1, ub1) = cascade.size_bounds(db.size_of(0));
+        let (lb2, ub2) = cascade.refined_bounds(0);
+        let phi = cascade.phi_exact(0, acc[0]);
+        assert!(lb1 <= phi && phi <= ub1);
+        assert!(lb2 <= phi && phi <= ub2);
+        // Self-query: the exact ϕ is 0 and the bounds must allow it.
+        let self_flat = db.catalog().flatten_graph(db.graph(0));
+        let self_cascade = FilterCascade::new(&db, &self_flat, None);
+        let self_acc = self_cascade.intersections(0..1);
+        assert_eq!(self_cascade.phi_exact(0, self_acc[0]), 0);
+        assert_eq!(self_cascade.refined_bounds(0).0, 0);
+    }
+
+    #[test]
+    fn postings_of_is_total_over_any_branch_id() {
+        let (db, queries) = setup();
+        // In-range ids go to the CSR; unseen and sentinel ids are empty
+        // rather than a panic — the segment-awareness the dynamic layer
+        // relies on.
+        assert!(db.postings_of(0).len() <= db.postings_len());
+        assert!(db.postings_of(db.catalog().len() as u32).is_empty());
+        assert!(db.postings_of(u32::MAX).is_empty());
+        let _ = queries;
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`filter`] — the candidate-pruning layer: the lower-bound filter
 //!   cascade and inverted-index count filter that resolve most graphs
 //!   without merging their branch runs,
+//! * [`dynamic`] — the dynamic storage layer: [`DynamicDatabase`] (immutable
+//!   base segment + append-only delta + tombstones + compaction) and the
+//!   segment-aware [`DynamicEngine`],
 //! * [`posterior_cache`] — memoization of the posterior per `(|V'1|, ϕ)`,
 //! * [`baseline`] — a uniform [`SimilaritySearcher`] interface shared with
 //!   the LSAP / Greedy-Sort-GED / seriation baselines,
@@ -46,6 +49,7 @@
 pub mod baseline;
 pub mod config;
 pub mod database;
+pub mod dynamic;
 pub mod engine;
 pub mod error;
 pub mod estimator;
@@ -57,11 +61,12 @@ pub mod search;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
 pub use config::{GbdaConfig, GbdaVariant};
-pub use database::{GraphDatabase, Posting};
+pub use database::{DatabaseParts, GraphDatabase, Posting};
+pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, Tombstones};
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
-pub use filter::{FilterCascade, SizeDecision};
+pub use filter::{FilterCascade, SegmentIndex, SizeDecision};
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
 pub use posterior_cache::PosteriorCache;

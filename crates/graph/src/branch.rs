@@ -104,6 +104,18 @@ impl BranchMultiset {
         BranchMultiset { branches }
     }
 
+    /// Builds a multiset from branches that are **already sorted** — the
+    /// storage-engine load path, which expands catalogued branches in sorted
+    /// rank order and must not pay a second `O(n log n)` comparison sort.
+    ///
+    /// Sortedness is debug-asserted; in release builds an unsorted input
+    /// would silently produce wrong intersections, so callers must guarantee
+    /// the order.
+    pub fn from_sorted_branches(branches: Vec<Branch>) -> Self {
+        debug_assert!(branches.windows(2).all(|w| w[0] <= w[1]));
+        BranchMultiset { branches }
+    }
+
     /// Number of branches, i.e. the number of vertices of the source graph.
     pub fn len(&self) -> usize {
         self.branches.len()

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use crate::branch::{Branch, BranchMultiset};
+use crate::error::{GraphError, Result};
 use crate::graph::Graph;
 
 /// Sentinel id assigned by [`BranchCatalog::flatten_lookup`] to branches that
@@ -49,6 +50,35 @@ impl BranchCatalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         BranchCatalog::default()
+    }
+
+    /// Rebuilds a catalog from its id-ordered branch list (the storage-engine
+    /// load path: ids are assigned by position, `branches[i]` gets id `i`).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::Parse`] when the list contains duplicate
+    /// branches (two ids for one branch would corrupt every flat set) or
+    /// exhausts the id space.
+    pub fn from_branches(branches: Vec<Branch>) -> Result<Self> {
+        if branches.len() >= UNKNOWN_BRANCH_ID as usize {
+            return Err(GraphError::Parse(
+                "catalog exceeds the branch id space".into(),
+            ));
+        }
+        let mut ids = HashMap::with_capacity(branches.len());
+        for (id, branch) in branches.iter().enumerate() {
+            if ids.insert(branch.clone(), id as u32).is_some() {
+                return Err(GraphError::Parse(format!(
+                    "duplicate branch at catalog id {id}"
+                )));
+            }
+        }
+        Ok(BranchCatalog { ids, branches })
+    }
+
+    /// The interned branches in id order (`branches()[i]` has id `i`).
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
     }
 
     /// Number of distinct branches interned so far.
@@ -496,6 +526,26 @@ mod tests {
         assert_eq!(empty.known_len(), 0);
         assert_eq!(empty.max_known_run_count(), 0);
         assert!(empty.known_runs().is_empty());
+    }
+
+    #[test]
+    fn from_branches_round_trips_a_catalog() {
+        let mut catalog = BranchCatalog::new();
+        catalog.intern(branch(0, &[1, 2]));
+        catalog.intern(branch(1, &[]));
+        catalog.intern(branch(2, &[3, 3]));
+        let rebuilt = BranchCatalog::from_branches(catalog.branches().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), catalog.len());
+        for id in 0..catalog.len() as u32 {
+            assert_eq!(rebuilt.branch(id), catalog.branch(id));
+            assert_eq!(rebuilt.id_of(catalog.branch(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn from_branches_rejects_duplicates() {
+        let dup = vec![branch(0, &[1]), branch(0, &[1])];
+        assert!(BranchCatalog::from_branches(dup).is_err());
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub enum GraphError {
     UnknownLabel(u32),
     /// A textual graph representation could not be parsed.
     Parse(String),
+    /// A textual graph representation could not be parsed; the error is
+    /// pinned to a 1-based line of the input, so malformed `t/v/e` files are
+    /// diagnosable without bisecting them.
+    ParseAt {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
     /// A generator could not satisfy its constraints (e.g. no valid
     /// modification center was found within the retry budget).
     Generation(String),
@@ -60,7 +69,35 @@ impl fmt::Display for GraphError {
             }
             GraphError::UnknownLabel(id) => write!(f, "unknown label id {id}"),
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::ParseAt { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Generation(msg) => write!(f, "generation error: {msg}"),
+        }
+    }
+}
+
+impl GraphError {
+    /// The 1-based input line an I/O parse error points at, if the error
+    /// carries one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            GraphError::ParseAt { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+
+    /// Attaches a 1-based line number to this error, turning any graph
+    /// error raised while applying a parsed record into a diagnosable
+    /// [`GraphError::ParseAt`]. Errors that already carry a line keep it.
+    pub fn at_line(self, line: usize) -> GraphError {
+        match self {
+            GraphError::ParseAt { .. } => self,
+            GraphError::Parse(message) => GraphError::ParseAt { line, message },
+            other => GraphError::ParseAt {
+                line,
+                message: other.to_string(),
+            },
         }
     }
 }
@@ -79,5 +116,24 @@ mod tests {
         assert!(e.to_string().contains("already exists"));
         let e = GraphError::Parse("bad line".into());
         assert!(e.to_string().contains("bad line"));
+        let e = GraphError::ParseAt {
+            line: 7,
+            message: "bad record".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("bad record"));
+    }
+
+    #[test]
+    fn line_context_is_attached_and_preserved() {
+        assert_eq!(GraphError::Parse("x".into()).line(), None);
+        let pinned = GraphError::Parse("bad".into()).at_line(3);
+        assert_eq!(pinned.line(), Some(3));
+        // Already-pinned errors keep their original line.
+        assert_eq!(pinned.at_line(9).line(), Some(3));
+        // Structural errors are wrapped with their message intact.
+        let wrapped = GraphError::SelfLoop(VertexId::new(2)).at_line(4);
+        assert_eq!(wrapped.line(), Some(4));
+        assert!(wrapped.to_string().contains("self loop"));
     }
 }

@@ -107,6 +107,78 @@ impl Graph {
         }
     }
 
+    /// Rebuilds a graph from its serialised parts: vertex labels in id order
+    /// plus edges as `(u, v, label)` triples in **canonical order** (each
+    /// `u < v`, triples strictly ascending by `(u, v)`), exactly the order
+    /// [`Self::edges`] iterates in.
+    ///
+    /// This is the storage-engine load path: instead of one checked
+    /// [`Self::add_edge`] per edge (a `BTreeMap` probe plus a sorted
+    /// insertion each), the adjacency lists are bulk-filled and sorted once
+    /// and the edge map is bulk-built from the already-sorted triples. All
+    /// simple-graph invariants are still validated, so corrupt input yields
+    /// a [`GraphError`], never a panic or a malformed graph.
+    pub fn from_parts(
+        name: Option<String>,
+        vertex_labels: Vec<Label>,
+        edges: &[(u32, u32, Label)],
+    ) -> Result<Self> {
+        let n = vertex_labels.len();
+        if vertex_labels.iter().any(|l| l.is_virtual()) {
+            return Err(GraphError::VirtualLabelNotAllowed);
+        }
+        let mut adjacency: Vec<Vec<(VertexId, Label)>> = vec![Vec::new(); n];
+        let mut previous: Option<(u32, u32)> = None;
+        for &(u, v, label) in edges {
+            if label.is_virtual() {
+                return Err(GraphError::VirtualLabelNotAllowed);
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(VertexId::new(u)));
+            }
+            if u > v {
+                // Canonical order is part of the contract; a swapped pair
+                // would also defeat the duplicate check below.
+                return Err(GraphError::Parse(format!(
+                    "edge ({u}, {v}) is not in canonical order"
+                )));
+            }
+            if v as usize >= n {
+                return Err(GraphError::UnknownVertex(VertexId::new(v)));
+            }
+            match previous {
+                Some(p) if p == (u, v) => {
+                    return Err(GraphError::DuplicateEdge(
+                        VertexId::new(u),
+                        VertexId::new(v),
+                    ))
+                }
+                Some(p) if p > (u, v) => {
+                    return Err(GraphError::Parse(format!(
+                        "edge ({u}, {v}) is not in canonical order"
+                    )))
+                }
+                _ => {}
+            }
+            previous = Some((u, v));
+            adjacency[u as usize].push((VertexId::new(v), label));
+            adjacency[v as usize].push((VertexId::new(u), label));
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable_by_key(|&(neighbour, _)| neighbour);
+        }
+        let edges: BTreeMap<EdgeKey, Label> = edges
+            .iter()
+            .map(|&(u, v, label)| (EdgeKey::new(VertexId::new(u), VertexId::new(v)), label))
+            .collect();
+        Ok(Graph {
+            name,
+            vertex_labels,
+            adjacency,
+            edges,
+        })
+    }
+
     /// Sets a human readable name (dataset id, molecule id, ...).
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = Some(name.into());
@@ -543,6 +615,63 @@ mod tests {
         assert!(k1.touches(VertexId::new(3)));
         assert_eq!(k1.other(VertexId::new(1)), Some(VertexId::new(3)));
         assert_eq!(k1.other(VertexId::new(9)), None);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_an_identical_graph() {
+        let mut g = figure1_g1();
+        g.set_name("rebuilt");
+        let labels = g.vertex_labels().to_vec();
+        let edges: Vec<(u32, u32, Label)> =
+            g.edges().map(|(k, l)| (k.u.raw(), k.v.raw(), l)).collect();
+        let rebuilt = Graph::from_parts(Some("rebuilt".into()), labels, &edges).unwrap();
+        assert_eq!(rebuilt.name(), Some("rebuilt"));
+        assert_eq!(rebuilt.vertex_count(), g.vertex_count());
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            assert_eq!(rebuilt.vertex_label(v), g.vertex_label(v));
+            assert_eq!(rebuilt.neighbors(v).unwrap(), g.neighbors(v).unwrap());
+        }
+        let original: Vec<_> = g.edges().collect();
+        let copied: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(original, copied);
+    }
+
+    #[test]
+    fn from_parts_rejects_invalid_input() {
+        let labels = vec![labeled(0), labeled(1), labeled(2)];
+        let ok = |edges: &[(u32, u32, Label)]| Graph::from_parts(None, labels.clone(), edges);
+        assert_eq!(
+            ok(&[(1, 1, labeled(5))]).unwrap_err(),
+            GraphError::SelfLoop(VertexId::new(1))
+        );
+        assert_eq!(
+            ok(&[(0, 7, labeled(5))]).unwrap_err(),
+            GraphError::UnknownVertex(VertexId::new(7))
+        );
+        assert_eq!(
+            ok(&[(0, 1, labeled(5)), (0, 1, labeled(6))]).unwrap_err(),
+            GraphError::DuplicateEdge(VertexId::new(0), VertexId::new(1))
+        );
+        assert!(matches!(
+            ok(&[(1, 2, labeled(5)), (0, 1, labeled(6))]).unwrap_err(),
+            GraphError::Parse(_)
+        ));
+        assert!(matches!(
+            ok(&[(2, 0, labeled(5))]).unwrap_err(),
+            GraphError::Parse(_)
+        ));
+        assert_eq!(
+            ok(&[(0, 1, Label::EPSILON)]).unwrap_err(),
+            GraphError::VirtualLabelNotAllowed
+        );
+        assert_eq!(
+            Graph::from_parts(None, vec![Label::EPSILON], &[]).unwrap_err(),
+            GraphError::VirtualLabelNotAllowed
+        );
+        // The empty graph is a valid edge case.
+        let empty = Graph::from_parts(None, Vec::new(), &[]).unwrap();
+        assert_eq!(empty.vertex_count(), 0);
     }
 
     #[test]

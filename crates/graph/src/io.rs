@@ -64,23 +64,38 @@ pub fn write_database(graphs: &[Graph], vocabulary: &Vocabulary) -> String {
     out
 }
 
-fn parse_label(token: &str, vocabulary: &mut Vocabulary) -> Result<Label> {
+fn parse_label(token: &str, line: usize, vocabulary: &mut Vocabulary) -> Result<Label> {
     if let Some(raw) = token.strip_prefix('#') {
-        let id: u32 = raw
-            .parse()
-            .map_err(|_| GraphError::Parse(format!("invalid raw label id '{token}'")))?;
+        let id: u32 = raw.parse().map_err(|_| GraphError::ParseAt {
+            line,
+            message: format!("invalid raw label id '{token}'"),
+        })?;
         Ok(Label::new(id))
     } else {
         Ok(vocabulary.intern(token))
     }
 }
 
+/// Builds a line-pinned parse error.
+fn parse_error(line: usize, message: impl Into<String>) -> GraphError {
+    GraphError::ParseAt {
+        line,
+        message: message.into(),
+    }
+}
+
 /// Parses a database written by [`write_database`] (or a single graph written
 /// by [`write_graph`]). New label strings are interned into `vocabulary`.
+///
+/// # Errors
+/// Every parse failure — including graph-construction failures such as a
+/// duplicate edge on an `e` line — is reported as [`GraphError::ParseAt`]
+/// carrying the 1-based line number of the offending input line.
 pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Graph>> {
     let mut graphs: Vec<Graph> = Vec::new();
     let mut current: Option<Graph> = None;
-    for (line_no, raw_line) in text.lines().enumerate() {
+    for (line_index, raw_line) in text.lines().enumerate() {
+        let line_no = line_index + 1;
         let line = raw_line.split('#').next().unwrap_or("").trim();
         let line =
             if raw_line.trim_start().starts_with('v') || raw_line.trim_start().starts_with('e') {
@@ -108,66 +123,57 @@ pub fn parse_database(text: &str, vocabulary: &mut Vocabulary) -> Result<Vec<Gra
                 current = Some(g);
             }
             "v" => {
-                let g = current.as_mut().ok_or_else(|| {
-                    GraphError::Parse(format!("line {}: vertex before 't'", line_no + 1))
-                })?;
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| parse_error(line_no, "vertex before 't'"))?;
                 let idx: usize = parts
                     .next()
-                    .ok_or_else(|| {
-                        GraphError::Parse(format!("line {}: missing vertex index", line_no + 1))
-                    })?
+                    .ok_or_else(|| parse_error(line_no, "missing vertex index"))?
                     .parse()
-                    .map_err(|_| {
-                        GraphError::Parse(format!("line {}: bad vertex index", line_no + 1))
-                    })?;
-                let label_tok = parts.next().ok_or_else(|| {
-                    GraphError::Parse(format!("line {}: missing vertex label", line_no + 1))
-                })?;
+                    .map_err(|_| parse_error(line_no, "bad vertex index"))?;
+                let label_tok = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no, "missing vertex label"))?;
                 if idx != g.vertex_count() {
-                    return Err(GraphError::Parse(format!(
-                        "line {}: vertex indices must be dense and in order (expected {}, got {idx})",
-                        line_no + 1,
-                        g.vertex_count()
-                    )));
+                    return Err(parse_error(
+                        line_no,
+                        format!(
+                            "vertex indices must be dense and in order (expected {}, got {idx})",
+                            g.vertex_count()
+                        ),
+                    ));
                 }
-                g.add_vertex(parse_label(label_tok, vocabulary)?);
+                g.add_vertex(parse_label(label_tok, line_no, vocabulary)?);
             }
             "e" => {
-                let g = current.as_mut().ok_or_else(|| {
-                    GraphError::Parse(format!("line {}: edge before 't'", line_no + 1))
-                })?;
+                let g = current
+                    .as_mut()
+                    .ok_or_else(|| parse_error(line_no, "edge before 't'"))?;
                 let u: u32 = parts
                     .next()
-                    .ok_or_else(|| {
-                        GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1))
-                    })?
+                    .ok_or_else(|| parse_error(line_no, "missing edge endpoint"))?
                     .parse()
-                    .map_err(|_| {
-                        GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1))
-                    })?;
+                    .map_err(|_| parse_error(line_no, "bad edge endpoint"))?;
                 let v: u32 = parts
                     .next()
-                    .ok_or_else(|| {
-                        GraphError::Parse(format!("line {}: missing edge endpoint", line_no + 1))
-                    })?
+                    .ok_or_else(|| parse_error(line_no, "missing edge endpoint"))?
                     .parse()
-                    .map_err(|_| {
-                        GraphError::Parse(format!("line {}: bad edge endpoint", line_no + 1))
-                    })?;
-                let label_tok = parts.next().ok_or_else(|| {
-                    GraphError::Parse(format!("line {}: missing edge label", line_no + 1))
-                })?;
+                    .map_err(|_| parse_error(line_no, "bad edge endpoint"))?;
+                let label_tok = parts
+                    .next()
+                    .ok_or_else(|| parse_error(line_no, "missing edge label"))?;
                 g.add_edge(
                     VertexId::new(u),
                     VertexId::new(v),
-                    parse_label(label_tok, vocabulary)?,
-                )?;
+                    parse_label(label_tok, line_no, vocabulary)?,
+                )
+                .map_err(|e| e.at_line(line_no))?;
             }
             other => {
-                return Err(GraphError::Parse(format!(
-                    "line {}: unknown record tag '{other}'",
-                    line_no + 1
-                )))
+                return Err(parse_error(
+                    line_no,
+                    format!("unknown record tag '{other}'"),
+                ))
             }
         }
     }
@@ -266,6 +272,46 @@ mod tests {
             parse_graph("t a\nt b", &mut voc).is_err(),
             "two graphs for parse_graph"
         );
+    }
+
+    /// Every malformed input is rejected with the 1-based line number of the
+    /// offending line, so a bad record deep inside a big `t/v/e` file is
+    /// diagnosable directly.
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("v 0 C", 1, "vertex before 't'"),
+            ("# header\n\ne 0 1 x", 3, "edge before 't'"),
+            ("t g\nv", 2, "missing vertex index"),
+            ("t g\nv zero C", 2, "bad vertex index"),
+            ("t g\nv 0", 2, "missing vertex label"),
+            ("t g\nv 0 C\nv 2 O", 3, "dense and in order"),
+            ("t g\nv 0 #x", 2, "invalid raw label id"),
+            ("t g\ne", 2, "missing edge endpoint"),
+            ("t g\ne 0", 2, "missing edge endpoint"),
+            ("t g\ne zero 1 x", 2, "bad edge endpoint"),
+            ("t g\ne 0 one x", 2, "bad edge endpoint"),
+            ("t g\ne 0 1", 2, "missing edge label"),
+            ("t g\nv 0 C\nv 1 O\nq 0", 4, "unknown record tag"),
+            // Graph-construction failures on an `e` line keep the line too.
+            ("t g\nv 0 C\nv 1 O\ne 0 1 x\ne 1 0 y", 5, "already exists"),
+            ("t g\nv 0 C\ne 0 0 x", 3, "self loop"),
+            ("t g\nv 0 C\ne 0 5 x", 3, "unknown vertex"),
+        ];
+        for (text, line, needle) in cases {
+            let mut voc = Vocabulary::new();
+            let err = parse_database(text, &mut voc).unwrap_err();
+            assert_eq!(
+                err.line(),
+                Some(*line),
+                "wrong line for {text:?}: got {err}"
+            );
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle:?}"
+            );
+            assert!(err.to_string().contains(&format!("line {line}")));
+        }
     }
 
     #[test]

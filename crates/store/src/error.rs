@@ -1,0 +1,112 @@
+//! The storage-engine error type.
+
+use std::fmt;
+
+use gbda_core::EngineError;
+
+/// Convenient result alias for storage operations.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// Errors raised while writing or reading snapshot files.
+///
+/// Every way a snapshot can fail to load — I/O, a foreign file, a future
+/// format version, truncation, bit rot, or internally inconsistent content —
+/// maps to a distinct variant; no input byte stream panics the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The file is a snapshot of a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The file ended in the middle of the structure being decoded.
+    Truncated {
+        /// Which structure was being decoded.
+        context: &'static str,
+    },
+    /// The payload hash does not match the header — the file was corrupted
+    /// after it was written.
+    ChecksumMismatch {
+        /// Hash recorded in the header.
+        expected: u64,
+        /// Hash of the payload actually on disk.
+        actual: u64,
+    },
+    /// The bytes decode but violate the format's structural rules.
+    Corrupt(String),
+    /// The sections decode individually but do not assemble into a valid
+    /// database (a cross-structure invariant failed).
+    InvalidDatabase(EngineError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            StoreError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            StoreError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            StoreError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+            StoreError::InvalidDatabase(e) => write!(f, "snapshot decodes to an invalid database: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::InvalidDatabase(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for StoreError {
+    fn from(e: EngineError) -> Self {
+        StoreError::InvalidDatabase(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StoreError::Io {
+            path: "/tmp/x".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/x"));
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        let e = StoreError::Truncated { context: "arena" };
+        assert!(e.to_string().contains("arena"));
+        let e = StoreError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = StoreError::Corrupt("weird section".into());
+        assert!(e.to_string().contains("weird section"));
+        let e = StoreError::from(EngineError::CorruptDatabase {
+            reason: "spans".into(),
+        });
+        assert!(e.to_string().contains("spans"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,220 @@
+//! Binary encoding primitives for snapshot files.
+//!
+//! Everything is little-endian, length-prefixed and bounds-checked; the
+//! reader returns a typed [`StoreError`] on any malformed input instead of
+//! panicking, which is what lets [`crate::Snapshot::load`] make its
+//! "corrupt files never panic" guarantee. There are no external
+//! dependencies — the checksum is a plain FNV-1a/64.
+
+use crate::error::{StoreError, StoreResult};
+
+/// The 8-byte file magic (`GBDSNAP` + NUL).
+pub const MAGIC: [u8; 8] = *b"GBDSNAP\0";
+
+/// The current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it guards
+/// against truncation and bit rot, not against adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes raw bytes (no length prefix).
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, value: &str) {
+        self.u64(value.len() as u64);
+        self.bytes(value.as_bytes());
+    }
+}
+
+/// Bounds-checked decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes `len` raw bytes.
+    pub fn take(&mut self, len: usize, context: &'static str) -> StoreResult<&'a [u8]> {
+        if len > self.remaining() {
+            return Err(StoreError::Truncated { context });
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> StoreResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> StoreResult<u32> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes taken")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> StoreResult<u64> {
+        let bytes = self.take(8, context)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes taken")))
+    }
+
+    /// Reads a `u64` that must fit in `usize` and — as a cheap sanity bound
+    /// against allocation bombs — must not claim more elements than the
+    /// remaining bytes could possibly encode (`min_element_size ≥ 1`).
+    pub fn count(&mut self, min_element_size: usize, context: &'static str) -> StoreResult<usize> {
+        let raw = self.u64(context)?;
+        let count = usize::try_from(raw)
+            .map_err(|_| StoreError::Corrupt(format!("{context}: count {raw} overflows")))?;
+        if count > self.remaining() / min_element_size.max(1) {
+            return Err(StoreError::Truncated { context });
+        }
+        Ok(count)
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> StoreResult<String> {
+        let len = self.count(1, context)?;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Splits off a sub-reader over the next `len` bytes.
+    pub fn sub_reader(&mut self, len: usize, context: &'static str) -> StoreResult<Reader<'a>> {
+        Ok(Reader::new(self.take(len, context)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = Writer::new();
+        assert!(w.is_empty());
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), 1 + 4 + 8 + (8 + 6) + 3);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.str("d").unwrap(), "héllo");
+        assert_eq!(r.take(3, "e").unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_reads_fail_with_context() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.u32("header"),
+            Err(StoreError::Truncated { context: "header" })
+        );
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn counts_reject_allocation_bombs() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.count(4, "bomb").is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_corrupt_not_a_panic() {
+        let mut w = Writer::new();
+        w.u64(2);
+        w.bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str("name"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -1,0 +1,241 @@
+//! # gbd-store — the persistent storage engine of the GBDA workspace
+//!
+//! The offline stage of GBDA (catalog interning, flat-run arena, per-graph
+//! aggregates, CSR postings) is paid once per database build; this crate
+//! makes that investment durable. A [`Snapshot`] captures a
+//! [`gbda_core::GraphDatabase`] into a versioned, checksummed,
+//! dependency-free binary file, and [`load_database`] rebuilds it without
+//! recomputing any of those structures — measurably faster than
+//! `GraphDatabase::from_graphs` on the committed 10k-graph workload (see
+//! `results/BENCH_store.json`).
+//!
+//! Corrupted, truncated or foreign files are always reported as a typed
+//! [`StoreError`] — never a panic: the header checksum catches bit rot, the
+//! bounds-checked decoders catch structural damage, and
+//! `GraphDatabase::from_parts` re-validates every cross-structure invariant
+//! before a database is handed out.
+//!
+//! Dynamic updates on top of a loaded (or built) base live in
+//! [`gbda_core::DynamicDatabase`]; the common lifecycle is *load snapshot →
+//! serve + absorb inserts/deletes → compact → save snapshot*.
+//!
+//! ```
+//! use gbd_store::{load_database, save_database};
+//! use gbd_graph::{GeneratorConfig, Vocabulary};
+//! use gbda_core::GraphDatabase;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let graphs = GeneratorConfig::new(10, 2.0).generate_many(12, &mut rng).unwrap();
+//! let database = GraphDatabase::from_graphs(graphs);
+//!
+//! let path = std::env::temp_dir().join("gbd-store-doctest.snap");
+//! save_database(&database, &Vocabulary::new(), &path).unwrap();
+//! let (loaded, _vocabulary) = load_database(&path).unwrap();
+//! assert_eq!(loaded.len(), database.len());
+//! assert_eq!(loaded.gbd_between(0, 1), database.gbd_between(0, 1));
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod format;
+pub mod snapshot;
+
+pub use error::{StoreError, StoreResult};
+pub use snapshot::{load_database, save_database, Snapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets, Vocabulary};
+    use gbda_core::{EngineError, GraphDatabase};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graphs() -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut graphs: Vec<Graph> = Vec::new();
+        for size in [6usize, 9, 12] {
+            let cfg = GeneratorConfig::new(size, 2.1).with_alphabets(LabelAlphabets::new(5, 3));
+            graphs.extend(cfg.generate_many(6, &mut rng).unwrap());
+        }
+        graphs[0].set_name("first");
+        graphs[4].set_name("with spaces and ünicode");
+        graphs
+    }
+
+    fn sample_database() -> GraphDatabase {
+        GraphDatabase::from_graphs(sample_graphs())
+    }
+
+    fn database_identical(a: &GraphDatabase, b: &GraphDatabase) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.alphabets(), b.alphabets());
+        assert_eq!(a.max_vertices(), b.max_vertices());
+        assert_eq!(a.distinct_sizes(), b.distinct_sizes());
+        assert_eq!(a.arena_len(), b.arena_len());
+        assert_eq!(a.postings_len(), b.postings_len());
+        assert_eq!(a.catalog().len(), b.catalog().len());
+        for i in 0..a.len() {
+            assert_eq!(a.graph(i).name(), b.graph(i).name());
+            assert_eq!(a.flat(i).runs(), b.flat(i).runs());
+            assert_eq!(a.branches(i), b.branches(i));
+            assert_eq!(a.bucket_of(i), b.bucket_of(i));
+            assert_eq!(a.distinct_runs(i), b.distinct_runs(i));
+            assert_eq!(a.max_run_count(i), b.max_run_count(i));
+        }
+        for id in 0..a.catalog().len() as u32 {
+            assert_eq!(a.catalog().branch(id), b.catalog().branch(id));
+            assert_eq!(a.postings(id), b.postings(id));
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_in_memory() {
+        let database = sample_database();
+        let mut vocabulary = Vocabulary::new();
+        vocabulary.intern("carbon");
+        vocabulary.intern("oxygen");
+        let bytes =
+            Snapshot::from_database_with_vocabulary(&database, vocabulary.clone()).to_bytes();
+        let snapshot = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snapshot.graph_count(), database.len());
+        let (loaded, loaded_vocabulary) = snapshot.into_database().unwrap();
+        database_identical(&database, &loaded);
+        assert!(loaded.verify_postings());
+        assert_eq!(loaded_vocabulary.len(), vocabulary.len());
+        assert_eq!(loaded_vocabulary.get("carbon"), vocabulary.get("carbon"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_a_file() {
+        let database = sample_database();
+        let path = std::env::temp_dir().join("gbd-store-test-roundtrip.snap");
+        save_database(&database, &Vocabulary::new(), &path).unwrap();
+        let (loaded, _) = load_database(&path).unwrap();
+        database_identical(&database, &loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let database = GraphDatabase::from_graphs(Vec::new());
+        let bytes = Snapshot::from_database(&database).to_bytes();
+        let (loaded, _) = Snapshot::from_bytes(&bytes)
+            .unwrap()
+            .into_database()
+            .unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.arena_len(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = Snapshot::load("/nonexistent/definitely/missing.snap").unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_rejected() {
+        assert_eq!(
+            Snapshot::from_bytes(b"not a snapshot at all").unwrap_err(),
+            StoreError::BadMagic
+        );
+        assert_eq!(
+            Snapshot::from_bytes(b"abc").unwrap_err(),
+            StoreError::BadMagic
+        );
+        // Bump the version field.
+        let mut bytes = Snapshot::from_database(&sample_database()).to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            StoreError::UnsupportedVersion(99)
+        );
+    }
+
+    /// Truncating the file at *every* byte boundary must yield a typed
+    /// error, never a panic. This sweeps the whole header/section space.
+    #[test]
+    fn every_truncation_point_errors_cleanly() {
+        let bytes = Snapshot::from_database(&sample_database()).to_bytes();
+        for len in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..len])
+                .err()
+                .unwrap_or_else(|| panic!("truncation at {len} must fail"));
+            assert!(
+                matches!(
+                    err,
+                    StoreError::BadMagic
+                        | StoreError::Truncated { .. }
+                        | StoreError::ChecksumMismatch { .. }
+                        | StoreError::Corrupt(_)
+                ),
+                "unexpected error at {len}: {err}"
+            );
+        }
+    }
+
+    /// Flipping any single byte of the payload must be caught by the
+    /// checksum (header bytes are caught by their own field checks).
+    #[test]
+    fn bit_rot_is_caught_by_the_checksum() {
+        let bytes = Snapshot::from_database(&sample_database()).to_bytes();
+        let header = 8 + 4 + 4 + 8 + 8;
+        let mut rng_positions = Vec::new();
+        let payload_len = bytes.len() - header;
+        for k in 0..32 {
+            rng_positions.push(header + (k * 997) % payload_len);
+        }
+        for position in rng_positions {
+            let mut copy = bytes.clone();
+            copy[position] ^= 0x40;
+            assert!(
+                matches!(
+                    Snapshot::from_bytes(&copy).unwrap_err(),
+                    StoreError::ChecksumMismatch { .. }
+                ),
+                "flip at {position} must trip the checksum"
+            );
+        }
+    }
+
+    /// A file that passes the checksum but carries inconsistent sections is
+    /// rejected by the database-level validation (never panics). Re-signing
+    /// the corrupted payload simulates a buggy writer rather than bit rot.
+    #[test]
+    fn internally_inconsistent_payloads_are_rejected() {
+        let database = sample_database();
+        let mut snapshot = Snapshot::from_database(&database);
+        // Reach into the parts and break a cross-structure invariant.
+        snapshot_parts_mut(&mut snapshot).sizes[0] += 1;
+        let bytes = snapshot.to_bytes();
+        let err = Snapshot::from_bytes(&bytes)
+            .unwrap()
+            .into_database()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::InvalidDatabase(EngineError::CorruptDatabase { .. })
+        ));
+    }
+
+    /// Test-only access to the parts (the public API never exposes them
+    /// mutably).
+    fn snapshot_parts_mut(snapshot: &mut Snapshot) -> &mut gbda_core::DatabaseParts {
+        &mut snapshot.parts
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = Snapshot::from_database(&sample_database()).to_bytes();
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes).unwrap_err(),
+            StoreError::Truncated { .. }
+        ));
+    }
+}

@@ -1,0 +1,534 @@
+//! The snapshot file: a persisted [`GraphDatabase`].
+//!
+//! # Layout
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header   magic "GBDSNAP\0" · version u32 · section count u32 │
+//! │          payload length u64 · payload FNV-1a/64 u64          │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ payload  7 sections, each: tag u32 · byte length u64 · body  │
+//! │   1 VOCABULARY   label-id → string names                     │
+//! │   2 ALPHABETS    |LV|, |LE| of the probabilistic model       │
+//! │   3 GRAPHS       names, vertex labels, canonical edge lists  │
+//! │   4 CATALOG      interned branches in id order               │
+//! │   5 ARENA        flat branch runs + per-graph spans          │
+//! │   6 AGGREGATES   sizes, buckets, run counts, distinct sizes  │
+//! │   7 POSTINGS     CSR inverted branch index                   │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Loading never re-derives what the offline stage already paid for: the
+//! catalog, aggregates and CSR postings come straight from their sections,
+//! and the per-graph branch multisets are re-expanded from the catalog
+//! (cheap clones) instead of re-extracted from the graphs. The three
+//! integrity layers are the header checksum (bit rot, truncation), the
+//! bounds-checked section decoders (structure), and
+//! [`GraphDatabase::from_parts`] (cross-structure invariants) — every
+//! failure is a typed [`StoreError`].
+
+use std::path::Path;
+
+use gbd_graph::{Branch, BranchRun, Graph, Label, LabelAlphabets, Vocabulary};
+use gbda_core::{DatabaseParts, GraphDatabase, Posting};
+
+use crate::error::{StoreError, StoreResult};
+use crate::format::{fnv1a64, Reader, Writer, MAGIC, VERSION};
+
+/// Section tags, in file order.
+const SECTION_VOCABULARY: u32 = 1;
+const SECTION_ALPHABETS: u32 = 2;
+const SECTION_GRAPHS: u32 = 3;
+const SECTION_CATALOG: u32 = 4;
+const SECTION_ARENA: u32 = 5;
+const SECTION_AGGREGATES: u32 = 6;
+const SECTION_POSTINGS: u32 = 7;
+
+const SECTIONS: [u32; 7] = [
+    SECTION_VOCABULARY,
+    SECTION_ALPHABETS,
+    SECTION_GRAPHS,
+    SECTION_CATALOG,
+    SECTION_ARENA,
+    SECTION_AGGREGATES,
+    SECTION_POSTINGS,
+];
+
+/// An in-memory snapshot: the serialisable parts of a [`GraphDatabase`]
+/// plus the optional label vocabulary of its datasets.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) parts: DatabaseParts,
+    vocabulary: Vocabulary,
+}
+
+impl Snapshot {
+    /// Captures a database (with an empty vocabulary — label ids only).
+    pub fn from_database(database: &GraphDatabase) -> Self {
+        Snapshot {
+            parts: database.to_parts(),
+            vocabulary: Vocabulary::new(),
+        }
+    }
+
+    /// Captures a database together with the vocabulary that maps its label
+    /// ids back to strings.
+    pub fn from_database_with_vocabulary(database: &GraphDatabase, vocabulary: Vocabulary) -> Self {
+        Snapshot {
+            parts: database.to_parts(),
+            vocabulary,
+        }
+    }
+
+    /// Number of graphs captured.
+    pub fn graph_count(&self) -> usize {
+        self.parts.graphs.len()
+    }
+
+    /// The label vocabulary carried alongside the database.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Rebuilds the database (validating every cross-structure invariant)
+    /// and hands back the vocabulary.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidDatabase`] when the decoded sections do not
+    /// assemble into a consistent database.
+    pub fn into_database(self) -> StoreResult<(GraphDatabase, Vocabulary)> {
+        let database = GraphDatabase::from_parts(self.parts)?;
+        Ok((database, self.vocabulary))
+    }
+
+    /// Serialises the snapshot to its binary file format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        for &tag in &SECTIONS {
+            let mut body = Writer::new();
+            match tag {
+                SECTION_VOCABULARY => encode_vocabulary(&mut body, &self.vocabulary),
+                SECTION_ALPHABETS => encode_alphabets(&mut body, self.parts.alphabets),
+                SECTION_GRAPHS => encode_graphs(&mut body, &self.parts.graphs),
+                SECTION_CATALOG => encode_catalog(&mut body, &self.parts.branches),
+                SECTION_ARENA => encode_arena(&mut body, &self.parts.arena, &self.parts.spans),
+                SECTION_AGGREGATES => encode_aggregates(&mut body, &self.parts),
+                SECTION_POSTINGS => {
+                    encode_postings(&mut body, &self.parts.posting_offsets, &self.parts.postings)
+                }
+                _ => unreachable!("SECTIONS lists every tag"),
+            }
+            payload.u32(tag);
+            payload.u64(body.len() as u64);
+            payload.bytes(&body.into_bytes());
+        }
+        let payload = payload.into_bytes();
+        let mut out = Writer::new();
+        out.bytes(&MAGIC);
+        out.u32(VERSION);
+        out.u32(SECTIONS.len() as u32);
+        out.u64(payload.len() as u64);
+        out.u64(fnv1a64(&payload));
+        out.bytes(&payload);
+        out.into_bytes()
+    }
+
+    /// Decodes a snapshot from its binary file format.
+    ///
+    /// # Errors
+    /// A typed [`StoreError`] for every failure mode: foreign files, future
+    /// versions, truncation, checksum mismatches, malformed sections.
+    pub fn from_bytes(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = Reader::new(bytes);
+        if reader
+            .take(MAGIC.len(), "magic")
+            .map_err(|_| StoreError::BadMagic)?
+            != MAGIC
+        {
+            return Err(StoreError::BadMagic);
+        }
+        let version = reader.u32("version")?;
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let section_count = reader.u32("section count")?;
+        if section_count as usize != SECTIONS.len() {
+            return Err(StoreError::Corrupt(format!(
+                "expected {} sections, header says {section_count}",
+                SECTIONS.len()
+            )));
+        }
+        let payload_len = reader.u64("payload length")?;
+        let expected_hash = reader.u64("payload checksum")?;
+        if payload_len as usize != reader.remaining() {
+            return Err(StoreError::Truncated { context: "payload" });
+        }
+        let payload = reader.take(payload_len as usize, "payload")?;
+        let actual_hash = fnv1a64(payload);
+        if actual_hash != expected_hash {
+            return Err(StoreError::ChecksumMismatch {
+                expected: expected_hash,
+                actual: actual_hash,
+            });
+        }
+
+        let mut reader = Reader::new(payload);
+        let mut sections: Vec<Reader<'_>> = Vec::with_capacity(SECTIONS.len());
+        for &expected_tag in &SECTIONS {
+            let tag = reader.u32("section tag")?;
+            if tag != expected_tag {
+                return Err(StoreError::Corrupt(format!(
+                    "expected section {expected_tag}, found {tag}"
+                )));
+            }
+            let len = reader.count(1, "section length")?;
+            sections.push(reader.sub_reader(len, "section body")?);
+        }
+        if !reader.is_exhausted() {
+            return Err(StoreError::Corrupt("trailing bytes after sections".into()));
+        }
+        let mut sections = sections.into_iter();
+        let mut next = || sections.next().expect("SECTIONS.len() sub-readers");
+
+        let vocabulary = decode_vocabulary(&mut next())?;
+        let alphabets = decode_alphabets(&mut next())?;
+        let graphs = decode_graphs(&mut next())?;
+        let branches = decode_catalog(&mut next())?;
+        let (arena, spans) = decode_arena(&mut next())?;
+        let aggregates = decode_aggregates(&mut next())?;
+        let (posting_offsets, postings) = decode_postings(&mut next())?;
+
+        Ok(Snapshot {
+            parts: DatabaseParts {
+                graphs,
+                branches,
+                arena,
+                spans,
+                alphabets,
+                distinct_sizes: aggregates.distinct_sizes,
+                sizes: aggregates.sizes,
+                buckets: aggregates.buckets,
+                run_counts: aggregates.run_counts,
+                max_run_counts: aggregates.max_run_counts,
+                posting_offsets,
+                postings,
+            },
+            vocabulary,
+        })
+    }
+
+    /// Writes the snapshot to a file, atomically: the bytes go to a
+    /// temporary sibling first (synced to disk), which is then renamed over
+    /// `path` — a crash mid-save can never destroy an existing good
+    /// snapshot, which matters in the documented *load → serve → compact →
+    /// save-over-the-same-file* lifecycle.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the file cannot be written.
+    pub fn save(&self, path: impl AsRef<Path>) -> StoreResult<()> {
+        use std::io::Write as _;
+        let path = path.as_ref();
+        let io_error = |e: std::io::Error| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut file_name = path.file_name().unwrap_or_default().to_os_string();
+        file_name.push(".tmp");
+        let staging = path.with_file_name(file_name);
+        let result = (|| {
+            let mut file = std::fs::File::create(&staging)?;
+            file.write_all(&self.to_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&staging, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&staging).ok();
+        }
+        result.map_err(io_error)
+    }
+
+    /// Reads and decodes a snapshot file.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the file cannot be read, otherwise any decode
+    /// error of [`Self::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> StoreResult<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Snapshot::from_bytes(&bytes)
+    }
+}
+
+/// One-call save: capture a database (and vocabulary) and write the file.
+pub fn save_database(
+    database: &GraphDatabase,
+    vocabulary: &Vocabulary,
+    path: impl AsRef<Path>,
+) -> StoreResult<()> {
+    Snapshot::from_database_with_vocabulary(database, vocabulary.clone()).save(path)
+}
+
+/// One-call load: read a snapshot file and rebuild the database it captured
+/// — without recomputing the catalog, the aggregates or the postings.
+pub fn load_database(path: impl AsRef<Path>) -> StoreResult<(GraphDatabase, Vocabulary)> {
+    Snapshot::load(path)?.into_database()
+}
+
+fn encode_vocabulary(w: &mut Writer, vocabulary: &Vocabulary) {
+    w.u64(vocabulary.len() as u64);
+    for (_, name) in vocabulary.iter() {
+        w.str(name);
+    }
+}
+
+fn decode_vocabulary(r: &mut Reader<'_>) -> StoreResult<Vocabulary> {
+    let count = r.count(8, "vocabulary count")?;
+    let mut vocabulary = Vocabulary::new();
+    for _ in 0..count {
+        vocabulary.intern(&r.str("vocabulary name")?);
+    }
+    if vocabulary.len() != count {
+        return Err(StoreError::Corrupt("duplicate vocabulary names".into()));
+    }
+    exhausted(r, "vocabulary")?;
+    Ok(vocabulary)
+}
+
+fn encode_alphabets(w: &mut Writer, alphabets: LabelAlphabets) {
+    w.u64(alphabets.vertex_labels as u64);
+    w.u64(alphabets.edge_labels as u64);
+}
+
+fn decode_alphabets(r: &mut Reader<'_>) -> StoreResult<LabelAlphabets> {
+    let vertex_labels = r.u64("vertex alphabet")?;
+    let edge_labels = r.u64("edge alphabet")?;
+    exhausted(r, "alphabets")?;
+    let to_usize = |v: u64, what: &str| {
+        usize::try_from(v).map_err(|_| StoreError::Corrupt(format!("{what} alphabet overflows")))
+    };
+    Ok(LabelAlphabets::new(
+        to_usize(vertex_labels, "vertex")?,
+        to_usize(edge_labels, "edge")?,
+    ))
+}
+
+fn encode_graphs(w: &mut Writer, graphs: &[Graph]) {
+    w.u64(graphs.len() as u64);
+    for graph in graphs {
+        match graph.name() {
+            Some(name) => {
+                w.u8(1);
+                w.str(name);
+            }
+            None => w.u8(0),
+        }
+        w.u64(graph.vertex_count() as u64);
+        for &label in graph.vertex_labels() {
+            w.u32(label.id());
+        }
+        w.u64(graph.edge_count() as u64);
+        for (key, label) in graph.edges() {
+            w.u32(key.u.raw());
+            w.u32(key.v.raw());
+            w.u32(label.id());
+        }
+    }
+}
+
+fn decode_graphs(r: &mut Reader<'_>) -> StoreResult<Vec<Graph>> {
+    let count = r.count(1, "graph count")?;
+    let mut graphs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = match r.u8("graph name flag")? {
+            0 => None,
+            1 => Some(r.str("graph name")?),
+            other => {
+                return Err(StoreError::Corrupt(format!("graph name flag {other}")));
+            }
+        };
+        let n = r.count(4, "vertex count")?;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(Label::new(r.u32("vertex label")?));
+        }
+        let m = r.count(12, "edge count")?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = r.u32("edge endpoint")?;
+            let v = r.u32("edge endpoint")?;
+            let label = Label::new(r.u32("edge label")?);
+            edges.push((u, v, label));
+        }
+        let graph = Graph::from_parts(name, labels, &edges)
+            .map_err(|e| StoreError::Corrupt(format!("graph: {e}")))?;
+        graphs.push(graph);
+    }
+    exhausted(r, "graphs")?;
+    Ok(graphs)
+}
+
+fn encode_catalog(w: &mut Writer, branches: &[Branch]) {
+    w.u64(branches.len() as u64);
+    for branch in branches {
+        w.u32(branch.vertex_label().id());
+        w.u64(branch.edge_labels().len() as u64);
+        for &label in branch.edge_labels() {
+            w.u32(label.id());
+        }
+    }
+}
+
+fn decode_catalog(r: &mut Reader<'_>) -> StoreResult<Vec<Branch>> {
+    let count = r.count(12, "catalog count")?;
+    let mut branches = Vec::with_capacity(count);
+    for _ in 0..count {
+        let vertex_label = Label::new(r.u32("branch vertex label")?);
+        let degree = r.count(4, "branch degree")?;
+        let mut edge_labels = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            edge_labels.push(Label::new(r.u32("branch edge label")?));
+        }
+        // Branch::new re-sorts, so an unsorted (hand-edited) list still
+        // produces a canonical branch.
+        branches.push(Branch::new(vertex_label, edge_labels));
+    }
+    exhausted(r, "catalog")?;
+    Ok(branches)
+}
+
+fn encode_arena(w: &mut Writer, arena: &[BranchRun], spans: &[(u32, u32)]) {
+    w.u64(arena.len() as u64);
+    for run in arena {
+        w.u32(run.id);
+        w.u32(run.count);
+    }
+    w.u64(spans.len() as u64);
+    for &(start, len) in spans {
+        w.u32(start);
+        w.u32(len);
+    }
+}
+
+/// The decoded arena section: runs plus per-graph `(start, len)` spans.
+type ArenaSection = (Vec<BranchRun>, Vec<(u32, u32)>);
+
+fn decode_arena(r: &mut Reader<'_>) -> StoreResult<ArenaSection> {
+    let runs = r.count(8, "arena run count")?;
+    let mut arena = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let id = r.u32("run id")?;
+        let count = r.u32("run count")?;
+        arena.push(BranchRun { id, count });
+    }
+    let span_count = r.count(8, "span count")?;
+    let mut spans = Vec::with_capacity(span_count);
+    for _ in 0..span_count {
+        spans.push((r.u32("span start")?, r.u32("span length")?));
+    }
+    exhausted(r, "arena")?;
+    Ok((arena, spans))
+}
+
+/// The decoded per-graph aggregate arrays.
+struct Aggregates {
+    sizes: Vec<u32>,
+    buckets: Vec<u32>,
+    run_counts: Vec<u32>,
+    max_run_counts: Vec<u32>,
+    distinct_sizes: Vec<usize>,
+}
+
+fn encode_aggregates(w: &mut Writer, parts: &DatabaseParts) {
+    w.u64(parts.sizes.len() as u64);
+    for array in [
+        &parts.sizes,
+        &parts.buckets,
+        &parts.run_counts,
+        &parts.max_run_counts,
+    ] {
+        for &value in array.iter() {
+            w.u32(value);
+        }
+    }
+    w.u64(parts.distinct_sizes.len() as u64);
+    for &size in &parts.distinct_sizes {
+        w.u64(size as u64);
+    }
+}
+
+fn decode_aggregates(r: &mut Reader<'_>) -> StoreResult<Aggregates> {
+    let n = r.count(16, "aggregate count")?;
+    let mut read_array = |context: &'static str| -> StoreResult<Vec<u32>> {
+        let mut array = Vec::with_capacity(n);
+        for _ in 0..n {
+            array.push(r.u32(context)?);
+        }
+        Ok(array)
+    };
+    let sizes = read_array("sizes")?;
+    let buckets = read_array("buckets")?;
+    let run_counts = read_array("run counts")?;
+    let max_run_counts = read_array("max run counts")?;
+    let ds = r.count(8, "distinct size count")?;
+    let mut distinct_sizes = Vec::with_capacity(ds);
+    for _ in 0..ds {
+        let size = r.u64("distinct size")?;
+        distinct_sizes.push(
+            usize::try_from(size)
+                .map_err(|_| StoreError::Corrupt("distinct size overflows".into()))?,
+        );
+    }
+    exhausted(r, "aggregates")?;
+    Ok(Aggregates {
+        sizes,
+        buckets,
+        run_counts,
+        max_run_counts,
+        distinct_sizes,
+    })
+}
+
+fn encode_postings(w: &mut Writer, offsets: &[u32], postings: &[Posting]) {
+    w.u64(offsets.len() as u64);
+    for &offset in offsets {
+        w.u32(offset);
+    }
+    w.u64(postings.len() as u64);
+    for posting in postings {
+        w.u32(posting.graph);
+        w.u32(posting.count);
+    }
+}
+
+fn decode_postings(r: &mut Reader<'_>) -> StoreResult<(Vec<u32>, Vec<Posting>)> {
+    let offset_count = r.count(4, "posting offset count")?;
+    let mut offsets = Vec::with_capacity(offset_count);
+    for _ in 0..offset_count {
+        offsets.push(r.u32("posting offset")?);
+    }
+    let posting_count = r.count(8, "posting count")?;
+    let mut postings = Vec::with_capacity(posting_count);
+    for _ in 0..posting_count {
+        let graph = r.u32("posting graph")?;
+        let count = r.u32("posting multiplicity")?;
+        postings.push(Posting { graph, count });
+    }
+    exhausted(r, "postings")?;
+    Ok((offsets, postings))
+}
+
+/// A section must consume exactly its framed bytes.
+fn exhausted(r: &Reader<'_>, section: &str) -> StoreResult<()> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(StoreError::Corrupt(format!(
+            "{section} section has {} trailing bytes",
+            r.remaining()
+        )))
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`seriation`] — the spectral-seriation baseline,
 //! * [`prob`] — the probabilistic model (Ω/Λ factors, GMM, Jeffreys prior),
 //! * [`engine`] — the GBDA search engine (offline priors + Algorithm 1),
+//! * [`store`] — the storage engine (persistent snapshot files); dynamic
+//!   inserts/removes/compaction live in [`engine`] as
+//!   [`prelude::DynamicDatabase`],
 //! * [`datasets`] — dataset substitutes with ground-truth GEDs.
 //!
 //! ## Quickstart
@@ -51,6 +54,7 @@ pub use gbd_ged as ged;
 pub use gbd_graph as graph;
 pub use gbd_prob as prob;
 pub use gbd_seriation as seriation;
+pub use gbd_store as store;
 pub use gbda_core as engine;
 
 /// The most commonly used types, re-exported flat.
@@ -66,10 +70,12 @@ pub mod prelude {
         GeneratorConfig, Graph, Label, LabelAlphabets, Vocabulary,
     };
     pub use gbd_seriation::SeriationGed;
+    pub use gbd_store::{load_database, save_database, Snapshot, StoreError, StoreResult};
     pub use gbda_core::{
-        Confusion, EngineError, EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig,
-        GbdaEstimator, GbdaSearcher, GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache,
-        Posting, QueryEngine, SearchOutcome, SearchStats, SimilaritySearcher, SizeDecision,
+        Confusion, DatabaseParts, DynamicDatabase, DynamicEngine, DynamicOutcome, EngineError,
+        EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator, GbdaSearcher,
+        GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache, Posting, QueryEngine,
+        SearchOutcome, SearchStats, SegmentIndex, SimilaritySearcher, SizeDecision,
     };
 }
 
