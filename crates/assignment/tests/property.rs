@@ -1,0 +1,116 @@
+//! Property tests for the assignment solvers: the Hungarian algorithm must
+//! be exactly optimal (equal to the brute-force permutation minimum on small
+//! matrices) and the greedy approximation can never beat it.
+
+use gbd_assignment::{greedy_assignment, hungarian};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_cost(seed: u64, n: usize, scale: u32) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (0..n)
+                .map(|_| rng.gen_range(0..scale) as f64 / 10.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Exhaustive minimum over all n! assignments.
+fn brute_force_minimum(cost: &[Vec<f64>]) -> f64 {
+    fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k == perm.len() {
+            visit(perm);
+            return;
+        }
+        for i in k..perm.len() {
+            perm.swap(k, i);
+            permute(perm, k + 1, visit);
+            perm.swap(k, i);
+        }
+    }
+    let n = cost.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    permute(&mut perm, 0, &mut |p| {
+        let total: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        if total < best {
+            best = total;
+        }
+    });
+    best
+}
+
+fn assert_permutation(assignment: &[usize]) {
+    let mut seen = assignment.to_vec();
+    seen.sort_unstable();
+    let expected: Vec<usize> = (0..assignment.len()).collect();
+    assert_eq!(seen, expected, "assignment must be a permutation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Optimality: on every random ≤ 5×5 matrix the Hungarian cost equals
+    /// the brute-force permutation minimum and its assignment is a
+    /// permutation achieving that cost.
+    #[test]
+    fn hungarian_equals_the_brute_force_minimum(
+        seed in 0u64..1_000_000,
+        n in 1usize..=5,
+        scale in 2u32..=200,
+    ) {
+        let cost = random_cost(seed, n, scale);
+        let (assignment, total) = hungarian(&cost);
+        assert_permutation(&assignment);
+        let achieved: f64 = assignment.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        prop_assert!((achieved - total).abs() < 1e-9, "reported cost must match the assignment");
+        let best = brute_force_minimum(&cost);
+        prop_assert!(
+            (total - best).abs() < 1e-9,
+            "hungarian {} != brute-force minimum {} (n = {})", total, best, n
+        );
+    }
+
+    /// The greedy approximation is feasible and never beats the optimum.
+    #[test]
+    fn greedy_never_beats_hungarian(
+        seed in 0u64..1_000_000,
+        n in 1usize..=7,
+        scale in 2u32..=200,
+    ) {
+        let cost = random_cost(seed, n, scale);
+        let (greedy_assign, greedy_total) = greedy_assignment(&cost);
+        assert_permutation(&greedy_assign);
+        let (_, optimal) = hungarian(&cost);
+        prop_assert!(
+            greedy_total + 1e-9 >= optimal,
+            "greedy {} beat the optimum {}", greedy_total, optimal
+        );
+    }
+
+    /// Duplicating a constant onto every entry shifts the optimal cost by
+    /// exactly n·c and leaves an optimal assignment optimal (the classic
+    /// potential-invariance property the dual formulation relies on).
+    #[test]
+    fn constant_shifts_move_the_optimum_linearly(
+        seed in 0u64..1_000_000,
+        n in 1usize..=5,
+        shift_tenths in 0u32..=50,
+    ) {
+        let cost = random_cost(seed, n, 100);
+        let shift = shift_tenths as f64 / 10.0;
+        let shifted: Vec<Vec<f64>> = cost
+            .iter()
+            .map(|row| row.iter().map(|c| c + shift).collect())
+            .collect();
+        let (_, base) = hungarian(&cost);
+        let (_, moved) = hungarian(&shifted);
+        prop_assert!(
+            (moved - (base + shift * n as f64)).abs() < 1e-9,
+            "shifted optimum {} != base {} + n·c {}", moved, base, shift * n as f64
+        );
+    }
+}

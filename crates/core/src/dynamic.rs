@@ -27,6 +27,7 @@
 //! exercise random insert/remove/compact interleavings.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
@@ -38,10 +39,14 @@ use gbd_graph::{
 use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::{GraphDatabase, Posting};
 use crate::error::{EngineError, EngineResult};
-use crate::filter::{compute_size_decision, FilterCascade, SegmentIndex, SizeDecision};
+use crate::filter::{
+    compute_rank_decision, compute_size_decision, FilterCascade, RankDecision, SegmentIndex,
+    SizeDecision,
+};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 use crate::search::SearchStats;
+use crate::topk::{DynamicTopKOutcome, RankedHit, TopKHeap};
 
 /// A fixed-universe bitset marking removed graphs of one segment.
 ///
@@ -445,6 +450,7 @@ pub struct DynamicEngine<'a> {
     fixed_extended_size: Option<usize>,
     cache: PosteriorCache,
     decisions: RwLock<HashMap<usize, SizeDecision>>,
+    rank_decisions: RwLock<HashMap<usize, Arc<RankDecision>>>,
 }
 
 impl<'a> DynamicEngine<'a> {
@@ -472,6 +478,7 @@ impl<'a> DynamicEngine<'a> {
             fixed_extended_size,
             cache: PosteriorCache::new(config.tau_hat),
             decisions: RwLock::new(HashMap::new()),
+            rank_decisions: RwLock::new(HashMap::new()),
             config,
         }
     }
@@ -507,6 +514,29 @@ impl<'a> DynamicEngine<'a> {
         );
         self.decisions.write().insert(extended_size, decision);
         decision
+    }
+
+    /// The ranked-scan counterpart of [`Self::size_decision`]: the posterior
+    /// suffix-maximum table for one extended size, capped by the dynamic
+    /// database's vertex-count hint (an overestimated cap costs only memo
+    /// entries, never correctness).
+    fn rank_decision(&self, extended_size: usize) -> Arc<RankDecision> {
+        if let Some(decision) = self.rank_decisions.read().get(&extended_size) {
+            return Arc::clone(decision);
+        }
+        let cap = self.dynamic.max_vertices_hint().max(extended_size) as u64;
+        let decision = Arc::new(compute_rank_decision(
+            &self.cache,
+            self.index,
+            extended_size,
+            cap,
+        ));
+        Arc::clone(
+            self.rank_decisions
+                .write()
+                .entry(extended_size)
+                .or_insert(decision),
+        )
     }
 
     fn lookup_posterior(
@@ -676,6 +706,148 @@ impl<'a> DynamicEngine<'a> {
             }
         }
     }
+
+    /// Runs a **ranked** query over the live set: the `k` live graphs with
+    /// the highest posterior, best first, keyed by stable ids.
+    ///
+    /// Bit-identical — same ids, same posterior bits — to
+    /// [`crate::QueryEngine::search_top_k`] over a freshly built database of
+    /// the survivors (given the same [`OfflineIndex`]), because the live set
+    /// is scanned in canonical order (ascending stable ids: base then delta)
+    /// and both engines rank under the same total order with ascending-id
+    /// tie-breaks. One heap spans both segments, so a strong base candidate
+    /// tightens the bound that prunes delta graphs and vice versa; `γ` and
+    /// [`GbdaConfig::record_posteriors`] play no role, exactly as in the
+    /// static engine.
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
+        let started = Instant::now();
+        if k == 0 {
+            return DynamicTopKOutcome::default();
+        }
+        let flatten_started = Instant::now();
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let ctx = QueryContext {
+            size: query.vertex_count(),
+            flat: &query_flat,
+            weight: match self.config.variant {
+                GbdaVariant::WeightedGbd { weight } => Some(weight),
+                _ => None,
+            },
+        };
+        let mut outcome = DynamicTopKOutcome::default();
+        outcome.stats.shards = 1;
+        outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
+        let mut heap = TopKHeap::new(k);
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let mut rank_local: HashMap<usize, Arc<RankDecision>> = HashMap::new();
+
+        let scan_started = Instant::now();
+        self.scan_segment_top_k(
+            self.dynamic.base(),
+            &self.dynamic.base_tombstones,
+            &self.dynamic.base_ids,
+            &ctx,
+            &mut heap,
+            &mut outcome.stats,
+            &mut local,
+            &mut rank_local,
+        );
+        self.scan_segment_top_k(
+            self.dynamic.delta(),
+            &self.dynamic.delta_tombstones,
+            &self.dynamic.delta_ids,
+            &ctx,
+            &mut heap,
+            &mut outcome.stats,
+            &mut local,
+            &mut rank_local,
+        );
+        outcome.hits = heap.into_sorted_hits();
+        outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
+        outcome.seconds = started.elapsed().as_secs_f64();
+        outcome
+    }
+
+    /// Ranked scan of one segment under its tombstone mask, sharing the heap
+    /// (and therefore the tightening rank bound) with the other segment. The
+    /// segment is walked in ascending slot order and slots map to ascending
+    /// stable ids, which is what makes the heap's strict admission bound
+    /// sound (see [`TopKHeap::threshold`]).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_segment_top_k<S: SegmentIndex>(
+        &self,
+        segment: &S,
+        tombstones: &Tombstones,
+        ids: &[u64],
+        ctx: &QueryContext<'_>,
+        heap: &mut TopKHeap<u64>,
+        stats: &mut SearchStats,
+        local: &mut HashMap<(usize, u64), f64>,
+        rank_local: &mut HashMap<usize, Arc<RankDecision>>,
+    ) {
+        let cascade = self
+            .config
+            .filter_cascade
+            .then(|| FilterCascade::new(segment, ctx.flat, ctx.weight));
+        let mut intersections: Option<Vec<u32>> = None;
+        for i in 0..segment.segment_len() {
+            if tombstones.get(i) {
+                continue;
+            }
+            stats.evaluated += 1;
+            let extended_size = self.extended_size_for(ctx.size, segment.size_of(i));
+
+            if let Some(cascade) = &cascade {
+                if cascade.bounds_usable() {
+                    if let Some(bound) = heap.threshold() {
+                        // Scan-local memo in front of the shared RwLock'd
+                        // decision cache, so the steady-state loop takes no
+                        // lock (mirroring the posterior `local` memo).
+                        let decision = rank_local
+                            .entry(extended_size)
+                            .or_insert_with(|| self.rank_decision(extended_size));
+                        let (lb, ub) = cascade.refined_bounds(i);
+                        if decision.rejects_from(lb, ub, bound) {
+                            stats.rank_rejected += 1;
+                            continue;
+                        }
+                    }
+                }
+                let phi = {
+                    let acc = intersections
+                        .get_or_insert_with(|| cascade.intersections(0..segment.segment_len()));
+                    cascade.phi_exact(i, acc[i])
+                };
+                stats.postings_resolved += 1;
+                let posterior = self.lookup_posterior(local, stats, extended_size, phi);
+                if heap.push(RankedHit {
+                    id: ids[i],
+                    posterior,
+                }) {
+                    stats.heap_inserts += 1;
+                }
+                continue;
+            }
+
+            // Cascade off: the exact flat branch-run merge.
+            stats.merged += 1;
+            let phi = match ctx.weight {
+                Some(w) => {
+                    let value = ctx.flat.as_view().weighted_gbd(segment.flat_view(i), w);
+                    value.round().max(0.0) as u64
+                }
+                None => ctx.flat.as_view().gbd(segment.flat_view(i)) as u64,
+            };
+            let posterior = self.lookup_posterior(local, stats, extended_size, phi);
+            if heap.push(RankedHit {
+                id: ids[i],
+                posterior,
+            }) {
+                stats.heap_inserts += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -842,6 +1014,51 @@ mod tests {
             }
             assert_eq!(got.stats.evaluated, fresh.len());
         }
+    }
+
+    /// One ranked spot check; the cross-mode interleaving equivalence lives
+    /// in the workspace-level proptests.
+    #[test]
+    fn dynamic_top_k_matches_a_fresh_static_engine() {
+        let (mut dynamic, index, config) = setup();
+        for g in graphs(123, 5, 13) {
+            dynamic.insert(g);
+        }
+        dynamic.remove(2).unwrap();
+        dynamic.remove(18).unwrap();
+        let query = dynamic.base().graph(5).clone();
+
+        let survivors: Vec<Graph> = dynamic.live_graphs().map(|(_, g)| g.clone()).collect();
+        let ids = dynamic.live_ids();
+        let fresh = GraphDatabase::with_alphabets(survivors, dynamic.alphabets());
+        for cascade in [true, false] {
+            let config = config.clone().with_filter_cascade(cascade);
+            let static_engine = QueryEngine::new(&fresh, &index, config.clone());
+            let dynamic_engine = DynamicEngine::new(&dynamic, &index, config);
+            for k in [1usize, 4, fresh.len(), fresh.len() + 3] {
+                let expected = static_engine.search_top_k(&query, k);
+                let got = dynamic_engine.search_top_k(&query, k);
+                assert_eq!(
+                    got.hits.len(),
+                    expected.hits.len(),
+                    "cascade={cascade} k={k}"
+                );
+                for (a, b) in got.hits.iter().zip(&expected.hits) {
+                    assert_eq!(a.id, ids[b.id], "cascade={cascade} k={k}");
+                    assert_eq!(
+                        a.posterior.to_bits(),
+                        b.posterior.to_bits(),
+                        "cascade={cascade} k={k}"
+                    );
+                }
+                assert_eq!(got.stats.evaluated, fresh.len());
+            }
+        }
+        // k = 0 short-circuits without scanning.
+        let engine = DynamicEngine::new(&dynamic, &index, config);
+        let zero = engine.search_top_k(&query, 0);
+        assert!(zero.hits.is_empty());
+        assert_eq!(zero.stats.evaluated, 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
@@ -40,10 +41,11 @@ use gbd_prob::posterior_ged_at_most;
 
 use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::GraphDatabase;
-use crate::filter::{FilterCascade, SizeDecision};
+use crate::filter::{compute_rank_decision, FilterCascade, RankDecision, SizeDecision};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 use crate::search::{SearchOutcome, SearchStats};
+use crate::topk::{merge_ranked, rank_by_posterior, RankedHit, TopKHeap, TopKOutcome};
 
 /// Stage-1 classification of one size bucket: the L1 size bound is constant
 /// over a bucket, so whole buckets resolve with two integer comparisons.
@@ -67,6 +69,20 @@ struct ScanContext<'q> {
     cascade: Option<FilterCascade<'q>>,
     bucket_decisions: Vec<SizeDecision>,
     bucket_classes: Vec<BucketClass>,
+}
+
+/// Per-query state of a ranked (top-k) scan shared by all shards: the
+/// flattened query, the optional cascade and — when the cascade's bound
+/// stages are usable — one posterior suffix-maximum table plus the stage-1 ϕ
+/// interval per size bucket.
+struct RankScanContext<'q> {
+    query_size: usize,
+    query_flat: &'q FlatBranchSet,
+    cascade: Option<FilterCascade<'q>>,
+    /// Per size bucket: the bucket's [`RankDecision`] and its bucket-constant
+    /// stage-1 `(ϕ_lb, ϕ_ub)`. Empty when no bound stage may run (cascade
+    /// off, or a non-monotone V2 weight).
+    bucket_rank: Vec<(Arc<RankDecision>, (u64, u64))>,
 }
 
 /// The GBDA-V1 extended-size sampling: shuffle the graph positions with the
@@ -131,6 +147,9 @@ pub struct QueryEngine<'a> {
     /// (see [`SizeDecision`]); shared by the threshold fast path and the
     /// filter cascade.
     decisions: RwLock<HashMap<usize, SizeDecision>>,
+    /// Memoized per-extended-size posterior suffix-maximum tables (see
+    /// [`RankDecision`]) used by ranked (top-k) scans.
+    rank_decisions: RwLock<HashMap<usize, Arc<RankDecision>>>,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -150,6 +169,7 @@ impl<'a> QueryEngine<'a> {
             fixed_extended_size,
             cache: PosteriorCache::new(config.tau_hat),
             decisions: RwLock::new(HashMap::new()),
+            rank_decisions: RwLock::new(HashMap::new()),
             config,
         }
     }
@@ -260,6 +280,30 @@ impl<'a> QueryEngine<'a> {
         self.size_decision(extended_size).accept_max
     }
 
+    /// The posterior suffix-maximum table for one extended size, computed
+    /// once per engine from the memoized posterior and cached — the ranked
+    /// counterpart of [`Self::size_decision`]. Ranked scans compare a
+    /// graph's ϕ lower bound against this table under the running k-th-best
+    /// posterior to reject graphs without resolving them.
+    pub fn rank_decision(&self, extended_size: usize) -> Arc<RankDecision> {
+        if let Some(decision) = self.rank_decisions.read().get(&extended_size) {
+            return Arc::clone(decision);
+        }
+        let cap = self.database.max_vertices().max(extended_size) as u64;
+        let decision = Arc::new(compute_rank_decision(
+            &self.cache,
+            self.index,
+            extended_size,
+            cap,
+        ));
+        Arc::clone(
+            self.rank_decisions
+                .write()
+                .entry(extended_size)
+                .or_insert(decision),
+        )
+    }
+
     /// Runs Algorithm 1 for one query graph over `config.shards` database
     /// shards.
     pub fn search(&self, query: &Graph) -> SearchOutcome {
@@ -281,36 +325,9 @@ impl<'a> QueryEngine<'a> {
     /// summed over all queries, timings are summed, and `shards` reports
     /// the number of worker threads the batch actually used.
     pub fn search_batch_with_stats(&self, queries: &[Graph]) -> (Vec<SearchOutcome>, SearchStats) {
-        let shards = self.config.shards.max(1);
-        let mut batch_workers = None;
-        let outcomes: Vec<SearchOutcome> = if shards <= 1 || queries.len() <= 1 {
-            queries.iter().map(|q| self.search(q)).collect()
-        } else {
-            let workers = shards.min(queries.len());
-            batch_workers = Some(workers);
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<SearchOutcome>>> =
-                (0..queries.len()).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let next = cursor.fetch_add(1, Ordering::Relaxed);
-                        if next >= queries.len() {
-                            break;
-                        }
-                        let outcome = self.search_with_shards(&queries[next], 1);
-                        *slots[next].lock() = Some(outcome);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("every batch slot is filled by a worker")
-                })
-                .collect()
-        };
+        let (outcomes, batch_workers) = self.run_batch(queries, |query, shards| {
+            self.search_with_shards(query, shards)
+        });
         let mut stats = SearchStats::default();
         for outcome in &outcomes {
             stats.absorb(&outcome.stats);
@@ -321,6 +338,47 @@ impl<'a> QueryEngine<'a> {
             stats.shards = workers;
         }
         (outcomes, stats)
+    }
+
+    /// The shared batch scaffold: sequential when a single worker (or query)
+    /// suffices — passing the full shard budget to each per-query scan — and
+    /// otherwise one thread scope with a work-stealing cursor over the
+    /// queries, each worker scanning its queries unsharded (`shards = 1`).
+    /// Returns the per-query results in input order plus the worker count
+    /// used (`None` for the sequential path).
+    fn run_batch<T: Send>(
+        &self,
+        queries: &[Graph],
+        per_query: impl Fn(&Graph, usize) -> T + Sync,
+    ) -> (Vec<T>, Option<usize>) {
+        let shards = self.config.shards.max(1);
+        if shards <= 1 || queries.len() <= 1 {
+            let results = queries.iter().map(|q| per_query(q, shards)).collect();
+            return (results, None);
+        }
+        let workers = shards.min(queries.len());
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..queries.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    if next >= queries.len() {
+                        break;
+                    }
+                    let result = per_query(&queries[next], 1);
+                    *slots[next].lock() = Some(result);
+                });
+            }
+        });
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every batch slot is filled by a worker")
+            })
+            .collect();
+        (results, Some(workers))
     }
 
     /// Builds the per-query scan context: the flattened query, the cascade
@@ -564,6 +622,258 @@ impl<'a> QueryEngine<'a> {
             }
         }
         (matches, stats)
+    }
+
+    /// Runs a **ranked** query: the `k` database graphs with the highest
+    /// posterior `Φ = Pr[GED ≤ τ̂ | GBD]`, best first, scanned over
+    /// `config.shards` shards.
+    ///
+    /// # Determinism
+    ///
+    /// Results are bit-identical to "scan every graph threshold-free, sort
+    /// by (posterior descending, graph index ascending), truncate to `k`"
+    /// ([`Self::top_k_reference`]) — for every variant, cascade mode and
+    /// shard count, run-to-run. Posteriors are compared bitwise
+    /// ([`f64::total_cmp`]) and **equal posteriors always order by ascending
+    /// graph index**. `γ` plays no role in ranked queries, and
+    /// [`GbdaConfig::record_posteriors`] is ignored: the hits carry their
+    /// posteriors, and no full posterior array is materialised.
+    ///
+    /// With the cascade on, the running k-th-best posterior of the
+    /// (per-shard) heap is converted into a per-extended-size ϕ cutoff via
+    /// the monotone posterior suffix-maximum tables ([`RankDecision`]) and
+    /// fed back into the [`FilterCascade`] bound stages — a dynamically
+    /// *tightening* bound that rejects ever more graphs as better candidates
+    /// accumulate. Per-shard heaps are merged by re-sorting under the same
+    /// total order, which keeps sharded scans identical to sequential ones.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gbd_graph::GeneratorConfig;
+    /// use gbda_core::{GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine};
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let graphs = GeneratorConfig::new(12, 2.0).generate_many(30, &mut rng).unwrap();
+    /// let query = graphs[0].clone();
+    /// let database = GraphDatabase::from_graphs(graphs);
+    /// let config = GbdaConfig::new(3, 0.8).with_sample_pairs(200);
+    /// let index = OfflineIndex::build(&database, &config).unwrap();
+    /// let engine = QueryEngine::new(&database, &index, config);
+    ///
+    /// let top = engine.search_top_k(&query, 5);
+    /// assert_eq!(top.hits.len(), 5);
+    /// assert!(top.hits.iter().any(|hit| hit.id == 0)); // the query itself ranks in its own top 5
+    /// assert!(top.hits[0].posterior >= top.hits[4].posterior); // best first
+    /// ```
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> TopKOutcome {
+        self.search_top_k_with_shards(query, k, self.config.shards)
+    }
+
+    /// Runs a batch of ranked queries over `config.shards` worker threads
+    /// (the same work-stealing scaffold as [`Self::search_batch`]). Outcomes
+    /// keep the input order and are identical to running
+    /// [`Self::search_top_k`] per query.
+    pub fn search_top_k_batch(&self, queries: &[Graph], k: usize) -> Vec<TopKOutcome> {
+        self.search_top_k_batch_with_stats(queries, k).0
+    }
+
+    /// [`Self::search_top_k_batch`] plus the batch-aggregated
+    /// [`SearchStats`], mirroring [`Self::search_batch_with_stats`].
+    pub fn search_top_k_batch_with_stats(
+        &self,
+        queries: &[Graph],
+        k: usize,
+    ) -> (Vec<TopKOutcome>, SearchStats) {
+        let (outcomes, batch_workers) = self.run_batch(queries, |query, shards| {
+            self.search_top_k_with_shards(query, k, shards)
+        });
+        let mut stats = SearchStats::default();
+        for outcome in &outcomes {
+            stats.absorb(&outcome.stats);
+        }
+        if let Some(workers) = batch_workers {
+            stats.shards = workers;
+        }
+        (outcomes, stats)
+    }
+
+    /// Builds the per-query ranked-scan context: cascade state plus, when the
+    /// bound stages are usable, the per-bucket suffix-maximum tables and
+    /// stage-1 ϕ intervals (computed once and shared by every shard). With
+    /// `k ≥ |D|` no heap can ever fill, so no bound will ever be consulted
+    /// and the tables are not built at all.
+    fn rank_scan_context<'q>(
+        &'q self,
+        query: &'q Graph,
+        query_flat: &'q FlatBranchSet,
+        k: usize,
+    ) -> RankScanContext<'q> {
+        let query_size = query.vertex_count();
+        let weight = match self.config.variant {
+            GbdaVariant::WeightedGbd { weight } => Some(weight),
+            _ => None,
+        };
+        let cascade = self
+            .config
+            .filter_cascade
+            .then(|| FilterCascade::new(self.database, query_flat, weight));
+        let mut bucket_rank = Vec::new();
+        if let Some(cascade) = &cascade {
+            if cascade.bounds_usable() && k < self.database.len() {
+                for &size in self.database.distinct_sizes() {
+                    let decision = self.rank_decision(self.extended_size_for(query_size, size));
+                    bucket_rank.push((decision, cascade.size_bounds(size)));
+                }
+            }
+        }
+        RankScanContext {
+            query_size,
+            query_flat,
+            cascade,
+            bucket_rank,
+        }
+    }
+
+    fn search_top_k_with_shards(&self, query: &Graph, k: usize, shards: usize) -> TopKOutcome {
+        let started = Instant::now();
+        if k == 0 {
+            return TopKOutcome::default();
+        }
+        let flatten_started = Instant::now();
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.database.catalog().flatten_lookup(&query_branches);
+        let ctx = self.rank_scan_context(query, &query_flat, k);
+        let flatten_seconds = flatten_started.elapsed().as_secs_f64();
+
+        let n = self.database.len();
+        let shards = shards.max(1).min(n.max(1));
+        let scan_started = Instant::now();
+        let mut totals = SearchStats::default();
+        let hits = if shards <= 1 {
+            let (hits, stats) = self.scan_top_k_range(&ctx, 0..n, k);
+            totals.absorb(&stats);
+            hits
+        } else {
+            let chunk = n.div_ceil(shards);
+            let ranges: Vec<Range<usize>> = (0..shards)
+                .map(|s| (s * chunk)..n.min((s + 1) * chunk))
+                .collect();
+            let mut results: Vec<(Vec<RankedHit>, SearchStats)> = Vec::with_capacity(shards);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                for range in ranges {
+                    let ctx = &ctx;
+                    handles.push(scope.spawn(move || self.scan_top_k_range(ctx, range, k)));
+                }
+                for handle in handles {
+                    results.push(handle.join().expect("ranked scan shard panicked"));
+                }
+            });
+            let mut shard_hits = Vec::with_capacity(shards);
+            for (hits, stats) in results {
+                shard_hits.push(hits);
+                totals.absorb(&stats);
+            }
+            merge_ranked(shard_hits, k)
+        };
+        totals.shards = shards;
+        totals.flatten_seconds = flatten_seconds;
+        totals.scan_seconds = scan_started.elapsed().as_secs_f64();
+
+        TopKOutcome {
+            hits,
+            seconds: started.elapsed().as_secs_f64(),
+            stats: totals,
+        }
+    }
+
+    /// Ranked scan of one contiguous database range with a local bounded
+    /// heap. The range is walked in ascending index order — the heap's
+    /// strict admission bound is only sound because a later candidate always
+    /// loses posterior ties against earlier (smaller-index) kept hits.
+    fn scan_top_k_range(
+        &self,
+        ctx: &RankScanContext<'_>,
+        range: Range<usize>,
+        k: usize,
+    ) -> (Vec<RankedHit>, SearchStats) {
+        let mut heap = TopKHeap::new(k);
+        let mut stats = SearchStats::default();
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let start = range.start;
+        // Ranked scans always need exact ϕ while the heap fills, so the
+        // count-filter accumulation is unconditional when the cascade is on.
+        let accumulator: Option<Vec<u32>> = ctx
+            .cascade
+            .as_ref()
+            .map(|cascade| cascade.intersections(range.clone()));
+
+        for i in range {
+            stats.evaluated += 1;
+            let extended_size = self.extended_size_for(ctx.query_size, self.database.size_of(i));
+
+            if let Some(cascade) = &ctx.cascade {
+                if !ctx.bucket_rank.is_empty() {
+                    if let Some(bound) = heap.threshold() {
+                        let (decision, (lb, ub)) = &ctx.bucket_rank[self.database.bucket_of(i)];
+                        // Stage 1: the bucket-constant L1 interval.
+                        if decision.rejects_from(*lb, *ub, bound) {
+                            stats.rank_rejected += 1;
+                            continue;
+                        }
+                        // Stage 2: the per-graph distinct-run refinement.
+                        let (lb, ub) = cascade.refined_bounds(i);
+                        if decision.rejects_from(lb, ub, bound) {
+                            stats.rank_rejected += 1;
+                            continue;
+                        }
+                    }
+                }
+                // Stage 3: the exact ϕ from the count filter, then the
+                // memoized posterior and the heap.
+                let acc = accumulator.as_ref().expect("ranked cascades accumulate");
+                let phi = cascade.phi_exact(i, acc[i - start]);
+                stats.postings_resolved += 1;
+                let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
+                if heap.push(RankedHit { id: i, posterior }) {
+                    stats.heap_inserts += 1;
+                }
+                continue;
+            }
+
+            // Cascade off: the exact flat branch-run merge for every graph.
+            stats.merged += 1;
+            let phi = self.observed_phi_flat(ctx.query_flat, i);
+            let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
+            if heap.push(RankedHit { id: i, posterior }) {
+                stats.heap_inserts += 1;
+            }
+        }
+        (heap.into_sorted_hits(), stats)
+    }
+
+    /// The sort-truncate reference for ranked queries: a threshold-free full
+    /// scan (one flat merge and one memoized posterior per database graph),
+    /// sorted by (posterior descending, index ascending), truncated to `k`.
+    /// [`Self::search_top_k`] is proven bit-identical to this path by the
+    /// workspace proptests; kept public as the equivalence baseline for
+    /// tests and `bench_topk --check`.
+    pub fn top_k_reference(&self, query: &Graph, k: usize) -> Vec<RankedHit> {
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.database.catalog().flatten_lookup(&query_branches);
+        let query_size = query.vertex_count();
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let mut stats = SearchStats::default();
+        let posteriors: Vec<f64> = (0..self.database.len())
+            .map(|i| {
+                let phi = self.observed_phi_flat(&query_flat, i);
+                let extended_size = self.extended_size_for(query_size, self.database.size_of(i));
+                self.lookup_posterior(&mut local, &mut stats, extended_size, phi)
+            })
+            .collect();
+        rank_by_posterior(&posteriors, k)
     }
 
     /// The seed-faithful sequential scan: branch-multiset merges and a fresh
@@ -859,6 +1169,178 @@ mod tests {
         );
         for (query, outcome) in queries.iter().zip(&outcomes) {
             outcomes_identical(outcome, &engine.search(query));
+        }
+    }
+
+    fn hits_identical(a: &[RankedHit], b: &[RankedHit]) {
+        assert_eq!(a.len(), b.len(), "ranked result lengths diverge");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.id, y.id, "ranked ids diverge");
+            assert_eq!(
+                x.posterior.to_bits(),
+                y.posterior.to_bits(),
+                "ranked posteriors diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_equals_the_sort_truncate_reference() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        for cascade in [true, false] {
+            let engine = QueryEngine::new(
+                &database,
+                &index,
+                config.clone().with_filter_cascade(cascade),
+            );
+            for (qi, query) in queries.iter().enumerate() {
+                for k in [1usize, 5, database.len(), database.len() + 7] {
+                    let top = engine.search_top_k(query, k);
+                    let reference = engine.top_k_reference(query, k);
+                    hits_identical(&top.hits, &reference);
+                    assert_eq!(
+                        top.hits.len(),
+                        k.min(database.len()),
+                        "cascade={cascade} q={qi}"
+                    );
+                    assert_eq!(top.stats.evaluated, database.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_equals_sequential_top_k() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let sequential = QueryEngine::new(&database, &index, config.clone());
+        for shards in [2usize, 4, 7] {
+            let sharded = QueryEngine::new(&database, &index, config.clone().with_shards(shards));
+            for query in &queries {
+                for k in [1usize, 6, database.len()] {
+                    let a = sequential.search_top_k(query, k);
+                    let b = sharded.search_top_k(query, k);
+                    hits_identical(&a.hits, &b.hits);
+                    assert_eq!(b.stats.shards, shards);
+                    assert_eq!(b.stats.evaluated, database.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_batch_keeps_order_and_equals_per_query() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config.with_shards(3));
+        let (batch, stats) = engine.search_top_k_batch_with_stats(&queries, 5);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(stats.evaluated, database.len() * queries.len());
+        assert_eq!(stats.shards, 3, "batch stats report the worker count");
+        for (query, outcome) in queries.iter().zip(&batch) {
+            hits_identical(&outcome.hits, &engine.search_top_k(query, 5).hits);
+        }
+    }
+
+    #[test]
+    fn rank_bound_tightens_and_rejects_on_spread_sizes() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config);
+        let mut rank_rejections = 0;
+        for query in &queries {
+            let stats = engine.search_top_k(query, 1).stats;
+            assert_eq!(
+                stats.rank_rejected + stats.postings_resolved + stats.merged,
+                stats.evaluated,
+                "ranked stage counters must partition the scan"
+            );
+            assert_eq!(stats.merged, 0, "the ranked cascade never merges");
+            assert!(stats.heap_inserts >= 1);
+            rank_rejections += stats.rank_rejected;
+        }
+        assert!(
+            rank_rejections > 0,
+            "spread sizes must trigger rank-bound rejections at k = 1"
+        );
+        // Without the cascade every graph is merged and none is rejected.
+        let merge_engine = QueryEngine::new(
+            &database,
+            &index,
+            engine.config().clone().with_filter_cascade(false),
+        );
+        let stats = merge_engine.search_top_k(&queries[0], 1).stats;
+        assert_eq!(stats.merged, database.len());
+        assert_eq!(stats.rank_rejected, 0);
+    }
+
+    #[test]
+    fn top_k_ignores_gamma_and_recording() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let strict = QueryEngine::new(
+            &database,
+            &index,
+            GbdaConfig {
+                gamma: 0.9999,
+                ..config.clone()
+            },
+        );
+        let loose = QueryEngine::new(
+            &database,
+            &index,
+            GbdaConfig {
+                gamma: 0.0,
+                ..config.clone()
+            }
+            .with_record_posteriors(false),
+        );
+        for query in &queries {
+            hits_identical(
+                &strict.search_top_k(query, 7).hits,
+                &loose.search_top_k(query, 7).hits,
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_edge_cases_are_well_defined() {
+        let (queries, database, config) = spread_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = QueryEngine::new(&database, &index, config.clone());
+        let zero = engine.search_top_k(&queries[0], 0);
+        assert!(zero.hits.is_empty());
+        assert_eq!(zero.stats.evaluated, 0, "k = 0 returns without scanning");
+        let all = engine.search_top_k(&queries[0], database.len() + 100);
+        assert_eq!(all.hits.len(), database.len());
+        for pair in all.hits.windows(2) {
+            assert!(
+                crate::topk::rank_order(&pair[0], &pair[1]) != std::cmp::Ordering::Greater,
+                "hits must be sorted best-first"
+            );
+        }
+        // An empty database ranks to nothing.
+        let empty = GraphDatabase::from_graphs(Vec::new());
+        let empty_engine = QueryEngine::new(&empty, &index, config);
+        assert!(empty_engine.search_top_k(&queries[0], 3).hits.is_empty());
+    }
+
+    #[test]
+    fn top_k_is_consistent_across_variants() {
+        let (family, database, config) = family_setup(4);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let variants = [
+            GbdaVariant::Standard,
+            GbdaVariant::AverageExtendedSize { sample_graphs: 5 },
+            GbdaVariant::WeightedGbd { weight: 0.4 },
+            GbdaVariant::WeightedGbd { weight: -0.3 },
+        ];
+        for variant in variants {
+            let engine = QueryEngine::new(&database, &index, config.clone().with_variant(variant));
+            let query = family.member_graph(0).clone();
+            let top = engine.search_top_k(&query, 5);
+            hits_identical(&top.hits, &engine.top_k_reference(&query, 5));
         }
     }
 

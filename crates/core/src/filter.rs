@@ -136,6 +136,110 @@ pub fn compute_size_decision(
     }
 }
 
+/// Computes the ranked-query counterpart of [`compute_size_decision`]: the
+/// suffix-maximum table of the memoized posterior for one extended size,
+/// `suffix_max[ϕ] = max{Φ(ϕ') : ϕ ≤ ϕ' ≤ cap}`. Shared by
+/// [`crate::QueryEngine`] and [`crate::DynamicEngine`] so both prune ranked
+/// scans from the *same* table.
+///
+/// Unlike a [`SizeDecision`], which is fixed by `γ`, a [`RankDecision`]
+/// accepts the bound at *query time* ([`RankDecision::rejects_from`],
+/// [`RankDecision::cutoff`]): the running k-th-best posterior of a top-k heap
+/// tightens as the scan proceeds, and the same table serves every value it
+/// takes. No monotonicity of `Φ` in ϕ is assumed — the suffix maximum is
+/// conservative by construction.
+pub fn compute_rank_decision(
+    cache: &PosteriorCache,
+    index: &OfflineIndex,
+    extended_size: usize,
+    cap: u64,
+) -> RankDecision {
+    let mut suffix_max = vec![0.0f64; cap as usize + 1];
+    let mut best = f64::NEG_INFINITY;
+    for phi in (0..=cap).rev() {
+        let posterior = cache.posterior(index, extended_size, phi);
+        // `max` via total_cmp so a NaN-producing model fault propagates into
+        // the table (making the bound unable to prune) instead of vanishing.
+        if best.total_cmp(&posterior) == std::cmp::Ordering::Less {
+            best = posterior;
+        }
+        suffix_max[phi as usize] = best;
+    }
+    RankDecision {
+        extended_size,
+        cap,
+        suffix_max,
+    }
+}
+
+/// The per-extended-size suffix-maximum table of the posterior used by
+/// ranked (top-k) scans — see [`compute_rank_decision`].
+///
+/// A graph whose ϕ is known to be at least `lb` can reach a posterior of at
+/// most `suffix_max[lb]`; once a top-k heap is full, any graph with
+/// `suffix_max[lb] ≤ bound` (the running k-th-best posterior) can be
+/// rejected without resolving ϕ or the posterior at all. ϕ values beyond
+/// `cap` are not covered and always fall back to exact resolution, so an
+/// under-estimated cap can never change a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDecision {
+    /// The extended size `|V'1|` this table applies to.
+    pub extended_size: usize,
+    /// Largest ϕ the table covers.
+    pub cap: u64,
+    /// `suffix_max[ϕ] = max{Φ(ϕ') : ϕ ≤ ϕ' ≤ cap}`, non-increasing in ϕ.
+    suffix_max: Vec<f64>,
+}
+
+impl RankDecision {
+    /// The best posterior any ϕ in `[phi_lb, cap]` can reach, or `None` when
+    /// `phi_lb` lies beyond the table's cap (nothing can be guaranteed).
+    pub fn best_from(&self, phi_lb: u64) -> Option<f64> {
+        self.suffix_max.get(phi_lb as usize).copied()
+    }
+
+    /// Returns `true` when a graph whose ϕ interval is `[phi_lb, phi_ub]`
+    /// provably cannot **strictly beat** `bound` — the sound rejection test
+    /// of a full top-k heap scanning in ascending id order, where an equal
+    /// posterior already loses the tie-break (see
+    /// [`crate::topk::TopKHeap::threshold`]).
+    ///
+    /// Conservative on both ends: `phi_ub` must not exceed the cap (a ϕ
+    /// beyond the table could have any posterior) and the comparison uses
+    /// the heap's own total order ([`f64::total_cmp`]) — not IEEE `<=` — so
+    /// `-0.0` vs `0.0` (and a NaN-producing model fault) order identically
+    /// on the pruning side and the admission side.
+    pub fn rejects_from(&self, phi_lb: u64, phi_ub: u64, bound: f64) -> bool {
+        debug_assert!(phi_lb <= phi_ub);
+        if phi_ub > self.cap {
+            return false;
+        }
+        match self.best_from(phi_lb) {
+            Some(best) => best.total_cmp(&bound) != std::cmp::Ordering::Greater,
+            None => false,
+        }
+    }
+
+    /// The ϕ cutoff induced by `bound`: the smallest ϕ whose whole suffix
+    /// (up to the cap) cannot strictly beat `bound`. Every graph whose ϕ
+    /// interval lies inside `[cutoff, cap]` is rejected by
+    /// [`Self::rejects_from`]; a tighter (larger) bound yields a smaller
+    /// cutoff, rejecting more graphs. Returns `cap + 1` when even ϕ = cap
+    /// could still beat the bound.
+    ///
+    /// This is the *diagnostic* form of the rejection rule — useful for
+    /// inspecting how much a given bound prunes (the unit tests prove
+    /// `rejects_from(lb, cap, b) ⟺ lb ≥ cutoff(b)`). Scans never call it:
+    /// the bound tightens per admission, so the per-graph `O(1)` table read
+    /// of [`Self::rejects_from`] beats re-deriving the cutoff by binary
+    /// search.
+    pub fn cutoff(&self, bound: f64) -> u64 {
+        self.suffix_max
+            .partition_point(|best| best.total_cmp(&bound) == std::cmp::Ordering::Greater)
+            as u64
+    }
+}
+
 /// The per-extended-size accept/reject regions of the posterior, shared by
 /// every graph in a size bucket.
 ///
@@ -467,6 +571,71 @@ mod tests {
         assert!(db.postings_of(db.catalog().len() as u32).is_empty());
         assert!(db.postings_of(u32::MAX).is_empty());
         let _ = queries;
+    }
+
+    #[test]
+    fn rank_decision_is_the_exact_suffix_maximum() {
+        use crate::config::GbdaConfig;
+        use crate::posterior_cache::PosteriorCache;
+
+        let (db, _) = setup();
+        let config = GbdaConfig::new(4, 0.8).with_sample_pairs(120);
+        let index = crate::offline::OfflineIndex::build(&db, &config).unwrap();
+        let cache = PosteriorCache::new(config.tau_hat);
+        let cap = db.max_vertices() as u64;
+        for &size in db.distinct_sizes() {
+            let decision = compute_rank_decision(&cache, &index, size, cap);
+            assert_eq!(decision.extended_size, size);
+            assert_eq!(decision.cap, cap);
+            for lb in 0..=cap {
+                let expected = (lb..=cap)
+                    .map(|phi| cache.posterior(&index, size, phi))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let best = decision.best_from(lb).unwrap();
+                assert_eq!(best.to_bits(), expected.to_bits(), "size {size}, lb {lb}");
+                // Every posterior in the suffix is really dominated.
+                for phi in lb..=cap {
+                    assert!(cache.posterior(&index, size, phi) <= best);
+                }
+            }
+            assert_eq!(decision.best_from(cap + 1), None);
+        }
+    }
+
+    #[test]
+    fn rank_rejection_matches_the_cutoff_and_is_conservative() {
+        use crate::config::GbdaConfig;
+        use crate::posterior_cache::PosteriorCache;
+
+        let (db, _) = setup();
+        let config = GbdaConfig::new(4, 0.8).with_sample_pairs(120);
+        let index = crate::offline::OfflineIndex::build(&db, &config).unwrap();
+        let cache = PosteriorCache::new(config.tau_hat);
+        let cap = db.max_vertices() as u64;
+        let size = db.distinct_sizes()[0];
+        let decision = compute_rank_decision(&cache, &index, size, cap);
+        for bound in [0.0f64, 0.2, 0.5, 0.9, 1.0] {
+            let cutoff = decision.cutoff(bound);
+            assert!(cutoff <= cap + 1);
+            for lb in 0..=cap {
+                let rejected = decision.rejects_from(lb, cap, bound);
+                assert_eq!(
+                    rejected,
+                    lb >= cutoff,
+                    "bound {bound}, lb {lb}: rejection must equal the cutoff test"
+                );
+                if rejected {
+                    // Nothing in the suffix can strictly beat the bound.
+                    for phi in lb..=cap {
+                        assert!(cache.posterior(&index, size, phi) <= bound);
+                    }
+                }
+            }
+            // A ϕ interval leaking past the cap is never rejected.
+            assert!(!decision.rejects_from(0, cap + 1, 2.0));
+        }
+        // A tighter bound never rejects fewer graphs.
+        assert!(decision.cutoff(0.9) <= decision.cutoff(0.1));
     }
 
     #[test]

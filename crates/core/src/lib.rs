@@ -19,6 +19,9 @@
 //! * [`dynamic`] — the dynamic storage layer: [`DynamicDatabase`] (immutable
 //!   base segment + append-only delta + tombstones + compaction) and the
 //!   segment-aware [`DynamicEngine`],
+//! * [`topk`] — ranked (top-k) query primitives: the bounded heap, the
+//!   deterministic ranking order (posterior descending, graph id ascending)
+//!   and the sort-truncate reference every ranked path is proven against,
 //! * [`posterior_cache`] — memoization of the posterior per `(|V'1|, ϕ)`,
 //! * [`baseline`] — a uniform [`SimilaritySearcher`] interface shared with
 //!   the LSAP / Greedy-Sort-GED / seriation baselines,
@@ -58,6 +61,7 @@ pub mod metrics;
 pub mod offline;
 pub mod posterior_cache;
 pub mod search;
+pub mod topk;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
 pub use config::{GbdaConfig, GbdaVariant};
@@ -66,8 +70,11 @@ pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, 
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
-pub use filter::{FilterCascade, SegmentIndex, SizeDecision};
+pub use filter::{FilterCascade, RankDecision, SegmentIndex, SizeDecision};
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
 pub use posterior_cache::PosteriorCache;
 pub use search::{GbdaSearcher, SearchOutcome, SearchStats};
+pub use topk::{
+    rank_by_posterior, rank_order, DynamicTopKOutcome, RankedHit, TopKHeap, TopKOutcome,
+};

@@ -52,12 +52,19 @@ pub struct SearchStats {
     /// Graphs that fell through to the exact flat branch-run merge (every
     /// graph when the cascade is off; none when it is on).
     pub merged: usize,
+    /// Ranked scans only: graphs rejected by the tightening rank bound alone
+    /// — their ϕ lower bound proved they cannot beat the running k-th-best
+    /// posterior, so neither ϕ nor a posterior was resolved for them.
+    pub rank_rejected: usize,
+    /// Ranked scans only: candidates admitted into a top-k heap (evicted
+    /// ones included).
+    pub heap_inserts: usize,
 }
 
 impl SearchStats {
     /// Database graphs resolved without a flat branch-run merge.
     pub fn skipped_merges(&self) -> usize {
-        self.bound_rejected + self.bound_accepted + self.postings_resolved
+        self.bound_rejected + self.bound_accepted + self.postings_resolved + self.rank_rejected
     }
 
     /// Sums another search's counters and timings into this one (used to
@@ -74,6 +81,8 @@ impl SearchStats {
         self.bound_accepted += other.bound_accepted;
         self.postings_resolved += other.postings_resolved;
         self.merged += other.merged;
+        self.rank_rejected += other.rank_rejected;
+        self.heap_inserts += other.heap_inserts;
     }
 }
 
@@ -144,6 +153,13 @@ impl<'a> GbdaSearcher<'a> {
     /// Runs a batch of queries (see [`QueryEngine::search_batch`]).
     pub fn search_batch(&self, queries: &[Graph]) -> Vec<SearchOutcome> {
         self.engine.search_batch(queries)
+    }
+
+    /// Runs a ranked query: the `k` database graphs with the highest
+    /// posterior, best first (see [`QueryEngine::search_top_k`] for the
+    /// determinism guarantee).
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> crate::topk::TopKOutcome {
+        self.engine.search_top_k(query, k)
     }
 }
 

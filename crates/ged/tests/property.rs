@@ -1,0 +1,87 @@
+//! Property tests for the GED bounds: on random small graphs (where the
+//! exact A\* search is feasible) every lower bound must be admissible and
+//! the greedy upper bound must dominate the exact distance.
+
+use gbd_ged::{bounded_ged, branch_lower_bound, exact_ged, greedy_upper_bound, label_lower_bound};
+use gbd_graph::{GeneratorConfig, Graph, LabelAlphabets};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(seed: u64, vertices: usize, degree: f64, labels: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    GeneratorConfig::new(vertices, degree)
+        .with_alphabets(LabelAlphabets::new(labels, 3))
+        .generate(&mut rng)
+        .expect("generation succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Admissibility: both lower bounds never exceed the exact A* GED, and
+    /// the greedy upper bound never undercuts it, on random ≤ 6-node graphs.
+    #[test]
+    fn bounds_bracket_the_exact_ged(
+        seed in 0u64..1_000_000,
+        n1 in 2usize..=6,
+        n2 in 2usize..=6,
+        labels in 2usize..=6,
+    ) {
+        let g1 = random_graph(seed, n1, 1.8, labels);
+        let g2 = random_graph(seed ^ 0x5EED, n2, 2.2, labels);
+        let (exact, _) = exact_ged(&g1, &g2);
+        let label_lb = label_lower_bound(&g1, &g2);
+        let branch_lb = branch_lower_bound(&g1, &g2);
+        let greedy_ub = greedy_upper_bound(&g1, &g2);
+        prop_assert!(
+            label_lb <= exact,
+            "label bound {} exceeds exact GED {}", label_lb, exact
+        );
+        prop_assert!(
+            branch_lb <= exact,
+            "branch bound {} exceeds exact GED {}", branch_lb, exact
+        );
+        prop_assert!(
+            greedy_ub >= exact,
+            "greedy upper bound {} undercuts exact GED {}", greedy_ub, exact
+        );
+    }
+
+    /// Both lower bounds are symmetric in their arguments and tight (zero)
+    /// on identical graphs.
+    #[test]
+    fn lower_bounds_are_symmetric_and_tight_on_self(
+        seed in 0u64..1_000_000,
+        n in 2usize..=6,
+    ) {
+        let g1 = random_graph(seed, n, 2.0, 4);
+        let g2 = random_graph(seed ^ 0xBEEF, n, 2.0, 4);
+        prop_assert_eq!(label_lower_bound(&g1, &g2), label_lower_bound(&g2, &g1));
+        prop_assert_eq!(branch_lower_bound(&g1, &g2), branch_lower_bound(&g2, &g1));
+        prop_assert_eq!(label_lower_bound(&g1, &g1), 0);
+        prop_assert_eq!(branch_lower_bound(&g1, &g1), 0);
+        prop_assert_eq!(greedy_upper_bound(&g1, &g1), 0);
+    }
+
+    /// The threshold-bounded verifier agrees with the exact search: it
+    /// accepts exactly when the exact GED clears the threshold.
+    #[test]
+    fn bounded_ged_is_consistent_with_exact(
+        seed in 0u64..1_000_000,
+        n1 in 2usize..=5,
+        n2 in 2usize..=5,
+        tau in 0usize..=8,
+    ) {
+        let g1 = random_graph(seed, n1, 1.6, 3);
+        let g2 = random_graph(seed ^ 0xCAFE, n2, 1.6, 3);
+        let (exact, _) = exact_ged(&g1, &g2);
+        match bounded_ged(&g1, &g2, tau) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= tau);
+            }
+            None => prop_assert!(exact > tau),
+        }
+    }
+}

@@ -39,11 +39,18 @@
 //! let searcher = GbdaSearcher::new(&database, &index, config);
 //! let result = searcher.search(&query);
 //! assert!(result.matches.contains(&3));
+//!
+//! // Ranked: the 5 most similar graphs, best first. Equal posteriors order
+//! // by ascending graph id, so results are reproducible run-to-run.
+//! let top = searcher.search_top_k(&query, 5);
+//! assert_eq!(top.hits.len(), 5);
+//! assert!(top.hits.iter().any(|hit| hit.id == 3));
 //! ```
 //!
-//! For batch workloads, [`prelude::QueryEngine`] adds `search_batch` and
-//! shard-parallel scans (`GbdaConfig::with_shards`); see the crate README's
-//! "Query engine architecture" section.
+//! For batch workloads, [`prelude::QueryEngine`] adds `search_batch` /
+//! `search_top_k_batch` and shard-parallel scans (`GbdaConfig::with_shards`);
+//! see the crate README's "Query engine architecture" and "Ranked queries"
+//! sections.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,10 +79,11 @@ pub mod prelude {
     pub use gbd_seriation::SeriationGed;
     pub use gbd_store::{load_database, save_database, Snapshot, StoreError, StoreResult};
     pub use gbda_core::{
-        Confusion, DatabaseParts, DynamicDatabase, DynamicEngine, DynamicOutcome, EngineError,
-        EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator, GbdaSearcher,
-        GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache, Posting, QueryEngine,
-        SearchOutcome, SearchStats, SegmentIndex, SimilaritySearcher, SizeDecision,
+        rank_by_posterior, Confusion, DatabaseParts, DynamicDatabase, DynamicEngine,
+        DynamicOutcome, DynamicTopKOutcome, EngineError, EngineResult, EstimatorSearcher,
+        FilterCascade, GbdaConfig, GbdaEstimator, GbdaSearcher, GbdaVariant, GraphDatabase,
+        OfflineIndex, PosteriorCache, Posting, QueryEngine, RankDecision, RankedHit, SearchOutcome,
+        SearchStats, SegmentIndex, SimilaritySearcher, SizeDecision, TopKHeap, TopKOutcome,
     };
 }
 

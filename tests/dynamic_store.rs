@@ -5,7 +5,9 @@
 //! compact, a [`DynamicEngine`] scan is bit-identical — matches *and*
 //! posteriors — to a [`QueryEngine`] over a freshly built database of the
 //! surviving graphs, across every variant (Standard / V1 / V2) and cascade
-//! mode, given the same offline index.
+//! mode, given the same offline index. The same holds for **ranked**
+//! queries: `search_top_k` over the dynamic live set equals the fresh
+//! rebuild's top-k (ids mapped through the canonical order) for every k.
 
 use gbda::prelude::*;
 use proptest::prelude::*;
@@ -97,6 +99,30 @@ fn assert_equivalent(
             );
         }
         assert_eq!(got.stats.evaluated, fresh.len(), "{context}: query {q}");
+
+        // Ranked queries: dynamic top-k equals the fresh rebuild's top-k with
+        // indices mapped through the canonical order, for small, saturating
+        // and oversized k.
+        for k in [1usize, 5, fresh.len(), fresh.len() + 7] {
+            let expected_top = static_engine.search_top_k(query, k);
+            let got_top = dynamic_engine.search_top_k(query, k);
+            assert_eq!(
+                got_top.hits.len(),
+                expected_top.hits.len(),
+                "{context}: query {q} top-{k} lengths diverge"
+            );
+            for (i, (a, b)) in got_top.hits.iter().zip(&expected_top.hits).enumerate() {
+                assert_eq!(
+                    a.id, ids[b.id],
+                    "{context}: query {q} top-{k} hit {i} id diverges"
+                );
+                assert_eq!(
+                    a.posterior.to_bits(),
+                    b.posterior.to_bits(),
+                    "{context}: query {q} top-{k} hit {i} posterior diverges"
+                );
+            }
+        }
     }
 }
 
