@@ -40,13 +40,13 @@ use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::{GraphDatabase, Posting};
 use crate::error::{EngineError, EngineResult};
 use crate::filter::{
-    compute_rank_decision, compute_size_decision, FilterCascade, RankDecision, SegmentIndex,
-    SizeDecision,
+    compute_rank_decision, compute_size_decision, RankDecision, SegmentIndex, SizeDecision,
 };
+use crate::kernel::{CollectAll, ScanKernel, StaticPhi, Subscriber, TighteningRank, TopKSink};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 use crate::search::SearchStats;
-use crate::topk::{DynamicTopKOutcome, RankedHit, TopKHeap};
+use crate::topk::DynamicTopKOutcome;
 
 /// A fixed-universe bitset marking removed graphs of one segment.
 ///
@@ -124,6 +124,10 @@ pub struct DeltaSegment {
     sizes: Vec<u32>,
     run_counts: Vec<u32>,
     max_run_counts: Vec<u32>,
+    /// Distinct vertex counts in first-seen order; `buckets[i]` indexes
+    /// graph `i`'s vertex count here so per-size cutoff tables are shared.
+    distinct_sizes: Vec<usize>,
+    buckets: Vec<u32>,
     /// Branch id → postings, sorted by delta-local graph index (appends
     /// arrive in insertion order, so sortedness is free).
     postings: HashMap<u32, Vec<Posting>>,
@@ -159,7 +163,17 @@ impl DeltaSegment {
         let runs = flat.runs();
         self.arena.extend_from_slice(runs);
         self.spans.push((start, runs.len() as u32));
-        self.sizes.push(graph.vertex_count() as u32);
+        let size = graph.vertex_count();
+        self.sizes.push(size as u32);
+        let bucket = self
+            .distinct_sizes
+            .iter()
+            .position(|&s| s == size)
+            .unwrap_or_else(|| {
+                self.distinct_sizes.push(size);
+                self.distinct_sizes.len() - 1
+            });
+        self.buckets.push(bucket as u32);
         self.run_counts.push(runs.len() as u32);
         self.max_run_counts
             .push(runs.iter().map(|r| r.count).max().unwrap_or(0));
@@ -188,6 +202,14 @@ impl SegmentIndex for DeltaSegment {
 
     fn max_run_count(&self, i: usize) -> u32 {
         self.max_run_counts[i]
+    }
+
+    fn distinct_sizes(&self) -> &[usize] {
+        &self.distinct_sizes
+    }
+
+    fn bucket_of(&self, i: usize) -> usize {
+        self.buckets[i] as usize
     }
 
     fn postings_of(&self, branch_id: u32) -> &[Posting] {
@@ -426,13 +448,6 @@ pub struct DynamicOutcome {
     pub stats: SearchStats,
 }
 
-/// Per-query context shared by the per-segment scans.
-struct QueryContext<'q> {
-    size: usize,
-    flat: &'q FlatBranchSet,
-    weight: Option<f64>,
-}
-
 /// The segment-aware query engine over a [`DynamicDatabase`].
 ///
 /// Mirrors [`crate::QueryEngine`] — same variants, same cascade, same
@@ -493,13 +508,6 @@ impl<'a> DynamicEngine<'a> {
         self.fixed_extended_size
     }
 
-    fn extended_size_for(&self, query_size: usize, graph_size: usize) -> usize {
-        match self.fixed_extended_size {
-            Some(v) => v,
-            None => query_size.max(graph_size).max(1),
-        }
-    }
-
     fn size_decision(&self, extended_size: usize) -> SizeDecision {
         if let Some(&decision) = self.decisions.read().get(&extended_size) {
             return decision;
@@ -539,20 +547,28 @@ impl<'a> DynamicEngine<'a> {
         )
     }
 
-    fn lookup_posterior(
-        &self,
-        local: &mut HashMap<(usize, u64), f64>,
-        stats: &mut SearchStats,
-        extended_size: usize,
-        phi: u64,
-    ) -> f64 {
-        crate::engine::lookup_posterior_memoized(
-            &self.cache,
-            self.index,
-            local,
-            stats,
-            extended_size,
-            phi,
+    /// The GBDA-V2 weight, `None` for the other variants.
+    fn weight(&self) -> Option<f64> {
+        match self.config.variant {
+            GbdaVariant::WeightedGbd { weight } => Some(weight),
+            _ => None,
+        }
+    }
+
+    /// Builds the [`ScanKernel`] for one flattened query over one segment.
+    fn kernel<'q, S: SegmentIndex>(
+        &'q self,
+        segment: &'q S,
+        query_size: usize,
+        query_flat: &'q FlatBranchSet,
+    ) -> ScanKernel<'q, S> {
+        ScanKernel::new(
+            segment,
+            query_flat,
+            query_size,
+            self.fixed_extended_size,
+            self.weight(),
+            self.config.filter_cascade,
         )
     }
 
@@ -563,17 +579,11 @@ impl<'a> DynamicEngine<'a> {
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
-        let ctx = QueryContext {
-            size: query.vertex_count(),
-            flat: &query_flat,
-            weight: match self.config.variant {
-                GbdaVariant::WeightedGbd { weight } => Some(weight),
-                _ => None,
-            },
-        };
+        let query_size = query.vertex_count();
         let mut outcome = DynamicOutcome::default();
         outcome.stats.shards = 1;
         outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
+        let mut sink = CollectAll::new(self.config.record_posteriors);
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
 
         let scan_started = Instant::now();
@@ -581,7 +591,9 @@ impl<'a> DynamicEngine<'a> {
             self.dynamic.base(),
             &self.dynamic.base_tombstones,
             &self.dynamic.base_ids,
-            &ctx,
+            query_size,
+            &query_flat,
+            &mut sink,
             &mut outcome,
             &mut local,
         );
@@ -589,122 +601,104 @@ impl<'a> DynamicEngine<'a> {
             self.dynamic.delta(),
             &self.dynamic.delta_tombstones,
             &self.dynamic.delta_ids,
-            &ctx,
+            query_size,
+            &query_flat,
+            &mut sink,
             &mut outcome,
             &mut local,
         );
+        outcome.matches = sink.matches;
+        outcome.posteriors = sink.posteriors;
         outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
         outcome.seconds = started.elapsed().as_secs_f64();
         outcome
     }
 
-    /// Scans one segment under its tombstone mask. The same decision
-    /// machinery as `QueryEngine::scan_range`, expressed over the
-    /// [`SegmentIndex`] abstraction; per-graph results are independent of
-    /// the neighbours, so skipping tombstoned slots cannot change the
-    /// survivors' values.
-    fn scan_segment<S: SegmentIndex>(
+    /// Runs Algorithm 1 over the live set, delivering hits to `on_match` as
+    /// the scan (base then delta, ascending stable ids) finds them — the
+    /// [`Subscriber`]-sink instantiation of the kernel. Fast-path accepts
+    /// arrive with `None`; resolved hits carry `Some(Φ)`. The delivered id
+    /// set is exactly [`Self::search`]'s `matches`, in the same order.
+    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    where
+        F: FnMut(u64, Option<f64>),
+    {
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let query_size = query.vertex_count();
+        let mut outcome = DynamicOutcome::default();
+        outcome.stats.shards = 1;
+        let mut sink = Subscriber::new(on_match);
+        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        self.scan_segment(
+            self.dynamic.base(),
+            &self.dynamic.base_tombstones,
+            &self.dynamic.base_ids,
+            query_size,
+            &query_flat,
+            &mut sink,
+            &mut outcome,
+            &mut local,
+        );
+        self.scan_segment(
+            self.dynamic.delta(),
+            &self.dynamic.delta_tombstones,
+            &self.dynamic.delta_ids,
+            query_size,
+            &query_flat,
+            &mut sink,
+            &mut outcome,
+            &mut local,
+        );
+        outcome.stats
+    }
+
+    /// Scans one segment under its tombstone mask: one [`ScanKernel`]
+    /// instantiation under a [`StaticPhi`] cutoff, keyed by stable ids.
+    /// Per-graph results are independent of the neighbours, so skipping
+    /// tombstoned slots cannot change the survivors' values.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_segment<S: SegmentIndex, K: crate::kernel::Sink<u64>>(
         &self,
         segment: &S,
         tombstones: &Tombstones,
         ids: &[u64],
-        ctx: &QueryContext<'_>,
+        query_size: usize,
+        query_flat: &FlatBranchSet,
+        sink: &mut K,
         outcome: &mut DynamicOutcome,
         local: &mut HashMap<(usize, u64), f64>,
     ) {
-        let record = self.config.record_posteriors;
-        let cascade = self
-            .config
-            .filter_cascade
-            .then(|| FilterCascade::new(segment, ctx.flat, ctx.weight));
-        // Stage-3 input, built lazily: a fast scan whose bound stages
-        // resolve every live graph never walks a postings list at all
-        // (mirroring `QueryEngine::scan_range`, which skips accumulation
-        // when no size bucket is gray).
-        let mut intersections: Option<Vec<u32>> = None;
-        let stats = &mut outcome.stats;
-        for i in 0..segment.segment_len() {
-            if tombstones.get(i) {
-                continue;
-            }
-            stats.evaluated += 1;
-            outcome.ids.push(ids[i]);
-            let extended_size = self.extended_size_for(ctx.size, segment.size_of(i));
-
-            if let Some(cascade) = &cascade {
-                let mut phi_exact = || {
-                    let acc = intersections
-                        .get_or_insert_with(|| cascade.intersections(0..segment.segment_len()));
-                    cascade.phi_exact(i, acc[i])
-                };
-                if record {
-                    // Recording scans need a posterior per graph, so only
-                    // the merge is skippable: ϕ comes from the count filter.
-                    let phi = phi_exact();
-                    stats.postings_resolved += 1;
-                    let posterior = self.lookup_posterior(local, stats, extended_size, phi);
-                    outcome.posteriors.push(posterior);
-                    if posterior >= self.config.gamma {
-                        outcome.matches.push(ids[i]);
-                    }
-                    continue;
-                }
-                let decision = self.size_decision(extended_size);
-                if cascade.bounds_usable() {
-                    let (lb, ub) = cascade.refined_bounds(i);
-                    match decision.classify_interval(lb, ub) {
-                        Some(true) => {
-                            stats.bound_accepted += 1;
-                            outcome.matches.push(ids[i]);
-                            continue;
-                        }
-                        Some(false) => {
-                            stats.bound_rejected += 1;
-                            continue;
-                        }
-                        None => {}
-                    }
-                }
-                let phi = phi_exact();
-                stats.postings_resolved += 1;
-                if decision.accepts(phi) {
-                    stats.threshold_accepts += 1;
-                    outcome.matches.push(ids[i]);
-                } else if !decision.rejects(phi) {
-                    let posterior = self.lookup_posterior(local, stats, extended_size, phi);
-                    if posterior >= self.config.gamma {
-                        outcome.matches.push(ids[i]);
-                    }
-                }
-                continue;
-            }
-
-            // Cascade off: the exact flat branch-run merge.
-            stats.merged += 1;
-            let phi = match ctx.weight {
-                Some(w) => {
-                    let value = ctx.flat.as_view().weighted_gbd(segment.flat_view(i), w);
-                    value.round().max(0.0) as u64
-                }
-                None => ctx.flat.as_view().gbd(segment.flat_view(i)) as u64,
-            };
-            if !record {
-                if let Some(threshold) = self.size_decision(extended_size).accept_max {
-                    if phi <= threshold {
-                        stats.threshold_accepts += 1;
-                        outcome.matches.push(ids[i]);
-                        continue;
-                    }
-                }
-            }
-            let posterior = self.lookup_posterior(local, stats, extended_size, phi);
-            if record {
-                outcome.posteriors.push(posterior);
-            }
-            if posterior >= self.config.gamma {
-                outcome.matches.push(ids[i]);
-            }
-        }
+        let kernel = self.kernel(segment, query_size, query_flat);
+        let cutoff = StaticPhi::prepare(
+            &kernel,
+            self.config.gamma,
+            self.config.record_posteriors,
+            |extended_size| self.size_decision(extended_size),
+        );
+        outcome.ids.extend(
+            (0..segment.segment_len())
+                .filter(|&i| !tombstones.get(i))
+                .map(|i| ids[i]),
+        );
+        kernel.scan(
+            0..segment.segment_len(),
+            &cutoff,
+            sink,
+            &mut outcome.stats,
+            |i| tombstones.get(i),
+            |i| ids[i],
+            |stats, extended_size, phi| {
+                crate::engine::lookup_posterior_memoized(
+                    &self.cache,
+                    self.index,
+                    local,
+                    stats,
+                    extended_size,
+                    phi,
+                )
+            },
+        );
     }
 
     /// Runs a **ranked** query over the live set: the `k` live graphs with
@@ -727,126 +721,90 @@ impl<'a> DynamicEngine<'a> {
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
-        let ctx = QueryContext {
-            size: query.vertex_count(),
-            flat: &query_flat,
-            weight: match self.config.variant {
-                GbdaVariant::WeightedGbd { weight } => Some(weight),
-                _ => None,
-            },
-        };
         let mut outcome = DynamicTopKOutcome::default();
         outcome.stats.shards = 1;
         outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
-        let mut heap = TopKHeap::new(k);
+        // One sink (heap) spans both segments, so the bound tightens across
+        // the segment boundary; both segments compete for the same k slots,
+        // which is why the cutoff's candidate count is the whole live set.
+        let mut sink = TopKSink::new(k);
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
-        let mut rank_local: HashMap<usize, Arc<RankDecision>> = HashMap::new();
+        let candidates = self.dynamic.len();
 
         let scan_started = Instant::now();
         self.scan_segment_top_k(
             self.dynamic.base(),
             &self.dynamic.base_tombstones,
             &self.dynamic.base_ids,
-            &ctx,
-            &mut heap,
+            query.vertex_count(),
+            &query_flat,
+            k,
+            candidates,
+            &mut sink,
             &mut outcome.stats,
             &mut local,
-            &mut rank_local,
         );
         self.scan_segment_top_k(
             self.dynamic.delta(),
             &self.dynamic.delta_tombstones,
             &self.dynamic.delta_ids,
-            &ctx,
-            &mut heap,
+            query.vertex_count(),
+            &query_flat,
+            k,
+            candidates,
+            &mut sink,
             &mut outcome.stats,
             &mut local,
-            &mut rank_local,
         );
-        outcome.hits = heap.into_sorted_hits();
+        outcome.hits = sink.into_sorted_hits();
         outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
         outcome.seconds = started.elapsed().as_secs_f64();
         outcome
     }
 
-    /// Ranked scan of one segment under its tombstone mask, sharing the heap
-    /// (and therefore the tightening rank bound) with the other segment. The
-    /// segment is walked in ascending slot order and slots map to ascending
-    /// stable ids, which is what makes the heap's strict admission bound
-    /// sound (see [`TopKHeap::threshold`]).
+    /// Ranked scan of one segment under its tombstone mask: one
+    /// [`ScanKernel`] instantiation under a [`TighteningRank`] cutoff,
+    /// sharing the sink (and therefore the tightening rank bound) with the
+    /// other segment. The segment is walked in ascending slot order and
+    /// slots map to ascending stable ids, which is what makes the heap's
+    /// strict admission bound sound (see
+    /// [`crate::topk::TopKHeap::threshold`]).
     #[allow(clippy::too_many_arguments)]
     fn scan_segment_top_k<S: SegmentIndex>(
         &self,
         segment: &S,
         tombstones: &Tombstones,
         ids: &[u64],
-        ctx: &QueryContext<'_>,
-        heap: &mut TopKHeap<u64>,
+        query_size: usize,
+        query_flat: &FlatBranchSet,
+        k: usize,
+        candidates: usize,
+        sink: &mut TopKSink<u64>,
         stats: &mut SearchStats,
         local: &mut HashMap<(usize, u64), f64>,
-        rank_local: &mut HashMap<usize, Arc<RankDecision>>,
     ) {
-        let cascade = self
-            .config
-            .filter_cascade
-            .then(|| FilterCascade::new(segment, ctx.flat, ctx.weight));
-        let mut intersections: Option<Vec<u32>> = None;
-        for i in 0..segment.segment_len() {
-            if tombstones.get(i) {
-                continue;
-            }
-            stats.evaluated += 1;
-            let extended_size = self.extended_size_for(ctx.size, segment.size_of(i));
-
-            if let Some(cascade) = &cascade {
-                if cascade.bounds_usable() {
-                    if let Some(bound) = heap.threshold() {
-                        // Scan-local memo in front of the shared RwLock'd
-                        // decision cache, so the steady-state loop takes no
-                        // lock (mirroring the posterior `local` memo).
-                        let decision = rank_local
-                            .entry(extended_size)
-                            .or_insert_with(|| self.rank_decision(extended_size));
-                        let (lb, ub) = cascade.refined_bounds(i);
-                        if decision.rejects_from(lb, ub, bound) {
-                            stats.rank_rejected += 1;
-                            continue;
-                        }
-                    }
-                }
-                let phi = {
-                    let acc = intersections
-                        .get_or_insert_with(|| cascade.intersections(0..segment.segment_len()));
-                    cascade.phi_exact(i, acc[i])
-                };
-                stats.postings_resolved += 1;
-                let posterior = self.lookup_posterior(local, stats, extended_size, phi);
-                if heap.push(RankedHit {
-                    id: ids[i],
-                    posterior,
-                }) {
-                    stats.heap_inserts += 1;
-                }
-                continue;
-            }
-
-            // Cascade off: the exact flat branch-run merge.
-            stats.merged += 1;
-            let phi = match ctx.weight {
-                Some(w) => {
-                    let value = ctx.flat.as_view().weighted_gbd(segment.flat_view(i), w);
-                    value.round().max(0.0) as u64
-                }
-                None => ctx.flat.as_view().gbd(segment.flat_view(i)) as u64,
-            };
-            let posterior = self.lookup_posterior(local, stats, extended_size, phi);
-            if heap.push(RankedHit {
-                id: ids[i],
-                posterior,
-            }) {
-                stats.heap_inserts += 1;
-            }
-        }
+        let kernel = self.kernel(segment, query_size, query_flat);
+        let cutoff = TighteningRank::prepare(&kernel, k, candidates, |extended_size| {
+            self.rank_decision(extended_size)
+        });
+        kernel.scan(
+            0..segment.segment_len(),
+            &cutoff,
+            sink,
+            stats,
+            |i| tombstones.get(i),
+            |i| ids[i],
+            |stats, extended_size, phi| {
+                crate::engine::lookup_posterior_memoized(
+                    &self.cache,
+                    self.index,
+                    local,
+                    stats,
+                    extended_size,
+                    phi,
+                )
+            },
+        );
     }
 }
 

@@ -26,12 +26,10 @@
 //! count filter reproduces the merge's intersection exactly.
 
 use std::collections::HashMap;
-use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,49 +39,14 @@ use gbd_prob::posterior_ged_at_most;
 
 use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::GraphDatabase;
-use crate::filter::{compute_rank_decision, FilterCascade, RankDecision, SizeDecision};
+use crate::filter::{compute_rank_decision, RankDecision, SizeDecision};
+use crate::kernel::{
+    run_batch, scan_shards, CollectAll, ScanKernel, StaticPhi, Subscriber, TighteningRank, TopKSink,
+};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 use crate::search::{SearchOutcome, SearchStats};
-use crate::topk::{merge_ranked, rank_by_posterior, RankedHit, TopKHeap, TopKOutcome};
-
-/// Stage-1 classification of one size bucket: the L1 size bound is constant
-/// over a bucket, so whole buckets resolve with two integer comparisons.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BucketClass {
-    /// Every possible ϕ of the bucket lies in the accepting prefix.
-    Accept,
-    /// Every possible ϕ of the bucket lies in the rejecting suffix.
-    Reject,
-    /// The bucket's ϕ interval straddles a region boundary; later stages
-    /// decide per graph.
-    Gray,
-}
-
-/// Per-query scan state shared by all shards: the flattened query, the
-/// optional filter cascade and — in fast (non-recording) cascade mode — one
-/// [`SizeDecision`] and stage-1 class per size bucket.
-struct ScanContext<'q> {
-    query_size: usize,
-    query_flat: &'q FlatBranchSet,
-    cascade: Option<FilterCascade<'q>>,
-    bucket_decisions: Vec<SizeDecision>,
-    bucket_classes: Vec<BucketClass>,
-}
-
-/// Per-query state of a ranked (top-k) scan shared by all shards: the
-/// flattened query, the optional cascade and — when the cascade's bound
-/// stages are usable — one posterior suffix-maximum table plus the stage-1 ϕ
-/// interval per size bucket.
-struct RankScanContext<'q> {
-    query_size: usize,
-    query_flat: &'q FlatBranchSet,
-    cascade: Option<FilterCascade<'q>>,
-    /// Per size bucket: the bucket's [`RankDecision`] and its bucket-constant
-    /// stage-1 `(ϕ_lb, ϕ_ub)`. Empty when no bound stage may run (cascade
-    /// off, or a non-monotone V2 weight).
-    bucket_rank: Vec<(Arc<RankDecision>, (u64, u64))>,
-}
+use crate::topk::{merge_ranked, rank_by_posterior, RankedHit, TopKOutcome};
 
 /// The GBDA-V1 extended-size sampling: shuffle the graph positions with the
 /// variant's derived seed, take `sample_graphs`, average their vertex
@@ -325,9 +288,10 @@ impl<'a> QueryEngine<'a> {
     /// summed over all queries, timings are summed, and `shards` reports
     /// the number of worker threads the batch actually used.
     pub fn search_batch_with_stats(&self, queries: &[Graph]) -> (Vec<SearchOutcome>, SearchStats) {
-        let (outcomes, batch_workers) = self.run_batch(queries, |query, shards| {
-            self.search_with_shards(query, shards)
-        });
+        let (outcomes, batch_workers) =
+            run_batch(self.config.shards.max(1), queries, |query, shards| {
+                self.search_with_shards(query, shards)
+            });
         let mut stats = SearchStats::default();
         for outcome in &outcomes {
             stats.absorb(&outcome.stats);
@@ -340,92 +304,29 @@ impl<'a> QueryEngine<'a> {
         (outcomes, stats)
     }
 
-    /// The shared batch scaffold: sequential when a single worker (or query)
-    /// suffices — passing the full shard budget to each per-query scan — and
-    /// otherwise one thread scope with a work-stealing cursor over the
-    /// queries, each worker scanning its queries unsharded (`shards = 1`).
-    /// Returns the per-query results in input order plus the worker count
-    /// used (`None` for the sequential path).
-    fn run_batch<T: Send>(
-        &self,
-        queries: &[Graph],
-        per_query: impl Fn(&Graph, usize) -> T + Sync,
-    ) -> (Vec<T>, Option<usize>) {
-        let shards = self.config.shards.max(1);
-        if shards <= 1 || queries.len() <= 1 {
-            let results = queries.iter().map(|q| per_query(q, shards)).collect();
-            return (results, None);
-        }
-        let workers = shards.min(queries.len());
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..queries.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let next = cursor.fetch_add(1, Ordering::Relaxed);
-                    if next >= queries.len() {
-                        break;
-                    }
-                    let result = per_query(&queries[next], 1);
-                    *slots[next].lock() = Some(result);
-                });
-            }
-        });
-        let results = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("every batch slot is filled by a worker")
-            })
-            .collect();
-        (results, Some(workers))
-    }
-
-    /// Builds the per-query scan context: the flattened query, the cascade
-    /// state and — in fast cascade mode — the per-bucket decisions and
-    /// stage-1 classes, computed once and shared by every shard.
-    fn scan_context<'q>(
-        &'q self,
-        query: &'q Graph,
-        query_flat: &'q FlatBranchSet,
-    ) -> ScanContext<'q> {
-        let query_size = query.vertex_count();
-        let weight = match self.config.variant {
+    /// The GBDA-V2 weight, `None` for the other variants.
+    fn weight(&self) -> Option<f64> {
+        match self.config.variant {
             GbdaVariant::WeightedGbd { weight } => Some(weight),
             _ => None,
-        };
-        let cascade = self
-            .config
-            .filter_cascade
-            .then(|| FilterCascade::new(self.database, query_flat, weight));
-        let mut bucket_decisions = Vec::new();
-        let mut bucket_classes = Vec::new();
-        if let Some(cascade) = &cascade {
-            if !self.config.record_posteriors {
-                for &size in self.database.distinct_sizes() {
-                    let decision = self.size_decision(self.extended_size_for(query_size, size));
-                    let class = if cascade.bounds_usable() {
-                        let (lb, ub) = cascade.size_bounds(size);
-                        match decision.classify_interval(lb, ub) {
-                            Some(true) => BucketClass::Accept,
-                            Some(false) => BucketClass::Reject,
-                            None => BucketClass::Gray,
-                        }
-                    } else {
-                        BucketClass::Gray
-                    };
-                    bucket_decisions.push(decision);
-                    bucket_classes.push(class);
-                }
-            }
         }
-        ScanContext {
-            query_size,
+    }
+
+    /// Builds the [`ScanKernel`] for one flattened query over the database —
+    /// the per-query state every shard of a scan shares.
+    fn kernel<'q>(
+        &'q self,
+        query_size: usize,
+        query_flat: &'q FlatBranchSet,
+    ) -> ScanKernel<'q, GraphDatabase> {
+        ScanKernel::new(
+            self.database,
             query_flat,
-            cascade,
-            bucket_decisions,
-            bucket_classes,
-        }
+            query_size,
+            self.fixed_extended_size,
+            self.weight(),
+            self.config.filter_cascade,
+        )
     }
 
     fn search_with_shards(&self, query: &Graph, shards: usize) -> SearchOutcome {
@@ -433,51 +334,53 @@ impl<'a> QueryEngine<'a> {
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.database.catalog().flatten_lookup(&query_branches);
-        let ctx = self.scan_context(query, &query_flat);
+        let kernel = self.kernel(query.vertex_count(), &query_flat);
+        let cutoff = StaticPhi::prepare(
+            &kernel,
+            self.config.gamma,
+            self.config.record_posteriors,
+            |extended_size| self.size_decision(extended_size),
+        );
         let flatten_seconds = flatten_started.elapsed().as_secs_f64();
 
         let n = self.database.len();
         let shards = shards.max(1).min(n.max(1));
         let record = self.config.record_posteriors;
-        let mut posteriors = if record { vec![0.0f64; n] } else { Vec::new() };
 
         let scan_started = Instant::now();
+        let results = scan_shards(n, shards, |range| {
+            let mut sink = CollectAll::new(record);
+            let mut stats = SearchStats::default();
+            let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+            kernel.scan(
+                range,
+                &cutoff,
+                &mut sink,
+                &mut stats,
+                |_| false,
+                |i| i,
+                |stats, extended_size, phi| {
+                    lookup_posterior_memoized(
+                        &self.cache,
+                        self.index,
+                        &mut local,
+                        stats,
+                        extended_size,
+                        phi,
+                    )
+                },
+            );
+            (sink, stats)
+        });
+        // Shards cover contiguous index ranges in order, so concatenating
+        // preserves the database ordering of matches and posteriors.
         let mut matches = Vec::new();
+        let mut posteriors = Vec::new();
         let mut totals = SearchStats::default();
-        if shards <= 1 {
-            let slice = record.then_some(posteriors.as_mut_slice());
-            let (shard_matches, stats) = self.scan_range(&ctx, 0..n, slice);
-            matches = shard_matches;
+        for (sink, stats) in results {
+            matches.extend(sink.matches);
+            posteriors.extend(sink.posteriors);
             totals.absorb(&stats);
-        } else {
-            let chunk = n.div_ceil(shards);
-            let ranges: Vec<Range<usize>> = (0..shards)
-                .map(|k| (k * chunk)..n.min((k + 1) * chunk))
-                .collect();
-            let mut results: Vec<(Vec<usize>, SearchStats)> = Vec::with_capacity(shards);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shards);
-                if record {
-                    for (range, slice) in ranges.iter().cloned().zip(posteriors.chunks_mut(chunk)) {
-                        let ctx = &ctx;
-                        handles.push(scope.spawn(move || self.scan_range(ctx, range, Some(slice))));
-                    }
-                } else {
-                    for range in ranges.iter().cloned() {
-                        let ctx = &ctx;
-                        handles.push(scope.spawn(move || self.scan_range(ctx, range, None)));
-                    }
-                }
-                for handle in handles {
-                    results.push(handle.join().expect("scan shard panicked"));
-                }
-            });
-            // Shards cover contiguous index ranges in order, so concatenating
-            // preserves the database ordering of matches.
-            for (shard_matches, stats) in results {
-                matches.extend(shard_matches);
-                totals.absorb(&stats);
-            }
         }
         totals.shards = shards;
         totals.flatten_seconds = flatten_seconds;
@@ -491,137 +394,51 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Looks up the memoized posterior through the scan's thread-local memo
-    /// in front of the shared [`PosteriorCache`], so the steady-state inner
-    /// loop touches no lock at all — repeated `(|V'1|, ϕ)` keys within one
-    /// shard resolve locally.
-    fn lookup_posterior(
-        &self,
-        local: &mut HashMap<(usize, u64), f64>,
-        stats: &mut SearchStats,
-        extended_size: usize,
-        phi: u64,
-    ) -> f64 {
-        lookup_posterior_memoized(&self.cache, self.index, local, stats, extended_size, phi)
-    }
-
-    /// Scans one contiguous database range; `posteriors` (when recording) is
-    /// the output slice for exactly that range.
-    ///
-    /// With the cascade on, the range's exact intersections are accumulated
-    /// from the inverted index once (when any bucket needs them) and each
-    /// graph is resolved by the first cascade stage that can decide it; the
-    /// flat branch-run merge only runs when the cascade is off.
-    fn scan_range(
-        &self,
-        ctx: &ScanContext<'_>,
-        range: Range<usize>,
-        mut posteriors: Option<&mut [f64]>,
-    ) -> (Vec<usize>, SearchStats) {
-        let record = posteriors.is_some();
-        let mut matches = Vec::new();
-        let mut stats = SearchStats::default();
+    /// Runs Algorithm 1 for one query, delivering hits to `on_match` as the
+    /// (single-threaded, ascending-index) scan finds them instead of
+    /// buffering a result set — the [`Subscriber`]-sink instantiation of the
+    /// kernel. Fast-path accepts arrive with `None` (their posterior was
+    /// never resolved); resolved hits carry `Some(Φ)`, and every hit carries
+    /// one when [`GbdaConfig::record_posteriors`] is on. The delivered id
+    /// set is exactly [`Self::search`]'s `matches`, in the same order.
+    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    where
+        F: FnMut(usize, Option<f64>),
+    {
+        let query_branches = BranchMultiset::from_graph(query);
+        let query_flat = self.database.catalog().flatten_lookup(&query_branches);
+        let kernel = self.kernel(query.vertex_count(), &query_flat);
+        let cutoff = StaticPhi::prepare(
+            &kernel,
+            self.config.gamma,
+            self.config.record_posteriors,
+            |extended_size| self.size_decision(extended_size),
+        );
+        let mut sink = Subscriber::new(on_match);
+        let mut stats = SearchStats {
+            shards: 1,
+            ..SearchStats::default()
+        };
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
-        let start = range.start;
-
-        // Stage 3 input: exact per-graph intersections from the inverted
-        // index. Skipped entirely when stage 1 already classified every
-        // size bucket of a fast scan.
-        let accumulator: Option<Vec<u32>> = ctx.cascade.as_ref().and_then(|cascade| {
-            let needed = record || ctx.bucket_classes.contains(&BucketClass::Gray);
-            needed.then(|| cascade.intersections(range.clone()))
-        });
-
-        for i in range {
-            stats.evaluated += 1;
-            let extended_size = self.extended_size_for(ctx.query_size, self.database.size_of(i));
-
-            if let Some(cascade) = &ctx.cascade {
-                if record {
-                    // Recording scans need a posterior per graph, so only
-                    // the merge is skippable: ϕ comes from the count filter.
-                    let acc = accumulator.as_ref().expect("recording scans accumulate");
-                    let phi = cascade.phi_exact(i, acc[i - start]);
-                    stats.postings_resolved += 1;
-                    let posterior =
-                        self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
-                    if let Some(slice) = posteriors.as_deref_mut() {
-                        slice[i - start] = posterior;
-                    }
-                    if posterior >= self.config.gamma {
-                        matches.push(i);
-                    }
-                    continue;
-                }
-                let bucket = self.database.bucket_of(i);
-                let decision = ctx.bucket_decisions[bucket];
-                match ctx.bucket_classes[bucket] {
-                    BucketClass::Accept => {
-                        stats.bound_accepted += 1;
-                        matches.push(i);
-                    }
-                    BucketClass::Reject => {
-                        stats.bound_rejected += 1;
-                    }
-                    BucketClass::Gray => {
-                        // Stage 2: refine the bound with per-graph aggregates.
-                        if cascade.bounds_usable() {
-                            let (lb, ub) = cascade.refined_bounds(i);
-                            match decision.classify_interval(lb, ub) {
-                                Some(true) => {
-                                    stats.bound_accepted += 1;
-                                    matches.push(i);
-                                    continue;
-                                }
-                                Some(false) => {
-                                    stats.bound_rejected += 1;
-                                    continue;
-                                }
-                                None => {}
-                            }
-                        }
-                        // Stage 3: the exact ϕ from the count filter.
-                        let acc = accumulator.as_ref().expect("gray buckets accumulate");
-                        let phi = cascade.phi_exact(i, acc[i - start]);
-                        stats.postings_resolved += 1;
-                        if decision.accepts(phi) {
-                            stats.threshold_accepts += 1;
-                            matches.push(i);
-                        } else if !decision.rejects(phi) {
-                            // Between the regions (or past the cap): memoized
-                            // posterior compare, exactly like the merge path.
-                            let posterior =
-                                self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
-                            if posterior >= self.config.gamma {
-                                matches.push(i);
-                            }
-                        }
-                    }
-                }
-                continue;
-            }
-
-            // Cascade off: the exact flat branch-run merge.
-            stats.merged += 1;
-            let phi = self.observed_phi_flat(ctx.query_flat, i);
-            if !record {
-                if let Some(threshold) = self.phi_threshold(extended_size) {
-                    if phi <= threshold {
-                        stats.threshold_accepts += 1;
-                        matches.push(i);
-                        continue;
-                    }
-                }
-            }
-            let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
-            if let Some(slice) = posteriors.as_deref_mut() {
-                slice[i - start] = posterior;
-            }
-            if posterior >= self.config.gamma {
-                matches.push(i);
-            }
-        }
-        (matches, stats)
+        kernel.scan(
+            0..self.database.len(),
+            &cutoff,
+            &mut sink,
+            &mut stats,
+            |_| false,
+            |i| i,
+            |stats, extended_size, phi| {
+                lookup_posterior_memoized(
+                    &self.cache,
+                    self.index,
+                    &mut local,
+                    stats,
+                    extended_size,
+                    phi,
+                )
+            },
+        );
+        stats
     }
 
     /// Runs a **ranked** query: the `k` database graphs with the highest
@@ -631,21 +448,21 @@ impl<'a> QueryEngine<'a> {
     /// # Determinism
     ///
     /// Results are bit-identical to "scan every graph threshold-free, sort
-    /// by (posterior descending, graph index ascending), truncate to `k`"
-    /// ([`Self::top_k_reference`]) — for every variant, cascade mode and
-    /// shard count, run-to-run. Posteriors are compared bitwise
-    /// ([`f64::total_cmp`]) and **equal posteriors always order by ascending
-    /// graph index**. `γ` plays no role in ranked queries, and
-    /// [`GbdaConfig::record_posteriors`] is ignored: the hits carry their
-    /// posteriors, and no full posterior array is materialised.
+    /// under [`crate::topk::rank_order`] — the canonical ranking total order
+    /// — truncate to `k`" ([`Self::top_k_reference`]), for every variant,
+    /// cascade mode and shard count, run-to-run. `γ` plays no role in
+    /// ranked queries, and [`GbdaConfig::record_posteriors`] is ignored:
+    /// the hits carry their posteriors, and no full posterior array is
+    /// materialised.
     ///
     /// With the cascade on, the running k-th-best posterior of the
     /// (per-shard) heap is converted into a per-extended-size ϕ cutoff via
     /// the monotone posterior suffix-maximum tables ([`RankDecision`]) and
-    /// fed back into the [`FilterCascade`] bound stages — a dynamically
+    /// fed back into the [`crate::FilterCascade`] bound stages — a dynamically
     /// *tightening* bound that rejects ever more graphs as better candidates
-    /// accumulate. Per-shard heaps are merged by re-sorting under the same
-    /// total order, which keeps sharded scans identical to sequential ones.
+    /// accumulate. Per-shard heaps are merged by re-sorting under
+    /// [`crate::topk::merge_ranked`], which keeps sharded scans identical to
+    /// sequential ones.
     ///
     /// # Examples
     ///
@@ -686,9 +503,10 @@ impl<'a> QueryEngine<'a> {
         queries: &[Graph],
         k: usize,
     ) -> (Vec<TopKOutcome>, SearchStats) {
-        let (outcomes, batch_workers) = self.run_batch(queries, |query, shards| {
-            self.search_top_k_with_shards(query, k, shards)
-        });
+        let (outcomes, batch_workers) =
+            run_batch(self.config.shards.max(1), queries, |query, shards| {
+                self.search_top_k_with_shards(query, k, shards)
+            });
         let mut stats = SearchStats::default();
         for outcome in &outcomes {
             stats.absorb(&outcome.stats);
@@ -699,43 +517,6 @@ impl<'a> QueryEngine<'a> {
         (outcomes, stats)
     }
 
-    /// Builds the per-query ranked-scan context: cascade state plus, when the
-    /// bound stages are usable, the per-bucket suffix-maximum tables and
-    /// stage-1 ϕ intervals (computed once and shared by every shard). With
-    /// `k ≥ |D|` no heap can ever fill, so no bound will ever be consulted
-    /// and the tables are not built at all.
-    fn rank_scan_context<'q>(
-        &'q self,
-        query: &'q Graph,
-        query_flat: &'q FlatBranchSet,
-        k: usize,
-    ) -> RankScanContext<'q> {
-        let query_size = query.vertex_count();
-        let weight = match self.config.variant {
-            GbdaVariant::WeightedGbd { weight } => Some(weight),
-            _ => None,
-        };
-        let cascade = self
-            .config
-            .filter_cascade
-            .then(|| FilterCascade::new(self.database, query_flat, weight));
-        let mut bucket_rank = Vec::new();
-        if let Some(cascade) = &cascade {
-            if cascade.bounds_usable() && k < self.database.len() {
-                for &size in self.database.distinct_sizes() {
-                    let decision = self.rank_decision(self.extended_size_for(query_size, size));
-                    bucket_rank.push((decision, cascade.size_bounds(size)));
-                }
-            }
-        }
-        RankScanContext {
-            query_size,
-            query_flat,
-            cascade,
-            bucket_rank,
-        }
-    }
-
     fn search_top_k_with_shards(&self, query: &Graph, k: usize, shards: usize) -> TopKOutcome {
         let started = Instant::now();
         if k == 0 {
@@ -744,40 +525,52 @@ impl<'a> QueryEngine<'a> {
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.database.catalog().flatten_lookup(&query_branches);
-        let ctx = self.rank_scan_context(query, &query_flat, k);
+        let kernel = self.kernel(query.vertex_count(), &query_flat);
+        // With `k ≥ |D|` no heap can ever fill, so no bound will ever be
+        // consulted and the tables are not built at all.
+        let cutoff = TighteningRank::prepare(&kernel, k, self.database.len(), |extended_size| {
+            self.rank_decision(extended_size)
+        });
         let flatten_seconds = flatten_started.elapsed().as_secs_f64();
 
         let n = self.database.len();
         let shards = shards.max(1).min(n.max(1));
         let scan_started = Instant::now();
+        // Each shard walks its range in ascending index order with a local
+        // bounded heap — the heap's strict admission bound is only sound
+        // because a later candidate always loses posterior ties against
+        // earlier (smaller-index) kept hits.
+        let results = scan_shards(n, shards, |range| {
+            let mut sink = TopKSink::new(k);
+            let mut stats = SearchStats::default();
+            let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+            kernel.scan(
+                range,
+                &cutoff,
+                &mut sink,
+                &mut stats,
+                |_| false,
+                |i| i,
+                |stats, extended_size, phi| {
+                    lookup_posterior_memoized(
+                        &self.cache,
+                        self.index,
+                        &mut local,
+                        stats,
+                        extended_size,
+                        phi,
+                    )
+                },
+            );
+            (sink.into_sorted_hits(), stats)
+        });
         let mut totals = SearchStats::default();
-        let hits = if shards <= 1 {
-            let (hits, stats) = self.scan_top_k_range(&ctx, 0..n, k);
+        let mut shard_hits = Vec::with_capacity(results.len());
+        for (hits, stats) in results {
+            shard_hits.push(hits);
             totals.absorb(&stats);
-            hits
-        } else {
-            let chunk = n.div_ceil(shards);
-            let ranges: Vec<Range<usize>> = (0..shards)
-                .map(|s| (s * chunk)..n.min((s + 1) * chunk))
-                .collect();
-            let mut results: Vec<(Vec<RankedHit>, SearchStats)> = Vec::with_capacity(shards);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shards);
-                for range in ranges {
-                    let ctx = &ctx;
-                    handles.push(scope.spawn(move || self.scan_top_k_range(ctx, range, k)));
-                }
-                for handle in handles {
-                    results.push(handle.join().expect("ranked scan shard panicked"));
-                }
-            });
-            let mut shard_hits = Vec::with_capacity(shards);
-            for (hits, stats) in results {
-                shard_hits.push(hits);
-                totals.absorb(&stats);
-            }
-            merge_ranked(shard_hits, k)
-        };
+        }
+        let hits = merge_ranked(shard_hits, k);
         totals.shards = shards;
         totals.flatten_seconds = flatten_seconds;
         totals.scan_seconds = scan_started.elapsed().as_secs_f64();
@@ -789,74 +582,9 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    /// Ranked scan of one contiguous database range with a local bounded
-    /// heap. The range is walked in ascending index order — the heap's
-    /// strict admission bound is only sound because a later candidate always
-    /// loses posterior ties against earlier (smaller-index) kept hits.
-    fn scan_top_k_range(
-        &self,
-        ctx: &RankScanContext<'_>,
-        range: Range<usize>,
-        k: usize,
-    ) -> (Vec<RankedHit>, SearchStats) {
-        let mut heap = TopKHeap::new(k);
-        let mut stats = SearchStats::default();
-        let mut local: HashMap<(usize, u64), f64> = HashMap::new();
-        let start = range.start;
-        // Ranked scans always need exact ϕ while the heap fills, so the
-        // count-filter accumulation is unconditional when the cascade is on.
-        let accumulator: Option<Vec<u32>> = ctx
-            .cascade
-            .as_ref()
-            .map(|cascade| cascade.intersections(range.clone()));
-
-        for i in range {
-            stats.evaluated += 1;
-            let extended_size = self.extended_size_for(ctx.query_size, self.database.size_of(i));
-
-            if let Some(cascade) = &ctx.cascade {
-                if !ctx.bucket_rank.is_empty() {
-                    if let Some(bound) = heap.threshold() {
-                        let (decision, (lb, ub)) = &ctx.bucket_rank[self.database.bucket_of(i)];
-                        // Stage 1: the bucket-constant L1 interval.
-                        if decision.rejects_from(*lb, *ub, bound) {
-                            stats.rank_rejected += 1;
-                            continue;
-                        }
-                        // Stage 2: the per-graph distinct-run refinement.
-                        let (lb, ub) = cascade.refined_bounds(i);
-                        if decision.rejects_from(lb, ub, bound) {
-                            stats.rank_rejected += 1;
-                            continue;
-                        }
-                    }
-                }
-                // Stage 3: the exact ϕ from the count filter, then the
-                // memoized posterior and the heap.
-                let acc = accumulator.as_ref().expect("ranked cascades accumulate");
-                let phi = cascade.phi_exact(i, acc[i - start]);
-                stats.postings_resolved += 1;
-                let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
-                if heap.push(RankedHit { id: i, posterior }) {
-                    stats.heap_inserts += 1;
-                }
-                continue;
-            }
-
-            // Cascade off: the exact flat branch-run merge for every graph.
-            stats.merged += 1;
-            let phi = self.observed_phi_flat(ctx.query_flat, i);
-            let posterior = self.lookup_posterior(&mut local, &mut stats, extended_size, phi);
-            if heap.push(RankedHit { id: i, posterior }) {
-                stats.heap_inserts += 1;
-            }
-        }
-        (heap.into_sorted_hits(), stats)
-    }
-
     /// The sort-truncate reference for ranked queries: a threshold-free full
     /// scan (one flat merge and one memoized posterior per database graph),
-    /// sorted by (posterior descending, index ascending), truncated to `k`.
+    /// sorted under [`crate::topk::rank_order`], truncated to `k`.
     /// [`Self::search_top_k`] is proven bit-identical to this path by the
     /// workspace proptests; kept public as the equivalence baseline for
     /// tests and `bench_topk --check`.
@@ -870,7 +598,14 @@ impl<'a> QueryEngine<'a> {
             .map(|i| {
                 let phi = self.observed_phi_flat(&query_flat, i);
                 let extended_size = self.extended_size_for(query_size, self.database.size_of(i));
-                self.lookup_posterior(&mut local, &mut stats, extended_size, phi)
+                lookup_posterior_memoized(
+                    &self.cache,
+                    self.index,
+                    &mut local,
+                    &mut stats,
+                    extended_size,
+                    phi,
+                )
             })
             .collect();
         rank_by_posterior(&posteriors, k)

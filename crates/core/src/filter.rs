@@ -51,6 +51,15 @@ pub trait SegmentIndex {
     /// Largest run multiplicity of the segment's `i`-th graph.
     fn max_run_count(&self, i: usize) -> u32;
 
+    /// The distinct vertex counts occurring in the segment, in a fixed
+    /// order. `bucket_of` indexes into this slice; per-size cutoff tables
+    /// are computed once per entry and shared by every graph in the bucket.
+    fn distinct_sizes(&self) -> &[usize];
+
+    /// Index of the `i`-th graph's vertex count in
+    /// [`Self::distinct_sizes`] — its *size bucket*.
+    fn bucket_of(&self, i: usize) -> usize;
+
     /// The `(graph, count)` postings of one branch id, sorted by
     /// segment-local graph index. Ids the segment has never stored — the
     /// unknown sentinel, or ids interned after this segment was sealed —
@@ -79,6 +88,14 @@ impl SegmentIndex for GraphDatabase {
 
     fn max_run_count(&self, i: usize) -> u32 {
         GraphDatabase::max_run_count(self, i)
+    }
+
+    fn distinct_sizes(&self) -> &[usize] {
+        GraphDatabase::distinct_sizes(self)
+    }
+
+    fn bucket_of(&self, i: usize) -> usize {
+        GraphDatabase::bucket_of(self, i)
     }
 
     fn postings_of(&self, branch_id: u32) -> &[Posting] {

@@ -1,0 +1,698 @@
+//! The one generic scan kernel behind every online search path.
+//!
+//! The paper's online phase is a single conceptual operation: scan candidate
+//! graphs, prune through the [`FilterCascade`], resolve the observed distance
+//! ϕ and the memoized posterior `Φ = Pr[GED ≤ τ̂ | GBD = ϕ]`, and deliver
+//! survivors — under either a *static* probability threshold γ (Algorithm 1)
+//! or a *tightening* top-k rank bound. [`ScanKernel::scan`] implements that
+//! loop exactly once; every public search API is a thin instantiation of it
+//! over a cutoff policy ([`Cutoff`]), a result sink ([`Sink`]) and a segment
+//! ([`SegmentIndex`]).
+//!
+//! # The Cutoff × Sink × SegmentIndex matrix
+//!
+//! | public API | cutoff | sink | segment(s) |
+//! |---|---|---|---|
+//! | [`QueryEngine::search`] / `search_batch` | [`StaticPhi`] | [`CollectAll`] | [`GraphDatabase`] |
+//! | [`QueryEngine::search_top_k`] / `search_top_k_batch` | [`TighteningRank`] | [`TopKSink`] | [`GraphDatabase`] |
+//! | [`QueryEngine::search_streaming`] | [`StaticPhi`] | [`Subscriber`] | [`GraphDatabase`] |
+//! | [`DynamicEngine::search`] | [`StaticPhi`] | [`CollectAll`] | base + delta under tombstone masks |
+//! | [`DynamicEngine::search_top_k`] | [`TighteningRank`] | [`TopKSink`] | base + delta (one shared heap) |
+//! | [`DynamicEngine::search_streaming`] | [`StaticPhi`] | [`Subscriber`] | base + delta |
+//!
+//! Not every cell of the matrix is meaningful: a ranked scan needs resolved
+//! posteriors for every candidate it keeps, so [`TighteningRank`] never
+//! *accepts* a graph early — pairing [`TopKSink`] with a cutoff that does
+//! ([`StaticPhi`] with a non-empty accept region) violates the sink contract
+//! and panics. Every other pairing composes freely.
+//!
+//! # Shard drivers
+//!
+//! The two parallel execution scaffolds also live here so the threshold,
+//! ranked and batch paths share them: [`scan_shards`] (contiguous
+//! range-sharded scans, order-preserving) and [`run_batch`] (the
+//! work-stealing per-query cursor). Per-shard ranked results are merged with
+//! [`crate::topk::merge_ranked`]; the canonical tie-break total order for
+//! *all* ranked results is defined once, by [`crate::topk::rank_order`]
+//! (posterior descending via `f64::total_cmp`, then graph id ascending).
+//!
+//! # Accounting
+//!
+//! The kernel owns the [`SearchStats`] stage counters. Per scanned, unmasked
+//! graph exactly one of the following fires, so
+//! `bound_rejected + bound_accepted + rank_rejected + postings_resolved +
+//! merged == evaluated` ([`SearchStats::stage_partition`]) holds on every
+//! instantiation:
+//!
+//! * `bound_accepted` / `bound_rejected` — decided by the stage-1 size bound
+//!   or the stage-2 distinct-run refinement under a [`StaticPhi`] cutoff;
+//! * `rank_rejected` — decided by the same bound stages under a
+//!   [`TighteningRank`] cutoff;
+//! * `postings_resolved` — survived to the stage-3 count filter, which
+//!   resolves the exact ϕ from the inverted postings;
+//! * `merged` — cascade disabled; ϕ came from a full flat-run merge.
+//!
+//! [`QueryEngine::search`]: crate::QueryEngine::search
+//! [`QueryEngine::search_top_k`]: crate::QueryEngine::search_top_k
+//! [`QueryEngine::search_streaming`]: crate::QueryEngine::search_streaming
+//! [`DynamicEngine::search`]: crate::DynamicEngine::search
+//! [`DynamicEngine::search_top_k`]: crate::DynamicEngine::search_top_k
+//! [`DynamicEngine::search_streaming`]: crate::DynamicEngine::search_streaming
+//! [`GraphDatabase`]: crate::GraphDatabase
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gbd_graph::FlatBranchSet;
+
+use crate::filter::{FilterCascade, RankDecision, SegmentIndex, SizeDecision};
+use crate::search::SearchStats;
+use crate::topk::{RankedHit, TopKHeap};
+
+/// The verdict of a cutoff policy on a graph (or a whole ϕ interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundClass {
+    /// The graph is provably a hit; no posterior needs to be resolved.
+    Accept,
+    /// The graph provably cannot be delivered; skip it.
+    Reject,
+    /// The evidence is inconclusive; fall through to the next stage.
+    Undecided,
+}
+
+/// A cutoff policy: how the kernel decides, per graph, whether the filter
+/// bounds settle the outcome or the posterior must be resolved — and whether
+/// a resolved posterior is admitted.
+///
+/// Two policies exist: [`StaticPhi`] (the fixed probability threshold γ of
+/// Algorithm 1) and [`TighteningRank`] (the running k-th-best bound of a
+/// top-k heap). See the [module docs](self) for which API uses which.
+pub trait Cutoff {
+    /// Whether any bound tables exist at all. When `false` the kernel skips
+    /// the bound stages entirely and resolves every graph.
+    fn prunes(&self) -> bool;
+
+    /// Whether the bound stages apply under the sink's current bound (the
+    /// running k-th-best posterior for ranked sinks, `None` otherwise). A
+    /// static threshold always prunes; a rank cutoff only once the heap is
+    /// full.
+    fn prunes_under(&self, bound: Option<f64>) -> bool;
+
+    /// Stage 1 — classify a whole size bucket from its precomputed ϕ
+    /// interval.
+    fn classify_bucket(&self, bucket: usize, bound: Option<f64>) -> BoundClass;
+
+    /// Stage 2 — classify one graph from its refined ϕ interval `[lb, ub]`.
+    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, bound: Option<f64>) -> BoundClass;
+
+    /// Stage 3 — classify one graph from its *exact* ϕ. `Undecided` means
+    /// the posterior must be resolved and [`Self::admits`] consulted.
+    fn classify_phi(&self, bucket: usize, phi: u64) -> BoundClass;
+
+    /// The merge-path (cascade disabled) counterpart of
+    /// [`Self::classify_phi`]: may fast-*accept* from ϕ, never rejects —
+    /// the merge scan has no bound stages to make rejection sound cheaper
+    /// than the posterior lookup it replaces.
+    fn merge_classify_phi(&self, bucket: usize, phi: u64) -> BoundClass;
+
+    /// Whether a resolved posterior is delivered as a hit.
+    fn admits(&self, posterior: f64) -> bool;
+
+    /// Books one bound-stage rejection into the right stats counter
+    /// (`bound_rejected` for a threshold, `rank_rejected` for a rank bound).
+    fn count_pruned(&self, stats: &mut SearchStats);
+}
+
+/// The static-threshold cutoff of Algorithm 1: accept when `Φ(ϕ) ≥ γ` is
+/// guaranteed, reject when `Φ(ϕ) < γ` is guaranteed, resolve otherwise.
+///
+/// Holds one [`SizeDecision`] per size bucket of the segment plus the
+/// stage-1 classification of each bucket's ϕ interval. In recording mode
+/// (`record_posteriors`) both tables are empty, so every graph resolves its
+/// posterior — the definitional scan.
+#[derive(Debug)]
+pub struct StaticPhi {
+    gamma: f64,
+    /// One decision per size bucket; empty in recording mode.
+    decisions: Vec<SizeDecision>,
+    /// Stage-1 verdict per size bucket; empty when the cascade is off, the
+    /// bounds are unusable (GBDA-V2 with `w < 0`), or in recording mode.
+    classes: Vec<BoundClass>,
+}
+
+impl StaticPhi {
+    /// Builds the per-bucket threshold tables for one query against one
+    /// segment. `resolve_all` (recording mode) leaves both tables empty;
+    /// `decision_for` maps an extended size to its [`SizeDecision`].
+    pub fn prepare<S: SegmentIndex>(
+        kernel: &ScanKernel<'_, S>,
+        gamma: f64,
+        resolve_all: bool,
+        mut decision_for: impl FnMut(usize) -> SizeDecision,
+    ) -> Self {
+        if resolve_all {
+            return StaticPhi {
+                gamma,
+                decisions: Vec::new(),
+                classes: Vec::new(),
+            };
+        }
+        let decisions: Vec<SizeDecision> = kernel
+            .segment
+            .distinct_sizes()
+            .iter()
+            .map(|&size| decision_for(kernel.extended_size_for(size)))
+            .collect();
+        let classes = match &kernel.cascade {
+            Some(cascade) if cascade.bounds_usable() => kernel
+                .segment
+                .distinct_sizes()
+                .iter()
+                .zip(&decisions)
+                .map(|(&size, decision)| {
+                    let (lb, ub) = cascade.size_bounds(size);
+                    match decision.classify_interval(lb, ub) {
+                        Some(true) => BoundClass::Accept,
+                        Some(false) => BoundClass::Reject,
+                        None => BoundClass::Undecided,
+                    }
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        StaticPhi {
+            gamma,
+            decisions,
+            classes,
+        }
+    }
+}
+
+impl Cutoff for StaticPhi {
+    fn prunes(&self) -> bool {
+        !self.classes.is_empty()
+    }
+
+    fn prunes_under(&self, _bound: Option<f64>) -> bool {
+        true
+    }
+
+    fn classify_bucket(&self, bucket: usize, _bound: Option<f64>) -> BoundClass {
+        self.classes[bucket]
+    }
+
+    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, _bound: Option<f64>) -> BoundClass {
+        match self.decisions[bucket].classify_interval(lb, ub) {
+            Some(true) => BoundClass::Accept,
+            Some(false) => BoundClass::Reject,
+            None => BoundClass::Undecided,
+        }
+    }
+
+    fn classify_phi(&self, bucket: usize, phi: u64) -> BoundClass {
+        match self.decisions.get(bucket) {
+            Some(decision) if decision.accepts(phi) => BoundClass::Accept,
+            Some(decision) if decision.rejects(phi) => BoundClass::Reject,
+            _ => BoundClass::Undecided,
+        }
+    }
+
+    fn merge_classify_phi(&self, bucket: usize, phi: u64) -> BoundClass {
+        match self.decisions.get(bucket) {
+            Some(decision) if decision.accepts(phi) => BoundClass::Accept,
+            _ => BoundClass::Undecided,
+        }
+    }
+
+    fn admits(&self, posterior: f64) -> bool {
+        posterior >= self.gamma
+    }
+
+    fn count_pruned(&self, stats: &mut SearchStats) {
+        stats.bound_rejected += 1;
+    }
+}
+
+/// The tightening rank cutoff of a top-k scan: once the heap is full, a
+/// graph whose ϕ interval provably cannot *strictly beat* the running
+/// k-th-best posterior is rejected ([`RankDecision::rejects_from`]).
+///
+/// Never accepts early — every kept candidate needs its exact posterior for
+/// ranking — and never consults γ. Empty (no pruning) when the cascade is
+/// off, the bounds are unusable, or `k` covers every candidate.
+#[derive(Debug, Default)]
+pub struct TighteningRank {
+    /// Per size bucket: the suffix-max table and the stage-1 ϕ interval.
+    buckets: Vec<(Arc<RankDecision>, (u64, u64))>,
+}
+
+impl TighteningRank {
+    /// Builds the per-bucket rank tables for one query against one segment.
+    /// `candidates` is the number of graphs competing for the `k` slots
+    /// (the *whole* database for a dynamic scan, not one segment): when
+    /// `k >= candidates` the heap can never fill, so no tables are built
+    /// and the cutoff never prunes.
+    pub fn prepare<S: SegmentIndex>(
+        kernel: &ScanKernel<'_, S>,
+        k: usize,
+        candidates: usize,
+        mut rank_for: impl FnMut(usize) -> Arc<RankDecision>,
+    ) -> Self {
+        let buckets = match &kernel.cascade {
+            Some(cascade) if cascade.bounds_usable() && k < candidates => kernel
+                .segment
+                .distinct_sizes()
+                .iter()
+                .map(|&size| {
+                    let decision = rank_for(kernel.extended_size_for(size));
+                    let interval = cascade.size_bounds(size);
+                    (decision, interval)
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        TighteningRank { buckets }
+    }
+}
+
+impl Cutoff for TighteningRank {
+    fn prunes(&self) -> bool {
+        !self.buckets.is_empty()
+    }
+
+    fn prunes_under(&self, bound: Option<f64>) -> bool {
+        bound.is_some()
+    }
+
+    fn classify_bucket(&self, bucket: usize, bound: Option<f64>) -> BoundClass {
+        let Some(bound) = bound else {
+            return BoundClass::Undecided;
+        };
+        let (decision, (lb, ub)) = &self.buckets[bucket];
+        if decision.rejects_from(*lb, *ub, bound) {
+            BoundClass::Reject
+        } else {
+            BoundClass::Undecided
+        }
+    }
+
+    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, bound: Option<f64>) -> BoundClass {
+        let Some(bound) = bound else {
+            return BoundClass::Undecided;
+        };
+        let (decision, _) = &self.buckets[bucket];
+        if decision.rejects_from(lb, ub, bound) {
+            BoundClass::Reject
+        } else {
+            BoundClass::Undecided
+        }
+    }
+
+    fn classify_phi(&self, _bucket: usize, _phi: u64) -> BoundClass {
+        BoundClass::Undecided
+    }
+
+    fn merge_classify_phi(&self, _bucket: usize, _phi: u64) -> BoundClass {
+        BoundClass::Undecided
+    }
+
+    fn admits(&self, _posterior: f64) -> bool {
+        true
+    }
+
+    fn count_pruned(&self, stats: &mut SearchStats) {
+        stats.rank_rejected += 1;
+    }
+}
+
+/// A result sink: where the kernel delivers survivors.
+///
+/// The kernel calls [`Sink::accept`] for graphs proven to be hits *without*
+/// a posterior (threshold fast path) and [`Sink::offer`] for graphs whose
+/// posterior was resolved. [`Sink::bound`] feeds the cutoff's tightening
+/// bound back into the bound stages (ranked sinks only).
+pub trait Sink<I: Copy> {
+    /// The sink's current pruning bound — the k-th-best posterior of a full
+    /// top-k heap, `None` for unbounded sinks.
+    fn bound(&self) -> Option<f64> {
+        None
+    }
+
+    /// Delivers a graph proven to be a hit without resolving its posterior.
+    fn accept(&mut self, id: I);
+
+    /// Delivers one resolved `(id, posterior)` pair; `admitted` is the
+    /// cutoff's verdict. `stats` lets ranked sinks book `heap_inserts`.
+    fn offer(&mut self, id: I, posterior: f64, admitted: bool, stats: &mut SearchStats);
+}
+
+/// Collects matches (and, when recording, every resolved posterior in scan
+/// order) — the sink behind threshold search.
+#[derive(Debug)]
+pub struct CollectAll<I> {
+    record: bool,
+    /// Ids delivered as hits, in scan order.
+    pub matches: Vec<I>,
+    /// When recording: one posterior per scanned graph, in scan order.
+    pub posteriors: Vec<f64>,
+}
+
+impl<I: Copy> CollectAll<I> {
+    /// An empty sink; `record` mirrors
+    /// [`GbdaConfig::record_posteriors`](crate::GbdaConfig).
+    pub fn new(record: bool) -> Self {
+        CollectAll {
+            record,
+            matches: Vec::new(),
+            posteriors: Vec::new(),
+        }
+    }
+}
+
+impl<I: Copy> Sink<I> for CollectAll<I> {
+    fn accept(&mut self, id: I) {
+        self.matches.push(id);
+    }
+
+    fn offer(&mut self, id: I, posterior: f64, admitted: bool, _stats: &mut SearchStats) {
+        if self.record {
+            self.posteriors.push(posterior);
+        }
+        if admitted {
+            self.matches.push(id);
+        }
+    }
+}
+
+/// A bounded ranked sink wrapping [`TopKHeap`] — the sink behind top-k
+/// search. Must be paired with a cutoff that never [`BoundClass::Accept`]s
+/// (i.e. [`TighteningRank`]): a rank needs the posterior.
+#[derive(Debug)]
+pub struct TopKSink<I: Ord + Copy> {
+    heap: TopKHeap<I>,
+}
+
+impl<I: Ord + Copy> TopKSink<I> {
+    /// An empty heap keeping the best `k` candidates.
+    pub fn new(k: usize) -> Self {
+        TopKSink {
+            heap: TopKHeap::new(k),
+        }
+    }
+
+    /// The kept candidates, best first (ties by ascending id).
+    pub fn into_sorted_hits(self) -> Vec<RankedHit<I>> {
+        self.heap.into_sorted_hits()
+    }
+}
+
+impl<I: Ord + Copy> Sink<I> for TopKSink<I> {
+    fn bound(&self) -> Option<f64> {
+        self.heap.threshold()
+    }
+
+    fn accept(&mut self, _id: I) {
+        unreachable!("a ranked sink cannot admit a graph without its posterior");
+    }
+
+    fn offer(&mut self, id: I, posterior: f64, _admitted: bool, stats: &mut SearchStats) {
+        if self.heap.push(RankedHit { id, posterior }) {
+            stats.heap_inserts += 1;
+        }
+    }
+}
+
+/// A streaming sink: hits are delivered to a callback as the scan finds
+/// them, instead of being buffered. Fast-path accepts arrive with `None`
+/// (their posterior was never resolved); resolved hits with `Some(Φ)`.
+#[derive(Debug)]
+pub struct Subscriber<F> {
+    callback: F,
+}
+
+impl<F> Subscriber<F> {
+    /// Wraps a `FnMut(id, Option<posterior>)` callback.
+    pub fn new(callback: F) -> Self {
+        Subscriber { callback }
+    }
+}
+
+impl<I: Copy, F: FnMut(I, Option<f64>)> Sink<I> for Subscriber<F> {
+    fn accept(&mut self, id: I) {
+        (self.callback)(id, None);
+    }
+
+    fn offer(&mut self, id: I, posterior: f64, admitted: bool, _stats: &mut SearchStats) {
+        if admitted {
+            (self.callback)(id, Some(posterior));
+        }
+    }
+}
+
+/// Per-query scan state over one segment: the flattened query, the filter
+/// cascade (when enabled) and the extended-size rule. Built once per
+/// (query, segment) pair and shared by every shard scanning that segment.
+#[derive(Debug)]
+pub struct ScanKernel<'q, S: SegmentIndex> {
+    segment: &'q S,
+    cascade: Option<FilterCascade<'q, S>>,
+    query_flat: &'q FlatBranchSet,
+    query_size: usize,
+    fixed_extended_size: Option<usize>,
+    weight: Option<f64>,
+}
+
+impl<'q, S: SegmentIndex> ScanKernel<'q, S> {
+    /// Builds the kernel for one query against one segment. `query_flat`
+    /// must be flattened against the segment's catalog (or an extension of
+    /// it); `fixed_extended_size` is `Some` under GBDA-V1, `weight` under
+    /// GBDA-V2; `use_cascade` mirrors
+    /// [`GbdaConfig::filter_cascade`](crate::GbdaConfig).
+    pub fn new(
+        segment: &'q S,
+        query_flat: &'q FlatBranchSet,
+        query_size: usize,
+        fixed_extended_size: Option<usize>,
+        weight: Option<f64>,
+        use_cascade: bool,
+    ) -> Self {
+        let cascade = use_cascade.then(|| FilterCascade::new(segment, query_flat, weight));
+        ScanKernel {
+            segment,
+            cascade,
+            query_flat,
+            query_size,
+            fixed_extended_size,
+            weight,
+        }
+    }
+
+    /// The segment this kernel scans.
+    pub fn segment(&self) -> &'q S {
+        self.segment
+    }
+
+    /// The extended size `|V'1|` for a graph of `graph_size` vertices,
+    /// honouring GBDA-V1's fixed size.
+    pub fn extended_size_for(&self, graph_size: usize) -> usize {
+        match self.fixed_extended_size {
+            Some(v) => v,
+            None => self.query_size.max(graph_size).max(1),
+        }
+    }
+
+    /// The scan loop. Drives `range` through the cascade stages under
+    /// `cutoff`, resolving posteriors through `lookup` (signature
+    /// `(stats, extended_size, phi) -> posterior` so implementations can
+    /// book cache hits/misses), and delivers survivors to `sink`.
+    ///
+    /// `mask(i)` returns `true` for slots to skip entirely (tombstones);
+    /// `id_of(i)` maps a segment-local index to the sink's id space.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan<I, C, K>(
+        &self,
+        range: Range<usize>,
+        cutoff: &C,
+        sink: &mut K,
+        stats: &mut SearchStats,
+        mask: impl Fn(usize) -> bool,
+        id_of: impl Fn(usize) -> I,
+        mut lookup: impl FnMut(&mut SearchStats, usize, u64) -> f64,
+    ) where
+        I: Copy,
+        C: Cutoff,
+        K: Sink<I>,
+    {
+        let start = range.start;
+        match &self.cascade {
+            Some(cascade) => {
+                let prune = cascade.bounds_usable() && cutoff.prunes();
+                // The stage-3 count filter resolves the whole range at once;
+                // built lazily so a range fully decided by the bound stages
+                // never touches the postings.
+                let mut accumulator: Option<Vec<u32>> = None;
+                for i in range.clone() {
+                    if mask(i) {
+                        continue;
+                    }
+                    stats.evaluated += 1;
+                    let extended_size = self.extended_size_for(self.segment.size_of(i));
+                    if prune {
+                        let bound = sink.bound();
+                        if cutoff.prunes_under(bound) {
+                            let bucket = self.segment.bucket_of(i);
+                            match cutoff.classify_bucket(bucket, bound) {
+                                BoundClass::Accept => {
+                                    stats.bound_accepted += 1;
+                                    sink.accept(id_of(i));
+                                    continue;
+                                }
+                                BoundClass::Reject => {
+                                    cutoff.count_pruned(stats);
+                                    continue;
+                                }
+                                BoundClass::Undecided => {
+                                    let (lb, ub) = cascade.refined_bounds(i);
+                                    match cutoff.classify_refined(bucket, lb, ub, bound) {
+                                        BoundClass::Accept => {
+                                            stats.bound_accepted += 1;
+                                            sink.accept(id_of(i));
+                                            continue;
+                                        }
+                                        BoundClass::Reject => {
+                                            cutoff.count_pruned(stats);
+                                            continue;
+                                        }
+                                        BoundClass::Undecided => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Stage 3: exact ϕ from the inverted postings.
+                    let acc =
+                        accumulator.get_or_insert_with(|| cascade.intersections(range.clone()));
+                    let phi = cascade.phi_exact(i, acc[i - start]);
+                    stats.postings_resolved += 1;
+                    match cutoff.classify_phi(self.segment.bucket_of(i), phi) {
+                        BoundClass::Accept => {
+                            stats.threshold_accepts += 1;
+                            sink.accept(id_of(i));
+                        }
+                        BoundClass::Reject => {}
+                        BoundClass::Undecided => {
+                            let posterior = lookup(stats, extended_size, phi);
+                            sink.offer(id_of(i), posterior, cutoff.admits(posterior), stats);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Merge path: ϕ from a full flat-run merge per graph.
+                let query = self.query_flat.as_view();
+                for i in range {
+                    if mask(i) {
+                        continue;
+                    }
+                    stats.evaluated += 1;
+                    stats.merged += 1;
+                    let extended_size = self.extended_size_for(self.segment.size_of(i));
+                    let phi = match self.weight {
+                        Some(w) => {
+                            let value = query.weighted_gbd(self.segment.flat_view(i), w);
+                            value.round().max(0.0) as u64
+                        }
+                        None => query.gbd(self.segment.flat_view(i)) as u64,
+                    };
+                    match cutoff.merge_classify_phi(self.segment.bucket_of(i), phi) {
+                        BoundClass::Accept => {
+                            stats.threshold_accepts += 1;
+                            sink.accept(id_of(i));
+                        }
+                        BoundClass::Reject => unreachable!("merge scans never fast-reject"),
+                        BoundClass::Undecided => {
+                            let posterior = lookup(stats, extended_size, phi);
+                            sink.offer(id_of(i), posterior, cutoff.admits(posterior), stats);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs `scan` over `shards` contiguous ranges of `0..n` on scoped threads,
+/// returning the per-shard results in range order (shard 0's range precedes
+/// shard 1's, so concatenation preserves ascending scan order). `shards` is
+/// clamped to `[1, max(n, 1)]`; a single effective shard runs inline.
+pub fn scan_shards<T: Send>(
+    n: usize,
+    shards: usize,
+    scan: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let shards = shards.max(1).min(n.max(1));
+    if shards <= 1 {
+        return vec![scan(0..n)];
+    }
+    let chunk = n.div_ceil(shards);
+    let mut results = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                let range = (s * chunk)..n.min((s + 1) * chunk);
+                let scan = &scan;
+                scope.spawn(move || scan(range))
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("scan shard panicked"));
+        }
+    });
+    results
+}
+
+/// Runs `per_item` over every item on a work-stealing pool of up to
+/// `workers` scoped threads, returning the results in item order plus the
+/// worker count actually used (`None` when the batch ran sequentially).
+///
+/// The second argument to `per_item` is the shard budget the item may use
+/// for its *own* scan: the full `workers` budget when the batch runs
+/// sequentially (one item at a time gets all threads), `1` when items run
+/// concurrently (one thread each).
+pub fn run_batch<Q: Sync, T: Send>(
+    workers: usize,
+    items: &[Q],
+    per_item: impl Fn(&Q, usize) -> T + Sync,
+) -> (Vec<T>, Option<usize>) {
+    let workers = workers.max(1);
+    if workers <= 1 || items.len() <= 1 {
+        let results = items.iter().map(|item| per_item(item, workers)).collect();
+        return (results, None);
+    }
+    let workers = workers.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = cursor.fetch_add(1, Ordering::Relaxed);
+                if next >= items.len() {
+                    break;
+                }
+                let result = per_item(&items[next], 1);
+                *slots[next].lock() = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every batch slot is filled by a worker")
+        })
+        .collect();
+    (results, Some(workers))
+}

@@ -16,6 +16,10 @@
 //! * [`filter`] — the candidate-pruning layer: the lower-bound filter
 //!   cascade and inverted-index count filter that resolve most graphs
 //!   without merging their branch runs,
+//! * [`kernel`] — the one generic scan loop ([`ScanKernel`]) every search
+//!   path instantiates, parameterized by a cutoff policy (static γ vs.
+//!   tightening rank bound) and a result sink (collect / top-k heap /
+//!   streaming callback),
 //! * [`dynamic`] — the dynamic storage layer: [`DynamicDatabase`] (immutable
 //!   base segment + append-only delta + tombstones + compaction) and the
 //!   segment-aware [`DynamicEngine`],
@@ -57,6 +61,7 @@ pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod filter;
+pub mod kernel;
 pub mod metrics;
 pub mod offline;
 pub mod posterior_cache;
@@ -71,6 +76,10 @@ pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
 pub use filter::{FilterCascade, RankDecision, SegmentIndex, SizeDecision};
+pub use kernel::{
+    BoundClass, CollectAll, Cutoff, ScanKernel, Sink, StaticPhi, Subscriber, TighteningRank,
+    TopKSink,
+};
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
 pub use posterior_cache::PosteriorCache;

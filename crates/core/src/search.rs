@@ -67,6 +67,18 @@ impl SearchStats {
         self.bound_rejected + self.bound_accepted + self.postings_resolved + self.rank_rejected
     }
 
+    /// The full stage partition of a scan: every evaluated graph is decided
+    /// by exactly one cascade stage or merged, so this always equals
+    /// [`Self::evaluated`](SearchStats::evaluated) — on threshold, ranked,
+    /// batch and dynamic scans alike (see [`crate::kernel`]).
+    pub fn stage_partition(&self) -> usize {
+        self.bound_rejected
+            + self.bound_accepted
+            + self.rank_rejected
+            + self.postings_resolved
+            + self.merged
+    }
+
     /// Sums another search's counters and timings into this one (used to
     /// aggregate batch statistics); `shards` keeps the maximum observed.
     pub fn absorb(&mut self, other: &SearchStats) {
