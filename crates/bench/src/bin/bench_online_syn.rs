@@ -93,13 +93,16 @@ fn stats_json(outcome: &SearchOutcome) -> JsonValue {
     ])
 }
 
-/// Times one engine mode: two warm-up runs, then `repeats` timed runs.
+/// Times one engine mode: warm-up runs (enough for the stage planner's
+/// profile to reach steady state — it needs 8 observed queries before its
+/// measured selectivities take over from the priors), then `repeats` timed
+/// runs.
 fn run_mode(
     name: &str,
     repeats: usize,
     run: impl Fn() -> SearchOutcome,
 ) -> (JsonValue, SearchOutcome) {
-    for _ in 0..2 {
+    for _ in 0..10 {
         std::hint::black_box(run());
     }
     let mut samples = Vec::with_capacity(repeats);

@@ -1,0 +1,357 @@
+//! Machine-readable scan-kernel micro-benchmark: times the pieces the
+//! hardware-fast scan path is built from and writes
+//! `results/BENCH_scan_kernel.json` so kernel-level perf is tracked across
+//! PRs, independently of the end-to-end online bench.
+//!
+//! Per database size, three sections:
+//!
+//! * `intersection` — the stage-3 postings kernel over the whole segment:
+//!   the pre-adaptive linear reference walk
+//!   (`FilterCascade::intersections_linear`) vs. the adaptive
+//!   chunked/galloping cursors (`FilterCascade::intersections`). The two
+//!   accumulators are asserted bit-identical on every run.
+//! * `search` — the full cascade-fast threshold scan with the stage planner
+//!   on (default) vs. pinned to the fixed pipeline
+//!   (`force_fixed_pipeline`); match sets are asserted identical.
+//! * `top_k` — the ranked scan under the same planner on/off split; hit
+//!   lists (ids and posteriors) are asserted identical.
+//!
+//! Usage: `bench_scan_kernel [--graphs N[,N…]] [--repeats K] [--out PATH]
+//! [--check]`. `--check` re-reads the written file and asserts the recorded
+//! bit-identity flags are all true and every search mode's counters
+//! partition the database — the CI guard against the adaptive kernel or the
+//! planner silently changing results.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gbd_bench::json::{self, JsonValue};
+use gbd_bench::workloads::mixed_size_online_workload;
+use gbd_graph::BranchMultiset;
+use gbda_core::{FilterCascade, GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine};
+
+struct Options {
+    graphs: Vec<usize>,
+    repeats: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        graphs: vec![1_000, 10_000],
+        repeats: 9,
+        out: "results/BENCH_scan_kernel.json".to_owned(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--graphs" => {
+                let value = args.next().ok_or("--graphs needs a value")?;
+                options.graphs = value
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<_, _>>()?;
+                if options.graphs.iter().any(|&n| n < 8) {
+                    return Err("--graphs values must be at least 8".into());
+                }
+            }
+            "--repeats" => {
+                let value = args.next().ok_or("--repeats needs a value")?;
+                options.repeats = value.parse::<usize>().map_err(|e| e.to_string())?.max(1);
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a value")?,
+            "--check" => options.check = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(options)
+}
+
+fn median_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Times one closure: a few warm-ups, then `repeats` timed runs, median µs.
+fn time_median<T>(repeats: usize, run: impl Fn() -> T) -> f64 {
+    for _ in 0..3 {
+        std::hint::black_box(run());
+    }
+    let mut samples = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let started = Instant::now();
+        std::hint::black_box(run());
+        samples.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    median_us(samples)
+}
+
+fn bench_workload(n: usize, repeats: usize) -> JsonValue {
+    eprintln!("# workload: {n} graphs");
+    let (graphs, query) = mixed_size_online_workload(n);
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(5, 0.8)
+        .with_sample_pairs(500)
+        .with_record_posteriors(false);
+    let index = OfflineIndex::build(&database, &config).expect("offline stage builds");
+
+    // Section 1 — the stage-3 intersection kernel, whole segment.
+    let multiset = BranchMultiset::from_graph(&query);
+    let flat = database.catalog().flatten_lookup(&multiset);
+    let cascade = FilterCascade::new(&database, &flat, None);
+    let linear = cascade.intersections_linear(0..database.len());
+    let adaptive = cascade.intersections(0..database.len());
+    let adaptive_matches_linear = linear == adaptive;
+    assert!(
+        adaptive_matches_linear,
+        "adaptive postings kernel diverges from the linear reference walk"
+    );
+    let postings: usize = flat
+        .runs()
+        .iter()
+        .map(|run| {
+            if (run.id as usize) < database.catalog().len() {
+                database.postings(run.id).len()
+            } else {
+                0
+            }
+        })
+        .sum();
+    let linear_us = time_median(repeats, || cascade.intersections_linear(0..database.len()));
+    let adaptive_us = time_median(repeats, || cascade.intersections(0..database.len()));
+    eprintln!(
+        "  intersection       linear {linear_us:>10.1} µs   adaptive {adaptive_us:>10.1} µs   \
+         ({postings} postings)"
+    );
+
+    // Section 2 — the threshold scan, planner on vs. fixed pipeline.
+    let planner_engine = QueryEngine::new(&database, &index, config.clone());
+    let fixed_engine = QueryEngine::new(
+        &database,
+        &index,
+        config.clone().with_force_fixed_pipeline(true),
+    );
+    // Warm the planner past its prior phase so the timed runs measure its
+    // steady-state schedule.
+    for _ in 0..10 {
+        std::hint::black_box(planner_engine.search(&query));
+    }
+    let planner_outcome = planner_engine.search(&query);
+    let fixed_outcome = fixed_engine.search(&query);
+    let planner_matches_fixed = planner_outcome.matches == fixed_outcome.matches;
+    assert!(
+        planner_matches_fixed,
+        "planner-scheduled search diverges from the fixed pipeline"
+    );
+    let planner_us = time_median(repeats, || planner_engine.search(&query));
+    let fixed_us = time_median(repeats, || fixed_engine.search(&query));
+    eprintln!(
+        "  search             planner {planner_us:>9.1} µs   fixed {fixed_us:>13.1} µs   \
+         (matches {})",
+        planner_outcome.matches.len()
+    );
+
+    // Section 3 — the ranked scan under the same split.
+    let k = 10.min(n);
+    for _ in 0..10 {
+        std::hint::black_box(planner_engine.search_top_k(&query, k));
+    }
+    let planner_top = planner_engine.search_top_k(&query, k);
+    let fixed_top = fixed_engine.search_top_k(&query, k);
+    let topk_matches_fixed = planner_top.hits.len() == fixed_top.hits.len()
+        && planner_top
+            .hits
+            .iter()
+            .zip(&fixed_top.hits)
+            .all(|(a, b)| a.id == b.id && a.posterior == b.posterior);
+    assert!(
+        topk_matches_fixed,
+        "planner-scheduled top-k diverges from the fixed pipeline"
+    );
+    let planner_topk_us = time_median(repeats, || planner_engine.search_top_k(&query, k));
+    let fixed_topk_us = time_median(repeats, || fixed_engine.search_top_k(&query, k));
+    eprintln!(
+        "  top_k (k={k})       planner {planner_topk_us:>9.1} µs   fixed \
+         {fixed_topk_us:>13.1} µs"
+    );
+
+    let stats_json = |stats: &gbda_core::SearchStats| {
+        let number = |v: usize| JsonValue::Number(v as f64);
+        JsonValue::Object(vec![
+            ("evaluated".into(), number(stats.evaluated)),
+            ("bound_rejected".into(), number(stats.bound_rejected)),
+            ("bound_accepted".into(), number(stats.bound_accepted)),
+            ("rank_rejected".into(), number(stats.rank_rejected)),
+            ("stage2_decided".into(), number(stats.stage2_decided)),
+            ("postings_resolved".into(), number(stats.postings_resolved)),
+            ("merged".into(), number(stats.merged)),
+            ("planned_scans".into(), number(stats.planned_scans)),
+            (
+                "plan_skipped_stage2".into(),
+                number(stats.plan_skipped_stage2),
+            ),
+            (
+                "plan_postings_first".into(),
+                number(stats.plan_postings_first),
+            ),
+        ])
+    };
+
+    JsonValue::Object(vec![
+        (
+            "database_len".into(),
+            JsonValue::Number(database.len() as f64),
+        ),
+        ("repeats".into(), JsonValue::Number(repeats as f64)),
+        (
+            "intersection".into(),
+            JsonValue::Object(vec![
+                ("linear_us".into(), JsonValue::Number(linear_us)),
+                ("adaptive_us".into(), JsonValue::Number(adaptive_us)),
+                ("postings".into(), JsonValue::Number(postings as f64)),
+                (
+                    "adaptive_matches_linear".into(),
+                    JsonValue::Bool(adaptive_matches_linear),
+                ),
+            ]),
+        ),
+        (
+            "search".into(),
+            JsonValue::Object(vec![
+                ("planner_us".into(), JsonValue::Number(planner_us)),
+                ("fixed_us".into(), JsonValue::Number(fixed_us)),
+                (
+                    "matches".into(),
+                    JsonValue::Number(planner_outcome.matches.len() as f64),
+                ),
+                (
+                    "planner_matches_fixed".into(),
+                    JsonValue::Bool(planner_matches_fixed),
+                ),
+                ("planner_stats".into(), stats_json(&planner_outcome.stats)),
+                ("fixed_stats".into(), stats_json(&fixed_outcome.stats)),
+            ]),
+        ),
+        (
+            "top_k".into(),
+            JsonValue::Object(vec![
+                ("k".into(), JsonValue::Number(k as f64)),
+                ("planner_us".into(), JsonValue::Number(planner_topk_us)),
+                ("fixed_us".into(), JsonValue::Number(fixed_topk_us)),
+                (
+                    "planner_matches_fixed".into(),
+                    JsonValue::Bool(topk_matches_fixed),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The CI guard: the file parses, every recorded bit-identity flag is true,
+/// and every search variant's counters partition the database.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let document = json::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let workloads = document
+        .get("workloads")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing workloads array")?;
+    if workloads.is_empty() {
+        return Err("no workloads recorded".into());
+    }
+    for workload in workloads {
+        let n = workload
+            .get("database_len")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing database_len")?;
+        for (section, flag) in [
+            ("intersection", "adaptive_matches_linear"),
+            ("search", "planner_matches_fixed"),
+            ("top_k", "planner_matches_fixed"),
+        ] {
+            let value = workload
+                .get(section)
+                .and_then(|s| s.get(flag))
+                .and_then(JsonValue::as_bool)
+                .ok_or(format!("missing {section}.{flag}"))?;
+            if !value {
+                return Err(format!("{section}.{flag} is false — results diverged"));
+            }
+        }
+        for stats_key in ["planner_stats", "fixed_stats"] {
+            let stats = workload
+                .get("search")
+                .and_then(|s| s.get(stats_key))
+                .ok_or(format!("missing search.{stats_key}"))?;
+            let field = |key: &str| {
+                stats
+                    .get(key)
+                    .and_then(JsonValue::as_usize)
+                    .ok_or(format!("missing search.{stats_key}.{key}"))
+            };
+            let partition = field("bound_rejected")?
+                + field("bound_accepted")?
+                + field("rank_rejected")?
+                + field("postings_resolved")?
+                + field("merged")?;
+            if partition != n {
+                return Err(format!(
+                    "search.{stats_key}: stage partition ({partition}) != database_len ({n}) — \
+                     a scan stage lost or double-counted graphs"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let workloads: Vec<JsonValue> = options
+        .graphs
+        .iter()
+        .map(|&n| bench_workload(n, options.repeats))
+        .collect();
+    let document = JsonValue::Object(vec![
+        ("bench".into(), JsonValue::String("scan_kernel".into())),
+        ("workloads".into(), JsonValue::Array(workloads)),
+    ]);
+    if let Some(parent) = std::path::Path::new(&options.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&options.out, document.render()) {
+        eprintln!("error: write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", options.out);
+    if options.check {
+        match check(&options.out) {
+            Ok(()) => {
+                eprintln!("check passed: kernels bit-identical, every scan stage accounted for")
+            }
+            Err(message) => {
+                eprintln!("check FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

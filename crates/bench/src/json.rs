@@ -47,6 +47,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric value as a non-negative integer, if it is one.
     pub fn as_usize(&self) -> Option<usize> {
         let n = self.as_f64()?;

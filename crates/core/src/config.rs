@@ -52,6 +52,19 @@ pub struct GbdaConfig {
     /// bit-identical with the cascade on or off; disabling it forces the
     /// exact flat merge for every graph (the pre-cascade scan).
     pub filter_cascade: bool,
+    /// Escape hatch for the per-query stage planner of
+    /// [`crate::filter::planner`]. By default (`false`) every scan asks the
+    /// planner which cascade stages to run — whether the bound stages pay at
+    /// all, whether the stage-2 refinement pays, and whether stage 3 goes
+    /// postings-first or bound-first — based on collected [`SearchStats`]
+    /// selectivities (static priors before enough queries were observed).
+    /// Setting it to `true` pins the fixed stage-1 → stage-2 → count-filter
+    /// pipeline. Results are bit-identical either way: planner decisions
+    /// only move graphs between a conservative bound stage and the exact
+    /// count filter.
+    ///
+    /// [`SearchStats`]: crate::SearchStats
+    pub force_fixed_pipeline: bool,
 }
 
 impl Default for GbdaConfig {
@@ -66,6 +79,7 @@ impl Default for GbdaConfig {
             shards: 1,
             record_posteriors: true,
             filter_cascade: true,
+            force_fixed_pipeline: false,
         }
     }
 }
@@ -116,6 +130,14 @@ impl GbdaConfig {
         self.filter_cascade = enabled;
         self
     }
+
+    /// Overrides the planner escape hatch: `true` pins the fixed
+    /// stage-1 → stage-2 → count-filter pipeline instead of letting the
+    /// per-query planner skip or reorder stages.
+    pub fn with_force_fixed_pipeline(mut self, force: bool) -> Self {
+        self.force_fixed_pipeline = force;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +153,13 @@ mod tests {
         assert_eq!(c.shards, 1);
         assert!(c.record_posteriors);
         assert!(c.filter_cascade);
+        assert!(!c.force_fixed_pipeline, "the planner is on by default");
+    }
+
+    #[test]
+    fn planner_escape_hatch_pins_the_fixed_pipeline() {
+        let c = GbdaConfig::default().with_force_fixed_pipeline(true);
+        assert!(c.force_fixed_pipeline);
     }
 
     #[test]

@@ -46,6 +46,59 @@ pub struct Posting {
     pub count: u32,
 }
 
+/// The per-graph scan aggregates, packed into one 16-byte record so the
+/// bound stages of the filter cascade read a single cache line per four
+/// graphs instead of striding four parallel arrays.
+///
+/// Everything stage 1 and stage 2 of [`crate::FilterCascade`] need about a
+/// graph lives here; the kernel's chunked classification loop walks a
+/// `&[GraphAggregate]` slice sequentially and never touches the `Graph`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub struct GraphAggregate {
+    /// Vertex count (`|G|`, equal to the total branch count).
+    pub size: u32,
+    /// Index of `size` in the segment's distinct-size table — the graph's
+    /// *size bucket*, which keys every per-size decision table.
+    pub bucket: u32,
+    /// Number of distinct branch runs (`d_G`).
+    pub runs: u32,
+    /// Largest run multiplicity (`maxrun_G`, 0 for an empty graph).
+    pub max_run: u32,
+}
+
+/// One maximal run of consecutive graphs sharing a size bucket: the graphs
+/// from the previous run's `end` (or 0) up to `end` all live in `bucket`.
+///
+/// Databases built from generators or real datasets are usually stored
+/// grouped by size, so a segment decomposes into a handful of long runs —
+/// and the scan kernel's stage-1 sweep classifies each run with *one* plan
+/// lookup and a couple of mask operations instead of one lookup per graph.
+/// A pathologically interleaved segment degrades to length-1 runs, which
+/// costs no more than the per-graph sweep it replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRun {
+    /// One-past-the-end segment index of the run.
+    pub end: u32,
+    /// The size bucket shared by every graph in the run.
+    pub bucket: u32,
+}
+
+/// Compresses per-graph bucket assignments into maximal [`BucketRun`]s.
+pub(crate) fn compress_bucket_runs(aggregates: &[GraphAggregate]) -> Vec<BucketRun> {
+    let mut runs: Vec<BucketRun> = Vec::new();
+    for (i, agg) in aggregates.iter().enumerate() {
+        match runs.last_mut() {
+            Some(run) if run.bucket == agg.bucket => run.end = i as u32 + 1,
+            _ => runs.push(BucketRun {
+                end: i as u32 + 1,
+                bucket: agg.bucket,
+            }),
+        }
+    }
+    runs
+}
+
 /// A graph database with pre-computed branch multisets, an arena of flat
 /// interned branch sets, per-graph aggregates and an inverted branch index.
 #[derive(Debug, Clone)]
@@ -62,14 +115,12 @@ pub struct GraphDatabase {
     max_vertices: usize,
     /// Sorted distinct vertex counts, used to bound posterior memoization.
     distinct_sizes: Vec<usize>,
-    /// `sizes[i]` is graph `i`'s vertex count (`|B_i|`, total branches).
-    sizes: Vec<u32>,
-    /// `buckets[i]` indexes graph `i`'s vertex count in `distinct_sizes`.
-    buckets: Vec<u32>,
-    /// `run_counts[i]` is the number of distinct branch runs of graph `i`.
-    run_counts: Vec<u32>,
-    /// `max_run_counts[i]` is the largest run multiplicity of graph `i`.
-    max_run_counts: Vec<u32>,
+    /// `aggregates[i]` packs graph `i`'s size, size bucket, distinct-run
+    /// count and largest run multiplicity into one cache-friendly record.
+    aggregates: Vec<GraphAggregate>,
+    /// Maximal constant-bucket index intervals over `aggregates`, for the
+    /// scan kernel's interval-based stage-1 sweep.
+    bucket_runs: Vec<BucketRun>,
     /// CSR offsets: branch id `b`'s postings live at
     /// `postings[posting_offsets[b]..posting_offsets[b + 1]]`.
     posting_offsets: Vec<u32>,
@@ -136,27 +187,29 @@ impl GraphDatabase {
         let mut distinct_sizes: Vec<usize> = graphs.iter().map(Graph::vertex_count).collect();
         distinct_sizes.sort_unstable();
         distinct_sizes.dedup();
-        let sizes: Vec<u32> = graphs.iter().map(|g| g.vertex_count() as u32).collect();
-        let buckets: Vec<u32> = graphs
+        let aggregates: Vec<GraphAggregate> = graphs
             .iter()
-            .map(|g| {
-                distinct_sizes
-                    .binary_search(&g.vertex_count())
-                    .expect("every vertex count is in distinct_sizes") as u32
-            })
-            .collect();
-        let run_counts: Vec<u32> = spans.iter().map(|&(_, len)| len).collect();
-        let max_run_counts: Vec<u32> = spans
-            .iter()
-            .map(|&(start, len)| {
-                arena[start as usize..(start + len) as usize]
+            .zip(&spans)
+            .map(|(g, &(start, len))| {
+                let size = g.vertex_count();
+                let bucket = distinct_sizes
+                    .binary_search(&size)
+                    .expect("every vertex count is in distinct_sizes");
+                let max_run = arena[start as usize..(start + len) as usize]
                     .iter()
                     .map(|run| run.count)
                     .max()
-                    .unwrap_or(0)
+                    .unwrap_or(0);
+                GraphAggregate {
+                    size: size as u32,
+                    bucket: bucket as u32,
+                    runs: len,
+                    max_run,
+                }
             })
             .collect();
         let (posting_offsets, postings) = build_inverted_index(catalog.len(), &spans, &arena);
+        let bucket_runs = compress_bucket_runs(&aggregates);
         GraphDatabase {
             graphs,
             branches,
@@ -166,10 +219,8 @@ impl GraphDatabase {
             alphabets,
             max_vertices,
             distinct_sizes,
-            sizes,
-            buckets,
-            run_counts,
-            max_run_counts,
+            aggregates,
+            bucket_runs,
             posting_offsets,
             postings,
         }
@@ -236,27 +287,39 @@ impl GraphDatabase {
         &self.distinct_sizes
     }
 
-    /// Vertex count of the `i`-th graph, read from the flat aggregate array
-    /// (no `Graph` pointer chase on the scan hot path).
+    /// The packed per-graph scan aggregates, one [`GraphAggregate`] per
+    /// graph — what the kernel's chunked bound stages iterate.
+    pub fn aggregates(&self) -> &[GraphAggregate] {
+        &self.aggregates
+    }
+
+    /// The maximal constant-bucket index intervals over [`Self::aggregates`]
+    /// — what the kernel's stage-1 sweep classifies interval-at-a-time.
+    pub fn bucket_runs(&self) -> &[BucketRun] {
+        &self.bucket_runs
+    }
+
+    /// Vertex count of the `i`-th graph, read from the packed aggregate
+    /// record (no `Graph` pointer chase on the scan hot path).
     pub fn size_of(&self, i: usize) -> usize {
-        self.sizes[i] as usize
+        self.aggregates[i].size as usize
     }
 
     /// Index of the `i`-th graph's vertex count in [`Self::distinct_sizes`] —
     /// its *size bucket*. Per-size threshold decisions are computed once per
     /// bucket and shared by every graph in it.
     pub fn bucket_of(&self, i: usize) -> usize {
-        self.buckets[i] as usize
+        self.aggregates[i].bucket as usize
     }
 
     /// Number of distinct branch runs of the `i`-th graph.
     pub fn distinct_runs(&self, i: usize) -> usize {
-        self.run_counts[i] as usize
+        self.aggregates[i].runs as usize
     }
 
     /// Largest run multiplicity of the `i`-th graph (0 for an empty graph).
     pub fn max_run_count(&self, i: usize) -> u32 {
-        self.max_run_counts[i]
+        self.aggregates[i].max_run
     }
 
     /// The postings list of one catalogued branch id: every `(graph, count)`
@@ -312,10 +375,10 @@ impl GraphDatabase {
             spans: self.spans.clone(),
             alphabets: self.alphabets,
             distinct_sizes: self.distinct_sizes.clone(),
-            sizes: self.sizes.clone(),
-            buckets: self.buckets.clone(),
-            run_counts: self.run_counts.clone(),
-            max_run_counts: self.max_run_counts.clone(),
+            sizes: self.aggregates.iter().map(|a| a.size).collect(),
+            buckets: self.aggregates.iter().map(|a| a.bucket).collect(),
+            run_counts: self.aggregates.iter().map(|a| a.runs).collect(),
+            max_run_counts: self.aggregates.iter().map(|a| a.max_run).collect(),
             posting_offsets: self.posting_offsets.clone(),
             postings: self.postings.clone(),
         }
@@ -498,6 +561,17 @@ impl GraphDatabase {
             })
             .collect();
 
+        // Pack the four validated parallel arrays into the SoA aggregate
+        // layout the scan kernel iterates.
+        let aggregates: Vec<GraphAggregate> = (0..n)
+            .map(|i| GraphAggregate {
+                size: sizes[i],
+                bucket: buckets[i],
+                runs: run_counts[i],
+                max_run: max_run_counts[i],
+            })
+            .collect();
+
         Ok(GraphDatabase {
             graphs,
             branches,
@@ -507,10 +581,8 @@ impl GraphDatabase {
             alphabets,
             max_vertices,
             distinct_sizes,
-            sizes,
-            buckets,
-            run_counts,
-            max_run_counts,
+            bucket_runs: compress_bucket_runs(&aggregates),
+            aggregates,
             posting_offsets,
             postings,
         })
@@ -677,6 +749,37 @@ mod tests {
                 &postings[offsets[id as usize] as usize..offsets[id as usize + 1] as usize];
             assert_eq!(rebuilt, db.postings(id));
         }
+    }
+
+    #[test]
+    fn bucket_runs_are_maximal_and_cover_every_graph() {
+        let (g1, _) = figure1_g1();
+        let (g2, _) = figure1_g2();
+        // g1 has 4 vertices, g2 has 4 — an interleaving with a 2-vertex graph
+        // forces several runs.
+        let mut small = Graph::new();
+        small.add_vertex(gbd_graph::Label::new(0));
+        small.add_vertex(gbd_graph::Label::new(1));
+        let db = GraphDatabase::from_graphs(vec![g1.clone(), g2, small, g1]);
+        let runs = db.bucket_runs();
+        // Coverage: runs partition 0..len in ascending order.
+        let mut start = 0u32;
+        for run in runs {
+            assert!(run.end > start, "runs must be non-empty and ascending");
+            for i in start..run.end {
+                assert_eq!(db.bucket_of(i as usize) as u32, run.bucket);
+            }
+            start = run.end;
+        }
+        assert_eq!(start as usize, db.len());
+        // Maximality: adjacent runs differ in bucket.
+        assert!(runs.windows(2).all(|w| w[0].bucket != w[1].bucket));
+        // Every adjacent pair lands in a different bucket → four runs.
+        assert_eq!(runs.len(), 4);
+        // An empty database has no runs.
+        assert!(GraphDatabase::from_graphs(Vec::new())
+            .bucket_runs()
+            .is_empty());
     }
 
     #[test]

@@ -37,8 +37,9 @@ use gbd_graph::{
 };
 
 use crate::config::{GbdaConfig, GbdaVariant};
-use crate::database::{GraphDatabase, Posting};
+use crate::database::{BucketRun, GraphAggregate, GraphDatabase, Posting};
 use crate::error::{EngineError, EngineResult};
+use crate::filter::planner::{Planner, QueryPlan};
 use crate::filter::{
     compute_rank_decision, compute_size_decision, RankDecision, SegmentIndex, SizeDecision,
 };
@@ -121,13 +122,16 @@ pub struct DeltaSegment {
     graphs: Vec<Graph>,
     arena: Vec<BranchRun>,
     spans: Vec<(u32, u32)>,
-    sizes: Vec<u32>,
-    run_counts: Vec<u32>,
-    max_run_counts: Vec<u32>,
-    /// Distinct vertex counts in first-seen order; `buckets[i]` indexes
-    /// graph `i`'s vertex count here so per-size cutoff tables are shared.
+    /// One packed [`GraphAggregate`] per graph — the same cache-line-conscious
+    /// scan layout as the base segment, so the chunked bound sweep reads one
+    /// contiguous stream here too.
+    aggregates: Vec<GraphAggregate>,
+    /// Distinct vertex counts in first-seen order; each aggregate's `bucket`
+    /// indexes its vertex count here so per-size cutoff tables are shared.
     distinct_sizes: Vec<usize>,
-    buckets: Vec<u32>,
+    /// Maximal constant-bucket index intervals over `aggregates`, maintained
+    /// incrementally on append for the kernel's interval stage-1 sweep.
+    bucket_runs: Vec<BucketRun>,
     /// Branch id → postings, sorted by delta-local graph index (appends
     /// arrive in insertion order, so sortedness is free).
     postings: HashMap<u32, Vec<Posting>>,
@@ -164,7 +168,6 @@ impl DeltaSegment {
         self.arena.extend_from_slice(runs);
         self.spans.push((start, runs.len() as u32));
         let size = graph.vertex_count();
-        self.sizes.push(size as u32);
         let bucket = self
             .distinct_sizes
             .iter()
@@ -173,10 +176,19 @@ impl DeltaSegment {
                 self.distinct_sizes.push(size);
                 self.distinct_sizes.len() - 1
             });
-        self.buckets.push(bucket as u32);
-        self.run_counts.push(runs.len() as u32);
-        self.max_run_counts
-            .push(runs.iter().map(|r| r.count).max().unwrap_or(0));
+        self.aggregates.push(GraphAggregate {
+            size: size as u32,
+            bucket: bucket as u32,
+            runs: runs.len() as u32,
+            max_run: runs.iter().map(|r| r.count).max().unwrap_or(0),
+        });
+        match self.bucket_runs.last_mut() {
+            Some(run) if run.bucket == bucket as u32 => run.end = delta_index + 1,
+            _ => self.bucket_runs.push(BucketRun {
+                end: delta_index + 1,
+                bucket: bucket as u32,
+            }),
+        }
         for run in runs {
             self.postings.entry(run.id).or_default().push(Posting {
                 graph: delta_index,
@@ -188,28 +200,16 @@ impl DeltaSegment {
 }
 
 impl SegmentIndex for DeltaSegment {
-    fn segment_len(&self) -> usize {
-        self.len()
+    fn aggregates(&self) -> &[GraphAggregate] {
+        &self.aggregates
     }
 
-    fn size_of(&self, i: usize) -> usize {
-        self.sizes[i] as usize
-    }
-
-    fn distinct_runs(&self, i: usize) -> usize {
-        self.run_counts[i] as usize
-    }
-
-    fn max_run_count(&self, i: usize) -> u32 {
-        self.max_run_counts[i]
+    fn bucket_runs(&self) -> &[BucketRun] {
+        &self.bucket_runs
     }
 
     fn distinct_sizes(&self) -> &[usize] {
         &self.distinct_sizes
-    }
-
-    fn bucket_of(&self, i: usize) -> usize {
-        self.buckets[i] as usize
     }
 
     fn postings_of(&self, branch_id: u32) -> &[Posting] {
@@ -223,7 +223,7 @@ impl SegmentIndex for DeltaSegment {
         let (start, len) = self.spans[i];
         FlatBranchView::new(
             &self.arena[start as usize..(start + len) as usize],
-            self.sizes[i] as usize,
+            self.aggregates[i].size as usize,
         )
     }
 }
@@ -466,6 +466,10 @@ pub struct DynamicEngine<'a> {
     cache: PosteriorCache,
     decisions: RwLock<HashMap<usize, SizeDecision>>,
     rank_decisions: RwLock<HashMap<usize, Arc<RankDecision>>>,
+    /// The per-query stage planner, consulted separately for each segment
+    /// (a big base and a small delta usually deserve different schedules);
+    /// bypassed under [`GbdaConfig::force_fixed_pipeline`].
+    planner: Planner,
 }
 
 impl<'a> DynamicEngine<'a> {
@@ -494,6 +498,7 @@ impl<'a> DynamicEngine<'a> {
             cache: PosteriorCache::new(config.tau_hat),
             decisions: RwLock::new(HashMap::new()),
             rank_decisions: RwLock::new(HashMap::new()),
+            planner: Planner::new(),
             config,
         }
     }
@@ -555,13 +560,19 @@ impl<'a> DynamicEngine<'a> {
         }
     }
 
-    /// Builds the [`ScanKernel`] for one flattened query over one segment.
+    /// Builds the [`ScanKernel`] for one flattened query over one segment,
+    /// carrying the stage schedule the planner chose for *this* segment.
     fn kernel<'q, S: SegmentIndex>(
         &'q self,
         segment: &'q S,
         query_size: usize,
         query_flat: &'q FlatBranchSet,
     ) -> ScanKernel<'q, S> {
+        let plan = if self.config.force_fixed_pipeline {
+            QueryPlan::fixed()
+        } else {
+            self.planner.plan_for(segment, query_flat)
+        };
         ScanKernel::new(
             segment,
             query_flat,
@@ -570,6 +581,7 @@ impl<'a> DynamicEngine<'a> {
             self.weight(),
             self.config.filter_cascade,
         )
+        .with_plan(plan)
     }
 
     /// Runs Algorithm 1 over the live set: base then delta, each under its
@@ -611,6 +623,9 @@ impl<'a> DynamicEngine<'a> {
         outcome.posteriors = sink.posteriors;
         outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
         outcome.seconds = started.elapsed().as_secs_f64();
+        if !self.config.force_fixed_pipeline {
+            self.planner.observe(&outcome.stats);
+        }
         outcome
     }
 
@@ -650,6 +665,9 @@ impl<'a> DynamicEngine<'a> {
             &mut outcome,
             &mut local,
         );
+        if !self.config.force_fixed_pipeline {
+            self.planner.observe(&outcome.stats);
+        }
         outcome.stats
     }
 
@@ -699,6 +717,9 @@ impl<'a> DynamicEngine<'a> {
                 )
             },
         );
+        if !self.config.force_fixed_pipeline && segment.segment_len() > 0 {
+            Planner::book(kernel.plan(), &mut outcome.stats);
+        }
     }
 
     /// Runs a **ranked** query over the live set: the `k` live graphs with
@@ -759,6 +780,9 @@ impl<'a> DynamicEngine<'a> {
         outcome.hits = sink.into_sorted_hits();
         outcome.stats.scan_seconds = scan_started.elapsed().as_secs_f64();
         outcome.seconds = started.elapsed().as_secs_f64();
+        if !self.config.force_fixed_pipeline {
+            self.planner.observe(&outcome.stats);
+        }
         outcome
     }
 
@@ -805,6 +829,9 @@ impl<'a> DynamicEngine<'a> {
                 )
             },
         );
+        if !self.config.force_fixed_pipeline && segment.segment_len() > 0 {
+            Planner::book(kernel.plan(), stats);
+        }
     }
 }
 

@@ -39,6 +39,7 @@ use gbd_prob::posterior_ged_at_most;
 
 use crate::config::{GbdaConfig, GbdaVariant};
 use crate::database::GraphDatabase;
+use crate::filter::planner::{Planner, QueryPlan};
 use crate::filter::{compute_rank_decision, RankDecision, SizeDecision};
 use crate::kernel::{
     run_batch, scan_shards, CollectAll, ScanKernel, StaticPhi, Subscriber, TighteningRank, TopKSink,
@@ -113,6 +114,9 @@ pub struct QueryEngine<'a> {
     /// Memoized per-extended-size posterior suffix-maximum tables (see
     /// [`RankDecision`]) used by ranked (top-k) scans.
     rank_decisions: RwLock<HashMap<usize, Arc<RankDecision>>>,
+    /// The per-query stage planner, fed every finished search's stats
+    /// (bypassed under [`GbdaConfig::force_fixed_pipeline`]).
+    planner: Planner,
 }
 
 impl<'a> QueryEngine<'a> {
@@ -133,6 +137,7 @@ impl<'a> QueryEngine<'a> {
             cache: PosteriorCache::new(config.tau_hat),
             decisions: RwLock::new(HashMap::new()),
             rank_decisions: RwLock::new(HashMap::new()),
+            planner: Planner::new(),
             config,
         }
     }
@@ -313,12 +318,19 @@ impl<'a> QueryEngine<'a> {
     }
 
     /// Builds the [`ScanKernel`] for one flattened query over the database —
-    /// the per-query state every shard of a scan shares.
+    /// the per-query state every shard of a scan shares. The kernel carries
+    /// the stage schedule the planner chose for this query (or the fixed
+    /// pipeline under [`GbdaConfig::force_fixed_pipeline`]).
     fn kernel<'q>(
         &'q self,
         query_size: usize,
         query_flat: &'q FlatBranchSet,
     ) -> ScanKernel<'q, GraphDatabase> {
+        let plan = if self.config.force_fixed_pipeline {
+            QueryPlan::fixed()
+        } else {
+            self.planner.plan_for(self.database, query_flat)
+        };
         ScanKernel::new(
             self.database,
             query_flat,
@@ -327,6 +339,7 @@ impl<'a> QueryEngine<'a> {
             self.weight(),
             self.config.filter_cascade,
         )
+        .with_plan(plan)
     }
 
     fn search_with_shards(&self, query: &Graph, shards: usize) -> SearchOutcome {
@@ -385,6 +398,10 @@ impl<'a> QueryEngine<'a> {
         totals.shards = shards;
         totals.flatten_seconds = flatten_seconds;
         totals.scan_seconds = scan_started.elapsed().as_secs_f64();
+        if !self.config.force_fixed_pipeline {
+            Planner::book(kernel.plan(), &mut totals);
+            self.planner.observe(&totals);
+        }
 
         SearchOutcome {
             matches,
@@ -438,6 +455,10 @@ impl<'a> QueryEngine<'a> {
                 )
             },
         );
+        if !self.config.force_fixed_pipeline {
+            Planner::book(kernel.plan(), &mut stats);
+            self.planner.observe(&stats);
+        }
         stats
     }
 
@@ -574,6 +595,10 @@ impl<'a> QueryEngine<'a> {
         totals.shards = shards;
         totals.flatten_seconds = flatten_seconds;
         totals.scan_seconds = scan_started.elapsed().as_secs_f64();
+        if !self.config.force_fixed_pipeline {
+            Planner::book(kernel.plan(), &mut totals);
+            self.planner.observe(&totals);
+        }
 
         TopKOutcome {
             hits,

@@ -25,12 +25,35 @@
 //! possible ϕ interval lands inside the accepting prefix or the rejecting
 //! suffix, and the count filter reproduces the merge's intersection
 //! bit-for-bit, so cascade results are identical to the exact scan.
+//!
+//! # Hardware-fast layout
+//!
+//! The stages read per-graph state through two cache-conscious structures:
+//!
+//! - **Packed aggregates** — [`SegmentIndex::aggregates`] exposes one
+//!   16-byte [`GraphAggregate`] record per graph (size, bucket, distinct
+//!   runs, max run multiplicity), so the stage-1/2 sweep streams one
+//!   contiguous array instead of gathering from four parallel vectors.
+//! - **Adaptive postings cursors** — [`PostingsCursors`] walks each query
+//!   run's postings list with a monotone cursor that is *reused across
+//!   sub-ranges* (sharded scans do O(postings) total work, not a fresh
+//!   binary search per shard) and locates each range start adaptively: a
+//!   few linear probes for runs dense in the range, exponential galloping
+//!   plus binary search for runs whose postings dwarf the range width. The
+//!   accumulated intersection is bit-identical to the linear reference walk
+//!   ([`FilterCascade::intersections_linear`]) because `u32` addition is
+//!   associative and each posting is visited exactly once.
+//!
+//! The per-query stage *planner* built on top of these lives in
+//! [`planner`].
+
+pub mod planner;
 
 use std::ops::Range;
 
 use gbd_graph::FlatBranchSet;
 
-use crate::database::{GraphDatabase, Posting};
+use crate::database::{BucketRun, GraphAggregate, GraphDatabase, Posting};
 use crate::offline::OfflineIndex;
 use crate::posterior_cache::PosteriorCache;
 
@@ -39,26 +62,50 @@ use crate::posterior_cache::PosteriorCache;
 /// [`GraphDatabase`] or the append-only delta segment of
 /// [`crate::DynamicDatabase`]. Graph indices are segment-local.
 pub trait SegmentIndex {
+    /// The packed per-graph scan aggregates, one 16-byte record per graph
+    /// in segment-local index order. This is the array the scan kernel's
+    /// chunked stage-1/2 sweep streams; the per-graph accessors below are
+    /// derived views of it.
+    fn aggregates(&self) -> &[GraphAggregate];
+
+    /// The maximal constant-bucket index intervals over
+    /// [`Self::aggregates`], ascending and covering `0..segment_len`. The
+    /// scan kernel's stage-1 sweep classifies each interval with one bucket
+    /// plan lookup and a mask merge instead of a branch per graph; segments
+    /// stored grouped by size (the common case) collapse to a handful of
+    /// long runs.
+    fn bucket_runs(&self) -> &[BucketRun];
+
     /// Number of graphs in the segment.
-    fn segment_len(&self) -> usize;
+    fn segment_len(&self) -> usize {
+        self.aggregates().len()
+    }
 
     /// Vertex count of the segment's `i`-th graph.
-    fn size_of(&self, i: usize) -> usize;
+    fn size_of(&self, i: usize) -> usize {
+        self.aggregates()[i].size as usize
+    }
 
     /// Number of distinct branch runs of the segment's `i`-th graph.
-    fn distinct_runs(&self, i: usize) -> usize;
+    fn distinct_runs(&self, i: usize) -> usize {
+        self.aggregates()[i].runs as usize
+    }
 
     /// Largest run multiplicity of the segment's `i`-th graph.
-    fn max_run_count(&self, i: usize) -> u32;
+    fn max_run_count(&self, i: usize) -> u32 {
+        self.aggregates()[i].max_run
+    }
+
+    /// Index of the `i`-th graph's vertex count in
+    /// [`Self::distinct_sizes`] — its *size bucket*.
+    fn bucket_of(&self, i: usize) -> usize {
+        self.aggregates()[i].bucket as usize
+    }
 
     /// The distinct vertex counts occurring in the segment, in a fixed
     /// order. `bucket_of` indexes into this slice; per-size cutoff tables
     /// are computed once per entry and shared by every graph in the bucket.
     fn distinct_sizes(&self) -> &[usize];
-
-    /// Index of the `i`-th graph's vertex count in
-    /// [`Self::distinct_sizes`] — its *size bucket*.
-    fn bucket_of(&self, i: usize) -> usize;
 
     /// The `(graph, count)` postings of one branch id, sorted by
     /// segment-local graph index. Ids the segment has never stored — the
@@ -74,28 +121,16 @@ pub trait SegmentIndex {
 }
 
 impl SegmentIndex for GraphDatabase {
-    fn segment_len(&self) -> usize {
-        self.len()
+    fn aggregates(&self) -> &[GraphAggregate] {
+        GraphDatabase::aggregates(self)
     }
 
-    fn size_of(&self, i: usize) -> usize {
-        GraphDatabase::size_of(self, i)
-    }
-
-    fn distinct_runs(&self, i: usize) -> usize {
-        GraphDatabase::distinct_runs(self, i)
-    }
-
-    fn max_run_count(&self, i: usize) -> u32 {
-        GraphDatabase::max_run_count(self, i)
+    fn bucket_runs(&self) -> &[BucketRun] {
+        GraphDatabase::bucket_runs(self)
     }
 
     fn distinct_sizes(&self) -> &[usize] {
         GraphDatabase::distinct_sizes(self)
-    }
-
-    fn bucket_of(&self, i: usize) -> usize {
-        GraphDatabase::bucket_of(self, i)
     }
 
     fn postings_of(&self, branch_id: u32) -> &[Posting] {
@@ -386,20 +421,72 @@ impl<'a, S: SegmentIndex> FilterCascade<'a, S> {
         )
     }
 
-    /// Stage 2 — the distinct-run refinement for one graph: at most
-    /// `min(d_Q, d_G)` distinct branches can match, each contributing at
-    /// most `min(maxrun_Q, maxrun_G)` copies.
+    /// Stage 2's intersection upper bound for one packed aggregate record:
+    /// at most `min(d_Q, d_G)` distinct branches can match, each
+    /// contributing at most `min(maxrun_Q, maxrun_G)` copies, and never more
+    /// than `min(known(Q), |G|)` in total. Computed in `u64` so the
+    /// runs × per-run product cannot overflow; the result fits `u32` because
+    /// it is capped by the graph's `u32` size.
+    pub fn stage2_inter_ub(&self, agg: GraphAggregate) -> u32 {
+        let runs = (self.query_known_runs as u64).min(agg.runs as u64);
+        let per_run = (self.query_max_run as u64).min(agg.max_run as u64);
+        (self.query_known as u64)
+            .min(agg.size as u64)
+            .min(runs * per_run) as u32
+    }
+
+    /// The ϕ value of every possible intersection for a graph of
+    /// `graph_total` vertices: `table[inter] = ϕ(inter)` for
+    /// `inter ∈ [0, min(known(Q), graph_total)]`. Non-increasing whenever
+    /// [`Self::bounds_usable`] holds, so `table[0]` is the stage-1 upper
+    /// bound and the last entry the stage-1 lower bound — the raw material
+    /// the scan kernel's per-bucket plans are compiled from.
+    pub fn phi_table(&self, graph_total: usize) -> Vec<u64> {
+        let inter_max = self.query_known.min(graph_total);
+        (0..=inter_max)
+            .map(|inter| self.phi_from_intersection(graph_total, inter))
+            .collect()
+    }
+
+    /// One ϕ table per size bucket of the segment, in
+    /// [`SegmentIndex::distinct_sizes`] order.
+    pub fn bucket_phi_tables(&self) -> Vec<Vec<u64>> {
+        self.database
+            .distinct_sizes()
+            .iter()
+            .map(|&size| self.phi_table(size))
+            .collect()
+    }
+
+    /// Stage 2 — the distinct-run refinement for one graph. A thin per-graph
+    /// view of [`Self::stage2_inter_ub`], so the scalar and chunked sweeps
+    /// compute the same bound by construction.
     pub fn refined_bounds(&self, graph: usize) -> (u64, u64) {
-        let graph_total = self.database.size_of(graph);
-        let runs = self
-            .query_known_runs
-            .min(self.database.distinct_runs(graph));
-        let per_run = self.query_max_run.min(self.database.max_run_count(graph)) as usize;
-        let inter_ub = self.query_known.min(graph_total).min(runs * per_run);
+        let agg = self.database.aggregates()[graph];
+        let inter_ub = self.stage2_inter_ub(agg) as usize;
         (
-            self.phi_from_intersection(graph_total, inter_ub),
-            self.phi_from_intersection(graph_total, 0),
+            self.phi_from_intersection(agg.size as usize, inter_ub),
+            self.phi_from_intersection(agg.size as usize, 0),
         )
+    }
+
+    /// Builds the resumable per-run cursors for stage 3. One set of cursors
+    /// serves an entire ascending scan: feeding consecutive sub-ranges to
+    /// [`PostingsCursors::accumulate`] walks every postings list exactly
+    /// once in total, however the scan is chunked or sharded.
+    pub fn cursors(&self) -> PostingsCursors<'a> {
+        PostingsCursors {
+            runs: self
+                .query
+                .runs()
+                .iter()
+                .map(|run| CursorRun {
+                    postings: self.database.postings_of(run.id),
+                    count: run.count,
+                    pos: 0,
+                })
+                .collect(),
+        }
     }
 
     /// Stage 3 — the count filter: walks the query's runs over the inverted
@@ -409,7 +496,21 @@ impl<'a, S: SegmentIndex> FilterCascade<'a, S> {
     /// touched and keep intersection 0. Query runs the segment has no
     /// postings for — unknown branches, or ids interned after the segment
     /// was built — contribute nothing, exactly as in a merge.
+    ///
+    /// One-shot convenience over [`Self::cursors`]; a scan that visits many
+    /// ranges should hold one [`PostingsCursors`] instead.
     pub fn intersections(&self, range: Range<usize>) -> Vec<u32> {
+        let mut acc = vec![0u32; range.len()];
+        self.cursors().accumulate(range, &mut acc);
+        acc
+    }
+
+    /// The pre-adaptive reference implementation of [`Self::intersections`]:
+    /// a fresh `partition_point` per run followed by a linear walk. Kept as
+    /// the equivalence oracle for the adaptive kernel (property tests and
+    /// `bench_scan_kernel --check` compare against it) and as the baseline
+    /// the micro-bench times.
+    pub fn intersections_linear(&self, range: Range<usize>) -> Vec<u32> {
         let mut acc = vec![0u32; range.len()];
         for run in self.query.runs() {
             let postings = self.database.postings_of(run.id);
@@ -430,6 +531,108 @@ impl<'a, S: SegmentIndex> FilterCascade<'a, S> {
     pub fn phi_exact(&self, graph: usize, intersection: u32) -> u64 {
         self.phi_from_intersection(self.database.size_of(graph), intersection as usize)
     }
+}
+
+/// How many in-order probes the cursor advance tries before switching to
+/// galloping. Small enough that a dense run never pays a binary search to
+/// move one or two postings forward, large enough that galloping only kicks
+/// in when it saves real work.
+const LINEAR_PROBES: usize = 8;
+
+/// A run whose remaining postings exceed `GALLOP_DENSITY ×` the range width
+/// is treated as *rare in range*: most of its postings lie outside the
+/// range, so the cursor gallops straight to the range start instead of
+/// probing linearly first.
+const GALLOP_DENSITY: usize = 4;
+
+/// One query run's resumable position in its postings list.
+#[derive(Debug)]
+struct CursorRun<'a> {
+    postings: &'a [Posting],
+    count: u32,
+    pos: usize,
+}
+
+/// The adaptive stage-3 intersection kernel: per-run monotone cursors over
+/// the query's postings lists, fed ascending, non-overlapping graph ranges.
+///
+/// Two properties make it fast without changing a single accumulated bit:
+///
+/// - **Cursor reuse** — each run remembers where the previous range left
+///   off, so a scan split into chunks or shards walks every postings list
+///   exactly once in total. The old per-range `partition_point` from index 0
+///   cost an extra `O(runs · log postings)` per sub-range.
+/// - **Adaptive range location** — advancing a cursor to the next range
+///   start uses up to `LINEAR_PROBES` in-order probes (the common dense
+///   case: the next posting is adjacent), then exponential galloping plus a
+///   binary search over the located window (the rare case: a long gap).
+///   Runs whose remaining postings dwarf the range width
+///   (`GALLOP_DENSITY`) skip the probes and gallop immediately.
+///
+/// Accumulation within the range is a plain linear walk — every posting in
+/// range must be added exactly once, and `u32` addition commutes, so the
+/// result is bit-identical to [`FilterCascade::intersections_linear`].
+#[derive(Debug)]
+pub struct PostingsCursors<'a> {
+    runs: Vec<CursorRun<'a>>,
+}
+
+impl PostingsCursors<'_> {
+    /// Accumulates the exact multiset intersection for every graph in
+    /// `range` into `acc` (indexed relative to `range.start`, which must
+    /// hold `range.len()` zero-initialized slots). Ranges must be fed in
+    /// ascending, non-overlapping order — the cursors only move forward.
+    pub fn accumulate(&mut self, range: Range<usize>, acc: &mut [u32]) {
+        debug_assert_eq!(acc.len(), range.len());
+        if range.is_empty() {
+            return;
+        }
+        for run in &mut self.runs {
+            let remaining = run.postings.len() - run.pos;
+            let probe = remaining <= GALLOP_DENSITY.saturating_mul(range.len());
+            let mut pos = advance(run.postings, run.pos, range.start, probe);
+            while pos < run.postings.len() {
+                let posting = run.postings[pos];
+                let graph = posting.graph as usize;
+                if graph >= range.end {
+                    break;
+                }
+                acc[graph - range.start] += run.count.min(posting.count);
+                pos += 1;
+            }
+            run.pos = pos;
+        }
+    }
+}
+
+/// Advances a cursor over a sorted postings list to the first posting with
+/// `graph ≥ target`. With `probe` set, up to `LINEAR_PROBES` in-order
+/// comparisons run first; either way the fallback is exponential galloping
+/// (doubling steps from the current position) finished by a binary search
+/// over the overshot window — `O(log gap)` instead of `O(gap)`.
+pub(crate) fn advance(postings: &[Posting], mut pos: usize, target: usize, probe: bool) -> usize {
+    if probe {
+        let limit = (pos + LINEAR_PROBES).min(postings.len());
+        while pos < limit {
+            if postings[pos].graph as usize >= target {
+                return pos;
+            }
+            pos += 1;
+        }
+    }
+    if pos >= postings.len() || postings[pos].graph as usize >= target {
+        return pos;
+    }
+    // Gallop: postings[pos] is still below the target, double the step until
+    // the window [lo, lo + step] brackets it, then binary-search the window.
+    let mut lo = pos;
+    let mut step = 1usize;
+    while lo + step < postings.len() && (postings[lo + step].graph as usize) < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(postings.len());
+    lo + postings[lo..hi].partition_point(|p| (p.graph as usize) < target)
 }
 
 #[cfg(test)]
@@ -576,6 +779,70 @@ mod tests {
         let self_acc = self_cascade.intersections(0..1);
         assert_eq!(self_cascade.phi_exact(0, self_acc[0]), 0);
         assert_eq!(self_cascade.refined_bounds(0).0, 0);
+    }
+
+    #[test]
+    fn advance_agrees_with_partition_point_on_adversarial_shapes() {
+        let shapes: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![7],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9],
+            vec![0, 1, 2, 10, 11, 100, 1000, 1001],
+            vec![5, 5, 5], // duplicate graph ids cannot occur, but stay safe
+            (0..200).collect(),
+            (0..200).map(|g| g * 17).collect(),
+        ];
+        for graphs in shapes {
+            let postings: Vec<Posting> = graphs
+                .iter()
+                .map(|&g| Posting { graph: g, count: 1 })
+                .collect();
+            for start in 0..=postings.len() {
+                for target in 0..1100usize {
+                    let expected =
+                        start + postings[start..].partition_point(|p| (p.graph as usize) < target);
+                    for probe in [false, true] {
+                        // A cursor never sits past a posting below the
+                        // target, so only starts at or before the answer
+                        // are reachable states.
+                        if start <= expected {
+                            assert_eq!(
+                                advance(&postings, start, target, probe),
+                                expected,
+                                "start {start}, target {target}, probe {probe}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cursors_match_the_linear_walk_over_any_chunking() {
+        let (db, queries) = setup();
+        for query in &queries {
+            let multiset = BranchMultiset::from_graph(query);
+            let flat = db.catalog().flatten_lookup(&multiset);
+            let cascade = FilterCascade::new(&db, &flat, None);
+            let full = cascade.intersections_linear(0..db.len());
+            // Split the scan range at every boundary, including empty and
+            // single-graph chunks, reusing one cursor set across chunks.
+            for width in 1..=db.len() {
+                let mut cursors = cascade.cursors();
+                let mut acc = Vec::new();
+                let mut start = 0;
+                while start < db.len() {
+                    let end = (start + width).min(db.len());
+                    let mut chunk = vec![0u32; end - start];
+                    cursors.accumulate(start..end, &mut chunk);
+                    acc.extend_from_slice(&chunk);
+                    start = end;
+                }
+                assert_eq!(acc, full, "chunk width {width}");
+            }
+        }
     }
 
     #[test]

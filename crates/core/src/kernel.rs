@@ -36,6 +36,26 @@
 //! *all* ranked results is defined once, by [`crate::topk::rank_order`]
 //! (posterior descending via `f64::total_cmp`, then graph id ascending).
 //!
+//! # The chunked bound sweep
+//!
+//! With the cascade on, the scan walks the segment's packed
+//! [`GraphAggregate`] records in 64-graph chunks. Per chunk it compiles (or
+//! reuses) one [`BucketPlan`] per size bucket under the sink's current
+//! bound — the stage-1 verdict plus a stage-2 *reject threshold* on the
+//! intersection upper bound — and sweeps the chunk's aggregates into
+//! branchless accept/reject `u64` words (one comparison-derived bit per
+//! graph, no branches in the loop body). Stage-3 postings are accumulated
+//! through resumable [`PostingsCursors`], either eagerly per chunk
+//! (postings-first) or only for chunks the bounds left undecided
+//! (bound-first) — the per-query [`planner`](crate::filter::planner) picks,
+//! and [`ScanKernel::with_plan`] applies, the schedule. Accepts and exact
+//! resolutions are then delivered in ascending index order; under a
+//! tightening rank bound each undecided graph is re-tested against the
+//! *freshest* bound before resolving (plans are recompiled when the bound
+//! moved), so the chunked sweep reproduces the per-graph scan bit for bit —
+//! results and stats counters alike. Bounds only tighten, so chunk-start
+//! rejections always remain valid.
+//!
 //! # Accounting
 //!
 //! The kernel owns the [`SearchStats`] stage counters. Per scanned, unmasked
@@ -52,6 +72,12 @@
 //!   resolves the exact ϕ from the inverted postings;
 //! * `merged` — cascade disabled; ϕ came from a full flat-run merge.
 //!
+//! `stage2_decided` additionally counts the subset of bound decisions made
+//! specifically by stage 2 — the marginal selectivity the planner's cost
+//! model feeds on.
+//!
+//! [`GraphAggregate`]: crate::database::GraphAggregate
+//! [`PostingsCursors`]: crate::filter::PostingsCursors
 //! [`QueryEngine::search`]: crate::QueryEngine::search
 //! [`QueryEngine::search_top_k`]: crate::QueryEngine::search_top_k
 //! [`QueryEngine::search_streaming`]: crate::QueryEngine::search_streaming
@@ -68,9 +94,22 @@ use parking_lot::Mutex;
 
 use gbd_graph::FlatBranchSet;
 
+use crate::filter::planner::QueryPlan;
 use crate::filter::{FilterCascade, RankDecision, SegmentIndex, SizeDecision};
 use crate::search::SearchStats;
 use crate::topk::{RankedHit, TopKHeap};
+
+/// Chunk width of the bound sweep: one `u64` word of per-graph bits.
+const CHUNK: usize = 64;
+
+/// Chunks per superchunk: the bound sweep classifies this many chunks in one
+/// pass before a single postings accumulation covers them all, amortising
+/// the per-(chunk, query-run) cursor setup sixteen-fold. The whole
+/// superchunk accumulator (16 × 64 × 4 B = 4 KiB) stays in L1.
+const SUPER_CHUNKS: usize = 16;
+
+/// Graphs per superchunk.
+const SUPER: usize = SUPER_CHUNKS * CHUNK;
 
 /// The verdict of a cutoff policy on a graph (or a whole ϕ interval).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +120,41 @@ pub enum BoundClass {
     Reject,
     /// The evidence is inconclusive; fall through to the next stage.
     Undecided,
+}
+
+/// One size bucket's compiled verdict under a specific bound: everything
+/// the chunked sweep needs to classify a graph of that bucket with two
+/// branch-free comparisons.
+///
+/// `class` is the stage-1 verdict of the bucket's ϕ interval (constant over
+/// the bucket). `reject_below` encodes the stage-2 distinct-run refinement:
+/// in an [`BoundClass::Undecided`] bucket, a graph is rejected exactly when
+/// its intersection upper bound ([`FilterCascade::stage2_inter_ub`]) is
+/// `< reject_below` — the ϕ table is non-increasing in the intersection, so
+/// the stage-2 interval test collapses to one integer comparison. `0` means
+/// stage 2 can never reject in this bucket (or was planned away).
+///
+/// The remaining three fields pre-compile the cutoff's **stage-3** verdict
+/// ([`Cutoff::classify_phi`]) into intersection space, again exploiting the
+/// non-increasing ϕ table: for a graph with exact intersection `inter`,
+/// `classify_phi(bucket, table[inter])` equals `Accept` iff
+/// `inter ≥ accept_from`, `Reject` iff `reject_lo ≤ inter < reject_hi`, and
+/// `Undecided` otherwise — so the delivery loop resolves most graphs with
+/// three `u32` comparisons and never touches the ϕ table except to feed a
+/// posterior lookup. A cutoff that never fast-classifies at stage 3 (the
+/// rank bound) compiles the empty thresholds (`u32::MAX`, `0`, `0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketPlan {
+    /// Stage-1 verdict, shared by every graph in the bucket.
+    pub class: BoundClass,
+    /// Stage-2 rejection threshold on the intersection upper bound.
+    pub reject_below: u32,
+    /// Stage-3: smallest exact intersection that fast-accepts.
+    pub accept_from: u32,
+    /// Stage-3: start of the fast-rejecting intersection interval.
+    pub reject_lo: u32,
+    /// Stage-3: one-past-the-end of the fast-rejecting interval.
+    pub reject_hi: u32,
 }
 
 /// A cutoff policy: how the kernel decides, per graph, whether the filter
@@ -95,18 +169,21 @@ pub trait Cutoff {
     /// the bound stages entirely and resolves every graph.
     fn prunes(&self) -> bool;
 
-    /// Whether the bound stages apply under the sink's current bound (the
-    /// running k-th-best posterior for ranked sinks, `None` otherwise). A
-    /// static threshold always prunes; a rank cutoff only once the heap is
-    /// full.
-    fn prunes_under(&self, bound: Option<f64>) -> bool;
-
-    /// Stage 1 — classify a whole size bucket from its precomputed ϕ
-    /// interval.
-    fn classify_bucket(&self, bucket: usize, bound: Option<f64>) -> BoundClass;
-
-    /// Stage 2 — classify one graph from its refined ϕ interval `[lb, ub]`.
-    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, bound: Option<f64>) -> BoundClass;
+    /// Compiles one [`BucketPlan`] per size bucket into `plans` under the
+    /// sink's current `bound` (the running k-th-best posterior for ranked
+    /// sinks, `None` otherwise). `tables` holds each bucket's ϕ table
+    /// ([`FilterCascade::bucket_phi_tables`]); `use_stage2 == false` zeroes
+    /// every `reject_below` (the planner skipped stage 2). Returns `false`
+    /// when nothing can prune under this bound — no tables (recording
+    /// mode), or a rank cutoff whose heap has not filled yet — in which
+    /// case `plans` is left untouched and every graph is undecided.
+    fn plan_buckets(
+        &self,
+        bound: Option<f64>,
+        use_stage2: bool,
+        tables: &[Vec<u64>],
+        plans: &mut Vec<BucketPlan>,
+    ) -> bool;
 
     /// Stage 3 — classify one graph from its *exact* ϕ. `Undecided` means
     /// the posterior must be resolved and [`Self::admits`] consulted.
@@ -121,9 +198,10 @@ pub trait Cutoff {
     /// Whether a resolved posterior is delivered as a hit.
     fn admits(&self, posterior: f64) -> bool;
 
-    /// Books one bound-stage rejection into the right stats counter
-    /// (`bound_rejected` for a threshold, `rank_rejected` for a rank bound).
-    fn count_pruned(&self, stats: &mut SearchStats);
+    /// Books `n` bound-stage rejections into the right stats counter
+    /// (`bound_rejected` for a threshold, `rank_rejected` for a rank
+    /// bound).
+    fn count_pruned_n(&self, stats: &mut SearchStats, n: usize);
 }
 
 /// The static-threshold cutoff of Algorithm 1: accept when `Φ(ϕ) ≥ γ` is
@@ -196,20 +274,49 @@ impl Cutoff for StaticPhi {
         !self.classes.is_empty()
     }
 
-    fn prunes_under(&self, _bound: Option<f64>) -> bool {
-        true
-    }
-
-    fn classify_bucket(&self, bucket: usize, _bound: Option<f64>) -> BoundClass {
-        self.classes[bucket]
-    }
-
-    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, _bound: Option<f64>) -> BoundClass {
-        match self.decisions[bucket].classify_interval(lb, ub) {
-            Some(true) => BoundClass::Accept,
-            Some(false) => BoundClass::Reject,
-            None => BoundClass::Undecided,
+    fn plan_buckets(
+        &self,
+        _bound: Option<f64>,
+        use_stage2: bool,
+        tables: &[Vec<u64>],
+        plans: &mut Vec<BucketPlan>,
+    ) -> bool {
+        if self.classes.is_empty() {
+            return false;
         }
+        plans.clear();
+        plans.extend(self.classes.iter().zip(&self.decisions).zip(tables).map(
+            |((&class, decision), table)| {
+                // Stage 2 can never *accept* in an undecided bucket (its
+                // ϕ upper bound equals stage 1's, which already failed
+                // the accept test), so the refinement reduces to the
+                // reject half of `classify_interval`: in an undecided
+                // bucket with `ub1 ≤ cap`, reject exactly the graphs
+                // whose intersection upper bound keeps ϕ ≥ reject_min —
+                // a prefix of the non-increasing ϕ table.
+                let reject_below =
+                    if use_stage2 && class == BoundClass::Undecided && table[0] <= decision.cap {
+                        table.partition_point(|&phi| phi >= decision.reject_min) as u32
+                    } else {
+                        0
+                    };
+                // Stage-3 thresholds: `accepts(ϕ)` is a suffix of the
+                // non-increasing table, `rejects(ϕ)` (`reject_min ≤ ϕ ≤
+                // cap`) an interior interval.
+                let accept_from = match decision.accept_max {
+                    Some(t) => table.partition_point(|&phi| phi > t) as u32,
+                    None => u32::MAX,
+                };
+                BucketPlan {
+                    class,
+                    reject_below,
+                    accept_from,
+                    reject_lo: table.partition_point(|&phi| phi > decision.cap) as u32,
+                    reject_hi: table.partition_point(|&phi| phi >= decision.reject_min) as u32,
+                }
+            },
+        ));
+        true
     }
 
     fn classify_phi(&self, bucket: usize, phi: u64) -> BoundClass {
@@ -231,8 +338,8 @@ impl Cutoff for StaticPhi {
         posterior >= self.gamma
     }
 
-    fn count_pruned(&self, stats: &mut SearchStats) {
-        stats.bound_rejected += 1;
+    fn count_pruned_n(&self, stats: &mut SearchStats, n: usize) {
+        stats.bound_rejected += n;
     }
 }
 
@@ -283,32 +390,60 @@ impl Cutoff for TighteningRank {
         !self.buckets.is_empty()
     }
 
-    fn prunes_under(&self, bound: Option<f64>) -> bool {
-        bound.is_some()
-    }
-
-    fn classify_bucket(&self, bucket: usize, bound: Option<f64>) -> BoundClass {
-        let Some(bound) = bound else {
-            return BoundClass::Undecided;
-        };
-        let (decision, (lb, ub)) = &self.buckets[bucket];
-        if decision.rejects_from(*lb, *ub, bound) {
-            BoundClass::Reject
-        } else {
-            BoundClass::Undecided
+    fn plan_buckets(
+        &self,
+        bound: Option<f64>,
+        use_stage2: bool,
+        tables: &[Vec<u64>],
+        plans: &mut Vec<BucketPlan>,
+    ) -> bool {
+        if self.buckets.is_empty() {
+            return false;
         }
-    }
-
-    fn classify_refined(&self, bucket: usize, lb: u64, ub: u64, bound: Option<f64>) -> BoundClass {
+        // Until the heap fills there is no bound to prune under.
         let Some(bound) = bound else {
-            return BoundClass::Undecided;
+            return false;
         };
-        let (decision, _) = &self.buckets[bucket];
-        if decision.rejects_from(lb, ub, bound) {
-            BoundClass::Reject
-        } else {
-            BoundClass::Undecided
-        }
+        plans.clear();
+        plans.extend(
+            self.buckets
+                .iter()
+                .zip(tables)
+                .map(|((decision, (lb1, ub1)), table)| {
+                    // A rank cutoff never fast-classifies at stage 3 (every
+                    // kept candidate needs its exact posterior), so both
+                    // stage-3 thresholds stay empty.
+                    if decision.rejects_from(*lb1, *ub1, bound) {
+                        BucketPlan {
+                            class: BoundClass::Reject,
+                            reject_below: 0,
+                            accept_from: u32::MAX,
+                            reject_lo: 0,
+                            reject_hi: 0,
+                        }
+                    } else {
+                        // `rejects_from(lb2, ub1, bound) ⟺ ub1 ≤ cap ∧
+                        // lb2 ≥ cutoff(bound)` (proven by the RankDecision unit
+                        // tests), and lb2 is a non-increasing function of the
+                        // intersection upper bound — so stage-2 rejection is a
+                        // prefix of the ϕ table here too.
+                        let reject_below = if use_stage2 && *ub1 <= decision.cap {
+                            let cutoff_phi = decision.cutoff(bound);
+                            table.partition_point(|&phi| phi >= cutoff_phi) as u32
+                        } else {
+                            0
+                        };
+                        BucketPlan {
+                            class: BoundClass::Undecided,
+                            reject_below,
+                            accept_from: u32::MAX,
+                            reject_lo: 0,
+                            reject_hi: 0,
+                        }
+                    }
+                }),
+        );
+        true
     }
 
     fn classify_phi(&self, _bucket: usize, _phi: u64) -> BoundClass {
@@ -323,8 +458,8 @@ impl Cutoff for TighteningRank {
         true
     }
 
-    fn count_pruned(&self, stats: &mut SearchStats) {
-        stats.rank_rejected += 1;
+    fn count_pruned_n(&self, stats: &mut SearchStats, n: usize) {
+        stats.rank_rejected += n;
     }
 }
 
@@ -463,6 +598,7 @@ pub struct ScanKernel<'q, S: SegmentIndex> {
     query_size: usize,
     fixed_extended_size: Option<usize>,
     weight: Option<f64>,
+    plan: QueryPlan,
 }
 
 impl<'q, S: SegmentIndex> ScanKernel<'q, S> {
@@ -487,7 +623,21 @@ impl<'q, S: SegmentIndex> ScanKernel<'q, S> {
             query_size,
             fixed_extended_size,
             weight,
+            plan: QueryPlan::fixed(),
         }
+    }
+
+    /// Applies a planner-chosen stage schedule. The default is the fixed
+    /// pipeline ([`QueryPlan::fixed`]); any plan yields bit-identical
+    /// results, only the work schedule changes.
+    pub fn with_plan(mut self, plan: QueryPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The stage schedule this kernel scans under.
+    pub fn plan(&self) -> QueryPlan {
+        self.plan
     }
 
     /// The segment this kernel scans.
@@ -526,68 +676,257 @@ impl<'q, S: SegmentIndex> ScanKernel<'q, S> {
         C: Cutoff,
         K: Sink<I>,
     {
-        let start = range.start;
         match &self.cascade {
             Some(cascade) => {
-                let prune = cascade.bounds_usable() && cutoff.prunes();
-                // The stage-3 count filter resolves the whole range at once;
-                // built lazily so a range fully decided by the bound stages
-                // never touches the postings.
-                let mut accumulator: Option<Vec<u32>> = None;
-                for i in range.clone() {
-                    if mask(i) {
-                        continue;
-                    }
-                    stats.evaluated += 1;
-                    let extended_size = self.extended_size_for(self.segment.size_of(i));
+                let prune = self.plan.use_bounds && cascade.bounds_usable() && cutoff.prunes();
+                let use_stage2 = self.plan.use_stage2;
+                let postings_first = self.plan.postings_first;
+                // Per-bucket ϕ tables: the raw material bucket plans are
+                // compiled from (bound-independent, built once per scan).
+                let tables = if prune {
+                    cascade.bucket_phi_tables()
+                } else {
+                    Vec::new()
+                };
+                let mut plans: Vec<BucketPlan> = Vec::new();
+                // The bound key the plans were compiled under: `None` = not
+                // yet compiled, `Some(k)` = compiled under bound bits `k`.
+                // Static cutoffs keep one compilation for the whole scan; a
+                // tightening rank bound recompiles as it moves (cheap — one
+                // entry per size bucket).
+                let mut compiled_for: Option<Option<u64>> = None;
+                let mut plans_active = false;
+                let mut cursors = cascade.cursors();
+                let mut acc = [0u32; SUPER];
+                let aggregates = self.segment.aggregates();
+                let bucket_runs = self.segment.bucket_runs();
+
+                let mut super_start = range.start;
+                while super_start < range.end {
+                    let super_end = (super_start + SUPER).min(range.end);
+
+                    // One bound key serves the whole superchunk sweep:
+                    // nothing is delivered during it, so the bound cannot
+                    // move until phase 3. Static cutoffs keep one
+                    // compilation for the whole scan; a tightening rank
+                    // bound recompiles as it moves (cheap — one entry per
+                    // size bucket).
+                    let mut words_key: Option<Option<u64>> = None;
                     if prune {
                         let bound = sink.bound();
-                        if cutoff.prunes_under(bound) {
-                            let bucket = self.segment.bucket_of(i);
-                            match cutoff.classify_bucket(bucket, bound) {
-                                BoundClass::Accept => {
-                                    stats.bound_accepted += 1;
+                        let key = bound.map(f64::to_bits);
+                        if compiled_for != Some(key) {
+                            plans_active =
+                                cutoff.plan_buckets(bound, use_stage2, &tables, &mut plans);
+                            compiled_for = Some(key);
+                        }
+                        words_key = Some(key);
+                    }
+
+                    // Phase 1 — stages 1 + 2 across every chunk: stage 1
+                    // classifies whole constant-bucket intervals with one
+                    // plan lookup and a mask merge; stage 2 touches
+                    // per-graph aggregates only inside undecided intervals
+                    // with a non-trivial reject threshold.
+                    let mut accept_words = [0u64; SUPER_CHUNKS];
+                    let mut undecided_words = [0u64; SUPER_CHUNKS];
+                    let mut any_undecided = false;
+                    // Bucket run containing `super_start`; advanced in step
+                    // with the ascending chunks.
+                    let mut run_idx =
+                        bucket_runs.partition_point(|r| (r.end as usize) <= super_start);
+                    for (c, chunk_start) in (super_start..super_end).step_by(CHUNK).enumerate() {
+                        let chunk_end = (chunk_start + CHUNK).min(super_end);
+                        let width = chunk_end - chunk_start;
+
+                        // Live mask: tombstoned slots are skipped entirely.
+                        let mut live: u64 = if width == CHUNK {
+                            !0u64
+                        } else {
+                            (1u64 << width) - 1
+                        };
+                        for j in 0..width {
+                            live &= !((mask(chunk_start + j) as u64) << j);
+                        }
+                        stats.evaluated += live.count_ones() as usize;
+
+                        let mut accept = 0u64;
+                        let mut reject = 0u64;
+                        if prune && plans_active && live != 0 {
+                            let mut reject2 = 0u64;
+                            let mut pos = chunk_start;
+                            let mut rr = run_idx;
+                            while pos < chunk_end {
+                                let run = bucket_runs[rr];
+                                let interval_end = (run.end as usize).min(chunk_end);
+                                let plan = plans[run.bucket as usize];
+                                let offset = pos - chunk_start;
+                                let len = interval_end - pos;
+                                let bits = if len == CHUNK {
+                                    !0u64
+                                } else {
+                                    ((1u64 << len) - 1) << offset
+                                };
+                                match plan.class {
+                                    BoundClass::Accept => accept |= bits,
+                                    BoundClass::Reject => reject |= bits,
+                                    BoundClass::Undecided if plan.reject_below > 0 => {
+                                        for (j, agg) in
+                                            aggregates[pos..interval_end].iter().enumerate()
+                                        {
+                                            let stage2 =
+                                                cascade.stage2_inter_ub(*agg) < plan.reject_below;
+                                            reject2 |= (stage2 as u64) << (offset + j);
+                                        }
+                                    }
+                                    BoundClass::Undecided => {}
+                                }
+                                pos = interval_end;
+                                rr += ((run.end as usize) <= chunk_end) as usize;
+                            }
+                            accept &= live;
+                            reject &= live;
+                            reject2 &= live;
+                            stats.bound_accepted += accept.count_ones() as usize;
+                            stats.stage2_decided += reject2.count_ones() as usize;
+                            reject |= reject2;
+                            cutoff.count_pruned_n(stats, reject.count_ones() as usize);
+                        }
+                        // Keep the run cursor aligned even when the sweep
+                        // was skipped for this chunk.
+                        while run_idx < bucket_runs.len()
+                            && (bucket_runs[run_idx].end as usize) <= chunk_end
+                        {
+                            run_idx += 1;
+                        }
+                        let undecided = live & !(accept | reject);
+                        accept_words[c] = accept;
+                        undecided_words[c] = undecided;
+                        any_undecided |= undecided != 0;
+                    }
+
+                    // Phase 2 — stage 3 postings for the whole superchunk in
+                    // one accumulation: eager under a postings-first plan,
+                    // otherwise only when some chunk stayed undecided. The
+                    // cursors resume where the previous superchunk stopped,
+                    // so every postings list is walked at most once per scan
+                    // regardless of chunking.
+                    let acc_super = &mut acc[..super_end - super_start];
+                    if any_undecided || postings_first {
+                        acc_super.fill(0);
+                        cursors.accumulate(super_start..super_end, acc_super);
+                    }
+
+                    // Phase 3 — delivery: accepts and exact resolutions
+                    // interleave in ascending index order, exactly as a
+                    // per-graph scan.
+                    for (c, chunk_start) in (super_start..super_end).step_by(CHUNK).enumerate() {
+                        let accept = accept_words[c];
+                        let chunk_acc = &acc_super[chunk_start - super_start..];
+                        let mut deliver = accept | undecided_words[c];
+                        while deliver != 0 {
+                            let j = deliver.trailing_zeros() as usize;
+                            deliver &= deliver - 1;
+                            let i = chunk_start + j;
+                            if (accept >> j) & 1 == 1 {
+                                sink.accept(id_of(i));
+                                continue;
+                            }
+                            let agg = aggregates[i];
+                            // A tightening bound may have moved since the
+                            // superchunk's words were built; re-test this
+                            // graph under the fresh bound so the swept scan
+                            // books the same per-graph decisions as a scalar
+                            // scan. Bounds only tighten, so the sweep-time
+                            // rejections above stay valid.
+                            if prune {
+                                let bound = sink.bound();
+                                let key = bound.map(f64::to_bits);
+                                if words_key != Some(key) {
+                                    if compiled_for != Some(key) {
+                                        plans_active = cutoff
+                                            .plan_buckets(bound, use_stage2, &tables, &mut plans);
+                                        compiled_for = Some(key);
+                                    }
+                                    if plans_active {
+                                        let plan = plans[agg.bucket as usize];
+                                        match plan.class {
+                                            BoundClass::Accept => {
+                                                stats.bound_accepted += 1;
+                                                sink.accept(id_of(i));
+                                                continue;
+                                            }
+                                            BoundClass::Reject => {
+                                                cutoff.count_pruned_n(stats, 1);
+                                                continue;
+                                            }
+                                            BoundClass::Undecided => {
+                                                if cascade.stage2_inter_ub(agg) < plan.reject_below
+                                                {
+                                                    stats.stage2_decided += 1;
+                                                    cutoff.count_pruned_n(stats, 1);
+                                                    continue;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            // Stage 3: classify from the exact accumulated
+                            // intersection. Under compiled plans the
+                            // cutoff's ϕ-space verdict is pre-translated
+                            // into intersection thresholds (the ϕ table is
+                            // non-increasing), so the common accept/reject
+                            // outcomes cost three `u32` comparisons; only a
+                            // posterior lookup needs ϕ itself, read from
+                            // the bucket's table — which the accumulated
+                            // intersection can never overrun, because
+                            // `inter ≤ min(known(Q), |G|)`.
+                            let inter = chunk_acc[j] as usize;
+                            stats.postings_resolved += 1;
+                            if prune && plans_active {
+                                let plan = plans[agg.bucket as usize];
+                                if inter >= plan.accept_from as usize {
+                                    stats.threshold_accepts += 1;
                                     sink.accept(id_of(i));
                                     continue;
                                 }
-                                BoundClass::Reject => {
-                                    cutoff.count_pruned(stats);
+                                if inter >= plan.reject_lo as usize
+                                    && inter < plan.reject_hi as usize
+                                {
                                     continue;
                                 }
+                                let phi = tables[agg.bucket as usize][inter];
+                                let extended_size = self.extended_size_for(agg.size as usize);
+                                let posterior = lookup(stats, extended_size, phi);
+                                sink.offer(id_of(i), posterior, cutoff.admits(posterior), stats);
+                                continue;
+                            }
+                            let phi = if prune {
+                                tables[agg.bucket as usize][inter]
+                            } else {
+                                cascade.phi_from_intersection(agg.size as usize, inter)
+                            };
+                            match cutoff.classify_phi(agg.bucket as usize, phi) {
+                                BoundClass::Accept => {
+                                    stats.threshold_accepts += 1;
+                                    sink.accept(id_of(i));
+                                }
+                                BoundClass::Reject => {}
                                 BoundClass::Undecided => {
-                                    let (lb, ub) = cascade.refined_bounds(i);
-                                    match cutoff.classify_refined(bucket, lb, ub, bound) {
-                                        BoundClass::Accept => {
-                                            stats.bound_accepted += 1;
-                                            sink.accept(id_of(i));
-                                            continue;
-                                        }
-                                        BoundClass::Reject => {
-                                            cutoff.count_pruned(stats);
-                                            continue;
-                                        }
-                                        BoundClass::Undecided => {}
-                                    }
+                                    let extended_size = self.extended_size_for(agg.size as usize);
+                                    let posterior = lookup(stats, extended_size, phi);
+                                    sink.offer(
+                                        id_of(i),
+                                        posterior,
+                                        cutoff.admits(posterior),
+                                        stats,
+                                    );
                                 }
                             }
                         }
                     }
-                    // Stage 3: exact ϕ from the inverted postings.
-                    let acc =
-                        accumulator.get_or_insert_with(|| cascade.intersections(range.clone()));
-                    let phi = cascade.phi_exact(i, acc[i - start]);
-                    stats.postings_resolved += 1;
-                    match cutoff.classify_phi(self.segment.bucket_of(i), phi) {
-                        BoundClass::Accept => {
-                            stats.threshold_accepts += 1;
-                            sink.accept(id_of(i));
-                        }
-                        BoundClass::Reject => {}
-                        BoundClass::Undecided => {
-                            let posterior = lookup(stats, extended_size, phi);
-                            sink.offer(id_of(i), posterior, cutoff.admits(posterior), stats);
-                        }
-                    }
+                    super_start = super_end;
                 }
             }
             None => {

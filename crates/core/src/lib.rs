@@ -70,15 +70,16 @@ pub mod topk;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
 pub use config::{GbdaConfig, GbdaVariant};
-pub use database::{DatabaseParts, GraphDatabase, Posting};
+pub use database::{BucketRun, DatabaseParts, GraphAggregate, GraphDatabase, Posting};
 pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, Tombstones};
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
-pub use filter::{FilterCascade, RankDecision, SegmentIndex, SizeDecision};
+pub use filter::planner::{Planner, QueryPlan};
+pub use filter::{FilterCascade, PostingsCursors, RankDecision, SegmentIndex, SizeDecision};
 pub use kernel::{
-    BoundClass, CollectAll, Cutoff, ScanKernel, Sink, StaticPhi, Subscriber, TighteningRank,
-    TopKSink,
+    BoundClass, BucketPlan, CollectAll, Cutoff, ScanKernel, Sink, StaticPhi, Subscriber,
+    TighteningRank, TopKSink,
 };
 pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};

@@ -59,6 +59,24 @@ pub struct SearchStats {
     /// Ranked scans only: candidates admitted into a top-k heap (evicted
     /// ones included).
     pub heap_inserts: usize,
+    /// Graphs decided specifically by the stage-2 distinct-run refinement —
+    /// a subset of `bound_rejected`/`rank_rejected` that stage 1 left
+    /// undecided. This is the marginal stage-2 selectivity the
+    /// [`planner`](crate::filter::planner) cost model consumes.
+    pub stage2_decided: usize,
+    /// Segment scans whose stage order was chosen by the per-query planner
+    /// (zero under [`GbdaConfig::force_fixed_pipeline`]).
+    pub planned_scans: usize,
+    /// Planned scans that skipped the bound stages entirely (tiny candidate
+    /// sets go straight to exact resolution).
+    pub plan_skipped_bounds: usize,
+    /// Planned scans that ran stage 1 but skipped the stage-2 refinement
+    /// (its observed marginal selectivity did not pay for the sweep).
+    pub plan_skipped_stage2: usize,
+    /// Planned scans that accumulated the stage-3 postings eagerly per chunk
+    /// (postings-first) instead of only for chunks the bounds left
+    /// undecided (bound-first).
+    pub plan_postings_first: usize,
 }
 
 impl SearchStats {
@@ -95,6 +113,11 @@ impl SearchStats {
         self.merged += other.merged;
         self.rank_rejected += other.rank_rejected;
         self.heap_inserts += other.heap_inserts;
+        self.stage2_decided += other.stage2_decided;
+        self.planned_scans += other.planned_scans;
+        self.plan_skipped_bounds += other.plan_skipped_bounds;
+        self.plan_skipped_stage2 += other.plan_skipped_stage2;
+        self.plan_postings_first += other.plan_postings_first;
     }
 }
 

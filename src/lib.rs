@@ -79,13 +79,13 @@ pub mod prelude {
     pub use gbd_seriation::SeriationGed;
     pub use gbd_store::{load_database, save_database, Snapshot, StoreError, StoreResult};
     pub use gbda_core::{
-        rank_by_posterior, BoundClass, CollectAll, Confusion, Cutoff, DatabaseParts,
-        DynamicDatabase, DynamicEngine, DynamicOutcome, DynamicTopKOutcome, EngineError,
-        EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator, GbdaSearcher,
-        GbdaVariant, GraphDatabase, OfflineIndex, PosteriorCache, Posting, QueryEngine,
-        RankDecision, RankedHit, ScanKernel, SearchOutcome, SearchStats, SegmentIndex,
-        SimilaritySearcher, Sink, SizeDecision, StaticPhi, Subscriber, TighteningRank, TopKHeap,
-        TopKOutcome, TopKSink,
+        rank_by_posterior, BoundClass, BucketPlan, BucketRun, CollectAll, Confusion, Cutoff,
+        DatabaseParts, DynamicDatabase, DynamicEngine, DynamicOutcome, DynamicTopKOutcome,
+        EngineError, EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator,
+        GbdaSearcher, GbdaVariant, GraphAggregate, GraphDatabase, OfflineIndex, Planner,
+        PosteriorCache, Posting, PostingsCursors, QueryEngine, QueryPlan, RankDecision, RankedHit,
+        ScanKernel, SearchOutcome, SearchStats, SegmentIndex, SimilaritySearcher, Sink,
+        SizeDecision, StaticPhi, Subscriber, TighteningRank, TopKHeap, TopKOutcome, TopKSink,
     };
 }
 
