@@ -140,9 +140,67 @@ impl GbdaConfig {
     }
 }
 
+/// Durability knobs of the crash-safe dynamic layer (the `gbd-store`
+/// crate's `DurableDatabase` reads these; the query path ignores them).
+///
+/// The write path is a length-prefixed, checksummed, sequence-numbered
+/// write-ahead log paired with a base snapshot generation under a tiny
+/// manifest. These knobs trade acknowledgment latency against the
+/// crash-consistency window — correctness (prefix consistency on recovery)
+/// holds for every setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Whether every mutation syncs the log before it is acknowledged.
+    /// With `true` (the default) an acknowledged insert/remove is durable:
+    /// it survives any crash. With `false` acknowledgments only promise
+    /// prefix consistency — a crash may roll back a suffix of acknowledged
+    /// mutations that were never explicitly synced.
+    pub sync_acks: bool,
+    /// When set, a mutation that grows the log past this many bytes
+    /// triggers an automatic compaction checkpoint (new snapshot
+    /// generation, fresh log). `None` (the default) leaves checkpointing
+    /// entirely to explicit `compact()` calls.
+    pub auto_compact_wal_bytes: Option<u64>,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync_acks: true,
+            auto_compact_wal_bytes: None,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Overrides whether acknowledgments sync the log first.
+    pub fn with_sync_acks(mut self, sync_acks: bool) -> Self {
+        self.sync_acks = sync_acks;
+        self
+    }
+
+    /// Overrides the automatic-checkpoint threshold (log bytes).
+    pub fn with_auto_compact_wal_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.auto_compact_wal_bytes = bytes;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durability_defaults_are_sync_on_ack_without_auto_compaction() {
+        let d = DurabilityConfig::default();
+        assert!(d.sync_acks);
+        assert_eq!(d.auto_compact_wal_bytes, None);
+        let d = d
+            .with_sync_acks(false)
+            .with_auto_compact_wal_bytes(Some(4096));
+        assert!(!d.sync_acks);
+        assert_eq!(d.auto_compact_wal_bytes, Some(4096));
+    }
 
     #[test]
     fn defaults_match_the_papers_common_settings() {

@@ -286,9 +286,68 @@ impl DynamicDatabase {
         }
     }
 
+    /// Reconstructs a database around a base segment whose graphs carry
+    /// pre-assigned stable ids — the replay hook of the durable storage
+    /// layer, mirroring [`GraphDatabase::from_parts`]. `ids[i]` is the
+    /// stable id of base graph `i` (the order [`Self::compact`] preserves),
+    /// and `next_id` is where the id counter resumes, so replayed inserts
+    /// re-assign exactly the ids they were originally acknowledged with.
+    ///
+    /// # Errors
+    /// [`EngineError::CorruptDatabase`] when the id list does not match the
+    /// base (wrong length, duplicates, or an id at or above `next_id`).
+    pub fn with_base_ids(base: GraphDatabase, ids: Vec<u64>, next_id: u64) -> EngineResult<Self> {
+        if ids.len() != base.len() {
+            return Err(EngineError::CorruptDatabase {
+                reason: format!("{} base ids for {} base graphs", ids.len(), base.len()),
+            });
+        }
+        let mut locations = HashMap::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            if id >= next_id {
+                return Err(EngineError::CorruptDatabase {
+                    reason: format!("base id {id} is not below the next id {next_id}"),
+                });
+            }
+            if locations.insert(id, Location::Base(i)).is_some() {
+                return Err(EngineError::CorruptDatabase {
+                    reason: format!("duplicate base id {id}"),
+                });
+            }
+        }
+        let n = base.len();
+        Ok(DynamicDatabase {
+            catalog: base.catalog().clone(),
+            alphabets: base.alphabets(),
+            max_vertices_hint: base.max_vertices(),
+            base_tombstones: Tombstones::new(n),
+            delta_tombstones: Tombstones::new(0),
+            base_ids: ids,
+            delta_ids: Vec::new(),
+            locations,
+            next_id,
+            delta: DeltaSegment::default(),
+            base,
+        })
+    }
+
     /// The immutable base segment.
     pub fn base(&self) -> &GraphDatabase {
         &self.base
+    }
+
+    /// The stable id the next [`Self::insert`] will assign — the export hook
+    /// a write-ahead log uses to record an insert's id *before* applying it.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Stable ids of the base-segment graphs by base index (tombstoned
+    /// slots included) — with [`Self::next_id`], everything a checkpoint
+    /// record needs to make [`Self::with_base_ids`] resume id assignment
+    /// exactly where this database left off.
+    pub fn base_ids(&self) -> &[u64] {
+        &self.base_ids
     }
 
     /// The append-only delta segment.
@@ -904,6 +963,44 @@ mod tests {
         // The next insert keeps counting upward.
         let next = dynamic.insert(graphs(98, 1, 10).pop().unwrap());
         assert_eq!(next, 17);
+    }
+
+    #[test]
+    fn with_base_ids_resumes_id_assignment() {
+        let (mut dynamic, _, _) = setup();
+        dynamic.insert(graphs(42, 1, 10).pop().unwrap());
+        dynamic.remove(3).unwrap();
+        dynamic.compact();
+        let ids = dynamic.base_ids().to_vec();
+        let next_id = dynamic.next_id();
+        assert_eq!(next_id, 17);
+        assert!(!ids.contains(&3));
+
+        let rebuilt =
+            DynamicDatabase::with_base_ids(dynamic.base().clone(), ids.clone(), next_id).unwrap();
+        assert_eq!(rebuilt.live_ids(), dynamic.live_ids());
+        assert_eq!(rebuilt.next_id(), next_id);
+        // The next insert in both databases assigns the same id.
+        let mut rebuilt = rebuilt;
+        let a = dynamic.insert(graphs(43, 1, 10).pop().unwrap());
+        let b = rebuilt.insert(graphs(43, 1, 10).pop().unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_base_ids_rejects_inconsistent_id_lists() {
+        let (dynamic, _, _) = setup();
+        let base = dynamic.base().clone();
+        let short = DynamicDatabase::with_base_ids(base.clone(), vec![0, 1], 16);
+        assert!(matches!(short, Err(EngineError::CorruptDatabase { .. })));
+        let mut dup: Vec<u64> = (0..16).collect();
+        dup[5] = 4;
+        assert!(DynamicDatabase::with_base_ids(base.clone(), dup, 16).is_err());
+        let high: Vec<u64> = (0..16).collect();
+        assert!(
+            DynamicDatabase::with_base_ids(base, high, 10).is_err(),
+            "ids at or above next_id are rejected"
+        );
     }
 
     #[test]

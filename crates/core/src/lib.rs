@@ -69,7 +69,7 @@ pub mod search;
 pub mod topk;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
-pub use config::{GbdaConfig, GbdaVariant};
+pub use config::{DurabilityConfig, GbdaConfig, GbdaVariant};
 pub use database::{BucketRun, DatabaseParts, GraphAggregate, GraphDatabase, Posting};
 pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, Tombstones};
 pub use engine::QueryEngine;

@@ -1,0 +1,657 @@
+//! Crash-safe persistence for the dynamic layer: a
+//! [`DynamicDatabase`] paired with a base snapshot generation and a
+//! write-ahead log, under a tiny atomically-swapped [`Manifest`].
+//!
+//! # Lifecycle
+//!
+//! * [`DurableDatabase::create`] seeds generation 1: snapshot of the base,
+//!   a log opened with a synced checkpoint record, then the manifest —
+//!   published last, so a half-created directory is simply not a database
+//!   yet.
+//! * [`DurableDatabase::insert`] / [`DurableDatabase::remove`] follow the
+//!   *log-then-apply* discipline: the record is appended (and, with
+//!   [`DurabilityConfig::sync_acks`], synced) **before** the in-memory
+//!   state changes. An acknowledgment therefore implies the mutation is on
+//!   disk.
+//! * [`DurableDatabase::open`] loads the manifest's snapshot, truncates a
+//!   torn log tail (bytes a crash cut mid-record — never acknowledged, so
+//!   safe to drop), replays the surviving records onto the base, and
+//!   rejects anything damaged *inside* the synced region with a typed
+//!   [`StoreError`] — recovery never panics and never silently drops an
+//!   acknowledged mutation.
+//! * [`DurableDatabase::compact`] folds tombstones and the delta into a new
+//!   snapshot generation beside the live one, starts its log with a synced
+//!   checkpoint, then atomically publishes the switch via the manifest.
+//!   A crash anywhere leaves a readable database: either the old
+//!   generation (whose snapshot + log still replay to the *same* live set —
+//!   compaction does not change it) or the new one.
+//!
+//! # The guarantee
+//!
+//! After any crash, `open` recovers the state of some **prefix** of the
+//! acknowledged mutation history, and when every acknowledgment was synced
+//! ([`DurabilityConfig::sync_acks`], the default) that prefix is the whole
+//! history. This is exactly what the fault-injection suite
+//! (`tests/durability.rs`) proves by crashing at every byte offset of real
+//! workloads.
+
+use std::path::{Path, PathBuf};
+
+use gbd_graph::Graph;
+use gbda_core::{DurabilityConfig, DynamicDatabase, EngineError, GraphDatabase};
+
+use crate::error::{StoreError, StoreResult};
+use crate::manifest::{Manifest, MANIFEST_FILE};
+use crate::snapshot::Snapshot;
+use crate::vfs::Vfs;
+use crate::wal::{decode_wal, WalRecord, WalWriter};
+
+/// A [`DynamicDatabase`] bound to a directory it keeps crash-consistent.
+///
+/// See the [module docs](self) for the lifecycle and the recovery
+/// guarantee. The [`Vfs`] parameter is [`crate::StdVfs`] in production and
+/// [`crate::FaultVfs`] under fault injection.
+#[derive(Debug)]
+pub struct DurableDatabase<V: Vfs> {
+    vfs: V,
+    dir: PathBuf,
+    manifest: Manifest,
+    wal: WalWriter,
+    database: DynamicDatabase,
+    durability: DurabilityConfig,
+}
+
+impl<V: Vfs> DurableDatabase<V> {
+    /// Initializes a fresh durable database around `base` in `dir`
+    /// (creating the directory) as generation 1.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when `dir` already holds a durable database or
+    /// any write/sync fails — in which case no manifest was published and
+    /// the directory is still not a database.
+    pub fn create(
+        vfs: V,
+        dir: impl Into<PathBuf>,
+        base: GraphDatabase,
+        durability: DurabilityConfig,
+    ) -> StoreResult<Self> {
+        let dir = dir.into();
+        vfs.create_dir_all(&dir)?;
+        if vfs.exists(&dir.join(MANIFEST_FILE)) {
+            return Err(StoreError::Io {
+                path: dir.display().to_string(),
+                message: "a durable database already exists here".into(),
+            });
+        }
+        let manifest = Manifest { generation: 1 };
+        Snapshot::from_database(&base).save_with(&vfs, manifest.snapshot_path(&dir))?;
+        let database = DynamicDatabase::new(base);
+        let wal_path = manifest.wal_path(&dir);
+        vfs.write(&wal_path, &[])?;
+        let mut wal = WalWriter::new(wal_path, 1, 0);
+        wal.append(
+            &vfs,
+            &WalRecord::Checkpoint {
+                generation: manifest.generation,
+                next_id: database.next_id(),
+                base_ids: database.base_ids().to_vec(),
+            },
+            true,
+        )?;
+        // The manifest is published last: its rename + directory sync is
+        // the single atomic step that makes the database exist.
+        manifest.store(&vfs, &dir)?;
+        Ok(DurableDatabase {
+            vfs,
+            dir,
+            manifest,
+            wal,
+            database,
+            durability,
+        })
+    }
+
+    /// Recovers the database in `dir`: loads the manifest's snapshot
+    /// generation, truncates a torn log tail, and replays the log.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when files cannot be read, and the typed
+    /// corruption errors ([`StoreError::CorruptAt`], [`StoreError::Corrupt`],
+    /// [`StoreError::ChecksumMismatch`], …) when the manifest, snapshot or
+    /// the synced region of the log is damaged. Never panics on any byte
+    /// stream.
+    pub fn open(
+        vfs: V,
+        dir: impl Into<PathBuf>,
+        durability: DurabilityConfig,
+    ) -> StoreResult<Self> {
+        let dir = dir.into();
+        let manifest = Manifest::load(&vfs, &dir)?;
+        let (base, _vocabulary) =
+            Snapshot::load_with(&vfs, manifest.snapshot_path(&dir))?.into_database()?;
+        let wal_path = manifest.wal_path(&dir);
+        let bytes = vfs.read(&wal_path)?;
+        let replay = decode_wal(&bytes)?;
+        if replay.torn_bytes > 0 {
+            // The tail record was cut mid-write by a crash; it was never
+            // acknowledged, so dropping it preserves the guarantee. Make
+            // the truncation durable so the next append starts clean.
+            vfs.write(&wal_path, &bytes[..replay.valid_len])?;
+            vfs.sync(&wal_path)?;
+        }
+        let mut records = replay.records.iter();
+        let database = match records.next() {
+            Some((
+                _,
+                WalRecord::Checkpoint {
+                    generation,
+                    next_id,
+                    base_ids,
+                },
+            )) => {
+                if *generation != manifest.generation {
+                    return Err(StoreError::CorruptAt {
+                        offset: 0,
+                        reason: format!(
+                            "wal checkpoint is for generation {generation}, manifest says {}",
+                            manifest.generation
+                        ),
+                    });
+                }
+                DynamicDatabase::with_base_ids(base, base_ids.clone(), *next_id)?
+            }
+            Some(_) => {
+                return Err(StoreError::CorruptAt {
+                    offset: 0,
+                    reason: "wal does not start with a checkpoint record".into(),
+                })
+            }
+            None => {
+                return Err(StoreError::CorruptAt {
+                    offset: 0,
+                    reason: "wal holds no intact checkpoint record".into(),
+                })
+            }
+        };
+        let mut database = database;
+        for (seq, record) in records {
+            match record {
+                WalRecord::Checkpoint { .. } => {
+                    return Err(StoreError::Corrupt(format!(
+                        "wal record {seq}: checkpoint in the middle of the log"
+                    )))
+                }
+                WalRecord::Insert { id, graph } => {
+                    if database.next_id() != *id {
+                        return Err(StoreError::Corrupt(format!(
+                            "wal record {seq}: insert of id {id} but replay is at id {}",
+                            database.next_id()
+                        )));
+                    }
+                    database.insert(graph.clone());
+                }
+                WalRecord::Remove { id } => {
+                    database.remove(*id).map_err(|_| {
+                        StoreError::Corrupt(format!(
+                            "wal record {seq}: remove of id {id}, which is not live"
+                        ))
+                    })?;
+                }
+            }
+        }
+        let wal = WalWriter::new(wal_path, replay.next_seq(), replay.valid_len as u64);
+        let recovered = DurableDatabase {
+            vfs,
+            dir,
+            manifest,
+            wal,
+            database,
+            durability,
+        };
+        recovered.clean_stale_files();
+        Ok(recovered)
+    }
+
+    /// Best-effort removal of files from superseded generations (and
+    /// abandoned staging files) — failures are ignored; stale files are
+    /// dead weight, not a correctness hazard.
+    fn clean_stale_files(&self) {
+        let Ok(names) = self.vfs.list(&self.dir) else {
+            return;
+        };
+        let keep_snapshot = Manifest::snapshot_name(self.manifest.generation);
+        let keep_wal = Manifest::wal_name(self.manifest.generation);
+        let mut removed = false;
+        for name in names {
+            let stale_generation = (name.starts_with("base-") && name != keep_snapshot)
+                || (name.starts_with("wal-") && name != keep_wal);
+            let stale_staging = name.ends_with(".tmp");
+            if stale_generation || stale_staging {
+                removed |= self.vfs.remove(&self.dir.join(&name)).is_ok();
+            }
+        }
+        if removed {
+            self.vfs.sync_dir(&self.dir).ok();
+        }
+    }
+
+    /// The recovered/live in-memory database (scans run against this).
+    pub fn database(&self) -> &DynamicDatabase {
+        &self.database
+    }
+
+    /// The live generation number.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation
+    }
+
+    /// The directory this database persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current write-ahead-log length in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// The durability knobs this handle was opened with.
+    pub fn durability(&self) -> DurabilityConfig {
+        self.durability
+    }
+
+    /// Number of live graphs.
+    pub fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Returns `true` when no graph is live.
+    pub fn is_empty(&self) -> bool {
+        self.database.is_empty()
+    }
+
+    /// Whether `id` refers to a live graph.
+    pub fn contains(&self, id: u64) -> bool {
+        self.database.contains(id)
+    }
+
+    /// Inserts a graph: logs the mutation (synced when
+    /// [`DurabilityConfig::sync_acks`] is on), applies it, and returns the
+    /// stable id. The returned id is the acknowledgment — once this
+    /// returns `Ok`, a synced insert survives any crash.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the log append or sync fails; the in-memory
+    /// state is unchanged and the mutation is not acknowledged.
+    pub fn insert(&mut self, graph: Graph) -> StoreResult<u64> {
+        let id = self.database.next_id();
+        let record = WalRecord::Insert { id, graph };
+        self.wal
+            .append(&self.vfs, &record, self.durability.sync_acks)?;
+        let WalRecord::Insert { graph, .. } = record else {
+            unreachable!("record was constructed as an insert")
+        };
+        let assigned = self.database.insert(graph);
+        debug_assert_eq!(assigned, id, "logged id must match the assigned id");
+        self.maybe_auto_compact()?;
+        Ok(id)
+    }
+
+    /// Removes a live graph by id: logs the tombstone (synced when
+    /// [`DurabilityConfig::sync_acks`] is on), then applies it.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidDatabase`] with
+    /// [`EngineError::UnknownGraphId`] when `id` is not live (nothing is
+    /// logged), [`StoreError::Io`] when the log append or sync fails.
+    pub fn remove(&mut self, id: u64) -> StoreResult<()> {
+        if !self.database.contains(id) {
+            return Err(EngineError::UnknownGraphId(id).into());
+        }
+        self.wal.append(
+            &self.vfs,
+            &WalRecord::Remove { id },
+            self.durability.sync_acks,
+        )?;
+        self.database
+            .remove(id)
+            .expect("id was checked live before logging");
+        self.maybe_auto_compact()?;
+        Ok(())
+    }
+
+    /// Syncs the log, upgrading every previously unsynced acknowledgment to
+    /// crash-durable — the batching hook for
+    /// [`DurabilityConfig::sync_acks`] `= false` regimes.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the sync fails.
+    pub fn sync(&self) -> StoreResult<()> {
+        self.wal.sync(&self.vfs)
+    }
+
+    fn maybe_auto_compact(&mut self) -> StoreResult<()> {
+        if let Some(limit) = self.durability.auto_compact_wal_bytes {
+            if self.wal.bytes() >= limit {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds tombstones and the delta segment into snapshot generation
+    /// `g + 1` and atomically retires the log. Returns the number of live
+    /// graphs.
+    ///
+    /// The rotation order is: compact in memory → write + sync the new
+    /// snapshot → write + sync the new log's checkpoint → publish the new
+    /// manifest (staging → sync → rename → dir sync) → best-effort removal
+    /// of the old generation's files. A crash before the publish leaves the
+    /// old generation live — and because compaction does not change the
+    /// live set, ids, or the id counter, the old snapshot + log still
+    /// recover exactly the current state.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when a write or sync fails. The handle remains
+    /// usable and consistent with what a reopen would recover.
+    pub fn compact(&mut self) -> StoreResult<usize> {
+        let live = self.database.compact();
+        let next = Manifest {
+            generation: self.manifest.generation + 1,
+        };
+        Snapshot::from_database(self.database.base())
+            .save_with(&self.vfs, next.snapshot_path(&self.dir))?;
+        let wal_path = next.wal_path(&self.dir);
+        // Truncate any leftover from an earlier failed rotation before
+        // appending, so the new log starts clean.
+        self.vfs.write(&wal_path, &[])?;
+        let mut wal = WalWriter::new(wal_path, self.wal.next_seq(), 0);
+        wal.append(
+            &self.vfs,
+            &WalRecord::Checkpoint {
+                generation: next.generation,
+                next_id: self.database.next_id(),
+                base_ids: self.database.base_ids().to_vec(),
+            },
+            true,
+        )?;
+        next.store(&self.vfs, &self.dir)?;
+        self.manifest = next;
+        self.wal = wal;
+        self.clean_stale_files();
+        Ok(live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultSchedule, FaultVfs};
+    use gbd_graph::{GeneratorConfig, LabelAlphabets};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graphs(count: usize, seed: u64) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GeneratorConfig::new(8, 2.0)
+            .with_alphabets(LabelAlphabets::new(4, 2))
+            .generate_many(count, &mut rng)
+            .unwrap()
+    }
+
+    type GraphPrint = (
+        u64,
+        Vec<gbd_graph::Label>,
+        Vec<(gbd_graph::EdgeKey, gbd_graph::Label)>,
+    );
+
+    fn fingerprint(database: &DynamicDatabase) -> Vec<GraphPrint> {
+        database
+            .live_graphs()
+            .map(|(id, graph)| {
+                (
+                    id,
+                    graph.vertex_labels().to_vec(),
+                    graph.edges().collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("db")
+    }
+
+    #[test]
+    fn create_mutate_reopen_round_trips() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(5, 1));
+        let mut db =
+            DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default()).unwrap();
+        let extra = sample_graphs(3, 2);
+        let a = db.insert(extra[0].clone()).unwrap();
+        let _b = db.insert(extra[1].clone()).unwrap();
+        db.remove(1).unwrap();
+        db.remove(a).unwrap();
+        db.insert(extra[2].clone()).unwrap();
+        assert_eq!(db.len(), 6);
+        let expected = fingerprint(db.database());
+        drop(db);
+
+        let reopened =
+            DurableDatabase::open(vfs.clone(), dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(reopened.database()), expected);
+        assert_eq!(reopened.generation(), 1);
+
+        // And the same after an actual power loss: every ack was synced.
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+    }
+
+    #[test]
+    fn creating_twice_is_an_error() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(2, 3));
+        DurableDatabase::create(
+            vfs.clone(),
+            dir(),
+            base.clone(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            DurableDatabase::create(vfs, dir(), base, DurabilityConfig::default()),
+            Err(StoreError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn unsynced_acks_may_roll_back_but_recovery_is_a_prefix() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(4, 4));
+        let config = DurabilityConfig::default().with_sync_acks(false);
+        let mut db = DurableDatabase::create(vfs.clone(), dir(), base, config).unwrap();
+        let states = {
+            let mut states = vec![fingerprint(db.database())];
+            for graph in sample_graphs(3, 5) {
+                db.insert(graph).unwrap();
+                states.push(fingerprint(db.database()));
+            }
+            states
+        };
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), config).unwrap();
+        let got = fingerprint(recovered.database());
+        assert!(
+            states.contains(&got),
+            "recovered state must be a prefix of the mutation history"
+        );
+    }
+
+    #[test]
+    fn explicit_sync_makes_batched_mutations_durable() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(4, 6));
+        let config = DurabilityConfig::default().with_sync_acks(false);
+        let mut db = DurableDatabase::create(vfs.clone(), dir(), base, config).unwrap();
+        for graph in sample_graphs(3, 7) {
+            db.insert(graph).unwrap();
+        }
+        db.sync().unwrap();
+        let expected = fingerprint(db.database());
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), config).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+    }
+
+    #[test]
+    fn compact_rotates_generations_and_cleans_stale_files() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(5, 8));
+        let mut db =
+            DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default()).unwrap();
+        for graph in sample_graphs(4, 9) {
+            db.insert(graph).unwrap();
+        }
+        db.remove(0).unwrap();
+        db.remove(6).unwrap();
+        let expected = fingerprint(db.database());
+        let live = db.compact().unwrap();
+        assert_eq!(live, 7);
+        assert_eq!(db.generation(), 2);
+        assert_eq!(fingerprint(db.database()), expected);
+
+        // Mutations keep flowing after rotation, and survive a crash.
+        let id = db.insert(sample_graphs(1, 10).pop().unwrap()).unwrap();
+        assert_eq!(id, 9, "id assignment continues across compaction");
+        let expected = fingerprint(db.database());
+        vfs.power_cycle();
+        let recovered =
+            DurableDatabase::open(vfs.clone(), dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+        assert_eq!(recovered.generation(), 2);
+        let names = vfs.list(&dir()).unwrap();
+        assert!(
+            !names.contains(&Manifest::snapshot_name(1)) && !names.contains(&Manifest::wal_name(1)),
+            "generation 1 files were cleaned up: {names:?}"
+        );
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_wal_growth() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 11));
+        let config = DurabilityConfig::default().with_auto_compact_wal_bytes(Some(256));
+        let mut db = DurableDatabase::create(vfs, dir(), base, config).unwrap();
+        for graph in sample_graphs(6, 12) {
+            db.insert(graph).unwrap();
+        }
+        assert!(db.generation() > 1, "wal growth forced a rotation");
+        assert!(db.wal_bytes() < 256 + 200, "rotation reset the log");
+        assert_eq!(db.len(), 9);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_overwritten_cleanly() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 13));
+        let mut db =
+            DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default()).unwrap();
+        db.insert(sample_graphs(1, 14).pop().unwrap()).unwrap();
+        let expected = fingerprint(db.database());
+        let wal_path = Manifest { generation: 1 }.wal_path(&dir());
+        // A crash mid-append leaves half a record; it was never acked.
+        vfs.append(&wal_path, &[0x55; 7]).unwrap();
+        vfs.sync(&wal_path).unwrap();
+        vfs.power_cycle();
+        let mut recovered =
+            DurableDatabase::open(vfs.clone(), dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+        // The truncated log accepts new records where the tear was.
+        recovered
+            .insert(sample_graphs(1, 15).pop().unwrap())
+            .unwrap();
+        let expected = fingerprint(recovered.database());
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error_not_a_panic() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 16));
+        let mut db =
+            DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default()).unwrap();
+        for graph in sample_graphs(3, 17) {
+            db.insert(graph).unwrap();
+        }
+        drop(db);
+        let wal_path = Manifest { generation: 1 }.wal_path(&dir());
+        let wal_len = vfs.read(&wal_path).unwrap().len();
+        assert!(vfs.corrupt(&wal_path, wal_len / 2, 0x20));
+        match DurableDatabase::open(vfs, dir(), DurabilityConfig::default()) {
+            Err(
+                StoreError::CorruptAt { .. }
+                | StoreError::Corrupt(_)
+                | StoreError::Truncated { .. },
+            ) => {}
+            other => panic!("expected a typed corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_remove_logs_nothing() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 18));
+        let mut db =
+            DurableDatabase::create(vfs, dir(), base, DurabilityConfig::default()).unwrap();
+        let before = db.wal_bytes();
+        assert!(matches!(
+            db.remove(999),
+            Err(StoreError::InvalidDatabase(EngineError::UnknownGraphId(
+                999
+            )))
+        ));
+        assert_eq!(db.wal_bytes(), before);
+    }
+
+    /// Crash at every charged byte of a full compaction: reopening must
+    /// always succeed and always recover the exact pre-crash live set.
+    #[test]
+    fn compaction_is_atomic_at_every_crash_point() {
+        let build = || {
+            let vfs = FaultVfs::new();
+            let base = GraphDatabase::from_graphs(sample_graphs(4, 19));
+            let mut db =
+                DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default())
+                    .unwrap();
+            for graph in sample_graphs(2, 20) {
+                db.insert(graph).unwrap();
+            }
+            db.remove(1).unwrap();
+            (vfs, db)
+        };
+        let (probe_vfs, mut probe) = build();
+        let expected = fingerprint(probe.database());
+        probe_vfs.arm(FaultSchedule::default());
+        probe.compact().unwrap();
+        let budget = probe_vfs.bytes_charged();
+        assert_eq!(fingerprint(probe.database()), expected);
+
+        for crash_at in 0..budget {
+            let (vfs, mut db) = build();
+            vfs.arm(FaultSchedule::crash_after(crash_at));
+            let _ = db.compact();
+            vfs.power_cycle();
+            let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default())
+                .unwrap_or_else(|e| panic!("crash at {crash_at}: open failed: {e}"));
+            assert_eq!(
+                fingerprint(recovered.database()),
+                expected,
+                "crash at {crash_at} changed the live set"
+            );
+        }
+    }
+}

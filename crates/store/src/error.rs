@@ -40,6 +40,15 @@ pub enum StoreError {
     },
     /// The bytes decode but violate the format's structural rules.
     Corrupt(String),
+    /// A write-ahead-log record or manifest structure is damaged at a known
+    /// byte offset of its file — corruption *inside* the synced region,
+    /// which recovery must reject rather than silently truncate.
+    CorruptAt {
+        /// Byte offset of the damaged structure within its file.
+        offset: u64,
+        /// What is wrong there.
+        reason: String,
+    },
     /// The sections decode individually but do not assemble into a valid
     /// database (a cross-structure invariant failed).
     InvalidDatabase(EngineError),
@@ -61,6 +70,9 @@ impl fmt::Display for StoreError {
                 "snapshot checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
             ),
             StoreError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+            StoreError::CorruptAt { offset, reason } => {
+                write!(f, "corrupt at byte {offset}: {reason}")
+            }
             StoreError::InvalidDatabase(e) => write!(f, "snapshot decodes to an invalid database: {e}"),
         }
     }
@@ -103,6 +115,12 @@ mod tests {
         assert!(e.to_string().contains("checksum"));
         let e = StoreError::Corrupt("weird section".into());
         assert!(e.to_string().contains("weird section"));
+        let e = StoreError::CorruptAt {
+            offset: 128,
+            reason: "wal record checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("checksum"));
         let e = StoreError::from(EngineError::CorruptDatabase {
             reason: "spans".into(),
         });

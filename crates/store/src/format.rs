@@ -97,6 +97,12 @@ impl<'a> Reader<'a> {
         self.bytes.len() - self.pos
     }
 
+    /// Byte offset of the next read — errors reported against a larger
+    /// structure carry this so corruption is locatable in the file.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Returns `true` when every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.remaining() == 0

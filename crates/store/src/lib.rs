@@ -13,11 +13,20 @@
 //! [`StoreError`] — never a panic: the header checksum catches bit rot, the
 //! bounds-checked decoders catch structural damage, and
 //! `GraphDatabase::from_parts` re-validates every cross-structure invariant
-//! before a database is handed out.
+//! before a database is handed out. The only `expect`/`unreachable!` left in
+//! this crate's non-test code are infallible by construction (fixed-width
+//! slice conversions after a bounds-checked `take`, lookups of keys just
+//! enumerated) — no input byte stream reaches them.
 //!
 //! Dynamic updates on top of a loaded (or built) base live in
-//! [`gbda_core::DynamicDatabase`]; the common lifecycle is *load snapshot →
-//! serve + absorb inserts/deletes → compact → save snapshot*.
+//! [`gbda_core::DynamicDatabase`]; [`DurableDatabase`] makes them
+//! **crash-safe**: every insert/remove is appended to a checksummed
+//! write-ahead log before it is acknowledged, compaction rotates snapshot
+//! generations atomically behind a tiny [`Manifest`], and recovery replays
+//! the log onto the loaded base — truncating a torn tail, rejecting mid-log
+//! corruption. All file traffic goes through the [`Vfs`] trait, so the
+//! whole stack is proven under [`FaultVfs`]'s deterministic crash/torn-
+//! write/bit-flip injection (see `tests/durability.rs`).
 //!
 //! ```
 //! use gbd_store::{load_database, save_database};
@@ -40,12 +49,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durable;
 pub mod error;
 pub mod format;
+pub mod manifest;
 pub mod snapshot;
+pub mod vfs;
+pub mod wal;
 
+pub use durable::DurableDatabase;
 pub use error::{StoreError, StoreResult};
+pub use manifest::Manifest;
 pub use snapshot::{load_database, save_database, Snapshot};
+pub use vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs};
+pub use wal::{WalRecord, WalReplay, WalWriter};
 
 #[cfg(test)]
 mod tests {

@@ -34,6 +34,7 @@ use gbda_core::{DatabaseParts, GraphDatabase, Posting};
 
 use crate::error::{StoreError, StoreResult};
 use crate::format::{fnv1a64, Reader, Writer, MAGIC, VERSION};
+use crate::vfs::{StdVfs, Vfs};
 
 /// Section tags, in file order.
 const SECTION_VOCABULARY: u32 = 1;
@@ -219,33 +220,39 @@ impl Snapshot {
 
     /// Writes the snapshot to a file, atomically: the bytes go to a
     /// temporary sibling first (synced to disk), which is then renamed over
-    /// `path` — a crash mid-save can never destroy an existing good
-    /// snapshot, which matters in the documented *load → serve → compact →
-    /// save-over-the-same-file* lifecycle.
+    /// `path` and made durable by syncing the parent directory — a crash
+    /// mid-save can never destroy an existing good snapshot, and a
+    /// completed save survives power loss (a rename alone is not durable on
+    /// POSIX). Equivalent to [`Self::save_with`] over [`StdVfs`].
     ///
     /// # Errors
     /// [`StoreError::Io`] when the file cannot be written.
     pub fn save(&self, path: impl AsRef<Path>) -> StoreResult<()> {
-        use std::io::Write as _;
+        self.save_with(&StdVfs, path)
+    }
+
+    /// [`Self::save`] through an explicit [`Vfs`] — the staging write, file
+    /// sync, rename and directory sync all go through `vfs`, so the
+    /// fault-injection harness covers every step of the atomic save.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when any step fails; the staging file is cleaned
+    /// up best-effort.
+    pub fn save_with<V: Vfs>(&self, vfs: &V, path: impl AsRef<Path>) -> StoreResult<()> {
         let path = path.as_ref();
-        let io_error = |e: std::io::Error| StoreError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        };
         let mut file_name = path.file_name().unwrap_or_default().to_os_string();
         file_name.push(".tmp");
         let staging = path.with_file_name(file_name);
         let result = (|| {
-            let mut file = std::fs::File::create(&staging)?;
-            file.write_all(&self.to_bytes())?;
-            file.sync_all()?;
-            drop(file);
-            std::fs::rename(&staging, path)
+            vfs.write(&staging, &self.to_bytes())?;
+            vfs.sync(&staging)?;
+            vfs.rename(&staging, path)?;
+            vfs.sync_dir(&crate::vfs::parent_dir(path))
         })();
         if result.is_err() {
-            std::fs::remove_file(&staging).ok();
+            vfs.remove(&staging).ok();
         }
-        result.map_err(io_error)
+        result
     }
 
     /// Reads and decodes a snapshot file.
@@ -254,12 +261,16 @@ impl Snapshot {
     /// [`StoreError::Io`] when the file cannot be read, otherwise any decode
     /// error of [`Self::from_bytes`].
     pub fn load(path: impl AsRef<Path>) -> StoreResult<Self> {
-        let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| StoreError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        Snapshot::from_bytes(&bytes)
+        Snapshot::load_with(&StdVfs, path)
+    }
+
+    /// [`Self::load`] through an explicit [`Vfs`].
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the file cannot be read, otherwise any decode
+    /// error of [`Self::from_bytes`].
+    pub fn load_with<V: Vfs>(vfs: &V, path: impl AsRef<Path>) -> StoreResult<Self> {
+        Snapshot::from_bytes(&vfs.read(path.as_ref())?)
     }
 }
 
@@ -316,26 +327,57 @@ fn decode_alphabets(r: &mut Reader<'_>) -> StoreResult<LabelAlphabets> {
     ))
 }
 
+/// Encodes one graph — shared between the GRAPHS section and the
+/// write-ahead log's insert records.
+pub(crate) fn encode_graph(w: &mut Writer, graph: &Graph) {
+    match graph.name() {
+        Some(name) => {
+            w.u8(1);
+            w.str(name);
+        }
+        None => w.u8(0),
+    }
+    w.u64(graph.vertex_count() as u64);
+    for &label in graph.vertex_labels() {
+        w.u32(label.id());
+    }
+    w.u64(graph.edge_count() as u64);
+    for (key, label) in graph.edges() {
+        w.u32(key.u.raw());
+        w.u32(key.v.raw());
+        w.u32(label.id());
+    }
+}
+
+/// Decodes one graph, validating it structurally via [`Graph::from_parts`].
+pub(crate) fn decode_graph(r: &mut Reader<'_>) -> StoreResult<Graph> {
+    let name = match r.u8("graph name flag")? {
+        0 => None,
+        1 => Some(r.str("graph name")?),
+        other => {
+            return Err(StoreError::Corrupt(format!("graph name flag {other}")));
+        }
+    };
+    let n = r.count(4, "vertex count")?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(Label::new(r.u32("vertex label")?));
+    }
+    let m = r.count(12, "edge count")?;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = r.u32("edge endpoint")?;
+        let v = r.u32("edge endpoint")?;
+        let label = Label::new(r.u32("edge label")?);
+        edges.push((u, v, label));
+    }
+    Graph::from_parts(name, labels, &edges).map_err(|e| StoreError::Corrupt(format!("graph: {e}")))
+}
+
 fn encode_graphs(w: &mut Writer, graphs: &[Graph]) {
     w.u64(graphs.len() as u64);
     for graph in graphs {
-        match graph.name() {
-            Some(name) => {
-                w.u8(1);
-                w.str(name);
-            }
-            None => w.u8(0),
-        }
-        w.u64(graph.vertex_count() as u64);
-        for &label in graph.vertex_labels() {
-            w.u32(label.id());
-        }
-        w.u64(graph.edge_count() as u64);
-        for (key, label) in graph.edges() {
-            w.u32(key.u.raw());
-            w.u32(key.v.raw());
-            w.u32(label.id());
-        }
+        encode_graph(w, graph);
     }
 }
 
@@ -343,29 +385,7 @@ fn decode_graphs(r: &mut Reader<'_>) -> StoreResult<Vec<Graph>> {
     let count = r.count(1, "graph count")?;
     let mut graphs = Vec::with_capacity(count);
     for _ in 0..count {
-        let name = match r.u8("graph name flag")? {
-            0 => None,
-            1 => Some(r.str("graph name")?),
-            other => {
-                return Err(StoreError::Corrupt(format!("graph name flag {other}")));
-            }
-        };
-        let n = r.count(4, "vertex count")?;
-        let mut labels = Vec::with_capacity(n);
-        for _ in 0..n {
-            labels.push(Label::new(r.u32("vertex label")?));
-        }
-        let m = r.count(12, "edge count")?;
-        let mut edges = Vec::with_capacity(m);
-        for _ in 0..m {
-            let u = r.u32("edge endpoint")?;
-            let v = r.u32("edge endpoint")?;
-            let label = Label::new(r.u32("edge label")?);
-            edges.push((u, v, label));
-        }
-        let graph = Graph::from_parts(name, labels, &edges)
-            .map_err(|e| StoreError::Corrupt(format!("graph: {e}")))?;
-        graphs.push(graph);
+        graphs.push(decode_graph(r)?);
     }
     exhausted(r, "graphs")?;
     Ok(graphs)

@@ -1,0 +1,738 @@
+//! The virtual filesystem the storage engine writes through.
+//!
+//! Every byte the durability layer persists — snapshot generations, the
+//! write-ahead log, the manifest — goes through the [`Vfs`] trait, which is
+//! exactly what makes the crash-consistency claims *testable*: production
+//! uses [`StdVfs`] (plain `std::fs` with real `fsync`s), while the test
+//! suite swaps in [`FaultVfs`], an in-memory filesystem that
+//! deterministically injects crashes after a byte budget, torn/short
+//! writes, dropped syncs, and seeded bit flips, then simulates the power
+//! loss with [`FaultVfs::power_cycle`].
+//!
+//! # The durability model
+//!
+//! [`FaultVfs`] models the POSIX worst case: data reaches the *durable*
+//! image only on a successful [`Vfs::sync`], and a rename (or remove)
+//! reaches it only on the next [`Vfs::sync_dir`] of its directory — a
+//! rename alone is **not** durable, which is precisely the bug class the
+//! harness exists to catch. On [`FaultVfs::power_cycle`] the visible state
+//! reverts to the durable image (or, with
+//! [`FaultSchedule::persist_unsynced`], the opposite extreme: everything
+//! written survives, including torn tails), so a recovery path proven
+//! correct under both extremes is correct for any subset in between that a
+//! real disk might persist.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{StoreError, StoreResult};
+
+/// The filesystem operations the storage engine needs.
+///
+/// Implementations map every failure to a typed [`StoreError::Io`]; none of
+/// the methods panic on any input.
+pub trait Vfs {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> StoreResult<Vec<u8>>;
+    /// Creates or truncates a file with the given contents (no sync).
+    fn write(&self, path: &Path, bytes: &[u8]) -> StoreResult<()>;
+    /// Appends to a file, creating it when missing (no sync).
+    fn append(&self, path: &Path, bytes: &[u8]) -> StoreResult<()>;
+    /// Syncs a file's contents to durable storage (`fsync`).
+    fn sync(&self, path: &Path) -> StoreResult<()>;
+    /// Syncs a directory, making completed renames/removes in it durable.
+    fn sync_dir(&self, dir: &Path) -> StoreResult<()>;
+    /// Atomically renames `from` onto `to` (replacing `to` if it exists).
+    fn rename(&self, from: &Path, to: &Path) -> StoreResult<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> StoreResult<()>;
+    /// Lists the file names (not paths) directly inside a directory.
+    fn list(&self, dir: &Path) -> StoreResult<Vec<String>>;
+    /// Whether a file currently exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates a directory and its parents (no-op when already present).
+    fn create_dir_all(&self, dir: &Path) -> StoreResult<()>;
+}
+
+fn io_error(path: &Path, e: impl std::fmt::Display) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// The real filesystem: `std::fs` plus explicit `fsync`s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> StoreResult<Vec<u8>> {
+        std::fs::read(path).map_err(|e| io_error(path, e))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> StoreResult<()> {
+        std::fs::write(path, bytes).map_err(|e| io_error(path, e))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> StoreResult<()> {
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .and_then(|mut file| file.write_all(bytes))
+            .map_err(|e| io_error(path, e))
+    }
+
+    fn sync(&self, path: &Path) -> StoreResult<()> {
+        // fsync through a fresh descriptor flushes the file's dirty pages;
+        // the descriptor the bytes were written through need not be alive.
+        std::fs::File::open(path)
+            .and_then(|file| file.sync_all())
+            .map_err(|e| io_error(path, e))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> StoreResult<()> {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)
+                .and_then(|file| file.sync_all())
+                .map_err(|e| io_error(dir, e))
+        }
+        #[cfg(not(unix))]
+        {
+            // Directory handles cannot be fsynced on this platform; the
+            // rename itself is the best available barrier.
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> StoreResult<()> {
+        std::fs::rename(from, to).map_err(|e| io_error(from, e))
+    }
+
+    fn remove(&self, path: &Path) -> StoreResult<()> {
+        std::fs::remove_file(path).map_err(|e| io_error(path, e))
+    }
+
+    fn list(&self, dir: &Path) -> StoreResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir).map_err(|e| io_error(dir, e))? {
+            let entry = entry.map_err(|e| io_error(dir, e))?;
+            if entry.path().is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> StoreResult<()> {
+        std::fs::create_dir_all(dir).map_err(|e| io_error(dir, e))
+    }
+}
+
+/// One deterministic fault schedule, armed via [`FaultVfs::arm`].
+///
+/// All faults are one-shot: [`FaultVfs::power_cycle`] clears the schedule,
+/// so recovery itself runs fault-free unless the caller re-arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Crash (every subsequent operation fails with a typed
+    /// [`StoreError::Io`]) once this many bytes have been charged. Data
+    /// writes charge their length — a write crossing the budget is applied
+    /// *torn*, only its in-budget prefix — and metadata operations (sync,
+    /// rename, remove, dir sync) charge one byte each, so a byte sweep
+    /// visits every crash point between and inside operations.
+    pub crash_after_bytes: Option<u64>,
+    /// Syncs report success without making anything durable — the lying
+    /// disk. Acknowledgments based on such syncs can be rolled back by a
+    /// crash; recovery must still land on a consistent prefix.
+    pub drop_syncs: bool,
+    /// When a write is torn, fill the out-of-budget remainder with seeded
+    /// garbage bytes instead of dropping it — the half-written sector.
+    pub torn_garbage: bool,
+    /// On [`FaultVfs::power_cycle`], keep everything written (including a
+    /// torn tail) instead of reverting to the synced durable image — the
+    /// opposite extreme of the worst-case model.
+    pub persist_unsynced: bool,
+    /// Number of single-bit flips applied to the durable image at the next
+    /// [`FaultVfs::power_cycle`] — seeded bit rot for the corruption
+    /// sweeps.
+    pub flip_bits: u32,
+    /// Seed of the deterministic generator behind `torn_garbage` and
+    /// `flip_bits`.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// A schedule that crashes after `bytes` charged bytes.
+    pub fn crash_after(bytes: u64) -> Self {
+        FaultSchedule {
+            crash_after_bytes: Some(bytes),
+            ..FaultSchedule::default()
+        }
+    }
+}
+
+/// A pending namespace operation, applied to the durable image only on the
+/// next directory sync.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    Rename(String, String),
+    Remove(String),
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// What readers see right now.
+    visible: HashMap<String, Vec<u8>>,
+    /// What survives a power loss (worst-case model).
+    durable: HashMap<String, Vec<u8>>,
+    /// Renames/removes not yet made durable by a directory sync.
+    pending: Vec<PendingOp>,
+    schedule: FaultSchedule,
+    charged: u64,
+    crashed: bool,
+    power_cycles: u64,
+}
+
+/// xorshift64* — a tiny deterministic generator for garbage and flips.
+fn mix(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl FaultState {
+    /// Charges `amount` bytes against the crash budget. Returns how many of
+    /// them may be applied; flips the crashed flag when the budget is hit.
+    fn charge(&mut self, amount: u64) -> u64 {
+        match self.schedule.crash_after_bytes {
+            None => {
+                self.charged += amount;
+                amount
+            }
+            Some(budget) => {
+                let left = budget.saturating_sub(self.charged);
+                if amount <= left {
+                    self.charged += amount;
+                    amount
+                } else {
+                    self.charged = budget;
+                    self.crashed = true;
+                    left
+                }
+            }
+        }
+    }
+
+    fn crash_error(path: &Path) -> StoreError {
+        StoreError::Io {
+            path: path.display().to_string(),
+            message: "simulated crash".into(),
+        }
+    }
+}
+
+fn key(path: &Path) -> String {
+    path.to_string_lossy().into_owned()
+}
+
+/// An in-memory filesystem with deterministic fault injection — the test
+/// double of [`StdVfs`]. Cloning shares the underlying state, so a test can
+/// keep a handle while a `DurableDatabase` owns another.
+///
+/// See the [module docs](self) for the durability model.
+#[derive(Debug, Clone, Default)]
+pub struct FaultVfs {
+    inner: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fresh, empty, fault-free filesystem.
+    pub fn new() -> Self {
+        FaultVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // A poisoned lock means a *test* panicked mid-operation; the state
+        // is still structurally valid for the remaining assertions.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms a fault schedule and resets the byte-charge counter, so
+    /// `crash_after_bytes` counts from this call.
+    pub fn arm(&self, schedule: FaultSchedule) {
+        let mut s = self.lock();
+        s.schedule = schedule;
+        s.charged = 0;
+        s.crashed = false;
+    }
+
+    /// Bytes charged since the last [`Self::arm`] (or creation). Running a
+    /// workload fault-free first gives the sweep range for a byte-by-byte
+    /// crash-point enumeration.
+    pub fn bytes_charged(&self) -> u64 {
+        self.lock().charged
+    }
+
+    /// Whether the armed crash has triggered.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Number of power cycles simulated so far.
+    pub fn power_cycles(&self) -> u64 {
+        self.lock().power_cycles
+    }
+
+    /// Simulates the power loss and reboot: the visible state becomes the
+    /// durable image (or, under [`FaultSchedule::persist_unsynced`], the
+    /// durable image becomes everything written), scheduled bit flips are
+    /// applied, and the fault schedule is cleared so recovery runs clean.
+    pub fn power_cycle(&self) {
+        let mut s = self.lock();
+        if s.schedule.persist_unsynced {
+            // Everything in flight reached the medium: realize pending
+            // namespace ops against the *visible* image and keep it.
+            s.durable = s.visible.clone();
+        } else {
+            s.visible = s.durable.clone();
+        }
+        s.pending.clear();
+        let flips = s.schedule.flip_bits;
+        let mut rng = s.schedule.seed | 1;
+        for _ in 0..flips {
+            let mut names: Vec<String> = s
+                .durable
+                .iter()
+                .filter(|(_, bytes)| !bytes.is_empty())
+                .map(|(name, _)| name.clone())
+                .collect();
+            names.sort();
+            if names.is_empty() {
+                break;
+            }
+            let name = &names[(mix(&mut rng) as usize) % names.len()];
+            let len = s.durable[name].len();
+            let position = (mix(&mut rng) as usize) % len;
+            let bit = 1u8 << ((mix(&mut rng) as u32) % 8);
+            s.durable.get_mut(name).expect("name from durable")[position] ^= bit;
+            if let Some(bytes) = s.visible.get_mut(name) {
+                if position < bytes.len() {
+                    bytes[position] ^= bit;
+                }
+            }
+        }
+        s.schedule = FaultSchedule::default();
+        s.charged = 0;
+        s.crashed = false;
+        s.power_cycles += 1;
+    }
+
+    /// XORs `mask` into one byte of a file, in both the visible and the
+    /// durable image — targeted bit rot for corruption sweeps. Returns
+    /// `false` when the file is missing or shorter than `offset`.
+    pub fn corrupt(&self, path: &Path, offset: usize, mask: u8) -> bool {
+        let mut s = self.lock();
+        let k = key(path);
+        let state = &mut *s;
+        let mut hit = false;
+        for image in [&mut state.visible, &mut state.durable] {
+            if let Some(bytes) = image.get_mut(&k) {
+                if offset < bytes.len() {
+                    bytes[offset] ^= mask;
+                    hit = true;
+                }
+            }
+        }
+        hit
+    }
+
+    /// The current *durable* contents of a file — what a crash right now
+    /// would preserve.
+    pub fn durable_contents(&self, path: &Path) -> Option<Vec<u8>> {
+        self.lock().durable.get(&key(path)).cloned()
+    }
+
+    /// The current visible length of a file.
+    pub fn visible_len(&self, path: &Path) -> Option<usize> {
+        self.lock().visible.get(&key(path)).map(Vec::len)
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> StoreResult<Vec<u8>> {
+        let s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        s.visible
+            .get(&key(path))
+            .cloned()
+            .ok_or_else(|| io_error(path, "no such file"))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        let applied = s.charge(bytes.len() as u64) as usize;
+        let mut content = bytes[..applied].to_vec();
+        if s.crashed {
+            if s.schedule.torn_garbage {
+                let mut rng = (s.schedule.seed ^ s.charged) | 1;
+                content.extend((applied..bytes.len()).map(|_| mix(&mut rng) as u8));
+            }
+            s.visible.insert(key(path), content);
+            return Err(FaultState::crash_error(path));
+        }
+        s.visible.insert(key(path), content);
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        let applied = s.charge(bytes.len() as u64) as usize;
+        let crashed = s.crashed;
+        let mut tail = bytes[..applied].to_vec();
+        if crashed && s.schedule.torn_garbage {
+            let mut rng = (s.schedule.seed ^ s.charged) | 1;
+            tail.extend((applied..bytes.len()).map(|_| mix(&mut rng) as u8));
+        }
+        s.visible.entry(key(path)).or_default().extend(tail);
+        if crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        Ok(())
+    }
+
+    fn sync(&self, path: &Path) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        if s.charge(1) == 0 {
+            return Err(FaultState::crash_error(path));
+        }
+        let k = key(path);
+        let Some(content) = s.visible.get(&k).cloned() else {
+            return Err(io_error(path, "no such file"));
+        };
+        if !s.schedule.drop_syncs {
+            s.durable.insert(k, content);
+        }
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(dir));
+        }
+        if s.charge(1) == 0 {
+            return Err(FaultState::crash_error(dir));
+        }
+        if s.schedule.drop_syncs {
+            return Ok(());
+        }
+        let pending: Vec<PendingOp> = s.pending.drain(..).collect();
+        for op in pending {
+            match op {
+                PendingOp::Rename(from, to) => {
+                    if let Some(bytes) = s.durable.remove(&from) {
+                        s.durable.insert(to, bytes);
+                    }
+                }
+                PendingOp::Remove(name) => {
+                    s.durable.remove(&name);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(from));
+        }
+        if s.charge(1) == 0 {
+            return Err(FaultState::crash_error(from));
+        }
+        let from_key = key(from);
+        let to_key = key(to);
+        let Some(bytes) = s.visible.remove(&from_key) else {
+            return Err(io_error(from, "no such file"));
+        };
+        s.visible.insert(to_key.clone(), bytes);
+        s.pending.push(PendingOp::Rename(from_key, to_key));
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        if s.charge(1) == 0 {
+            return Err(FaultState::crash_error(path));
+        }
+        let k = key(path);
+        if s.visible.remove(&k).is_none() {
+            return Err(io_error(path, "no such file"));
+        }
+        s.pending.push(PendingOp::Remove(k));
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> StoreResult<Vec<String>> {
+        let s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(dir));
+        }
+        let mut names: Vec<String> = s
+            .visible
+            .keys()
+            .filter_map(|k| {
+                let path = Path::new(k);
+                (path.parent() == Some(dir))
+                    .then(|| path.file_name())
+                    .flatten()
+                    .map(|n| n.to_string_lossy().into_owned())
+            })
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let s = self.lock();
+        !s.crashed && s.visible.contains_key(&key(path))
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> StoreResult<()> {
+        let s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(_dir));
+        }
+        Ok(())
+    }
+}
+
+/// The parent directory of a path, for [`Vfs::sync_dir`] after a rename
+/// (an empty parent means the current directory).
+pub(crate) fn parent_dir(path: &Path) -> PathBuf {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn std_vfs_round_trips_and_lists() {
+        let dir = std::env::temp_dir().join("gbd-store-vfs-test");
+        let vfs = StdVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let file = dir.join("a.bin");
+        vfs.write(&file, b"hello").unwrap();
+        vfs.append(&file, b" world").unwrap();
+        vfs.sync(&file).unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"hello world");
+        assert!(vfs.exists(&file));
+        let renamed = dir.join("b.bin");
+        vfs.rename(&file, &renamed).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        assert!(!vfs.exists(&file));
+        assert!(vfs.list(&dir).unwrap().contains(&"b.bin".to_string()));
+        vfs.remove(&renamed).unwrap();
+        assert!(matches!(vfs.read(&renamed), Err(StoreError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsynced_data_does_not_survive_a_power_cycle() {
+        let vfs = FaultVfs::new();
+        vfs.write(&p("f"), b"synced").unwrap();
+        vfs.sync(&p("f")).unwrap();
+        vfs.append(&p("f"), b" lost").unwrap();
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced lost");
+        vfs.power_cycle();
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced");
+    }
+
+    #[test]
+    fn rename_needs_a_directory_sync_to_be_durable() {
+        let vfs = FaultVfs::new();
+        let dir = p("d");
+        vfs.write(&dir.join("old"), b"x").unwrap();
+        vfs.sync(&dir.join("old")).unwrap();
+        vfs.rename(&dir.join("old"), &dir.join("new")).unwrap();
+        // No sync_dir: the rename is lost on power loss.
+        vfs.power_cycle();
+        assert!(vfs.exists(&dir.join("old")));
+        assert!(!vfs.exists(&dir.join("new")));
+        // With sync_dir it sticks.
+        vfs.rename(&dir.join("old"), &dir.join("new")).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        vfs.power_cycle();
+        assert!(!vfs.exists(&dir.join("old")));
+        assert_eq!(vfs.read(&dir.join("new")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn crash_budget_tears_the_boundary_write() {
+        let vfs = FaultVfs::new();
+        vfs.arm(FaultSchedule::crash_after(4));
+        assert!(vfs.append(&p("w"), b"ab").is_ok());
+        // This write crosses the budget: 2 more bytes fit, the rest tears.
+        assert!(vfs.append(&p("w"), b"cdef").is_err());
+        assert!(vfs.crashed());
+        // Every subsequent operation fails.
+        assert!(vfs.read(&p("w")).is_err());
+        assert!(vfs.sync(&p("w")).is_err());
+        vfs.arm(FaultSchedule::default());
+        assert_eq!(vfs.read(&p("w")).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn torn_garbage_fills_the_remainder_deterministically() {
+        let run = || {
+            let vfs = FaultVfs::new();
+            vfs.arm(FaultSchedule {
+                crash_after_bytes: Some(2),
+                torn_garbage: true,
+                seed: 7,
+                ..FaultSchedule::default()
+            });
+            let _ = vfs.append(&p("g"), b"abcdef");
+            vfs.arm(FaultSchedule::default());
+            vfs.read(&p("g")).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 6, "garbage preserves the write length");
+        assert_eq!(&a[..2], b"ab");
+        assert_ne!(&a[2..], b"cdef", "remainder is garbage");
+        assert_eq!(a, b, "garbage is deterministic");
+    }
+
+    #[test]
+    fn dropped_syncs_report_success_but_persist_nothing() {
+        let vfs = FaultVfs::new();
+        vfs.arm(FaultSchedule {
+            drop_syncs: true,
+            ..FaultSchedule::default()
+        });
+        vfs.write(&p("f"), b"data").unwrap();
+        vfs.sync(&p("f")).unwrap();
+        vfs.power_cycle();
+        assert!(!vfs.exists(&p("f")), "the lying sync persisted nothing");
+    }
+
+    #[test]
+    fn persist_unsynced_keeps_everything_including_renames() {
+        let vfs = FaultVfs::new();
+        vfs.arm(FaultSchedule {
+            persist_unsynced: true,
+            ..FaultSchedule::default()
+        });
+        vfs.write(&p("f"), b"never synced").unwrap();
+        vfs.rename(&p("f"), &p("g")).unwrap();
+        vfs.power_cycle();
+        assert_eq!(vfs.read(&p("g")).unwrap(), b"never synced");
+    }
+
+    #[test]
+    fn bit_flips_are_seeded_and_hit_the_durable_image() {
+        let run = |seed| {
+            let vfs = FaultVfs::new();
+            vfs.write(&p("f"), &[0u8; 64]).unwrap();
+            vfs.sync(&p("f")).unwrap();
+            vfs.arm(FaultSchedule {
+                flip_bits: 3,
+                seed,
+                ..FaultSchedule::default()
+            });
+            vfs.power_cycle();
+            vfs.read(&p("f")).unwrap()
+        };
+        let a = run(1);
+        assert_eq!(a, run(1), "same seed, same flips");
+        assert_ne!(a, vec![0u8; 64], "bits actually flipped");
+        let flipped: u32 = a.iter().map(|b| b.count_ones()).sum();
+        assert!(flipped <= 3);
+    }
+
+    #[test]
+    fn corrupt_flips_a_targeted_byte() {
+        let vfs = FaultVfs::new();
+        vfs.write(&p("f"), b"abc").unwrap();
+        vfs.sync(&p("f")).unwrap();
+        assert!(vfs.corrupt(&p("f"), 1, 0xFF));
+        assert_eq!(vfs.read(&p("f")).unwrap()[1], b'b' ^ 0xFF);
+        assert!(!vfs.corrupt(&p("f"), 99, 1), "out of range reports false");
+        assert!(!vfs.corrupt(&p("missing"), 0, 1));
+    }
+
+    #[test]
+    fn charged_bytes_count_data_and_metadata() {
+        let vfs = FaultVfs::new();
+        vfs.write(&p("f"), b"1234").unwrap(); // 4
+        vfs.sync(&p("f")).unwrap(); // 1
+        vfs.rename(&p("f"), &p("g")).unwrap(); // 1
+        vfs.sync_dir(&p("")).unwrap(); // 1
+        assert_eq!(vfs.bytes_charged(), 7);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = FaultVfs::new();
+        let b = a.clone();
+        a.write(&p("f"), b"shared").unwrap();
+        assert_eq!(b.read(&p("f")).unwrap(), b"shared");
+    }
+
+    #[test]
+    fn missing_files_error_without_panicking() {
+        let vfs = FaultVfs::new();
+        assert!(vfs.read(&p("nope")).is_err());
+        assert!(vfs.sync(&p("nope")).is_err());
+        assert!(vfs.rename(&p("nope"), &p("x")).is_err());
+        assert!(vfs.remove(&p("nope")).is_err());
+        assert!(!vfs.exists(&p("nope")));
+        assert!(vfs.list(&p("empty-dir")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parent_dir_falls_back_to_the_current_directory() {
+        assert_eq!(parent_dir(Path::new("a/b.snap")), PathBuf::from("a"));
+        assert_eq!(parent_dir(Path::new("b.snap")), PathBuf::from("."));
+    }
+}

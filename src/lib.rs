@@ -16,9 +16,11 @@
 //! * [`seriation`] — the spectral-seriation baseline,
 //! * [`prob`] — the probabilistic model (Ω/Λ factors, GMM, Jeffreys prior),
 //! * [`engine`] — the GBDA search engine (offline priors + Algorithm 1),
-//! * [`store`] — the storage engine (persistent snapshot files); dynamic
-//!   inserts/removes/compaction live in [`engine`] as
-//!   [`prelude::DynamicDatabase`],
+//! * [`store`] — the storage engine: persistent snapshot files plus the
+//!   crash-safe dynamic layer ([`prelude::DurableDatabase`]: checksummed
+//!   write-ahead log, atomic generation rotation, deterministic
+//!   fault-injection harness); in-memory inserts/removes/compaction live in
+//!   [`engine`] as [`prelude::DynamicDatabase`],
 //! * [`datasets`] — dataset substitutes with ground-truth GEDs.
 //!
 //! ## Quickstart
@@ -77,15 +79,19 @@ pub mod prelude {
         GeneratorConfig, Graph, Label, LabelAlphabets, Vocabulary,
     };
     pub use gbd_seriation::SeriationGed;
-    pub use gbd_store::{load_database, save_database, Snapshot, StoreError, StoreResult};
+    pub use gbd_store::{
+        load_database, save_database, DurableDatabase, FaultSchedule, FaultVfs, Manifest, Snapshot,
+        StdVfs, StoreError, StoreResult, Vfs, WalRecord, WalReplay, WalWriter,
+    };
     pub use gbda_core::{
         rank_by_posterior, BoundClass, BucketPlan, BucketRun, CollectAll, Confusion, Cutoff,
-        DatabaseParts, DynamicDatabase, DynamicEngine, DynamicOutcome, DynamicTopKOutcome,
-        EngineError, EngineResult, EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator,
-        GbdaSearcher, GbdaVariant, GraphAggregate, GraphDatabase, OfflineIndex, Planner,
-        PosteriorCache, Posting, PostingsCursors, QueryEngine, QueryPlan, RankDecision, RankedHit,
-        ScanKernel, SearchOutcome, SearchStats, SegmentIndex, SimilaritySearcher, Sink,
-        SizeDecision, StaticPhi, Subscriber, TighteningRank, TopKHeap, TopKOutcome, TopKSink,
+        DatabaseParts, DurabilityConfig, DynamicDatabase, DynamicEngine, DynamicOutcome,
+        DynamicTopKOutcome, EngineError, EngineResult, EstimatorSearcher, FilterCascade,
+        GbdaConfig, GbdaEstimator, GbdaSearcher, GbdaVariant, GraphAggregate, GraphDatabase,
+        OfflineIndex, Planner, PosteriorCache, Posting, PostingsCursors, QueryEngine, QueryPlan,
+        RankDecision, RankedHit, ScanKernel, SearchOutcome, SearchStats, SegmentIndex,
+        SimilaritySearcher, Sink, SizeDecision, StaticPhi, Subscriber, TighteningRank, TopKHeap,
+        TopKOutcome, TopKSink,
     };
 }
 
