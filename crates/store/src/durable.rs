@@ -59,6 +59,10 @@ pub struct DurableDatabase<V: Vfs> {
     wal: WalWriter,
     database: DynamicDatabase,
     durability: DurabilityConfig,
+    /// The error of the most recent failed *auto*-compaction, held back so
+    /// the mutation that triggered it can still be acknowledged (it was
+    /// already durably logged). See [`Self::take_auto_compact_error`].
+    auto_compact_error: Option<StoreError>,
 }
 
 impl<V: Vfs> DurableDatabase<V> {
@@ -108,6 +112,7 @@ impl<V: Vfs> DurableDatabase<V> {
             wal,
             database,
             durability,
+            auto_compact_error: None,
         })
     }
 
@@ -134,9 +139,13 @@ impl<V: Vfs> DurableDatabase<V> {
         let replay = decode_wal(&bytes)?;
         if replay.torn_bytes > 0 {
             // The tail record was cut mid-write by a crash; it was never
-            // acknowledged, so dropping it preserves the guarantee. Make
-            // the truncation durable so the next append starts clean.
-            vfs.write(&wal_path, &bytes[..replay.valid_len])?;
+            // acknowledged, so dropping it preserves the guarantee. The
+            // log is shortened *in place* — never rewritten: an O_TRUNC +
+            // rewrite could destroy the already-synced prefix on the
+            // durable medium before the rewritten bytes are flushed,
+            // losing acknowledged mutations if power fails here. Then the
+            // truncation is synced so the next append starts clean.
+            vfs.truncate(&wal_path, replay.valid_len as u64)?;
             vfs.sync(&wal_path)?;
         }
         let mut records = replay.records.iter();
@@ -207,6 +216,7 @@ impl<V: Vfs> DurableDatabase<V> {
             wal,
             database,
             durability,
+            auto_compact_error: None,
         };
         recovered.clean_stale_files();
         Ok(recovered)
@@ -282,7 +292,12 @@ impl<V: Vfs> DurableDatabase<V> {
     ///
     /// # Errors
     /// [`StoreError::Io`] when the log append or sync fails; the in-memory
-    /// state is unchanged and the mutation is not acknowledged.
+    /// state is unchanged and the mutation is not acknowledged, and the
+    /// write path is sealed (the log may hold torn bytes) — reopen the
+    /// database to recover and resume. A failure of the *auto*-compaction
+    /// that a successful insert may trigger does **not** surface here —
+    /// the mutation is already durable, so the id is returned and the
+    /// compaction error is held for [`Self::take_auto_compact_error`].
     pub fn insert(&mut self, graph: Graph) -> StoreResult<u64> {
         let id = self.database.next_id();
         let record = WalRecord::Insert { id, graph };
@@ -293,7 +308,7 @@ impl<V: Vfs> DurableDatabase<V> {
         };
         let assigned = self.database.insert(graph);
         debug_assert_eq!(assigned, id, "logged id must match the assigned id");
-        self.maybe_auto_compact()?;
+        self.maybe_auto_compact();
         Ok(id)
     }
 
@@ -303,7 +318,10 @@ impl<V: Vfs> DurableDatabase<V> {
     /// # Errors
     /// [`StoreError::InvalidDatabase`] with
     /// [`EngineError::UnknownGraphId`] when `id` is not live (nothing is
-    /// logged), [`StoreError::Io`] when the log append or sync fails.
+    /// logged), [`StoreError::Io`] when the log append or sync fails — the
+    /// mutation is not acknowledged and the write path is sealed; reopen
+    /// to recover. As with [`Self::insert`], an auto-compaction failure
+    /// after the acknowledged tombstone is deferred, not returned.
     pub fn remove(&mut self, id: u64) -> StoreResult<()> {
         if !self.database.contains(id) {
             return Err(EngineError::UnknownGraphId(id).into());
@@ -316,7 +334,7 @@ impl<V: Vfs> DurableDatabase<V> {
         self.database
             .remove(id)
             .expect("id was checked live before logging");
-        self.maybe_auto_compact()?;
+        self.maybe_auto_compact();
         Ok(())
     }
 
@@ -330,13 +348,32 @@ impl<V: Vfs> DurableDatabase<V> {
         self.wal.sync(&self.vfs)
     }
 
-    fn maybe_auto_compact(&mut self) -> StoreResult<()> {
+    /// Runs the size-triggered compaction after an acknowledged mutation.
+    /// A failure here must not bubble into the mutation's own result — the
+    /// mutation is already durably logged and applied, and surfacing an
+    /// `Err` would invite the caller to retry and apply it twice — so the
+    /// error is parked for [`Self::take_auto_compact_error`] instead. The
+    /// handle stays consistent: a failed rotation leaves the old
+    /// generation live, and recovery replays it to the same state.
+    fn maybe_auto_compact(&mut self) {
         if let Some(limit) = self.durability.auto_compact_wal_bytes {
             if self.wal.bytes() >= limit {
-                self.compact()?;
+                if let Err(e) = self.compact() {
+                    self.auto_compact_error = Some(e);
+                }
             }
         }
-        Ok(())
+    }
+
+    /// Takes the error of the most recent failed automatic compaction, if
+    /// any. Auto-compaction runs *after* an insert/remove is acknowledged,
+    /// so its failures are reported out-of-band here rather than as the
+    /// mutation's result (which would wrongly suggest the mutation itself
+    /// did not persist). A deferred failure is not fatal: the oversized
+    /// log keeps accepting mutations, and the next one retries the
+    /// rotation.
+    pub fn take_auto_compact_error(&mut self) -> Option<StoreError> {
+        self.auto_compact_error.take()
     }
 
     /// Folds tombstones and the delta segment into snapshot generation
@@ -553,7 +590,7 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_truncated_and_overwritten_cleanly() {
+    fn torn_tail_is_truncated_in_place_cleanly() {
         let vfs = FaultVfs::new();
         let base = GraphDatabase::from_graphs(sample_graphs(3, 13));
         let mut db =
@@ -573,6 +610,133 @@ mod tests {
             .insert(sample_graphs(1, 15).pop().unwrap())
             .unwrap();
         let expected = fingerprint(recovered.database());
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+    }
+
+    /// The review-critical scenario: the WAL ends in a *synced* torn tail,
+    /// and recovery itself crashes at every point of its truncate + sync.
+    /// Because the log is shortened in place (never rewritten), the synced
+    /// prefix — and with it every acknowledged mutation — survives any of
+    /// those crashes; a rewrite-based truncation would lose the whole log
+    /// when the O_TRUNC reaches the medium before the rewrite is flushed,
+    /// which the `FaultVfs` overwrite model makes observable.
+    #[test]
+    fn crash_during_recovery_truncation_never_loses_synced_acks() {
+        let build = || {
+            let vfs = FaultVfs::new();
+            let base = GraphDatabase::from_graphs(sample_graphs(3, 23));
+            let mut db =
+                DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default())
+                    .unwrap();
+            db.insert(sample_graphs(1, 24).pop().unwrap()).unwrap();
+            let expected = fingerprint(db.database());
+            drop(db);
+            // A torn tail that made it to the durable medium.
+            let wal_path = Manifest { generation: 1 }.wal_path(&dir());
+            vfs.append(&wal_path, &[0x55; 7]).unwrap();
+            vfs.sync(&wal_path).unwrap();
+            (vfs, expected)
+        };
+        let (probe, expected) = build();
+        probe.arm(FaultSchedule::default());
+        DurableDatabase::open(probe.clone(), dir(), DurabilityConfig::default()).unwrap();
+        let budget = probe.bytes_charged();
+        assert!(budget > 0, "recovery must charge the truncate and sync");
+
+        for crash_at in 0..budget {
+            let (vfs, _) = build();
+            vfs.arm(FaultSchedule::crash_after(crash_at));
+            let _ = DurableDatabase::open(vfs.clone(), dir(), DurabilityConfig::default());
+            vfs.power_cycle();
+            let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default())
+                .unwrap_or_else(|e| panic!("crash at {crash_at}/{budget}: reopen failed: {e}"));
+            assert_eq!(
+                fingerprint(recovered.database()),
+                expected,
+                "crash at {crash_at}/{budget} lost a synced ack"
+            );
+        }
+    }
+
+    /// A failed append seals the write path: further mutations are typed
+    /// errors (no record may land after torn bytes), reads keep working,
+    /// and reopening recovers and resumes.
+    #[test]
+    fn failed_append_seals_the_write_path_until_reopen() {
+        let vfs = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 25));
+        let mut db =
+            DurableDatabase::create(vfs.clone(), dir(), base, DurabilityConfig::default()).unwrap();
+        let graphs = sample_graphs(3, 26);
+        db.insert(graphs[0].clone()).unwrap();
+        let expected = fingerprint(db.database());
+        // A transient fault tears the next append mid-record…
+        vfs.arm(FaultSchedule::crash_after(3));
+        assert!(db.insert(graphs[1].clone()).is_err());
+        vfs.arm(FaultSchedule::default());
+        // …and even though the disk is back, the handle refuses to append
+        // past the unaccounted torn bytes.
+        assert!(matches!(
+            db.insert(graphs[1].clone()),
+            Err(StoreError::Io { message, .. }) if message.contains("poisoned")
+        ));
+        assert_eq!(fingerprint(db.database()), expected, "reads still serve");
+        drop(db);
+        // Reopen: the torn tail is truncated and writes flow again.
+        let mut recovered =
+            DurableDatabase::open(vfs.clone(), dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+        recovered.insert(graphs[2].clone()).unwrap();
+        vfs.power_cycle();
+        let reopened = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(reopened.database()).len(), expected.len() + 1);
+    }
+
+    /// An auto-compaction failure after an acknowledged mutation is
+    /// deferred (the insert still returns its id — the mutation *is*
+    /// durable) and surfaced via `take_auto_compact_error`; the next
+    /// mutation retries the rotation.
+    #[test]
+    fn auto_compaction_failure_is_deferred_not_returned() {
+        // Measure the wal cost of one insert alone (append + sync).
+        let graphs = sample_graphs(2, 27);
+        let probe = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 28));
+        let mut db = DurableDatabase::create(
+            probe.clone(),
+            dir(),
+            base.clone(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        probe.arm(FaultSchedule::default());
+        db.insert(graphs[0].clone()).unwrap();
+        let insert_cost = probe.bytes_charged();
+        drop(db);
+
+        // Same insert with every-mutation auto-compaction, crashing just
+        // after the insert's own log write — inside the compaction.
+        let vfs = FaultVfs::new();
+        let config = DurabilityConfig::default().with_auto_compact_wal_bytes(Some(1));
+        let mut db = DurableDatabase::create(vfs.clone(), dir(), base, config).unwrap();
+        vfs.arm(FaultSchedule::crash_after(insert_cost + 2));
+        let id = db
+            .insert(graphs[0].clone())
+            .expect("the durably logged insert is acknowledged despite the compaction failure");
+        let deferred = db.take_auto_compact_error();
+        assert!(deferred.is_some(), "the compaction error is held back");
+        assert!(db.take_auto_compact_error().is_none(), "taken once");
+        assert_eq!(db.generation(), 1, "the failed rotation left gen 1 live");
+        assert!(db.contains(id));
+
+        // The fault clears; the next mutation retries the rotation.
+        vfs.arm(FaultSchedule::default());
+        db.insert(graphs[1].clone()).unwrap();
+        assert!(db.take_auto_compact_error().is_none());
+        assert!(db.generation() > 1, "the retried rotation went through");
+        let expected = fingerprint(db.database());
         vfs.power_cycle();
         let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
         assert_eq!(fingerprint(recovered.database()), expected);

@@ -15,7 +15,12 @@
 //! image only on a successful [`Vfs::sync`], and a rename (or remove)
 //! reaches it only on the next [`Vfs::sync_dir`] of its directory — a
 //! rename alone is **not** durable, which is precisely the bug class the
-//! harness exists to catch. On [`FaultVfs::power_cycle`] the visible state
+//! harness exists to catch. Destruction is modeled with the opposite
+//! polarity: an in-place overwrite ([`Vfs::write`] over an existing file)
+//! empties the durable image *immediately* — the `O_TRUNC` can reach the
+//! medium before any new byte is synced — and [`Vfs::truncate`] drops the
+//! durable tail immediately, so recovery code that rewrites a file when it
+//! only means to shorten it is caught by the harness. On [`FaultVfs::power_cycle`] the visible state
 //! reverts to the durable image (or, with
 //! [`FaultSchedule::persist_unsynced`], the opposite extreme: everything
 //! written survives, including torn tails), so a recovery path proven
@@ -36,9 +41,18 @@ pub trait Vfs {
     /// Reads a whole file.
     fn read(&self, path: &Path) -> StoreResult<Vec<u8>>;
     /// Creates or truncates a file with the given contents (no sync).
+    ///
+    /// This is an in-place overwrite (`O_TRUNC` + rewrite): the old
+    /// contents may be destroyed on the durable medium *before* the new
+    /// bytes are synced, so it must never be used to shorten a file whose
+    /// existing prefix has to survive a crash — that is [`Vfs::truncate`].
     fn write(&self, path: &Path, bytes: &[u8]) -> StoreResult<()>;
     /// Appends to a file, creating it when missing (no sync).
     fn append(&self, path: &Path, bytes: &[u8]) -> StoreResult<()>;
+    /// Shortens a file to `len` bytes in place (extending with zeros when
+    /// `len` exceeds the current size, like `ftruncate`), without touching
+    /// the surviving prefix (no sync).
+    fn truncate(&self, path: &Path, len: u64) -> StoreResult<()>;
     /// Syncs a file's contents to durable storage (`fsync`).
     fn sync(&self, path: &Path) -> StoreResult<()>;
     /// Syncs a directory, making completed renames/removes in it durable.
@@ -85,10 +99,22 @@ impl Vfs for StdVfs {
             .map_err(|e| io_error(path, e))
     }
 
+    fn truncate(&self, path: &Path, len: u64) -> StoreResult<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .and_then(|file| file.set_len(len))
+            .map_err(|e| io_error(path, e))
+    }
+
     fn sync(&self, path: &Path) -> StoreResult<()> {
         // fsync through a fresh descriptor flushes the file's dirty pages;
         // the descriptor the bytes were written through need not be alive.
-        std::fs::File::open(path)
+        // The handle must be writable: Windows' FlushFileBuffers rejects
+        // read-only handles.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
             .and_then(|file| file.sync_all())
             .map_err(|e| io_error(path, e))
     }
@@ -392,6 +418,16 @@ impl Vfs for FaultVfs {
         if s.crashed {
             return Err(FaultState::crash_error(path));
         }
+        // An in-place overwrite is O_TRUNC first: the destruction of the
+        // old contents can reach the durable medium at any moment after
+        // the call — including before a single new byte is synced — so the
+        // worst-case model applies it to the durable image eagerly. Code
+        // that overwrites a file whose prefix must survive (instead of
+        // using `truncate`) fails the harness, as it would a real disk.
+        let k = key(path);
+        if let Some(durable) = s.durable.get_mut(&k) {
+            durable.clear();
+        }
         let applied = s.charge(bytes.len() as u64) as usize;
         let mut content = bytes[..applied].to_vec();
         if s.crashed {
@@ -421,6 +457,29 @@ impl Vfs for FaultVfs {
         s.visible.entry(key(path)).or_default().extend(tail);
         if crashed {
             return Err(FaultState::crash_error(path));
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> StoreResult<()> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(FaultState::crash_error(path));
+        }
+        if s.charge(1) == 0 {
+            return Err(FaultState::crash_error(path));
+        }
+        let k = key(path);
+        let Some(bytes) = s.visible.get_mut(&k) else {
+            return Err(io_error(path, "no such file"));
+        };
+        bytes.resize(len as usize, 0);
+        // Shortening destroys the durable tail eagerly (worst case: the
+        // metadata update hits the medium before any sync); the surviving
+        // prefix — and that is the point of `truncate` over `write` — is
+        // untouched. Zero-extension is not durable until a sync.
+        if let Some(durable) = s.durable.get_mut(&k) {
+            durable.truncate(len as usize);
         }
         Ok(())
     }
@@ -562,7 +621,8 @@ mod tests {
         vfs.create_dir_all(&dir).unwrap();
         let file = dir.join("a.bin");
         vfs.write(&file, b"hello").unwrap();
-        vfs.append(&file, b" world").unwrap();
+        vfs.append(&file, b" world!").unwrap();
+        vfs.truncate(&file, 11).unwrap();
         vfs.sync(&file).unwrap();
         assert_eq!(vfs.read(&file).unwrap(), b"hello world");
         assert!(vfs.exists(&file));
@@ -585,6 +645,41 @@ mod tests {
         assert_eq!(vfs.read(&p("f")).unwrap(), b"synced lost");
         vfs.power_cycle();
         assert_eq!(vfs.read(&p("f")).unwrap(), b"synced");
+    }
+
+    #[test]
+    fn overwrite_destroys_the_durable_image_eagerly() {
+        let vfs = FaultVfs::new();
+        vfs.write(&p("f"), b"synced contents").unwrap();
+        vfs.sync(&p("f")).unwrap();
+        // Rewriting in place: the O_TRUNC may hit the medium before the
+        // new bytes are synced, so a crash now loses *both* versions.
+        vfs.write(&p("f"), b"synced con").unwrap();
+        vfs.power_cycle();
+        assert_eq!(
+            vfs.read(&p("f")).unwrap(),
+            b"",
+            "overwrite emptied the durable image"
+        );
+    }
+
+    #[test]
+    fn truncate_preserves_the_durable_prefix() {
+        let vfs = FaultVfs::new();
+        vfs.write(&p("f"), b"synced contents").unwrap();
+        vfs.sync(&p("f")).unwrap();
+        vfs.truncate(&p("f"), 10).unwrap();
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced con");
+        vfs.power_cycle();
+        // The shortening is destructive (durable tail gone at once), but
+        // the prefix survives — unlike an in-place rewrite.
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced con");
+        // Zero-extension is visible immediately but durable only on sync.
+        vfs.truncate(&p("f"), 12).unwrap();
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced con\0\0");
+        vfs.power_cycle();
+        assert_eq!(vfs.read(&p("f")).unwrap(), b"synced con");
+        assert!(vfs.truncate(&p("missing"), 0).is_err());
     }
 
     #[test]

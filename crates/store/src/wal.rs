@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! ┌───────────────────────────────────────────────────────────────┐
-//! │ record   length u32 · FNV-1a/64 of body u64 · body            │
+//! │ record   length u32 · FNV-1a/64 of body u64 ·                 │
+//! │          header check u32 (FNV-1a/64 of the 12 bytes above,   │
+//! │          truncated) · body                                    │
 //! │ body     sequence u64 · kind u8 · payload                     │
 //! │   kind 1 CHECKPOINT  generation u64 · next id u64 ·           │
 //! │                      base id count u64 · base ids u64…        │
@@ -12,6 +14,11 @@
 //! │   kind 3 REMOVE      stable id u64                            │
 //! └───────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! The header check covers the length and the body checksum, so a bit
+//! flip in the *length* field cannot masquerade as a torn tail: a frame
+//! that claims more bytes than the file holds is only trusted to be an
+//! interrupted final write when its header checksum is intact.
 //!
 //! Records are appended through the [`Vfs`] and synced before a mutation is
 //! acknowledged (when [`DurabilityConfig::sync_acks`] is on), so the log on
@@ -23,14 +30,19 @@
 //! [`decode_wal`] distinguishes the two failure classes a crash-recovery
 //! path must treat differently:
 //!
-//! * a record that runs past the end of the file, or whose checksum fails
-//!   **on the last record**, is a *torn tail* — the write the crash
-//!   interrupted. It is dropped (and the caller truncates the file), which
-//!   is safe because a torn record was by construction never acknowledged;
+//! * a record that runs past the end of the file (with an intact header
+//!   check), or whose body checksum fails **on the last record**, is a
+//!   *torn tail* — the write the crash interrupted. It is dropped (and the
+//!   caller truncates the file), which is safe because a torn record was
+//!   by construction never acknowledged;
 //! * a checksum or structure failure **before** the last record is mid-log
 //!   corruption of data that *was* synced — silently truncating there could
 //!   drop acknowledged mutations, so it is rejected with a typed
-//!   [`StoreError::CorruptAt`] carrying the byte offset.
+//!   [`StoreError::CorruptAt`] carrying the byte offset. A damaged *header*
+//!   is classified the same way: it counts as torn only when no intact
+//!   record follows it (i.e. it is plausibly the final, interrupted write);
+//!   if any intact record can be found after it, acknowledged data would be
+//!   lost by truncating, so it is `CorruptAt`.
 //!
 //! Sequence numbers are global and monotone (they continue across log
 //! rotations), so a stale or spliced log is caught by the very first
@@ -52,8 +64,21 @@ const KIND_CHECKPOINT: u8 = 1;
 const KIND_INSERT: u8 = 2;
 const KIND_REMOVE: u8 = 3;
 
-/// Bytes of the per-record frame header (length u32 + checksum u64).
-const FRAME_HEADER: usize = 4 + 8;
+/// Bytes of the per-record frame header (length u32 + body checksum u64 +
+/// header check u32).
+const FRAME_HEADER: usize = 4 + 8 + 4;
+
+/// Builds the 16-byte frame header + body for one encoded record body.
+fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut head = Writer::new();
+    head.u32(body.len() as u32);
+    head.u64(fnv1a64(body));
+    let mut out = head.into_bytes();
+    let head_check = fnv1a64(&out) as u32;
+    out.extend_from_slice(&head_check.to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
 
 /// One logical mutation (or checkpoint marker) in the log.
 #[derive(Debug, Clone)]
@@ -112,12 +137,7 @@ pub fn encode_record(seq: u64, record: &WalRecord) -> Vec<u8> {
             body.u64(*id);
         }
     }
-    let body = body.into_bytes();
-    let mut out = Writer::new();
-    out.u32(body.len() as u32);
-    out.u64(fnv1a64(&body));
-    out.bytes(&body);
-    out.into_bytes()
+    encode_frame(&body.into_bytes())
 }
 
 /// Decodes one record body (everything after the frame header).
@@ -170,6 +190,35 @@ fn decode_body(offset: usize, body: &[u8]) -> StoreResult<(u64, WalRecord)> {
     Ok((seq, record))
 }
 
+/// Whether any intact frame (valid header check, fully present body with a
+/// matching checksum, and a sequence number at or past `min_seq`) starts at
+/// or after `from`. Used only on the corrupt path, to decide whether a
+/// damaged frame header is plausibly the interrupted final write (nothing
+/// intact follows → torn) or mid-log corruption (truncating would lose the
+/// intact records after it).
+fn intact_frame_follows(bytes: &[u8], from: usize, min_seq: u64) -> bool {
+    let mut q = from;
+    while q + FRAME_HEADER <= bytes.len() {
+        let rest = &bytes[q..];
+        let head_check = u32::from_le_bytes(rest[12..FRAME_HEADER].try_into().expect("4 bytes"));
+        if fnv1a64(&rest[..FRAME_HEADER - 4]) as u32 == head_check {
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+            if rest.len() - FRAME_HEADER >= len && len >= 9 {
+                let body = &rest[FRAME_HEADER..FRAME_HEADER + len];
+                if fnv1a64(body) == checksum {
+                    let seq = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+                    if seq >= min_seq {
+                        return true;
+                    }
+                }
+            }
+        }
+        q += 1;
+    }
+    false
+}
+
 /// The result of scanning a log file.
 #[derive(Debug, Clone, Default)]
 pub struct WalReplay {
@@ -212,10 +261,26 @@ pub fn decode_wal(bytes: &[u8]) -> StoreResult<WalReplay> {
             return Ok(replay);
         }
         let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
-        let checksum = u64::from_le_bytes(rest[4..FRAME_HEADER].try_into().expect("8 bytes"));
+        let checksum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let head_check = u32::from_le_bytes(rest[12..FRAME_HEADER].try_into().expect("4 bytes"));
+        if fnv1a64(&rest[..FRAME_HEADER - 4]) as u32 != head_check {
+            // The header itself is damaged, so the length cannot be
+            // trusted. It is a torn final write only when nothing intact
+            // follows; an intact record after it means this damage sits
+            // inside the synced region and truncation would lose
+            // acknowledged data.
+            if intact_frame_follows(bytes, pos + 1, expected_seq.unwrap_or(0)) {
+                return Err(StoreError::CorruptAt {
+                    offset: pos as u64,
+                    reason: "wal frame header check failed before an intact record".into(),
+                });
+            }
+            torn(&mut replay);
+            return Ok(replay);
+        }
         if rest.len() - FRAME_HEADER < len {
-            // The frame claims more bytes than the file holds: the tail
-            // write never completed (or the length field itself is torn).
+            // The header is intact, so the length is real and the body
+            // write never completed: the interrupted final write.
             torn(&mut replay);
             return Ok(replay);
         }
@@ -259,6 +324,7 @@ pub struct WalWriter {
     path: PathBuf,
     next_seq: u64,
     bytes: u64,
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -268,7 +334,14 @@ impl WalWriter {
             path,
             next_seq,
             bytes,
+            poisoned: false,
         }
+    }
+
+    /// Whether an earlier failed append sealed this writer (see
+    /// [`WalWriter::append`]).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The log file this writer appends to.
@@ -291,14 +364,27 @@ impl WalWriter {
     /// sequence number.
     ///
     /// # Errors
-    /// [`StoreError::Io`] when the append or sync fails — in which case the
-    /// writer's state is unchanged and the mutation must not be
-    /// acknowledged.
+    /// [`StoreError::Io`] when the append or sync fails — the mutation must
+    /// not be acknowledged, and the writer is **poisoned**: the physical
+    /// file may now hold torn bytes the byte counter does not account for
+    /// (a partial `write(2)`, ENOSPC, …), so accepting further appends
+    /// would land records *after* the garbage and turn a recoverable torn
+    /// tail into unrecoverable mid-log corruption. Every later append (or
+    /// sync) fails with a typed error; reopening the database re-scans the
+    /// physical log and recovers.
     pub fn append<V: Vfs>(&mut self, vfs: &V, record: &WalRecord, sync: bool) -> StoreResult<u64> {
+        self.check_poisoned()?;
         let encoded = encode_record(self.next_seq, record);
-        vfs.append(&self.path, &encoded)?;
-        if sync {
-            vfs.sync(&self.path)?;
+        let result = vfs.append(&self.path, &encoded).and_then(|()| {
+            if sync {
+                vfs.sync(&self.path)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = result {
+            self.poisoned = true;
+            return Err(e);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -310,16 +396,31 @@ impl WalWriter {
     /// individual appends skip the per-record sync).
     ///
     /// # Errors
-    /// [`StoreError::Io`] when the sync fails.
+    /// [`StoreError::Io`] when the sync fails, or when the writer was
+    /// poisoned by an earlier failed append (syncing would make the torn
+    /// bytes durable while the writer still cannot continue past them).
     pub fn sync<V: Vfs>(&self, vfs: &V) -> StoreResult<()> {
+        self.check_poisoned()?;
         vfs.sync(&self.path)
+    }
+
+    fn check_poisoned(&self) -> StoreResult<()> {
+        if self.poisoned {
+            return Err(StoreError::Io {
+                path: self.path.display().to_string(),
+                message: "wal writer poisoned by an earlier failed append; \
+                          reopen the database to recover"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::vfs::FaultVfs;
+    use crate::vfs::{FaultSchedule, FaultVfs};
     use gbd_graph::{GeneratorConfig, LabelAlphabets};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -491,13 +592,8 @@ mod tests {
         let mut body = Writer::new();
         body.u64(1);
         body.u8(9);
-        let body = body.into_bytes();
-        let mut bytes = Writer::new();
-        bytes.u32(body.len() as u32);
-        bytes.u64(fnv1a64(&body));
-        bytes.bytes(&body);
         // Append a valid record so the bad one is not "the last".
-        let mut all = bytes.into_bytes();
+        let mut all = encode_frame(&body.into_bytes());
         all.extend(encode_record(2, &WalRecord::Remove { id: 0 }));
         assert!(matches!(
             decode_wal(&all),
@@ -510,12 +606,7 @@ mod tests {
         body.u8(KIND_REMOVE);
         body.u64(7);
         body.u8(0xEE);
-        let body = body.into_bytes();
-        let mut w = Writer::new();
-        w.u32(body.len() as u32);
-        w.u64(fnv1a64(&body));
-        w.bytes(&body);
-        let mut all = w.into_bytes();
+        let mut all = encode_frame(&body.into_bytes());
         all.extend(encode_record(2, &WalRecord::Remove { id: 0 }));
         assert!(matches!(
             decode_wal(&all),
@@ -523,28 +614,75 @@ mod tests {
         ));
     }
 
-    /// Random single-byte flips over a multi-record log: the decoder never
-    /// panics, and every flip either surfaces as a typed error, a torn
-    /// tail, or (flips in an id/payload that keep the checksum... never —
-    /// FNV catches single-byte damage) a shorter valid prefix.
+    /// Every single-byte flip over a multi-record log is classified
+    /// exactly: damage anywhere before the final record — header *or*
+    /// body, the length field included — is mid-log corruption (a typed
+    /// error, never a silent truncation of acknowledged records), and
+    /// damage inside the final record is a torn tail that drops only that
+    /// record.
     #[test]
-    fn random_bit_flips_never_panic_the_decoder() {
-        let bytes = encode_all(&sample_records());
-        for k in 0..64 {
-            let position = (k * 131) % bytes.len();
-            let mut copy = bytes.clone();
-            copy[position] ^= 1 << (k % 8);
-            match decode_wal(&copy) {
-                Ok(replay) => {
-                    // A flip can only shorten the decoded prefix, never
-                    // invent records.
-                    assert!(replay.records.len() <= 4, "flip at {position}");
+    fn every_bit_flip_is_corrupt_before_the_last_record_and_torn_inside_it() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        let last_start = encode_all(&records[..3]).len();
+        for position in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut copy = bytes.clone();
+                copy[position] ^= 1 << bit;
+                if position < last_start {
+                    assert!(
+                        matches!(
+                            decode_wal(&copy),
+                            Err(StoreError::CorruptAt { .. }) | Err(StoreError::Corrupt(_))
+                        ),
+                        "flip {bit}@{position} inside the synced region must be typed corruption"
+                    );
+                } else {
+                    let replay = decode_wal(&copy).unwrap_or_else(|e| {
+                        panic!("flip {bit}@{position} in the final record must be torn, got {e}")
+                    });
+                    assert_eq!(replay.records.len(), 3, "flip {bit}@{position}");
+                    assert_eq!(replay.valid_len, last_start, "flip {bit}@{position}");
+                    assert!(replay.torn_bytes > 0, "flip {bit}@{position}");
                 }
-                Err(StoreError::CorruptAt { .. }) | Err(StoreError::Corrupt(_)) => {}
-                Err(StoreError::Truncated { .. }) => {}
-                Err(other) => panic!("unexpected error class at {position}: {other}"),
             }
         }
+    }
+
+    /// A failed append (torn bytes may be on disk) seals the writer: no
+    /// further append or sync is accepted, so new records can never land
+    /// after unaccounted garbage and corrupt the log mid-stream.
+    #[test]
+    fn failed_appends_poison_the_writer() {
+        let vfs = FaultVfs::new();
+        let path = PathBuf::from("wal/poison.log");
+        let mut writer = WalWriter::new(path.clone(), 1, 0);
+        writer
+            .append(&vfs, &WalRecord::Remove { id: 1 }, true)
+            .unwrap();
+        let bytes_before = writer.bytes();
+        // Crash mid-append: part of the record reaches the file.
+        vfs.arm(FaultSchedule::crash_after(5));
+        assert!(writer
+            .append(&vfs, &WalRecord::Remove { id: 2 }, true)
+            .is_err());
+        assert!(writer.poisoned());
+        assert_eq!(writer.bytes(), bytes_before, "counter unchanged");
+        assert!(
+            vfs.visible_len(&path).unwrap() > bytes_before as usize,
+            "the file really does hold torn bytes past the counter"
+        );
+        // The fault clears (transient error), but the writer stays sealed.
+        vfs.arm(FaultSchedule::default());
+        assert!(matches!(
+            writer.append(&vfs, &WalRecord::Remove { id: 3 }, true),
+            Err(StoreError::Io { message, .. }) if message.contains("poisoned")
+        ));
+        assert!(writer.sync(&vfs).is_err());
+        // Rescanning the physical file recovers the clean prefix.
+        let replay = decode_wal(&vfs.read(&path).unwrap()).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.valid_len, bytes_before as usize);
     }
 
     #[test]
