@@ -268,6 +268,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", options.out);
+    gbd_bench::write_telemetry_sidecar(&options.out);
     if options.check {
         match check(&options.out) {
             Ok(()) => eprintln!("check passed: JSON parses, every scan stage accounted for"),

@@ -300,6 +300,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", options.out);
+    gbd_bench::write_telemetry_sidecar(&options.out);
     if options.check {
         match check(&options.out) {
             Ok(()) => eprintln!("check passed: recovery replays to a scan-bit-identical state"),

@@ -304,6 +304,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {}", options.out);
+    gbd_bench::write_telemetry_sidecar(&options.out);
     if options.check {
         match check(&options.out) {
             Ok(()) => {

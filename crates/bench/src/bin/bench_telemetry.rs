@@ -1,0 +1,346 @@
+//! Machine-readable telemetry-overhead benchmark: prices the observability
+//! layer and proves it faithful, writing `results/BENCH_telemetry.json`.
+//!
+//! Three measurements:
+//!
+//! * **Primitive costs** — nanoseconds per sharded counter increment and
+//!   per armed span enter/exit (the two hot-path operations), plus the cost
+//!   of a span at `TelemetryLevel::Off` (one relaxed load, the gate every
+//!   instrumented call site pays when telemetry is disabled).
+//! * **Scan overhead** — the same query stream over the same database at
+//!   `Off`, `Metrics` and `MetricsAndTraces`, min-of-repeats;
+//!   `metrics_overhead_ratio` is Metrics time over Off time. Counters are
+//!   flushed once per finished search from the already-aggregated
+//!   [`SearchStats`], so this ratio is the *whole* price of the default
+//!   level.
+//! * **Partition fidelity** — around a single search on each of the
+//!   threshold, top-k and dynamic paths, the registry's counter deltas must
+//!   reproduce [`SearchStats::stage_partition`] *bit-exactly*:
+//!   `bound_rejected + bound_accepted + rank_rejected + postings_resolved +
+//!   merged == evaluated`, with every term equal to its `SearchStats`
+//!   counterpart.
+//!
+//! Usage: `bench_telemetry [--database N] [--queries N] [--repeats K]
+//! [--out PATH] [--check]`. `--check` re-reads the written file and asserts
+//! the Metrics overhead ratio stays under 1.05 and every partition check
+//! matched. CI runs this as a smoke step.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gbd_bench::json::{self, JsonValue};
+use gbd_bench::workloads::mixed_size_online_workload;
+use gbd_telemetry::{global, set_level, span, TelemetryLevel};
+use gbda_core::{
+    DynamicDatabase, DynamicEngine, GbdaConfig, GraphDatabase, OfflineIndex, QueryEngine,
+    SearchStats,
+};
+
+struct Options {
+    database: usize,
+    queries: usize,
+    repeats: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        database: 10_000,
+        queries: 16,
+        repeats: 5,
+        out: "results/BENCH_telemetry.json".to_owned(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--database" => {
+                let value = args.next().ok_or("--database needs a value")?;
+                options.database = value.parse::<usize>().map_err(|e| e.to_string())?.max(64);
+            }
+            "--queries" => {
+                let value = args.next().ok_or("--queries needs a value")?;
+                options.queries = value.parse::<usize>().map_err(|e| e.to_string())?.max(1);
+            }
+            "--repeats" => {
+                let value = args.next().ok_or("--repeats needs a value")?;
+                options.repeats = value.parse::<usize>().map_err(|e| e.to_string())?.max(1);
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a value")?,
+            "--check" => options.check = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// Nanoseconds per operation: `total` timed executions of `op`, min over
+/// `repeats` runs (min resists scheduler noise better than the mean).
+fn ns_per_op(repeats: usize, total: usize, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..=repeats {
+        let started = Instant::now();
+        for _ in 0..total {
+            op();
+        }
+        let elapsed = started.elapsed().as_secs_f64() * 1e9 / total as f64;
+        // The first (warm-up) run is measured but discarded via min anyway.
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Seconds for one pass of `queries` searches, min over `repeats` passes.
+fn scan_seconds(repeats: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let started = Instant::now();
+        pass();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Compares the registry's counter deltas around one search against that
+/// search's own [`SearchStats`], term by term.
+fn partition_check(
+    path: &'static str,
+    run: impl FnOnce() -> SearchStats,
+) -> (JsonValue, bool, usize) {
+    let before = global().snapshot();
+    let stats = run();
+    let delta = global().snapshot().delta(&before);
+    let terms: [(&str, usize); 5] = [
+        ("gbda_scan_bound_rejected_total", stats.bound_rejected),
+        ("gbda_scan_bound_accepted_total", stats.bound_accepted),
+        ("gbda_scan_rank_rejected_total", stats.rank_rejected),
+        ("gbda_scan_postings_resolved_total", stats.postings_resolved),
+        ("gbda_scan_merged_total", stats.merged),
+    ];
+    let evaluated = delta.counter("gbda_scan_evaluated_total");
+    let partition: u64 = terms.iter().map(|&(name, _)| delta.counter(name)).sum();
+    let matched = evaluated == stats.evaluated as u64
+        && partition == evaluated
+        && stats.stage_partition() == stats.evaluated
+        && terms
+            .iter()
+            .all(|&(name, stat)| delta.counter(name) == stat as u64);
+    let number = JsonValue::Number;
+    let entry = JsonValue::Object(vec![
+        ("path".into(), JsonValue::String(path.into())),
+        ("evaluated".into(), number(evaluated as f64)),
+        ("partition".into(), number(partition as f64)),
+        ("stats_match".into(), JsonValue::Bool(matched)),
+    ]);
+    (entry, matched, stats.evaluated)
+}
+
+fn run_bench(options: &Options) -> Result<JsonValue, String> {
+    let number = JsonValue::Number;
+
+    // Primitive costs.
+    set_level(TelemetryLevel::Metrics);
+    let counter = global().counter(
+        "bench_telemetry_increments_total",
+        "Scratch counter of the telemetry micro-benchmark.",
+    );
+    let counter_increment_ns = ns_per_op(options.repeats, 4_000_000, || counter.inc());
+    set_level(TelemetryLevel::MetricsAndTraces);
+    let span_enter_exit_ns = ns_per_op(options.repeats, 1_000_000, || {
+        let _span = span!("bench.span");
+    });
+    set_level(TelemetryLevel::Off);
+    let span_off_ns = ns_per_op(options.repeats, 4_000_000, || {
+        let _span = span!("bench.span");
+    });
+    eprintln!(
+        "# primitives: counter inc {counter_increment_ns:.1} ns | span {span_enter_exit_ns:.1} ns \
+         | gated-off span {span_off_ns:.2} ns"
+    );
+
+    // One database, one index, one engine for every level.
+    let (graphs, query) = mixed_size_online_workload(options.database);
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(4, 0.8).with_sample_pairs(200);
+    let index = OfflineIndex::build(&database, &config).map_err(|e| format!("offline: {e}"))?;
+    let engine = QueryEngine::new(&database, &index, config.clone());
+
+    let mut level_seconds = [0.0f64; 3];
+    for (slot, level) in [
+        TelemetryLevel::Off,
+        TelemetryLevel::Metrics,
+        TelemetryLevel::MetricsAndTraces,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        set_level(level);
+        level_seconds[slot] = scan_seconds(options.repeats, || {
+            for _ in 0..options.queries {
+                std::hint::black_box(engine.search(std::hint::black_box(&query)));
+            }
+        });
+        eprintln!(
+            "# {:>18}: {:>9.1} µs/query",
+            level.name(),
+            level_seconds[slot] * 1e6 / options.queries as f64
+        );
+    }
+    let [off, metrics, traces] = level_seconds;
+    let metrics_overhead_ratio = metrics / off.max(1e-12);
+    let traces_overhead_ratio = traces / off.max(1e-12);
+    eprintln!(
+        "# overhead: metrics/off {metrics_overhead_ratio:.4} | traces/off {traces_overhead_ratio:.4}"
+    );
+
+    // Partition fidelity on all three scan paths, at the default level.
+    set_level(TelemetryLevel::Metrics);
+    let dynamic_database = DynamicDatabase::new(database.clone());
+    let dynamic_engine = DynamicEngine::new(&dynamic_database, &index, config.clone());
+    let mut checks = Vec::new();
+    let mut all_matched = true;
+    for (entry, matched, evaluated) in [
+        partition_check("threshold", || engine.search(&query).stats),
+        partition_check("top_k", || engine.search_top_k(&query, 10).stats),
+        partition_check("dynamic", || dynamic_engine.search(&query).stats),
+    ] {
+        all_matched &= matched && evaluated > 0;
+        checks.push(entry);
+    }
+    eprintln!("# partition bit-match: {all_matched}");
+
+    Ok(JsonValue::Object(vec![
+        ("bench".into(), JsonValue::String("telemetry".into())),
+        ("database".into(), number(options.database as f64)),
+        ("queries".into(), number(options.queries as f64)),
+        ("repeats".into(), number(options.repeats as f64)),
+        ("counter_increment_ns".into(), number(counter_increment_ns)),
+        ("span_enter_exit_ns".into(), number(span_enter_exit_ns)),
+        ("span_off_ns".into(), number(span_off_ns)),
+        (
+            "off_query_us".into(),
+            number(off * 1e6 / options.queries as f64),
+        ),
+        (
+            "metrics_query_us".into(),
+            number(metrics * 1e6 / options.queries as f64),
+        ),
+        (
+            "traces_query_us".into(),
+            number(traces * 1e6 / options.queries as f64),
+        ),
+        (
+            "metrics_overhead_ratio".into(),
+            number(metrics_overhead_ratio),
+        ),
+        (
+            "traces_overhead_ratio".into(),
+            number(traces_overhead_ratio),
+        ),
+        ("partition_checks".into(), JsonValue::Array(checks)),
+    ]))
+}
+
+/// The CI guard: the file parses, the default level costs under 5% on the
+/// scan bench, and the telemetry counters reproduced every search's stage
+/// partition bit-exactly.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let document = json::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    for field in ["counter_increment_ns", "span_enter_exit_ns"] {
+        let value = document
+            .get(field)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing {field}"))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("{field} = {value} is not a timing"));
+        }
+    }
+    let ratio = document
+        .get("metrics_overhead_ratio")
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing metrics_overhead_ratio")?;
+    if !(ratio.is_finite() && ratio < 1.05) {
+        return Err(format!(
+            "metrics_overhead_ratio = {ratio:.4} — the default level must cost < 5%"
+        ));
+    }
+    let checks = document
+        .get("partition_checks")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing partition_checks")?;
+    if checks.len() < 3 {
+        return Err(format!("only {} partition checks recorded", checks.len()));
+    }
+    for entry in checks {
+        let path = entry.get("path").map(|p| format!("{p:?}"));
+        match entry.get("stats_match") {
+            Some(JsonValue::Bool(true)) => {}
+            other => {
+                return Err(format!(
+                    "partition check {path:?}: stats_match is {other:?} — telemetry \
+                     diverged from SearchStats"
+                ))
+            }
+        }
+        let evaluated = entry
+            .get("evaluated")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing evaluated")?;
+        let partition = entry
+            .get("partition")
+            .and_then(JsonValue::as_usize)
+            .ok_or("missing partition")?;
+        if evaluated == 0 || evaluated != partition {
+            return Err(format!(
+                "partition check {path:?}: partition {partition} vs evaluated {evaluated}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let document = match run_bench(&options) {
+        Ok(document) => document,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(parent) = std::path::Path::new(&options.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&options.out, document.render()) {
+        eprintln!("error: write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", options.out);
+    gbd_bench::write_telemetry_sidecar(&options.out);
+    if options.check {
+        match check(&options.out) {
+            Ok(()) => eprintln!(
+                "check passed: metrics cost < 5% and the stage partition bit-matches SearchStats"
+            ),
+            Err(message) => {
+                eprintln!("check FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -42,4 +42,6 @@ fn main() {
         "\ntotal experiment-suite time: {:.1}s",
         started.elapsed().as_secs_f64()
     );
+    // One introspection snapshot for the whole suite, beside the tables.
+    gbd_bench::write_telemetry_sidecar("results/all.json");
 }

@@ -17,3 +17,28 @@ pub mod workloads;
 
 pub use experiments::{registry, Experiment};
 pub use table::ExperimentTable;
+
+/// Writes the global telemetry registry's JSON rendering next to a results
+/// file: `results/BENCH_foo.json` → `results/BENCH_foo.telemetry.json`.
+///
+/// Every bench binary calls this after writing its results, so each run
+/// leaves an introspection snapshot (counters, gauges, histograms, trace
+/// accounting) beside its numbers. Best-effort: a bench must not fail
+/// because the sidecar could not be written.
+pub fn write_telemetry_sidecar(results_path: &str) {
+    let path = std::path::Path::new(results_path);
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("results");
+    let sidecar = path.with_file_name(format!("{stem}.telemetry.json"));
+    if let Some(parent) = sidecar.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
+    match std::fs::write(&sidecar, gbd_telemetry::global().render_json()) {
+        Ok(()) => eprintln!("wrote {}", sidecar.display()),
+        Err(e) => eprintln!("warning: telemetry sidecar {}: {e}", sidecar.display()),
+    }
+}

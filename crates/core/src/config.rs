@@ -1,6 +1,7 @@
 //! Configuration of the GBDA search engine.
 
 use gbd_prob::GmmConfig;
+pub use gbd_telemetry::TelemetryLevel;
 
 /// Which flavour of the GBDA estimator to run (Section VII-D).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +66,14 @@ pub struct GbdaConfig {
     ///
     /// [`SearchStats`]: crate::SearchStats
     pub force_fixed_pipeline: bool,
+    /// How much the process-wide telemetry layer records (see the
+    /// `gbd-telemetry` crate). Applied globally when an engine is built
+    /// from this configuration: [`TelemetryLevel::Off`] reduces every
+    /// instrumentation site to one relaxed load, the default
+    /// [`TelemetryLevel::Metrics`] records counters/gauges/histograms,
+    /// and [`TelemetryLevel::MetricsAndTraces`] additionally arms spans.
+    /// Results are bit-identical at every level.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for GbdaConfig {
@@ -80,6 +89,7 @@ impl Default for GbdaConfig {
             record_posteriors: true,
             filter_cascade: true,
             force_fixed_pipeline: false,
+            telemetry: TelemetryLevel::Metrics,
         }
     }
 }
@@ -136,6 +146,13 @@ impl GbdaConfig {
     /// per-query planner skip or reorder stages.
     pub fn with_force_fixed_pipeline(mut self, force: bool) -> Self {
         self.force_fixed_pipeline = force;
+        self
+    }
+
+    /// Overrides the process-wide [`TelemetryLevel`] applied when an
+    /// engine is built from this configuration.
+    pub fn with_telemetry(mut self, telemetry: TelemetryLevel) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -212,6 +229,19 @@ mod tests {
         assert!(c.record_posteriors);
         assert!(c.filter_cascade);
         assert!(!c.force_fixed_pipeline, "the planner is on by default");
+        assert_eq!(
+            c.telemetry,
+            TelemetryLevel::Metrics,
+            "metrics are on by default"
+        );
+    }
+
+    #[test]
+    fn telemetry_level_is_overridable() {
+        let c = GbdaConfig::default().with_telemetry(TelemetryLevel::Off);
+        assert_eq!(c.telemetry, TelemetryLevel::Off);
+        let c = c.with_telemetry(TelemetryLevel::MetricsAndTraces);
+        assert_eq!(c.telemetry, TelemetryLevel::MetricsAndTraces);
     }
 
     #[test]

@@ -437,6 +437,7 @@ impl DynamicDatabase {
         self.delta_ids.push(id);
         self.delta_tombstones.push_alive();
         self.locations.insert(id, Location::Delta(delta_index));
+        crate::obs::record_dynamic_insert(self.delta.len(), self.tombstone_count());
         id
     }
 
@@ -450,14 +451,14 @@ impl DynamicDatabase {
         match self.locations.remove(&id) {
             Some(Location::Base(i)) => {
                 self.base_tombstones.set(i);
-                Ok(())
             }
             Some(Location::Delta(i)) => {
                 self.delta_tombstones.set(i);
-                Ok(())
             }
-            None => Err(EngineError::UnknownGraphId(id)),
+            None => return Err(EngineError::UnknownGraphId(id)),
         }
+        crate::obs::record_dynamic_remove(self.delta.len(), self.tombstone_count());
+        Ok(())
     }
 
     /// Folds the delta segment and all tombstones into a fresh immutable
@@ -469,6 +470,8 @@ impl DynamicDatabase {
     /// construction, same canonical order). Returns the number of surviving
     /// graphs.
     pub fn compact(&mut self) -> usize {
+        let started = std::time::Instant::now();
+        let _span = gbd_telemetry::span!("dynamic.compact");
         let (ids, graphs): (Vec<u64>, Vec<Graph>) = self
             .live_graphs()
             .map(|(id, graph)| (id, graph.clone()))
@@ -486,6 +489,11 @@ impl DynamicDatabase {
             .collect();
         self.base_ids = ids;
         self.max_vertices_hint = self.base.max_vertices();
+        crate::obs::record_dynamic_compact(
+            started.elapsed().as_secs_f64(),
+            self.delta.len(),
+            self.tombstone_count(),
+        );
         self.base.len()
     }
 }
@@ -550,6 +558,7 @@ impl<'a> DynamicEngine<'a> {
             }
             _ => None,
         };
+        gbd_telemetry::set_level(config.telemetry);
         DynamicEngine {
             dynamic,
             index,
@@ -647,6 +656,7 @@ impl<'a> DynamicEngine<'a> {
     /// tombstone mask, both through the same filter cascade.
     pub fn search(&self, query: &Graph) -> DynamicOutcome {
         let started = Instant::now();
+        let _span = gbd_telemetry::span!("dynamic.search");
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
@@ -685,6 +695,7 @@ impl<'a> DynamicEngine<'a> {
         if !self.config.force_fixed_pipeline {
             self.planner.observe(&outcome.stats);
         }
+        crate::obs::record_search(&outcome.stats, outcome.seconds);
         outcome
     }
 
@@ -697,6 +708,8 @@ impl<'a> DynamicEngine<'a> {
     where
         F: FnMut(u64, Option<f64>),
     {
+        let started = Instant::now();
+        let _span = gbd_telemetry::span!("dynamic.search_streaming");
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
         let query_size = query.vertex_count();
@@ -727,6 +740,7 @@ impl<'a> DynamicEngine<'a> {
         if !self.config.force_fixed_pipeline {
             self.planner.observe(&outcome.stats);
         }
+        crate::obs::record_search(&outcome.stats, started.elapsed().as_secs_f64());
         outcome.stats
     }
 
@@ -795,6 +809,7 @@ impl<'a> DynamicEngine<'a> {
     /// static engine.
     pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
         let started = Instant::now();
+        let _span = gbd_telemetry::span!("dynamic.search_top_k");
         if k == 0 {
             return DynamicTopKOutcome::default();
         }
@@ -842,6 +857,7 @@ impl<'a> DynamicEngine<'a> {
         if !self.config.force_fixed_pipeline {
             self.planner.observe(&outcome.stats);
         }
+        crate::obs::record_search(&outcome.stats, outcome.seconds);
         outcome
     }
 

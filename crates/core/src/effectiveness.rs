@@ -1,4 +1,10 @@
 //! Effectiveness metrics: precision, recall and F1-score (Section VII-C2).
+//!
+//! This module measures *paper effectiveness* of a result set against the
+//! ground truth; it is unrelated to runtime telemetry, which lives in the
+//! `gbd-telemetry` crate (the module was renamed from `metrics` to keep
+//! that distinction unambiguous — the old path remains as a deprecated
+//! re-export for one release).
 
 /// Confusion counts of one similarity-search result against the ground truth.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -14,17 +20,35 @@ pub struct Confusion {
 impl Confusion {
     /// Builds the confusion counts from a returned set and the ground-truth
     /// positive set (both as sorted-or-not index lists).
+    ///
+    /// Sorts both lists once and counts by a two-pointer merge —
+    /// `O((n + m) log (n + m))` instead of the quadratic
+    /// one-`contains`-per-element scan — with membership semantics
+    /// identical to the naive version (each occurrence counts, duplicates
+    /// included).
     pub fn from_sets(returned: &[usize], positives: &[usize]) -> Self {
+        let mut returned_sorted = returned.to_vec();
+        let mut positives_sorted = positives.to_vec();
+        returned_sorted.sort_unstable();
+        positives_sorted.sort_unstable();
         let mut confusion = Confusion::default();
-        for r in returned {
-            if positives.contains(r) {
+        let mut p = 0;
+        for &r in &returned_sorted {
+            while positives_sorted.get(p).is_some_and(|&value| value < r) {
+                p += 1;
+            }
+            if positives_sorted.get(p) == Some(&r) {
                 confusion.true_positives += 1;
             } else {
                 confusion.false_positives += 1;
             }
         }
-        for p in positives {
-            if !returned.contains(p) {
+        let mut r = 0;
+        for &p in &positives_sorted {
+            while returned_sorted.get(r).is_some_and(|&value| value < p) {
+                r += 1;
+            }
+            if returned_sorted.get(r) != Some(&p) {
                 confusion.false_negatives += 1;
             }
         }
@@ -125,6 +149,42 @@ mod tests {
         let nothing_expected = Confusion::from_sets(&[1], &[]);
         assert_eq!(nothing_expected.precision(), 0.0);
         assert_eq!(nothing_expected.recall(), 1.0);
+    }
+
+    #[test]
+    fn sort_and_merge_matches_the_naive_contains_semantics() {
+        // Reference: the pre-optimization quadratic implementation.
+        fn naive(returned: &[usize], positives: &[usize]) -> Confusion {
+            let mut c = Confusion::default();
+            for r in returned {
+                if positives.contains(r) {
+                    c.true_positives += 1;
+                } else {
+                    c.false_positives += 1;
+                }
+            }
+            for p in positives {
+                if !returned.contains(p) {
+                    c.false_negatives += 1;
+                }
+            }
+            c
+        }
+        let cases: [(&[usize], &[usize]); 6] = [
+            (&[9, 1, 5, 1], &[1, 7, 5]), // unsorted, duplicate in returned
+            (&[2, 2, 2], &[2]),          // duplicates all matching
+            (&[], &[3, 1]),              // nothing returned
+            (&[4, 4], &[]),              // nothing expected
+            (&[0, 1, 2, 3], &[3, 2, 1, 0]),
+            (&[10, 20, 30], &[15, 25, 35]),
+        ];
+        for (returned, positives) in cases {
+            assert_eq!(
+                Confusion::from_sets(returned, positives),
+                naive(returned, positives),
+                "diverges on returned {returned:?}, positives {positives:?}"
+            );
+        }
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl<'a> QueryEngine<'a> {
             }
             _ => None,
         };
+        gbd_telemetry::set_level(config.telemetry);
         QueryEngine {
             database,
             index,
@@ -292,6 +293,11 @@ impl<'a> QueryEngine<'a> {
     /// counters (including the filter cascade's per-stage skip counts) are
     /// summed over all queries, timings are summed, and `shards` reports
     /// the number of worker threads the batch actually used.
+    ///
+    /// Aggregation loses the per-query latency resolution, but each query
+    /// of the batch feeds the workspace telemetry histograms
+    /// (`gbda_query_seconds` & co, see the `gbd-telemetry` crate) before
+    /// its stats are absorbed, so the distribution survives there.
     pub fn search_batch_with_stats(&self, queries: &[Graph]) -> (Vec<SearchOutcome>, SearchStats) {
         let (outcomes, batch_workers) =
             run_batch(self.config.shards.max(1), queries, |query, shards| {
@@ -343,6 +349,7 @@ impl<'a> QueryEngine<'a> {
     }
 
     fn search_with_shards(&self, query: &Graph, shards: usize) -> SearchOutcome {
+        let _span = gbd_telemetry::Span::enter("engine.search");
         let started = Instant::now();
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
@@ -402,11 +409,13 @@ impl<'a> QueryEngine<'a> {
             Planner::book(kernel.plan(), &mut totals);
             self.planner.observe(&totals);
         }
+        let seconds = started.elapsed().as_secs_f64();
+        crate::obs::record_search(&totals, seconds);
 
         SearchOutcome {
             matches,
             posteriors,
-            seconds: started.elapsed().as_secs_f64(),
+            seconds,
             stats: totals,
         }
     }
@@ -422,6 +431,8 @@ impl<'a> QueryEngine<'a> {
     where
         F: FnMut(usize, Option<f64>),
     {
+        let _span = gbd_telemetry::Span::enter("engine.search_streaming");
+        let started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
         let query_flat = self.database.catalog().flatten_lookup(&query_branches);
         let kernel = self.kernel(query.vertex_count(), &query_flat);
@@ -459,6 +470,7 @@ impl<'a> QueryEngine<'a> {
             Planner::book(kernel.plan(), &mut stats);
             self.planner.observe(&stats);
         }
+        crate::obs::record_search(&stats, started.elapsed().as_secs_f64());
         stats
     }
 
@@ -539,6 +551,7 @@ impl<'a> QueryEngine<'a> {
     }
 
     fn search_top_k_with_shards(&self, query: &Graph, k: usize, shards: usize) -> TopKOutcome {
+        let _span = gbd_telemetry::Span::enter("engine.search_top_k");
         let started = Instant::now();
         if k == 0 {
             return TopKOutcome::default();
@@ -599,10 +612,12 @@ impl<'a> QueryEngine<'a> {
             Planner::book(kernel.plan(), &mut totals);
             self.planner.observe(&totals);
         }
+        let seconds = started.elapsed().as_secs_f64();
+        crate::obs::record_search(&totals, seconds);
 
         TopKOutcome {
             hits,
-            seconds: started.elapsed().as_secs_f64(),
+            seconds,
             stats: totals,
         }
     }

@@ -189,6 +189,18 @@ impl Planner {
         if plan.postings_first {
             stats.plan_postings_first += 1;
         }
+        // The planner's aggregate skip/reorder counters reach the metrics
+        // registry via the per-search flush; with traces armed, each
+        // individual decision is also visible in the trace ring.
+        if gbd_telemetry::traces_enabled() {
+            gbd_telemetry::trace_event("planner.plan", "use_bounds", plan.use_bounds as u64);
+            gbd_telemetry::trace_event("planner.plan", "use_stage2", plan.use_stage2 as u64);
+            gbd_telemetry::trace_event(
+                "planner.plan",
+                "postings_first",
+                plan.postings_first as u64,
+            );
+        }
     }
 }
 

@@ -676,6 +676,9 @@ impl<'q, S: SegmentIndex> ScanKernel<'q, S> {
         C: Cutoff,
         K: Sink<I>,
     {
+        // Armed only at TelemetryLevel::MetricsAndTraces; otherwise one
+        // relaxed load per scan call (not per graph).
+        let _span = gbd_telemetry::span!("kernel.scan");
         match &self.cascade {
             Some(cascade) => {
                 let prune = self.plan.use_bounds && cascade.bounds_usable() && cutoff.prunes();

@@ -31,8 +31,9 @@
 //!   the LSAP / Greedy-Sort-GED / seriation baselines,
 //! * [`estimator`] — GBDA as a point estimator of the GED,
 //! * [`error`] — the engine error type,
-//! * [`metrics`] — precision / recall / F1 used by the effectiveness
-//!   experiments.
+//! * [`effectiveness`] — precision / recall / F1 used by the
+//!   effectiveness experiments (runtime telemetry is the separate
+//!   `gbd-telemetry` crate, fed by every scan).
 //!
 //! ```
 //! use gbd_graph::GeneratorConfig;
@@ -57,21 +58,30 @@ pub mod baseline;
 pub mod config;
 pub mod database;
 pub mod dynamic;
+pub mod effectiveness;
 pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod filter;
 pub mod kernel;
-pub mod metrics;
+mod obs;
 pub mod offline;
 pub mod posterior_cache;
 pub mod search;
 pub mod topk;
 
+/// The old name of [`effectiveness`], kept for one release.
+#[deprecated(
+    since = "0.1.0",
+    note = "renamed to `effectiveness`; runtime telemetry lives in the `gbd-telemetry` crate"
+)]
+pub use effectiveness as metrics;
+
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
-pub use config::{DurabilityConfig, GbdaConfig, GbdaVariant};
+pub use config::{DurabilityConfig, GbdaConfig, GbdaVariant, TelemetryLevel};
 pub use database::{BucketRun, DatabaseParts, GraphAggregate, GraphDatabase, Posting};
 pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, Tombstones};
+pub use effectiveness::{aggregate, Confusion};
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};
 pub use estimator::GbdaEstimator;
@@ -81,7 +91,6 @@ pub use kernel::{
     BoundClass, BucketPlan, CollectAll, Cutoff, ScanKernel, Sink, StaticPhi, Subscriber,
     TighteningRank, TopKSink,
 };
-pub use metrics::{aggregate, Confusion};
 pub use offline::{OfflineIndex, OfflineStats};
 pub use posterior_cache::PosteriorCache;
 pub use search::{GbdaSearcher, SearchOutcome, SearchStats};

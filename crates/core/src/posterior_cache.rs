@@ -64,6 +64,9 @@ impl PosteriorCache {
         let key = (extended_size, phi);
         if let Some(&value) = self.map.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if gbd_telemetry::metrics_enabled() {
+                crate::obs::cache_metrics().hits.inc();
+            }
             return (value, true);
         }
         // Exactly the seed evaluation path, so the memo is bit-identical.
@@ -72,6 +75,9 @@ impl PosteriorCache {
         let gbd_prior = index.gbd_prior().probability(phi as usize);
         let value = posterior_ged_at_most(self.tau_hat, phi, &lambda1, &ged_prior, gbd_prior);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if gbd_telemetry::metrics_enabled() {
+            crate::obs::cache_metrics().misses.inc();
+        }
         // A racing thread may have inserted concurrently; both computed the
         // same deterministic value, so either insert wins harmlessly.
         self.map.write().insert(key, value);

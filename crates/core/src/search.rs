@@ -98,7 +98,21 @@ impl SearchStats {
     }
 
     /// Sums another search's counters and timings into this one (used to
-    /// aggregate batch statistics); `shards` keeps the maximum observed.
+    /// aggregate batch statistics). Field semantics under absorption:
+    ///
+    /// * **summed** — every pruning/cache/planner counter
+    ///   (`cache_hits` … `plan_postings_first`) *and* both timings:
+    ///   `flatten_seconds` and `scan_seconds` become total work across the
+    ///   absorbed searches, not wall clock;
+    /// * **max'd** — `shards` keeps the maximum observed (absorbing
+    ///   per-shard or per-query stats must not sum thread counts).
+    ///
+    /// Absorption deliberately collapses the per-query latency
+    /// distribution into totals. The per-query resolution survives in the
+    /// workspace telemetry histograms (`gbda_query_seconds`,
+    /// `gbda_flatten_seconds`, `gbda_scan_seconds` in the `gbd-telemetry`
+    /// crate), which every search — batch items included — feeds before
+    /// its stats are absorbed.
     pub fn absorb(&mut self, other: &SearchStats) {
         self.shards = self.shards.max(other.shards);
         self.flatten_seconds += other.flatten_seconds;
@@ -274,7 +288,7 @@ mod tests {
         let positives: Vec<usize> = (0..database.len())
             .filter(|&i| family.known_ged(0, i) <= config.tau_hat as usize)
             .collect();
-        let confusion = crate::metrics::Confusion::from_sets(&outcome.matches, &positives);
+        let confusion = crate::effectiveness::Confusion::from_sets(&outcome.matches, &positives);
         assert!(
             confusion.f1() > 0.5,
             "GBDA should be reasonably effective on an easy family, F1 = {} (returned {}, expected {})",

@@ -105,6 +105,9 @@ impl<V: Vfs> DurableDatabase<V> {
         // The manifest is published last: its rename + directory sync is
         // the single atomic step that makes the database exist.
         manifest.store(&vfs, &dir)?;
+        if gbd_telemetry::metrics_enabled() {
+            crate::obs::store_metrics().manifest_rotations.inc();
+        }
         Ok(DurableDatabase {
             vfs,
             dir,
@@ -130,6 +133,8 @@ impl<V: Vfs> DurableDatabase<V> {
         dir: impl Into<PathBuf>,
         durability: DurabilityConfig,
     ) -> StoreResult<Self> {
+        let started = std::time::Instant::now();
+        let _span = gbd_telemetry::span!("store.recover");
         let dir = dir.into();
         let manifest = Manifest::load(&vfs, &dir)?;
         let (base, _vocabulary) =
@@ -147,6 +152,9 @@ impl<V: Vfs> DurableDatabase<V> {
             // truncation is synced so the next append starts clean.
             vfs.truncate(&wal_path, replay.valid_len as u64)?;
             vfs.sync(&wal_path)?;
+            if gbd_telemetry::metrics_enabled() {
+                crate::obs::store_metrics().wal_torn_truncations.inc();
+            }
         }
         let mut records = replay.records.iter();
         let database = match records.next() {
@@ -219,6 +227,14 @@ impl<V: Vfs> DurableDatabase<V> {
             auto_compact_error: None,
         };
         recovered.clean_stale_files();
+        if gbd_telemetry::metrics_enabled() {
+            let m = crate::obs::store_metrics();
+            // The checkpoint is positioning, not a replayed mutation.
+            m.recovery_replayed_records
+                .add(replay.records.len().saturating_sub(1) as u64);
+            m.recovery_replay_seconds
+                .record(started.elapsed().as_secs_f64());
+        }
         Ok(recovered)
     }
 
@@ -359,6 +375,9 @@ impl<V: Vfs> DurableDatabase<V> {
         if let Some(limit) = self.durability.auto_compact_wal_bytes {
             if self.wal.bytes() >= limit {
                 if let Err(e) = self.compact() {
+                    if gbd_telemetry::metrics_enabled() {
+                        crate::obs::store_metrics().auto_compact_errors.inc();
+                    }
                     self.auto_compact_error = Some(e);
                 }
             }
@@ -413,6 +432,9 @@ impl<V: Vfs> DurableDatabase<V> {
             true,
         )?;
         next.store(&self.vfs, &self.dir)?;
+        if gbd_telemetry::metrics_enabled() {
+            crate::obs::store_metrics().manifest_rotations.inc();
+        }
         self.manifest = next;
         self.wal = wal;
         self.clean_stale_files();

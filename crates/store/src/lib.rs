@@ -53,6 +53,7 @@ pub mod durable;
 pub mod error;
 pub mod format;
 pub mod manifest;
+mod obs;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;

@@ -1,0 +1,87 @@
+//! Telemetry instrumentation of the storage engine: the durability-path
+//! metric handles this crate reports into (see the `gbd-telemetry` crate).
+//!
+//! Everything here follows the same discipline as the query-side
+//! instrumentation: handles are registered once on first use, every
+//! recording site is gated on [`gbd_telemetry::metrics_enabled`] (a single
+//! relaxed atomic load), and nothing is recorded per byte — only per
+//! append, per sync, per recovery and per rotation, so the counters cost
+//! nothing next to the I/O they describe.
+
+use std::sync::OnceLock;
+
+use gbd_telemetry::{global, Counter, Histogram};
+
+/// Handles of every durability metric, registered once on first use.
+pub(crate) struct StoreMetrics {
+    /// WAL records appended (checkpoints, inserts, removes).
+    pub(crate) wal_appends: Counter,
+    /// Encoded WAL bytes appended.
+    pub(crate) wal_appended_bytes: Counter,
+    /// File syncs issued on the WAL (per-record and batched).
+    pub(crate) wal_fsyncs: Counter,
+    /// Torn WAL tails truncated in place during recovery.
+    pub(crate) wal_torn_truncations: Counter,
+    /// WAL records replayed onto the base snapshot during recovery.
+    pub(crate) recovery_replayed_records: Counter,
+    /// End-to-end recovery (open) latency.
+    pub(crate) recovery_replay_seconds: Histogram,
+    /// Manifest publications: generation rotations by compaction plus the
+    /// initial create.
+    pub(crate) manifest_rotations: Counter,
+    /// Auto-compaction failures deferred behind an acknowledged mutation.
+    pub(crate) auto_compact_errors: Counter,
+    /// Snapshot files written (atomic staging + rename saves).
+    pub(crate) snapshot_saves: Counter,
+    /// Snapshot files read and decoded.
+    pub(crate) snapshot_loads: Counter,
+}
+
+pub(crate) fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = global();
+        StoreMetrics {
+            wal_appends: g.counter(
+                "gbda_wal_appends_total",
+                "Records appended to the write-ahead log.",
+            ),
+            wal_appended_bytes: g.counter(
+                "gbda_wal_appended_bytes_total",
+                "Encoded bytes appended to the write-ahead log.",
+            ),
+            wal_fsyncs: g.counter(
+                "gbda_wal_fsyncs_total",
+                "File syncs issued on the write-ahead log.",
+            ),
+            wal_torn_truncations: g.counter(
+                "gbda_wal_torn_truncations_total",
+                "Torn write-ahead-log tails truncated in place during recovery.",
+            ),
+            recovery_replayed_records: g.counter(
+                "gbda_recovery_replayed_records_total",
+                "Write-ahead-log records replayed onto the base snapshot during recovery.",
+            ),
+            recovery_replay_seconds: g.histogram(
+                "gbda_recovery_replay_seconds",
+                "End-to-end latency of one durable-database recovery (open).",
+            ),
+            manifest_rotations: g.counter(
+                "gbda_manifest_rotations_total",
+                "Manifest publications (database creation and compaction rotations).",
+            ),
+            auto_compact_errors: g.counter(
+                "gbda_store_auto_compact_errors_total",
+                "Auto-compaction failures deferred behind an acknowledged mutation.",
+            ),
+            snapshot_saves: g.counter(
+                "gbda_snapshot_saves_total",
+                "Snapshot files written through the atomic staging save.",
+            ),
+            snapshot_loads: g.counter(
+                "gbda_snapshot_loads_total",
+                "Snapshot files read and decoded.",
+            ),
+        }
+    })
+}

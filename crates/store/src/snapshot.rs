@@ -251,6 +251,8 @@ impl Snapshot {
         })();
         if result.is_err() {
             vfs.remove(&staging).ok();
+        } else if gbd_telemetry::metrics_enabled() {
+            crate::obs::store_metrics().snapshot_saves.inc();
         }
         result
     }
@@ -270,7 +272,11 @@ impl Snapshot {
     /// [`StoreError::Io`] when the file cannot be read, otherwise any decode
     /// error of [`Self::from_bytes`].
     pub fn load_with<V: Vfs>(vfs: &V, path: impl AsRef<Path>) -> StoreResult<Self> {
-        Snapshot::from_bytes(&vfs.read(path.as_ref())?)
+        let snapshot = Snapshot::from_bytes(&vfs.read(path.as_ref())?)?;
+        if gbd_telemetry::metrics_enabled() {
+            crate::obs::store_metrics().snapshot_loads.inc();
+        }
+        Ok(snapshot)
     }
 }
 

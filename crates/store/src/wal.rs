@@ -386,6 +386,14 @@ impl WalWriter {
             self.poisoned = true;
             return Err(e);
         }
+        if gbd_telemetry::metrics_enabled() {
+            let m = crate::obs::store_metrics();
+            m.wal_appends.inc();
+            m.wal_appended_bytes.add(encoded.len() as u64);
+            if sync {
+                m.wal_fsyncs.inc();
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.bytes += encoded.len() as u64;
@@ -401,7 +409,11 @@ impl WalWriter {
     /// bytes durable while the writer still cannot continue past them).
     pub fn sync<V: Vfs>(&self, vfs: &V) -> StoreResult<()> {
         self.check_poisoned()?;
-        vfs.sync(&self.path)
+        vfs.sync(&self.path)?;
+        if gbd_telemetry::metrics_enabled() {
+            crate::obs::store_metrics().wal_fsyncs.inc();
+        }
+        Ok(())
     }
 
     fn check_poisoned(&self) -> StoreResult<()> {

@@ -1,0 +1,229 @@
+//! Exposition surfaces: the Prometheus text format and a JSON rendering
+//! compatible with the workspace's benchmark artefacts.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricsRegistry, HISTOGRAM_BOUNDS};
+
+/// Formats an `f64` the way both exposition surfaces need it: shortest
+/// round-trip decimal, with non-finite values clamped to 0 (JSON has no
+/// NaN/Inf and our instruments never legitimately produce them).
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Escapes a string for a JSON string literal (instrument names are plain
+/// identifiers, but the renderer must not rely on that).
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Renders every instrument in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, one sample line per counter and gauge,
+    /// and the `_bucket{le="…"}` (cumulative) / `_sum` / `_count` series
+    /// per histogram, all sorted by metric name.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for counter in self.counters() {
+            let name = counter.name();
+            let _ = writeln!(out, "# HELP {name} {}", counter.help());
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", counter.value());
+        }
+        for gauge in self.gauges() {
+            let name = gauge.name();
+            let _ = writeln!(out, "# HELP {name} {}", gauge.help());
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", number(gauge.value()));
+        }
+        for histogram in self.histograms() {
+            let name = histogram.name();
+            let snap = histogram.snapshot();
+            let _ = writeln!(out, "# HELP {name} {}", histogram.help());
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let cumulative = snap.cumulative();
+            for (&bound, &count) in HISTOGRAM_BOUNDS.iter().zip(&cumulative) {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {count}", number(bound));
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+            let _ = writeln!(out, "{name}_sum {}", number(snap.sum_seconds()));
+            let _ = writeln!(out, "{name}_count {}", snap.count);
+        }
+        out
+    }
+
+    /// Renders every instrument as pretty-printed JSON (the same dialect
+    /// as the committed `results/BENCH_*.json` artefacts: objects, arrays,
+    /// finite numbers), so bench runs can drop a telemetry snapshot next
+    /// to their results files.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"level\": \"{}\",", crate::level().name());
+
+        out.push_str("  \"counters\": {");
+        let counters = self.counters();
+        for (i, counter) in counters.iter().enumerate() {
+            let comma = if i + 1 < counters.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}{comma}",
+                json_escape(counter.name()),
+                counter.value()
+            );
+        }
+        out.push_str(if counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"gauges\": {");
+        let gauges = self.gauges();
+        for (i, gauge) in gauges.iter().enumerate() {
+            let comma = if i + 1 < gauges.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}{comma}",
+                json_escape(gauge.name()),
+                number(gauge.value())
+            );
+        }
+        out.push_str(if gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        out.push_str("  \"histograms\": {");
+        let histograms = self.histograms();
+        for (i, histogram) in histograms.iter().enumerate() {
+            let snap = histogram.snapshot();
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\n      \"count\": {},\n      \"sum_seconds\": {},\n      \"buckets\": [",
+                json_escape(histogram.name()),
+                snap.count,
+                number(snap.sum_seconds())
+            );
+            let cumulative = snap.cumulative();
+            for (j, (&bound, &count)) in HISTOGRAM_BOUNDS.iter().zip(&cumulative).enumerate() {
+                let comma = if j + 1 < HISTOGRAM_BOUNDS.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = write!(
+                    out,
+                    "\n        {{ \"le\": {}, \"cumulative\": {count} }}{comma}",
+                    number(bound)
+                );
+            }
+            let comma = if i + 1 < histograms.len() { "," } else { "" };
+            let _ = write!(out, "\n      ]\n    }}{comma}");
+        }
+        out.push_str(if histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
+        let traces = crate::traces();
+        let _ = write!(
+            out,
+            "  \"traces\": {{\n    \"recorded\": {},\n    \"dropped\": {}\n  }}\n}}\n",
+            traces.recorded(),
+            traces.dropped()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_registry() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry.counter("demo_total", "A demo counter.").add(7);
+        registry.gauge("demo_gauge", "A demo gauge.").set(1.5);
+        let h = registry.histogram("demo_seconds", "A demo histogram.");
+        h.record(1e-7);
+        h.record(3e-3);
+        h.record(42.0);
+        registry
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_consistent_series() {
+        let text = populated_registry().render_prometheus();
+        assert!(text.contains("# HELP demo_total A demo counter.\n"));
+        assert!(text.contains("# TYPE demo_total counter\ndemo_total 7\n"));
+        assert!(text.contains("# TYPE demo_gauge gauge\ndemo_gauge 1.5\n"));
+        assert!(text.contains("# TYPE demo_seconds histogram\n"));
+        assert!(text.contains("demo_seconds_bucket{le=\"0.0000001\"} 1\n"));
+        assert!(text.contains("demo_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("demo_seconds_count 3\n"));
+        // Cumulative buckets are monotone non-decreasing.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("demo_seconds_bucket"))
+        {
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= last, "bucket counts must be cumulative: {line}");
+            last = count;
+        }
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_sound() {
+        let text = populated_registry().render_json();
+        assert!(text.contains("\"demo_total\": 7"));
+        assert!(text.contains("\"demo_gauge\": 1.5"));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"traces\""));
+        // Balanced braces/brackets and no trailing commas before closers.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(
+            !text.contains(",\n  }") || text.contains("},\n"),
+            "no dangling commas"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let registry = MetricsRegistry::new();
+        assert_eq!(registry.render_prometheus(), "");
+        let json = registry.render_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn json_escaping_covers_the_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

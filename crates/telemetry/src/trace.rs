@@ -1,0 +1,358 @@
+//! Per-query span tracing: [`Span`] guard objects and the lock-free
+//! fixed-capacity [`TraceBuffer`] ring they record into.
+//!
+//! Tracing is designed to be safe to leave enabled: pushes are lock-free
+//! (one `fetch_add` for a ticket plus one uncontended flag swap), the ring
+//! keeps the most recent `capacity` events, and everything older — or
+//! pushed while its slot is busy — is counted in
+//! [`TraceBuffer::dropped`] instead of blocking or allocating.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What one [`TraceEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A completed span: `start_ns`/`duration_ns` bracket the guarded
+    /// scope.
+    Span,
+    /// A point-in-time structured `key = value` event.
+    Event,
+}
+
+/// One recorded trace entry. `Copy` so ring slots hand out torn-free
+/// copies under a per-slot claim flag without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span or event name (`"scan.stage3"`-style dotted path).
+    pub name: &'static str,
+    /// Span end or structured event.
+    pub kind: TraceKind,
+    /// Structured event key; empty for plain span ends.
+    pub key: &'static str,
+    /// Structured event value; 0 for plain span ends.
+    pub value: u64,
+    /// Nanoseconds since the process's trace epoch at which the span
+    /// started (or the event fired).
+    pub start_ns: u64,
+    /// Span duration in nanoseconds; 0 for point events.
+    pub duration_ns: u64,
+}
+
+impl TraceEvent {
+    const EMPTY: TraceEvent = TraceEvent {
+        name: "",
+        kind: TraceKind::Event,
+        key: "",
+        value: 0,
+        start_ns: 0,
+        duration_ns: 0,
+    };
+}
+
+/// Nanoseconds since the first telemetry timestamp this process took — the
+/// time base of every [`TraceEvent`].
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One ring slot: a claim flag serializing writers (a writer that finds
+/// the slot busy drops its event rather than spin), the ticket of the
+/// event currently stored (`u64::MAX` = never written), and the payload.
+struct Slot {
+    busy: AtomicBool,
+    ticket: AtomicU64,
+    data: UnsafeCell<TraceEvent>,
+}
+
+// SAFETY: `data` is only accessed while the accessor holds the `busy`
+// flag (acquired with a swap, released with a store), so there is never a
+// concurrent read or write of the cell.
+unsafe impl Sync for Slot {}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            busy: AtomicBool::new(false),
+            ticket: AtomicU64::new(u64::MAX),
+            data: UnsafeCell::new(TraceEvent::EMPTY),
+        }
+    }
+}
+
+/// A lock-free fixed-capacity ring of [`TraceEvent`]s keeping the most
+/// recent `capacity` entries. Every push takes a monotone ticket; once the
+/// ring has wrapped, each push overwrites the oldest entry and counts it
+/// as dropped, so `recorded = kept + dropped` always holds.
+pub struct TraceBuffer {
+    slots: Box<[Slot]>,
+    next: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of events kept.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes one event, overwriting (and drop-counting) the oldest once
+    /// the ring is full. Lock-free: a writer that catches a slot mid-write
+    /// (only possible when producers lap the whole ring) drops its own
+    /// event instead of waiting.
+    pub fn push(&self, event: TraceEvent) {
+        let capacity = self.slots.len() as u64;
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % capacity) as usize];
+        if slot.busy.swap(true, Ordering::Acquire) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if ticket >= capacity {
+            // The ring wrapped: this write evicts the event `capacity`
+            // tickets older.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: the busy flag was clear, so this thread is the only
+        // accessor of the cell until the release store below.
+        unsafe { *slot.data.get() = event };
+        slot.ticket.store(ticket, Ordering::Relaxed);
+        slot.busy.store(false, Ordering::Release);
+    }
+
+    /// Total events ever pushed (kept + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to wraparound (overwritten) or to catching a slot
+    /// mid-write.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events().len()
+    }
+
+    /// `true` when no event has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the current contents, oldest first. Slots caught
+    /// mid-write are skipped (their event is still in flight).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut tagged: Vec<(u64, TraceEvent)> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            if slot.busy.swap(true, Ordering::Acquire) {
+                continue;
+            }
+            let ticket = slot.ticket.load(Ordering::Relaxed);
+            // SAFETY: this thread holds the busy flag (see `Slot`).
+            let event = unsafe { *slot.data.get() };
+            slot.busy.store(false, Ordering::Release);
+            if ticket != u64::MAX {
+                tagged.push((ticket, event));
+            }
+        }
+        tagged.sort_by_key(|(ticket, _)| *ticket);
+        tagged.into_iter().map(|(_, event)| event).collect()
+    }
+
+    /// Empties the ring and resets the recorded/dropped totals.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            if slot.busy.swap(true, Ordering::Acquire) {
+                continue;
+            }
+            slot.ticket.store(u64::MAX, Ordering::Relaxed);
+            slot.busy.store(false, Ordering::Release);
+        }
+        self.next.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for TraceBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuffer")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// A scope guard timing one named region. Created by [`Span::enter`] (or
+/// the [`span!`](crate::span) macro); on drop it records a
+/// [`TraceKind::Span`] event with the scope's duration into the global
+/// trace buffer — but only when the telemetry level enables traces, so an
+/// unarmed span costs one relaxed load and nothing on drop.
+#[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl Span {
+    /// Opens a span. The span is armed only when the current
+    /// [`crate::TelemetryLevel`] records traces.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::traces_enabled() {
+            return Span {
+                name,
+                start_ns: 0,
+                armed: false,
+            };
+        }
+        Span {
+            name,
+            start_ns: now_ns(),
+            armed: true,
+        }
+    }
+
+    /// Records a structured `key = value` event under this span's name at
+    /// the current instant (no-op on an unarmed span).
+    pub fn event(&self, key: &'static str, value: u64) {
+        if self.armed {
+            crate::traces().push(TraceEvent {
+                name: self.name,
+                kind: TraceKind::Event,
+                key,
+                value,
+                start_ns: now_ns(),
+                duration_ns: 0,
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            let end = now_ns();
+            crate::traces().push(TraceEvent {
+                name: self.name,
+                kind: TraceKind::Span,
+                key: "",
+                value: 0,
+                start_ns: self.start_ns,
+                duration_ns: end.saturating_sub(self.start_ns),
+            });
+        }
+    }
+}
+
+/// Records a free-standing structured `key = value` event (no-op unless
+/// the telemetry level records traces).
+#[inline]
+pub fn trace_event(name: &'static str, key: &'static str, value: u64) {
+    if crate::traces_enabled() {
+        crate::traces().push(TraceEvent {
+            name,
+            kind: TraceKind::Event,
+            key,
+            value,
+            start_ns: now_ns(),
+            duration_ns: 0,
+        });
+    }
+}
+
+/// Opens a [`Span`] guard: `let _guard = span!("scan.stage3");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_the_latest_and_counts_drops() {
+        let ring = TraceBuffer::with_capacity(8);
+        for i in 0..11u64 {
+            ring.push(TraceEvent {
+                name: "wrap",
+                kind: TraceKind::Event,
+                key: "i",
+                value: i,
+                start_ns: i,
+                duration_ns: 0,
+            });
+        }
+        assert_eq!(ring.recorded(), 11);
+        assert_eq!(ring.dropped(), 3, "three oldest events were overwritten");
+        let events = ring.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(ring.len(), 8);
+        let values: Vec<u64> = events.iter().map(|e| e.value).collect();
+        assert_eq!(
+            values,
+            (3..11).collect::<Vec<u64>>(),
+            "oldest-first, latest kept"
+        );
+        assert_eq!(ring.recorded(), ring.len() as u64 + ring.dropped());
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 0);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_under_capacity_drops_nothing() {
+        let ring = TraceBuffer::with_capacity(4);
+        ring.push(TraceEvent::EMPTY);
+        ring.push(TraceEvent::EMPTY);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_pushes_account_for_every_event() {
+        let ring = TraceBuffer::with_capacity(64);
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 1000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..PER_THREAD {
+                        ring.push(TraceEvent {
+                            value: i,
+                            ..TraceEvent::EMPTY
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), THREADS * PER_THREAD);
+        // kept + dropped covers every push, whether overwritten or lapped.
+        assert_eq!(ring.len() as u64 + ring.dropped(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn bucket_of_time_is_monotone() {
+        assert!(now_ns() <= now_ns());
+    }
+}

@@ -21,7 +21,11 @@
 //!   write-ahead log, atomic generation rotation, deterministic
 //!   fault-injection harness); in-memory inserts/removes/compaction live in
 //!   [`engine`] as [`prelude::DynamicDatabase`],
-//! * [`datasets`] — dataset substitutes with ground-truth GEDs.
+//! * [`datasets`] — dataset substitutes with ground-truth GEDs,
+//! * [`telemetry`] — the dependency-free observability layer every engine
+//!   reports into: a lock-free [`prelude::MetricsRegistry`] of counters,
+//!   gauges and latency histograms, per-query [`prelude::Span`] traces, and
+//!   Prometheus/JSON exposition (see the README's "Observability" section).
 //!
 //! ## Quickstart
 //!
@@ -64,6 +68,7 @@ pub use gbd_graph as graph;
 pub use gbd_prob as prob;
 pub use gbd_seriation as seriation;
 pub use gbd_store as store;
+pub use gbd_telemetry as telemetry;
 pub use gbda_core as engine;
 
 /// The most commonly used types, re-exported flat.
@@ -82,6 +87,10 @@ pub mod prelude {
     pub use gbd_store::{
         load_database, save_database, DurableDatabase, FaultSchedule, FaultVfs, Manifest, Snapshot,
         StdVfs, StoreError, StoreResult, Vfs, WalRecord, WalReplay, WalWriter,
+    };
+    pub use gbd_telemetry::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot as MetricsSnapshot,
+        Span, TelemetryLevel, TraceBuffer, TraceEvent, TraceKind,
     };
     pub use gbda_core::{
         rank_by_posterior, BoundClass, BucketPlan, BucketRun, CollectAll, Confusion, Cutoff,

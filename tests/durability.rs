@@ -401,3 +401,57 @@ proptest! {
         );
     }
 }
+
+/// The durability path reports into the workspace telemetry: WAL appends,
+/// bytes and fsyncs move on acknowledged mutations, and recovery moves the
+/// torn-truncation, replayed-record and snapshot-load counters across an
+/// insert → crash → recover cycle. The registry is process-global and the
+/// other tests in this binary mutate the same counters concurrently, so
+/// every assertion is a `>=` on a snapshot delta — monotone counters can
+/// only over-count, never under-count, what this test did itself.
+#[test]
+fn durability_counters_move_across_insert_crash_recover() {
+    let registry = gbda::telemetry::global();
+    let (vfs, mut db, _base) = fresh_db(0xCAFE);
+    let before = registry.snapshot();
+    let id = db
+        .insert(graphs_from_seed(77, 1, 6).pop().expect("one graph"))
+        .expect("insert is acknowledged");
+    db.remove(id).expect("remove is acknowledged");
+    let after_mutations = registry.snapshot();
+    let mutation_delta = after_mutations.delta(&before);
+    assert!(
+        mutation_delta.counter("gbda_wal_appends_total") >= 2,
+        "the insert and the remove each append a record"
+    );
+    assert!(mutation_delta.counter("gbda_wal_appended_bytes_total") > 0);
+    assert!(
+        mutation_delta.counter("gbda_wal_fsyncs_total") >= 2,
+        "sync-on-ack is the default discipline"
+    );
+    drop(db);
+
+    // A torn tail on the durable medium — garbage past the last synced
+    // record — then a crash and a recovery.
+    let wal_path = Manifest { generation: 1 }.wal_path(&dir());
+    vfs.append(&wal_path, &[0x55; 7]).expect("append garbage");
+    vfs.sync(&wal_path).expect("sync the garbage");
+    vfs.power_cycle();
+    let recovered =
+        DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).expect("recovery succeeds");
+    assert_eq!(recovered.len(), 4, "insert + remove cancel over the base");
+    let recovery_delta = registry.snapshot().delta(&after_mutations);
+    assert!(
+        recovery_delta.counter("gbda_wal_torn_truncations_total") >= 1,
+        "the garbage tail was truncated in place"
+    );
+    assert!(
+        recovery_delta.counter("gbda_recovery_replayed_records_total") >= 2,
+        "the insert and the remove replay onto the snapshot"
+    );
+    assert!(recovery_delta.counter("gbda_snapshot_loads_total") >= 1);
+    let replay = recovery_delta
+        .histogram("gbda_recovery_replay_seconds")
+        .expect("recovery is timed");
+    assert!(replay.count >= 1);
+}

@@ -1,0 +1,237 @@
+//! Integration tests of the telemetry layer through the facade: exposition
+//! validity (a small Prometheus parser round-trips `render_prometheus`,
+//! `gbd_bench`'s JSON parser round-trips `render_json`), the level knob's
+//! gating of the engine flush, and the trace ring's accounting.
+//!
+//! Only [`global_level_gating_and_engine_flush`] touches the process-global
+//! registry and level — every other test works on a fresh local
+//! [`MetricsRegistry`], so the tests stay independent under the default
+//! parallel test runner.
+
+use gbda::prelude::*;
+use gbda::telemetry;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// One parsed Prometheus sample: metric name, `le` label (if any), value.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    le: Option<String>,
+    value: f64,
+}
+
+/// A deliberately small parser of the text exposition format: `# HELP` /
+/// `# TYPE` comments plus `name[{le="bound"}] value` samples. Anything it
+/// cannot parse is a test failure — that is the point.
+fn parse_prometheus(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value separator in {line:?}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+        let (name, le) = match series.split_once('{') {
+            None => (series.to_owned(), None),
+            Some((name, labels)) => {
+                let labels = labels
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated labels in {line:?}"))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|rest| rest.strip_suffix('"'))
+                    .ok_or_else(|| format!("unsupported labels in {line:?}"))?;
+                (name.to_owned(), Some(le.to_owned()))
+            }
+        };
+        samples.push(Sample { name, le, value });
+    }
+    Ok(samples)
+}
+
+fn series<'a>(samples: &'a [Sample], name: &str) -> Vec<&'a Sample> {
+    samples.iter().filter(|s| s.name == name).collect()
+}
+
+#[test]
+fn prometheus_rendering_round_trips_through_a_small_parser() {
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("test_ops_total", "Operations.");
+    let gauge = registry.gauge("test_level", "A level.");
+    let histogram = registry.histogram("test_seconds", "A latency.");
+    counter.add(41);
+    counter.inc();
+    gauge.set(2.5);
+    let values = [0.0, 1e-7, 3.3e-5, 0.5, 11.0];
+    for value in values {
+        histogram.record(value);
+    }
+
+    let text = registry.render_prometheus();
+    assert!(text.contains("# TYPE test_ops_total counter"));
+    assert!(text.contains("# TYPE test_level gauge"));
+    assert!(text.contains("# TYPE test_seconds histogram"));
+    assert!(text.contains("# HELP test_ops_total Operations."));
+    let samples = parse_prometheus(&text).expect("every sample line parses");
+
+    let counters = series(&samples, "test_ops_total");
+    assert_eq!(counters.len(), 1);
+    assert_eq!(counters[0].value, 42.0);
+    assert_eq!(series(&samples, "test_level")[0].value, 2.5);
+
+    let buckets = series(&samples, "test_seconds_bucket");
+    assert_eq!(
+        buckets.len(),
+        telemetry::HISTOGRAM_BUCKETS,
+        "one bucket per bound plus +Inf"
+    );
+    let mut previous = 0.0;
+    let mut previous_bound = f64::NEG_INFINITY;
+    for bucket in &buckets {
+        let le = bucket.le.as_deref().expect("buckets carry le");
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().expect("finite bounds parse")
+        };
+        assert!(bound > previous_bound, "bounds ascend");
+        assert!(bucket.value >= previous, "cumulative counts are monotone");
+        previous = bucket.value;
+        previous_bound = bound;
+    }
+    let count = series(&samples, "test_seconds_count")[0].value;
+    assert_eq!(count, values.len() as f64);
+    assert_eq!(buckets.last().unwrap().value, count, "+Inf equals _count");
+    let sum = series(&samples, "test_seconds_sum")[0].value;
+    let expected: f64 = values.iter().sum();
+    assert!((sum - expected).abs() < 1e-6, "sum {sum} vs {expected}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `render_prometheus` round-trips arbitrary recorded data: the counter
+    /// equals the sum of its increments, `_count` equals the number of
+    /// recorded values, and the cumulative buckets are monotone and end at
+    /// `_count` — for any mix of magnitudes across the bucket range.
+    #[test]
+    fn rendering_round_trips_arbitrary_recordings(
+        increments in proptest::collection::vec(0u64..1000, 0..20),
+        values in proptest::collection::vec(0.0f64..20.0, 0..24),
+    ) {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("prop_ops_total", "Operations.");
+        let histogram = registry.histogram("prop_seconds", "A latency.");
+        for &n in &increments {
+            counter.add(n);
+        }
+        for &value in &values {
+            histogram.record(value);
+        }
+        let samples =
+            parse_prometheus(&registry.render_prometheus()).expect("every sample line parses");
+        let total: u64 = increments.iter().sum();
+        prop_assert_eq!(series(&samples, "prop_ops_total")[0].value, total as f64);
+        let buckets = series(&samples, "prop_seconds_bucket");
+        prop_assert_eq!(buckets.len(), telemetry::HISTOGRAM_BUCKETS);
+        let mut previous = 0.0;
+        for bucket in &buckets {
+            prop_assert!(bucket.value >= previous);
+            previous = bucket.value;
+        }
+        let count = series(&samples, "prop_seconds_count")[0].value;
+        prop_assert_eq!(count, values.len() as f64);
+        prop_assert_eq!(buckets.last().unwrap().value, count);
+    }
+}
+
+#[test]
+fn trace_ring_accounts_for_every_event() {
+    let ring = TraceBuffer::with_capacity(4);
+    for value in 0..7u64 {
+        ring.push(TraceEvent {
+            name: "test.ring",
+            kind: TraceKind::Event,
+            key: "i",
+            value,
+            start_ns: telemetry::now_ns(),
+            duration_ns: 0,
+        });
+    }
+    assert_eq!(ring.recorded(), 7);
+    assert_eq!(ring.len(), 4);
+    assert_eq!(ring.dropped(), 3);
+    let kept: Vec<u64> = ring.events().iter().map(|e| e.value).collect();
+    assert_eq!(kept, vec![3, 4, 5, 6], "oldest events are overwritten");
+}
+
+/// The one test that touches process-global state (the level and the global
+/// registry): `Off` suppresses the engine flush entirely, `Metrics` mirrors
+/// the stage partition of [`SearchStats`] bit-exactly into counter deltas,
+/// and the JSON rendering parses with the workspace's own JSON parser.
+#[test]
+fn global_level_gating_and_engine_flush() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let graphs = GeneratorConfig::new(10, 2.0)
+        .with_alphabets(LabelAlphabets::new(5, 3))
+        .generate_many(40, &mut rng)
+        .unwrap();
+    let query = graphs[7].clone();
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(3, 0.8).with_sample_pairs(120);
+    let index = OfflineIndex::build(&database, &config).unwrap();
+    let engine = QueryEngine::new(&database, &index, config.clone());
+
+    // Off: nothing reaches the registry.
+    telemetry::set_level(TelemetryLevel::Off);
+    let before = telemetry::global().snapshot();
+    engine.search(&query);
+    let delta = telemetry::global().snapshot().delta(&before);
+    assert_eq!(delta.counter("gbda_queries_total"), 0, "Off must be silent");
+
+    // Metrics (the default): one flush per search, partition bit-exact.
+    telemetry::set_level(TelemetryLevel::Metrics);
+    let before = telemetry::global().snapshot();
+    let outcome = engine.search(&query);
+    let delta = telemetry::global().snapshot().delta(&before);
+    assert_eq!(delta.counter("gbda_queries_total"), 1);
+    let stats = outcome.stats;
+    assert_eq!(
+        delta.counter("gbda_scan_evaluated_total"),
+        stats.evaluated as u64
+    );
+    let partition = delta.counter("gbda_scan_bound_rejected_total")
+        + delta.counter("gbda_scan_bound_accepted_total")
+        + delta.counter("gbda_scan_rank_rejected_total")
+        + delta.counter("gbda_scan_postings_resolved_total")
+        + delta.counter("gbda_scan_merged_total");
+    assert_eq!(partition, stats.evaluated as u64, "stage partition mirrors");
+    assert_eq!(stats.stage_partition(), stats.evaluated);
+
+    // MetricsAndTraces: spans land in the global ring.
+    telemetry::set_level(TelemetryLevel::MetricsAndTraces);
+    let traced_before = telemetry::traces().recorded();
+    engine.search(&query);
+    assert!(
+        telemetry::traces().recorded() > traced_before,
+        "armed spans must reach the trace ring"
+    );
+
+    // The JSON exposition parses with the workspace's own parser.
+    let document = gbd_bench::json::parse(&telemetry::global().render_json())
+        .expect("render_json output is valid JSON");
+    let queries = document
+        .get("counters")
+        .and_then(|c| c.get("gbda_queries_total"))
+        .and_then(gbd_bench::json::JsonValue::as_usize)
+        .expect("the flushed counter is in the JSON rendering");
+    assert!(queries >= 2);
+
+    // Restore the default so no later global user sees a surprise level.
+    telemetry::set_level(TelemetryLevel::Metrics);
+}

@@ -14,6 +14,36 @@
 pub mod strategy;
 pub mod test_runner;
 
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// A strategy producing vectors of sampled length and elements — the
+    /// return type of [`vec`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec`: a vector whose length is drawn
+    /// from `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = runner.rng().gen_range(self.size.clone());
+            (0..len).map(|_| self.element.pick(runner)).collect()
+        }
+    }
+}
+
 /// Everything a `proptest!` test needs in scope.
 pub mod prelude {
     pub use crate::strategy::Strategy;
