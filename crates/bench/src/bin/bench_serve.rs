@@ -1,0 +1,327 @@
+//! Machine-readable serving-layer benchmark: concurrent snapshot-isolated
+//! readers under an active mutation stream, writing
+//! `results/BENCH_serve.json`.
+//!
+//! Three measurements:
+//!
+//! * **Single-threaded baseline** — queries/second of one reader over a
+//!   quiescent engine (no writers), the reference for scaling.
+//! * **Concurrent throughput** — N reader threads each running the same
+//!   query workload while a writer thread streams inserts and removes the
+//!   whole time (it keeps mutating until the last reader finishes, so the
+//!   readers provably overlap an active mutation stream). Reported as
+//!   aggregate queries/second plus the per-epoch observation counts.
+//! * **Generation consistency** — every recorded `(generation, result)`
+//!   pair is re-verified after the fact against a fresh static
+//!   [`QueryEngine`] over that generation's live set; `all_consistent` is
+//!   the AND over every query any reader ran.
+//!
+//! Usage: `bench_serve [--database N] [--readers N] [--queries N]
+//! [--out PATH] [--check]`. `--check` re-reads the written file and asserts
+//! at least 2 readers sustained queries during an active mutation stream
+//! (mutations and epochs advanced while they ran) with every result
+//! matching a published generation. CI runs this as a smoke step.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gbd_bench::json::{self, JsonValue};
+use gbd_bench::workloads::mixed_size_online_workload;
+use gbd_graph::Graph;
+use gbda_core::{
+    ConcurrentEngine, DynamicDatabase, GbdaConfig, Generation, GraphDatabase, OfflineIndex,
+    QueryEngine,
+};
+
+struct Options {
+    database: usize,
+    readers: usize,
+    queries: usize,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        database: 2_000,
+        readers: 4,
+        queries: 48,
+        out: "results/BENCH_serve.json".to_owned(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--database" => {
+                let value = args.next().ok_or("--database needs a value")?;
+                options.database = value.parse::<usize>().map_err(|e| e.to_string())?.max(64);
+            }
+            "--readers" => {
+                let value = args.next().ok_or("--readers needs a value")?;
+                options.readers = value.parse::<usize>().map_err(|e| e.to_string())?.max(2);
+            }
+            "--queries" => {
+                let value = args.next().ok_or("--queries needs a value")?;
+                options.queries = value.parse::<usize>().map_err(|e| e.to_string())?.max(8);
+            }
+            "--out" => options.out = args.next().ok_or("--out needs a value")?,
+            "--check" => options.check = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(options)
+}
+
+/// What one reader thread saw: the first pinned generation per epoch and
+/// every `(epoch, matches)` result.
+struct ReaderLog {
+    generations: HashMap<u64, Arc<Generation>>,
+    results: Vec<(u64, Vec<u64>)>,
+    seconds: f64,
+}
+
+/// Runs threshold searches, pinning per query, until at least `queries`
+/// have run **and** `done` is set (always-true `done` = exactly `queries`).
+/// Looping past the minimum until the writer finishes is what guarantees
+/// the readers overlap the whole mutation stream.
+fn reader_pass(
+    engine: &ConcurrentEngine,
+    query: &Graph,
+    queries: usize,
+    done: &AtomicBool,
+) -> ReaderLog {
+    let mut log = ReaderLog {
+        generations: HashMap::new(),
+        results: Vec::with_capacity(queries),
+        seconds: 0.0,
+    };
+    let started = Instant::now();
+    while log.results.len() < queries || !done.load(Ordering::Acquire) {
+        let generation = engine.pin();
+        let outcome = engine.reader().search_pinned(&generation, query);
+        log.results.push((generation.epoch(), outcome.matches));
+        log.generations
+            .entry(generation.epoch())
+            .or_insert(generation);
+    }
+    log.seconds = started.elapsed().as_secs_f64();
+    log
+}
+
+/// Re-verifies every recorded result against a fresh static engine over
+/// the generation it was pinned to. Returns (checked, consistent).
+fn verify_logs(
+    logs: &[ReaderLog],
+    engine: &ConcurrentEngine,
+    query: &Graph,
+    config: &GbdaConfig,
+) -> (usize, bool) {
+    let mut expected: HashMap<u64, Vec<u64>> = HashMap::new();
+    for log in logs {
+        for (epoch, generation) in &log.generations {
+            expected.entry(*epoch).or_insert_with(|| {
+                let survivors: Vec<Graph> =
+                    generation.live_graphs().map(|(_, g)| g.clone()).collect();
+                let ids = generation.live_ids();
+                let fresh = GraphDatabase::with_alphabets(survivors, generation.alphabets());
+                let static_engine =
+                    QueryEngine::new(&fresh, engine.reader().index(), config.clone());
+                static_engine
+                    .search(query)
+                    .matches
+                    .iter()
+                    .map(|&i| ids[i])
+                    .collect()
+            });
+        }
+    }
+    let mut checked = 0;
+    let mut consistent = true;
+    for log in logs {
+        for (epoch, matches) in &log.results {
+            checked += 1;
+            consistent &= expected.get(epoch).is_some_and(|want| want == matches);
+        }
+    }
+    (checked, consistent)
+}
+
+fn run_bench(options: &Options) -> Result<JsonValue, String> {
+    let number = JsonValue::Number;
+    let (graphs, query) = mixed_size_online_workload(options.database + 256);
+    let (base, mutation_pool) = {
+        let mut graphs = graphs;
+        let pool = graphs.split_off(options.database);
+        (graphs, pool)
+    };
+    let database = GraphDatabase::from_graphs(base);
+    let config = GbdaConfig::new(4, 0.8).with_sample_pairs(200);
+    let index = OfflineIndex::build(&database, &config).map_err(|e| format!("offline: {e}"))?;
+    let engine = ConcurrentEngine::with_auto_compact(
+        DynamicDatabase::new(database),
+        index,
+        config.clone(),
+        128,
+    );
+
+    // Single-threaded baseline over the quiescent engine (warm-up + run).
+    let immediately = AtomicBool::new(true);
+    reader_pass(&engine, &query, options.queries.min(8), &immediately);
+    let baseline = reader_pass(&engine, &query, options.queries, &immediately);
+    let baseline_qps = options.queries as f64 / baseline.seconds.max(1e-12);
+    eprintln!("# baseline: {baseline_qps:.0} queries/s single-threaded, no writers");
+
+    // Concurrent readers under an active mutation stream: the readers keep
+    // querying until the whole stream is published, so they provably
+    // overlap every mutation.
+    let writer_done = AtomicBool::new(false);
+    let mutations = AtomicU64::new(0);
+    let started = Instant::now();
+    let logs = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut next_remove = 3u64;
+            for graph in &mutation_pool {
+                engine.insert(graph.clone());
+                let _ = engine.remove(next_remove);
+                next_remove += 7;
+                mutations.fetch_add(2, Ordering::Relaxed);
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+        let handles: Vec<_> = (0..options.readers)
+            .map(|_| scope.spawn(|| reader_pass(&engine, &query, options.queries, &writer_done)))
+            .collect();
+        let logs: Vec<ReaderLog> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        writer.join().unwrap();
+        logs
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let total_queries: usize = logs.iter().map(|log| log.results.len()).sum();
+    let concurrent_qps = total_queries as f64 / wall.max(1e-12);
+    let mutations = mutations.load(Ordering::Relaxed);
+    let epochs: std::collections::HashSet<u64> = logs
+        .iter()
+        .flat_map(|log| log.generations.keys().copied())
+        .collect();
+    eprintln!(
+        "# concurrent: {concurrent_qps:.0} queries/s aggregate over {} readers, \
+         {mutations} mutations streamed, {} distinct epochs observed",
+        options.readers,
+        epochs.len()
+    );
+
+    let (checked, all_consistent) = verify_logs(&logs, &engine, &query, &config);
+    eprintln!("# consistency: {checked} results verified, all_consistent = {all_consistent}");
+
+    let per_reader = logs
+        .iter()
+        .map(|log| number(log.results.len() as f64 / log.seconds.max(1e-12)))
+        .collect();
+    Ok(JsonValue::Object(vec![
+        ("bench".into(), JsonValue::String("serve".into())),
+        ("database".into(), number(options.database as f64)),
+        ("readers".into(), number(options.readers as f64)),
+        (
+            "min_queries_per_reader".into(),
+            number(options.queries as f64),
+        ),
+        ("total_queries".into(), number(total_queries as f64)),
+        ("baseline_qps".into(), number(baseline_qps)),
+        ("concurrent_qps".into(), number(concurrent_qps)),
+        (
+            "scaling_vs_baseline".into(),
+            number(concurrent_qps / baseline_qps.max(1e-12)),
+        ),
+        ("reader_qps".into(), JsonValue::Array(per_reader)),
+        ("mutations_streamed".into(), number(mutations as f64)),
+        ("epochs_observed".into(), number(epochs.len() as f64)),
+        ("results_checked".into(), number(checked as f64)),
+        ("all_consistent".into(), JsonValue::Bool(all_consistent)),
+    ]))
+}
+
+/// The CI guard: ≥ 2 readers sustained queries during an active mutation
+/// stream, and every recorded result matched a published generation.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let document = json::parse(&text).map_err(|e| format!("{path} does not parse: {e}"))?;
+    let field = |name: &str| {
+        document
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .ok_or(format!("missing {name}"))
+    };
+    let readers = field("readers")?;
+    if readers < 2.0 {
+        return Err(format!("only {readers} reader threads — need at least 2"));
+    }
+    let reader_qps = document
+        .get("reader_qps")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing reader_qps")?;
+    if reader_qps.len() < 2 || reader_qps.iter().any(|qps| qps.as_f64() <= Some(0.0)) {
+        return Err("every reader must have sustained a positive query rate".into());
+    }
+    if field("mutations_streamed")? <= 0.0 {
+        return Err("no mutations streamed — the readers were not racing writes".into());
+    }
+    if field("epochs_observed")? < 2.0 {
+        return Err("readers observed fewer than 2 epochs — no interleaving happened".into());
+    }
+    if field("results_checked")? <= 0.0 {
+        return Err("no results were verified".into());
+    }
+    match document.get("all_consistent") {
+        Some(JsonValue::Bool(true)) => Ok(()),
+        other => Err(format!(
+            "all_consistent is {other:?} — a result diverged from its published generation"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let document = match run_bench(&options) {
+        Ok(document) => document,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(parent) = std::path::Path::new(&options.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("error: create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&options.out, document.render()) {
+        eprintln!("error: write {}: {e}", options.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", options.out);
+    gbd_bench::write_telemetry_sidecar(&options.out);
+    if options.check {
+        match check(&options.out) {
+            Ok(()) => eprintln!(
+                "check passed: concurrent readers sustained queries under writes and every \
+                 result matched a published generation"
+            ),
+            Err(message) => {
+                eprintln!("check FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

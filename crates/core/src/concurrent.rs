@@ -1,0 +1,748 @@
+//! Snapshot-isolated concurrent serving over the dynamic layer:
+//! [`Generation`], [`SnapshotReader`] and [`ConcurrentEngine`].
+//!
+//! [`crate::DynamicEngine`] rules out overlapping queries and mutations at compile
+//! time — a query borrows the [`DynamicDatabase`] shared, a mutation
+//! borrows it exclusively. A serving workload needs both *at once*:
+//! thousands of readers while inserts, removes and compaction proceed.
+//! This module adds epoch-style snapshot isolation on top of the same scan
+//! machinery:
+//!
+//! * A **[`Generation`]** is an immutable snapshot of one dynamic state:
+//!   the shared base segment (an [`Arc`] — never copied), the id list and
+//!   catalog (shared the same way), plus a frozen copy of the delta segment
+//!   and both tombstone bitsets (`O(delta)`, bounded by the compaction
+//!   threshold). Each carries a monotonically increasing **epoch**.
+//! * A **[`SnapshotReader`]** publishes generations behind a pointer cell.
+//!   Readers *pin* the current generation — one [`Arc`] clone under a
+//!   briefly-held lock, no allocation — and every query then runs entirely
+//!   against that pinned, immutable state: a reader never blocks a writer,
+//!   a writer never tears a reader's view.
+//! * A **[`ConcurrentEngine`]** owns the writer side: `insert`/`remove`
+//!   mutate the single writer-locked [`DynamicDatabase`] and publish a new
+//!   generation per mutation; `compact` folds the delta into a fresh base
+//!   with a stop-the-world window of zero (in-flight readers finish on
+//!   their pinned pre-compaction generation, new pins see the compacted
+//!   one). An optional background worker compacts once the delta crosses a
+//!   threshold, off the writer's latency path.
+//!
+//! The consistency guarantee is exactly the workspace's equivalence
+//! invariant, lifted to concurrency: **every query result is bit-identical
+//! to what a fresh static [`crate::QueryEngine`] would return over the live
+//! set of *some* published generation** — the one the reader pinned. The
+//! interleaving proptests in `tests/serving.rs` verify this across
+//! Standard/V1/V2 × threshold/top-k/streaming.
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+
+use gbd_graph::{BranchCatalog, Graph, LabelAlphabets};
+
+use crate::config::GbdaConfig;
+use crate::database::GraphDatabase;
+use crate::dynamic::{
+    fixed_extended_size_for, DeltaSegment, DynamicDatabase, DynamicOutcome, DynamicView, ScanState,
+    Tombstones,
+};
+use crate::error::EngineResult;
+use crate::offline::OfflineIndex;
+use crate::search::SearchStats;
+use crate::topk::DynamicTopKOutcome;
+
+/// Epochs whose GBDA-V1 sample memo is retained before the map is pruned;
+/// purely a bound on memo memory — entries are recomputed on miss.
+const V1_MEMO_CAPACITY: usize = 32;
+
+/// An immutable snapshot of one dynamic-layer state, published at a fixed
+/// **epoch**.
+///
+/// The base segment, its id list and the branch catalog are shared with the
+/// writer via [`Arc`] (the writer replaces them wholesale on compaction and
+/// clones-on-grow the catalog, so sharing is safe); the delta segment and
+/// the tombstone bitsets are frozen copies taken at publication. A pinned
+/// generation therefore never changes — queries against it are oblivious
+/// to concurrent inserts, removes and compactions.
+pub struct Generation {
+    epoch: u64,
+    base: Arc<GraphDatabase>,
+    base_ids: Arc<Vec<u64>>,
+    base_tombstones: Tombstones,
+    delta: DeltaSegment,
+    delta_ids: Vec<u64>,
+    delta_tombstones: Tombstones,
+    catalog: Arc<BranchCatalog>,
+    alphabets: LabelAlphabets,
+    max_vertices_hint: usize,
+}
+
+impl Generation {
+    /// Captures the database's current state as a generation at `epoch`.
+    fn capture(database: &DynamicDatabase, epoch: u64) -> Self {
+        Generation {
+            epoch,
+            base: Arc::clone(database.base_arc()),
+            base_ids: Arc::clone(database.base_ids_arc()),
+            base_tombstones: database.base_tombstones().clone(),
+            delta: database.delta().clone(),
+            delta_ids: database.delta_ids().to_vec(),
+            delta_tombstones: database.delta_tombstones().clone(),
+            catalog: Arc::clone(database.catalog_arc()),
+            alphabets: database.alphabets(),
+            max_vertices_hint: database.max_vertices_hint(),
+        }
+    }
+
+    /// The publication epoch: 0 for the initial generation, then +1 per
+    /// published mutation or compaction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live graphs in this generation.
+    pub fn len(&self) -> usize {
+        self.view_len()
+    }
+
+    /// Returns `true` when no graph is live in this generation.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Label alphabet sizes of the probabilistic model.
+    pub fn alphabets(&self) -> LabelAlphabets {
+        self.alphabets
+    }
+
+    /// Iterates over `(id, graph)` for every live graph in **canonical
+    /// order** (base by index, then delta by insertion order) — the order a
+    /// fresh rebuild of this generation's live set preserves, which is what
+    /// the consistency checks rebuild from.
+    pub fn live_graphs(&self) -> impl Iterator<Item = (u64, &Graph)> + '_ {
+        let base = (0..self.base.len())
+            .filter(|&i| !self.base_tombstones.get(i))
+            .map(|i| (self.base_ids[i], self.base.graph(i)));
+        let delta = (0..self.delta.len())
+            .filter(|&i| !self.delta_tombstones.get(i))
+            .map(|i| (self.delta_ids[i], self.delta.graph(i)));
+        base.chain(delta)
+    }
+
+    /// Live graph ids in canonical order.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.live_graphs().map(|(id, _)| id).collect()
+    }
+}
+
+impl DynamicView for Generation {
+    fn view_base(&self) -> &GraphDatabase {
+        &self.base
+    }
+
+    fn view_base_ids(&self) -> &[u64] {
+        &self.base_ids
+    }
+
+    fn view_base_tombstones(&self) -> &Tombstones {
+        &self.base_tombstones
+    }
+
+    fn view_delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    fn view_delta_ids(&self) -> &[u64] {
+        &self.delta_ids
+    }
+
+    fn view_delta_tombstones(&self) -> &Tombstones {
+        &self.delta_tombstones
+    }
+
+    fn view_catalog(&self) -> &BranchCatalog {
+        &self.catalog
+    }
+
+    fn view_max_vertices_hint(&self) -> usize {
+        self.max_vertices_hint
+    }
+}
+
+/// The reader half of the concurrent serving layer: a publication cell of
+/// [`Generation`]s plus the shared scan machinery that runs queries over
+/// whichever generation a reader pinned.
+///
+/// Pinning ([`Self::pin`]) is one `Arc` clone under a read lock held for
+/// nanoseconds — readers never wait on a scan, a mutation or a compaction,
+/// and [`Self::publish`] (called by the writer) swaps the cell under the
+/// write lock without waiting for in-flight queries, which keep their
+/// pinned `Arc` until they finish. All shared scan state (posterior memo,
+/// decision tables, planner profile) is internally synchronized and safe
+/// to share across generations: decision tables are keyed by the
+/// generation-dependent vertex cap, and the planner only reroutes cascade
+/// stages, which never changes results.
+pub struct SnapshotReader {
+    index: OfflineIndex,
+    state: ScanState,
+    cell: RwLock<Arc<Generation>>,
+    /// Per-epoch GBDA-V1 `|V'1|` samples. A memo, not a cache of truth:
+    /// the sample is a deterministic function of the seed and the pinned
+    /// generation's live vertex counts, so a pruned entry is simply
+    /// recomputed bit-identically.
+    v1_sizes: RwLock<HashMap<u64, usize>>,
+}
+
+impl SnapshotReader {
+    /// Publishes the database's current state as epoch 0 and readies the
+    /// scan machinery. Applies `config.telemetry` via
+    /// [`gbd_telemetry::escalate_level`], like every engine constructor.
+    pub fn new(database: &DynamicDatabase, index: OfflineIndex, config: GbdaConfig) -> Self {
+        gbd_telemetry::escalate_level(config.telemetry);
+        let generation = Arc::new(Generation::capture(database, 0));
+        crate::obs::record_generation_publish(0, generation.len());
+        SnapshotReader {
+            index,
+            state: ScanState::new(config),
+            cell: RwLock::new(generation),
+            v1_sizes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration queries run with.
+    pub fn config(&self) -> &GbdaConfig {
+        &self.state.config
+    }
+
+    /// The offline index queries run against.
+    pub fn index(&self) -> &OfflineIndex {
+        &self.index
+    }
+
+    /// Pins the current generation: one `Arc` clone, after which the
+    /// returned snapshot is immune to concurrent mutation and compaction.
+    pub fn pin(&self) -> Arc<Generation> {
+        Arc::clone(&self.cell.read())
+    }
+
+    /// The epoch of the currently published generation.
+    pub fn epoch(&self) -> u64 {
+        self.cell.read().epoch
+    }
+
+    /// Publishes the database's current state as the next generation.
+    ///
+    /// Callers must hold the writer lock of the owning engine across the
+    /// mutation *and* this publish, so epochs order identically to the
+    /// mutation history; the cell's own write lock only orders the pointer
+    /// swap against concurrent [`Self::pin`]s.
+    pub fn publish(&self, database: &DynamicDatabase) -> u64 {
+        let mut cell = self.cell.write();
+        let epoch = cell.epoch + 1;
+        *cell = Arc::new(Generation::capture(database, epoch));
+        let live = cell.len();
+        drop(cell);
+        crate::obs::record_generation_publish(epoch, live);
+        epoch
+    }
+
+    /// The GBDA-V1 fixed `|V'1|` for one generation (`None` for the other
+    /// variants), memoized by epoch.
+    fn fixed_extended_size(&self, generation: &Generation) -> Option<usize> {
+        if !matches!(
+            self.state.config.variant,
+            crate::config::GbdaVariant::AverageExtendedSize { .. }
+        ) {
+            return None;
+        }
+        if let Some(&size) = self.v1_sizes.read().get(&generation.epoch) {
+            return Some(size);
+        }
+        let size = fixed_extended_size_for(generation, &self.state.config)?;
+        let mut memo = self.v1_sizes.write();
+        if memo.len() >= V1_MEMO_CAPACITY {
+            memo.clear();
+        }
+        memo.insert(generation.epoch, size);
+        Some(size)
+    }
+
+    /// Runs Algorithm 1 against a pinned generation. Bit-identical to a
+    /// [`crate::DynamicEngine`] (or a fresh static [`crate::QueryEngine`]) over
+    /// that generation's live set.
+    pub fn search_pinned(&self, generation: &Generation, query: &Graph) -> DynamicOutcome {
+        let fixed = self.fixed_extended_size(generation);
+        self.state.search(generation, &self.index, fixed, query)
+    }
+
+    /// Pins the current generation and runs Algorithm 1 against it.
+    pub fn search(&self, query: &Graph) -> DynamicOutcome {
+        self.search_pinned(&self.pin(), query)
+    }
+
+    /// Runs a ranked query against a pinned generation (see
+    /// [`crate::DynamicEngine::search_top_k`] for the equivalence guarantee).
+    pub fn search_top_k_pinned(
+        &self,
+        generation: &Generation,
+        query: &Graph,
+        k: usize,
+    ) -> DynamicTopKOutcome {
+        let fixed = self.fixed_extended_size(generation);
+        self.state
+            .search_top_k(generation, &self.index, fixed, query, k)
+    }
+
+    /// Pins the current generation and runs a ranked query against it.
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
+        self.search_top_k_pinned(&self.pin(), query, k)
+    }
+
+    /// Streams Algorithm 1 hits from a pinned generation as the scan finds
+    /// them (see [`crate::DynamicEngine::search_streaming`]).
+    pub fn search_streaming_pinned<F>(
+        &self,
+        generation: &Generation,
+        query: &Graph,
+        on_match: F,
+    ) -> SearchStats
+    where
+        F: FnMut(u64, Option<f64>),
+    {
+        let fixed = self.fixed_extended_size(generation);
+        self.state
+            .search_streaming(generation, &self.index, fixed, query, on_match)
+    }
+
+    /// Pins the current generation and streams hits from it.
+    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    where
+        F: FnMut(u64, Option<f64>),
+    {
+        self.search_streaming_pinned(&self.pin(), query, on_match)
+    }
+}
+
+/// What the writer tells the background compactor.
+enum Signal {
+    /// The delta crossed the compaction threshold after a mutation.
+    Compact,
+    /// The engine is shutting down; exit the worker loop.
+    Shutdown,
+}
+
+/// The state shared between the engine handle and its background compactor.
+struct Shared {
+    reader: SnapshotReader,
+    writer: Mutex<DynamicDatabase>,
+    /// Delta length at which a mutation signals the background compactor
+    /// (`None` without a compactor: compaction is explicit only).
+    compact_threshold: Option<usize>,
+}
+
+impl Shared {
+    /// Folds the delta and tombstones into a fresh base and publishes the
+    /// compacted generation. Readers are never stopped: in-flight queries
+    /// finish on their pinned pre-compaction generation (whose `Arc`s keep
+    /// the old base alive), new pins see the compacted one.
+    fn compact_now(&self) -> usize {
+        let mut database = self.writer.lock();
+        let survivors = database.compact();
+        self.reader.publish(&database);
+        survivors
+    }
+
+    /// The background variant: skips the rebuild when a competing explicit
+    /// compaction already emptied the delta and tombstones (signals
+    /// coalesce, so a burst of inserts triggers one compaction, not one
+    /// per insert).
+    fn compact_in_background(&self) {
+        let mut database = self.writer.lock();
+        if database.delta().is_empty() && database.tombstone_count() == 0 {
+            return;
+        }
+        database.compact();
+        self.reader.publish(&database);
+        crate::obs::record_background_compaction();
+    }
+}
+
+/// A thread-safe serving engine over the dynamic layer: snapshot-isolated
+/// readers, a mutex-serialized writer, and (optionally) a background
+/// compaction worker.
+///
+/// All methods take `&self`; share the engine across threads with
+/// [`Arc<ConcurrentEngine>`]. Readers ([`Self::search`],
+/// [`Self::search_top_k`], [`Self::search_streaming`], or [`Self::pin`] +
+/// the `_pinned` variants on [`Self::reader`]) never take the writer lock;
+/// writers ([`Self::insert`], [`Self::remove`], [`Self::compact`])
+/// serialize on it and publish a new [`Generation`] before returning, so a
+/// mutation is visible to every reader that pins afterwards
+/// (read-your-writes for the mutating thread).
+///
+/// Dropping the engine shuts the background compactor down gracefully.
+pub struct ConcurrentEngine {
+    shared: Arc<Shared>,
+    signals: Option<mpsc::Sender<Signal>>,
+    compactor: Option<JoinHandle<()>>,
+}
+
+impl ConcurrentEngine {
+    /// Creates an engine without a background compactor: compaction runs
+    /// only on explicit [`Self::compact`] calls.
+    pub fn new(database: DynamicDatabase, index: OfflineIndex, config: GbdaConfig) -> Self {
+        ConcurrentEngine {
+            shared: Arc::new(Shared {
+                reader: SnapshotReader::new(&database, index, config),
+                writer: Mutex::new(database),
+                compact_threshold: None,
+            }),
+            signals: None,
+            compactor: None,
+        }
+    }
+
+    /// Creates an engine with a background compaction worker: a mutation
+    /// that leaves at least `delta_threshold` graphs in the delta segment
+    /// signals the worker, which compacts off the writer's latency path.
+    /// Signals coalesce — a burst of inserts triggers one compaction.
+    /// `delta_threshold` is clamped to at least 1.
+    pub fn with_auto_compact(
+        database: DynamicDatabase,
+        index: OfflineIndex,
+        config: GbdaConfig,
+        delta_threshold: usize,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            reader: SnapshotReader::new(&database, index, config),
+            writer: Mutex::new(database),
+            compact_threshold: Some(delta_threshold.max(1)),
+        });
+        let (tx, rx) = mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let compactor = std::thread::Builder::new()
+            .name("gbda-compactor".into())
+            .spawn(move || compactor_loop(worker_shared, rx))
+            .expect("spawning the compactor thread");
+        ConcurrentEngine {
+            shared,
+            signals: Some(tx),
+            compactor: Some(compactor),
+        }
+    }
+
+    /// The reader half, for pinning generations explicitly and running the
+    /// `_pinned` query variants.
+    pub fn reader(&self) -> &SnapshotReader {
+        &self.shared.reader
+    }
+
+    /// The configuration queries run with.
+    pub fn config(&self) -> &GbdaConfig {
+        self.shared.reader.config()
+    }
+
+    /// Pins the currently published generation.
+    pub fn pin(&self) -> Arc<Generation> {
+        self.shared.reader.pin()
+    }
+
+    /// Number of live graphs in the currently published generation.
+    pub fn len(&self) -> usize {
+        self.pin().len()
+    }
+
+    /// Returns `true` when the currently published generation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a graph and publishes the new generation; returns the stable
+    /// id. May signal the background compactor (never compacts inline).
+    pub fn insert(&self, graph: Graph) -> u64 {
+        let (id, compact_due) = {
+            let mut database = self.shared.writer.lock();
+            let id = database.insert(graph);
+            self.shared.reader.publish(&database);
+            let due = self
+                .shared
+                .compact_threshold
+                .is_some_and(|t| database.delta().len() >= t);
+            (id, due)
+        };
+        if compact_due {
+            self.signal_compact();
+        }
+        id
+    }
+
+    /// Removes a graph by id and publishes the new generation.
+    ///
+    /// # Errors
+    /// [`crate::EngineError::UnknownGraphId`] when the id never existed or
+    /// was already removed; nothing is published.
+    pub fn remove(&self, id: u64) -> EngineResult<()> {
+        let mut database = self.shared.writer.lock();
+        database.remove(id)?;
+        self.shared.reader.publish(&database);
+        Ok(())
+    }
+
+    /// Compacts synchronously on the calling thread and publishes the
+    /// compacted generation; returns the number of surviving graphs.
+    /// Readers never stop: in-flight queries finish on their pinned
+    /// pre-compaction generation.
+    pub fn compact(&self) -> usize {
+        self.shared.compact_now()
+    }
+
+    /// Runs Algorithm 1 against the current generation (pin + scan).
+    pub fn search(&self, query: &Graph) -> DynamicOutcome {
+        self.shared.reader.search(query)
+    }
+
+    /// Runs a ranked query against the current generation.
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
+        self.shared.reader.search_top_k(query, k)
+    }
+
+    /// Streams hits from the current generation as the scan finds them.
+    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    where
+        F: FnMut(u64, Option<f64>),
+    {
+        self.shared.reader.search_streaming(query, on_match)
+    }
+
+    fn signal_compact(&self) {
+        if let Some(signals) = &self.signals {
+            // A send can only fail after the worker exited, which only
+            // happens on shutdown; a lost signal is then harmless.
+            let _ = signals.send(Signal::Compact);
+        }
+    }
+}
+
+impl Drop for ConcurrentEngine {
+    fn drop(&mut self) {
+        if let Some(signals) = self.signals.take() {
+            let _ = signals.send(Signal::Shutdown);
+        }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
+    }
+}
+
+/// The background compactor: waits for signals, coalesces bursts, and
+/// compacts under the writer lock. Exits on [`Signal::Shutdown`] or when
+/// every sender is gone.
+fn compactor_loop(shared: Arc<Shared>, signals: mpsc::Receiver<Signal>) {
+    while let Ok(signal) = signals.recv() {
+        match signal {
+            Signal::Shutdown => return,
+            Signal::Compact => {
+                // Coalesce the burst that accumulated while we were idle
+                // (or compacting): one pass serves them all.
+                loop {
+                    match signals.try_recv() {
+                        Ok(Signal::Shutdown) => return,
+                        Ok(Signal::Compact) => continue,
+                        Err(_) => break,
+                    }
+                }
+                shared.compact_in_background();
+            }
+        }
+    }
+}
+
+// The compile-time contract behind `Arc<ConcurrentEngine>` sharing: every
+// piece of shared state is internally synchronized.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentEngine>();
+    assert_send_sync::<SnapshotReader>();
+    assert_send_sync::<Generation>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GbdaVariant;
+    use crate::engine::QueryEngine;
+    use gbd_graph::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graphs(seed: u64, count: usize, size: usize) -> Vec<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GeneratorConfig::new(size, 2.2)
+            .with_alphabets(LabelAlphabets::new(6, 3))
+            .generate_many(count, &mut rng)
+            .unwrap()
+    }
+
+    fn setup() -> (DynamicDatabase, OfflineIndex, GbdaConfig) {
+        let base = GraphDatabase::from_graphs(graphs(21, 16, 12));
+        let config = GbdaConfig::new(4, 0.7).with_sample_pairs(200);
+        let index = OfflineIndex::build(&base, &config).unwrap();
+        (DynamicDatabase::new(base), index, config)
+    }
+
+    /// A pinned generation is immune to inserts, removes and compactions
+    /// published after the pin.
+    #[test]
+    fn pinned_generations_are_snapshot_isolated() {
+        let (database, index, config) = setup();
+        let engine = ConcurrentEngine::new(database, index, config);
+        let query = graphs(5, 1, 12).pop().unwrap();
+
+        let old = engine.pin();
+        assert_eq!(old.epoch(), 0);
+        let old_ids = old.live_ids();
+        let old_outcome = engine.reader().search_pinned(&old, &query);
+
+        for g in graphs(31, 6, 11) {
+            engine.insert(g);
+        }
+        engine.remove(3).unwrap();
+        engine.compact();
+
+        // The pinned snapshot still answers from the pre-mutation state.
+        assert_eq!(old.live_ids(), old_ids);
+        let replay = engine.reader().search_pinned(&old, &query);
+        assert_eq!(replay.ids, old_outcome.ids);
+        assert_eq!(replay.matches, old_outcome.matches);
+        for (a, b) in replay.posteriors.iter().zip(&old_outcome.posteriors) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // A fresh pin sees all of it, with a strictly larger epoch.
+        let new = engine.pin();
+        assert_eq!(new.epoch(), 8, "6 inserts + 1 remove + 1 compaction");
+        assert_eq!(new.len(), 21);
+        assert!(!new.live_ids().contains(&3));
+        assert_ne!(new.live_ids(), old_ids);
+    }
+
+    /// Reads through the concurrent engine are bit-identical to a fresh
+    /// static engine over the pinned generation's live set — per variant.
+    #[test]
+    fn concurrent_reads_match_fresh_static_engines() {
+        for variant in [
+            GbdaVariant::Standard,
+            GbdaVariant::AverageExtendedSize { sample_graphs: 4 },
+            GbdaVariant::WeightedGbd { weight: 0.5 },
+        ] {
+            let (database, index, config) = setup();
+            let config = config.with_variant(variant);
+            let engine = ConcurrentEngine::new(database, index, config.clone());
+            for g in graphs(47, 5, 13) {
+                engine.insert(g);
+            }
+            engine.remove(2).unwrap();
+            engine.remove(18).unwrap();
+
+            let generation = engine.pin();
+            let survivors: Vec<Graph> = generation.live_graphs().map(|(_, g)| g.clone()).collect();
+            let ids = generation.live_ids();
+            let fresh = GraphDatabase::with_alphabets(survivors, generation.alphabets());
+            let static_engine = QueryEngine::new(&fresh, &engine.reader().index, config);
+
+            let query = graphs(7, 1, 12).pop().unwrap();
+            let expected = static_engine.search(&query);
+            let got = engine.search(&query);
+            let expected_ids: Vec<u64> = expected.matches.iter().map(|&i| ids[i]).collect();
+            assert_eq!(got.matches, expected_ids, "variant {variant:?}");
+            for (a, b) in got.posteriors.iter().zip(&expected.posteriors) {
+                assert_eq!(a.to_bits(), b.to_bits(), "variant {variant:?}");
+            }
+
+            let expected_top = static_engine.search_top_k(&query, 5);
+            let got_top = engine.search_top_k(&query, 5);
+            assert_eq!(got_top.hits.len(), expected_top.hits.len());
+            for (a, b) in got_top.hits.iter().zip(&expected_top.hits) {
+                assert_eq!(a.id, ids[b.id], "variant {variant:?}");
+                assert_eq!(a.posterior.to_bits(), b.posterior.to_bits());
+            }
+
+            let mut streamed = Vec::new();
+            engine.search_streaming(&query, |id, _| streamed.push(id));
+            assert_eq!(streamed, got.matches, "variant {variant:?}");
+        }
+    }
+
+    /// Readers pinned across a mutation stream always observe a published
+    /// generation, never a torn intermediate.
+    #[test]
+    fn readers_under_writes_observe_only_published_generations() {
+        let (database, index, config) = setup();
+        let engine = Arc::new(ConcurrentEngine::new(database, index, config));
+        let query = graphs(9, 1, 12).pop().unwrap();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let query = query.clone();
+                std::thread::spawn(move || {
+                    let mut observations = Vec::new();
+                    for _ in 0..40 {
+                        let generation = engine.pin();
+                        let outcome = engine.reader().search_pinned(&generation, &query);
+                        observations.push((generation, outcome));
+                    }
+                    observations
+                })
+            })
+            .collect();
+        for (round, g) in graphs(63, 12, 11).into_iter().enumerate() {
+            let id = engine.insert(g);
+            if round % 3 == 2 {
+                engine.remove(id).unwrap();
+            }
+            if round % 5 == 4 {
+                engine.compact();
+            }
+        }
+        for reader in readers {
+            for (generation, outcome) in reader.join().unwrap() {
+                // The outcome's scanned-id list is the pinned generation's
+                // live set — the snapshot didn't shift mid-query.
+                assert_eq!(outcome.ids, generation.live_ids());
+                let replay = engine.reader().search_pinned(&generation, &query);
+                assert_eq!(replay.matches, outcome.matches);
+            }
+        }
+    }
+
+    /// The background compactor folds the delta without being asked and
+    /// without perturbing the live set.
+    #[test]
+    fn background_compactor_folds_the_delta() {
+        let (database, index, config) = setup();
+        let engine = ConcurrentEngine::with_auto_compact(database, index, config, 4);
+        let mut expected_ids = engine.pin().live_ids();
+        for g in graphs(83, 10, 11) {
+            expected_ids.push(engine.insert(g));
+        }
+        // Inserts below the threshold never signal, so the delta need not
+        // end empty — but a background compaction must have pushed it back
+        // below the threshold, with the live set intact.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let generation = engine.pin();
+            if generation.len() == 26 && generation.view_delta().len() < 4 {
+                assert_eq!(generation.live_ids(), expected_ids);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "compactor did not fold the delta in time (delta len {})",
+                generation.view_delta().len()
+            );
+            std::thread::yield_now();
+        }
+        drop(engine); // joins the worker; must not hang or panic
+    }
+}

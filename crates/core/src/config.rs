@@ -66,13 +66,17 @@ pub struct GbdaConfig {
     ///
     /// [`SearchStats`]: crate::SearchStats
     pub force_fixed_pipeline: bool,
-    /// How much the process-wide telemetry layer records (see the
-    /// `gbd-telemetry` crate). Applied globally when an engine is built
-    /// from this configuration: [`TelemetryLevel::Off`] reduces every
-    /// instrumentation site to one relaxed load, the default
-    /// [`TelemetryLevel::Metrics`] records counters/gauges/histograms,
-    /// and [`TelemetryLevel::MetricsAndTraces`] additionally arms spans.
-    /// Results are bit-identical at every level.
+    /// The telemetry level this engine *requires* of the process-wide
+    /// layer (see the `gbd-telemetry` crate). Engine construction applies
+    /// it via `gbd_telemetry::escalate_level` — monotone: it can raise the
+    /// global level but never lowers it, so building an engine with a
+    /// quieter configuration cannot silently stop recording for other
+    /// engines in the same process. Lowering the level (e.g. for an
+    /// overhead benchmark) is an explicit `gbd_telemetry::set_level` call.
+    /// [`TelemetryLevel::Off`] reduces every instrumentation site to one
+    /// relaxed load, the default [`TelemetryLevel::Metrics`] records
+    /// counters/gauges/histograms, and [`TelemetryLevel::MetricsAndTraces`]
+    /// additionally arms spans. Results are bit-identical at every level.
     pub telemetry: TelemetryLevel,
 }
 

@@ -243,15 +243,23 @@ enum Location {
 /// [`Self::compact`].
 #[derive(Debug, Clone)]
 pub struct DynamicDatabase {
-    base: GraphDatabase,
+    /// The sealed base segment. Behind an [`Arc`] so publishing a
+    /// [`crate::concurrent::Generation`] shares it instead of copying it —
+    /// the base never mutates in place, it is only *replaced* by
+    /// [`Self::compact`].
+    base: Arc<GraphDatabase>,
     /// The base catalog plus every branch first seen by an insert; base ids
-    /// are a strict prefix of this catalog's id space.
-    catalog: BranchCatalog,
+    /// are a strict prefix of this catalog's id space. Clone-on-grow: an
+    /// insert whose branches are all catalogued shares the [`Arc`]; only an
+    /// insert that interns a new branch clones a shared catalog first.
+    catalog: Arc<BranchCatalog>,
     alphabets: LabelAlphabets,
     delta: DeltaSegment,
     base_tombstones: Tombstones,
     delta_tombstones: Tombstones,
-    base_ids: Vec<u64>,
+    /// Stable ids of the base graphs by base index; replaced wholesale by
+    /// [`Self::compact`], never edited, hence shareable like the base.
+    base_ids: Arc<Vec<u64>>,
     delta_ids: Vec<u64>,
     locations: HashMap<u64, Location>,
     next_id: u64,
@@ -259,6 +267,9 @@ pub struct DynamicDatabase {
     /// remove; only used to cap posterior decision tables, so an
     /// overestimate costs nothing but a few extra memo entries).
     max_vertices_hint: usize,
+    /// When `true`, mutations skip the per-mutation telemetry (counters
+    /// *and* gauges). See [`Self::set_metrics_quiet`].
+    metrics_quiet: bool,
 }
 
 impl DynamicDatabase {
@@ -272,17 +283,18 @@ impl DynamicDatabase {
             .map(|&id| (id, Location::Base(id as usize)))
             .collect();
         DynamicDatabase {
-            catalog: base.catalog().clone(),
+            catalog: Arc::new(base.catalog().clone()),
             alphabets: base.alphabets(),
             max_vertices_hint: base.max_vertices(),
             base_tombstones: Tombstones::new(n),
             delta_tombstones: Tombstones::new(0),
-            base_ids,
+            base_ids: Arc::new(base_ids),
             delta_ids: Vec::new(),
             locations,
             next_id: n as u64,
             delta: DeltaSegment::default(),
-            base,
+            base: Arc::new(base),
+            metrics_quiet: false,
         }
     }
 
@@ -317,17 +329,18 @@ impl DynamicDatabase {
         }
         let n = base.len();
         Ok(DynamicDatabase {
-            catalog: base.catalog().clone(),
+            catalog: Arc::new(base.catalog().clone()),
             alphabets: base.alphabets(),
             max_vertices_hint: base.max_vertices(),
             base_tombstones: Tombstones::new(n),
             delta_tombstones: Tombstones::new(0),
-            base_ids: ids,
+            base_ids: Arc::new(ids),
             delta_ids: Vec::new(),
             locations,
             next_id,
             delta: DeltaSegment::default(),
-            base,
+            base: Arc::new(base),
+            metrics_quiet: false,
         })
     }
 
@@ -353,6 +366,37 @@ impl DynamicDatabase {
     /// The append-only delta segment.
     pub fn delta(&self) -> &DeltaSegment {
         &self.delta
+    }
+
+    /// Stable ids of the delta-segment graphs by delta index (tombstoned
+    /// slots included).
+    pub fn delta_ids(&self) -> &[u64] {
+        &self.delta_ids
+    }
+
+    /// The tombstone bitset of the base segment.
+    pub fn base_tombstones(&self) -> &Tombstones {
+        &self.base_tombstones
+    }
+
+    /// The tombstone bitset of the delta segment.
+    pub fn delta_tombstones(&self) -> &Tombstones {
+        &self.delta_tombstones
+    }
+
+    /// The shared handle of the base segment (for generation capture).
+    pub(crate) fn base_arc(&self) -> &Arc<GraphDatabase> {
+        &self.base
+    }
+
+    /// The shared handle of the base id list (for generation capture).
+    pub(crate) fn base_ids_arc(&self) -> &Arc<Vec<u64>> {
+        &self.base_ids
+    }
+
+    /// The shared handle of the branch catalog (for generation capture).
+    pub(crate) fn catalog_arc(&self) -> &Arc<BranchCatalog> {
+        &self.catalog
     }
 
     /// The combined branch catalog (base ids first, delta-discovered ids
@@ -387,6 +431,29 @@ impl DynamicDatabase {
     /// Upper bound on the live maximum vertex count.
     pub fn max_vertices_hint(&self) -> usize {
         self.max_vertices_hint
+    }
+
+    /// Silences (or re-arms) the per-mutation dynamic-layer telemetry of
+    /// this database instance.
+    ///
+    /// Replay paths use this: recovery re-applies historical, already-
+    /// acknowledged mutations, and booking those into the process-wide
+    /// insert/remove/compaction counters would misreport them as fresh
+    /// traffic — worse, a replay that *fails* midway would leave gauges
+    /// describing a database object that is then discarded. Quiet replay
+    /// records nothing; after a successful replay,
+    /// [`Self::publish_metric_gauges`] resyncs the level gauges in one
+    /// step. Fresh databases start loud (`quiet = false`).
+    pub fn set_metrics_quiet(&mut self, quiet: bool) {
+        self.metrics_quiet = quiet;
+    }
+
+    /// Re-publishes the delta/tombstone level gauges from this database's
+    /// current state — the companion of [`Self::set_metrics_quiet`]: call
+    /// it once after a quiet replay commits, so the gauges describe the
+    /// recovered state without the replay inflating mutation counters.
+    pub fn publish_metric_gauges(&self) {
+        crate::obs::record_dynamic_levels(self.delta.len(), self.tombstone_count());
     }
 
     /// Whether `id` refers to a live graph.
@@ -426,9 +493,17 @@ impl DynamicDatabase {
     /// Cost is proportional to the graph itself: one branch extraction, one
     /// flatten against the shared catalog (interning unseen branches), and
     /// one postings append per distinct run — no base structure is touched.
+    /// When the catalog [`Arc`] is shared with published generations, only
+    /// an insert that actually interns a *new* branch clones it
+    /// (clone-on-grow); inserts over known vocabulary keep sharing.
     pub fn insert(&mut self, graph: Graph) -> u64 {
         let multiset = BranchMultiset::from_graph(&graph);
-        let flat = self.catalog.flatten(&multiset);
+        let looked_up = self.catalog.flatten_lookup(&multiset);
+        let flat = if looked_up.known_len() == looked_up.len() {
+            looked_up
+        } else {
+            Arc::make_mut(&mut self.catalog).flatten(&multiset)
+        };
         let id = self.next_id;
         self.next_id += 1;
         self.max_vertices_hint = self.max_vertices_hint.max(graph.vertex_count());
@@ -437,7 +512,9 @@ impl DynamicDatabase {
         self.delta_ids.push(id);
         self.delta_tombstones.push_alive();
         self.locations.insert(id, Location::Delta(delta_index));
-        crate::obs::record_dynamic_insert(self.delta.len(), self.tombstone_count());
+        if !self.metrics_quiet {
+            crate::obs::record_dynamic_insert(self.delta.len(), self.tombstone_count());
+        }
         id
     }
 
@@ -457,7 +534,9 @@ impl DynamicDatabase {
             }
             None => return Err(EngineError::UnknownGraphId(id)),
         }
-        crate::obs::record_dynamic_remove(self.delta.len(), self.tombstone_count());
+        if !self.metrics_quiet {
+            crate::obs::record_dynamic_remove(self.delta.len(), self.tombstone_count());
+        }
         Ok(())
     }
 
@@ -476,8 +555,11 @@ impl DynamicDatabase {
             .live_graphs()
             .map(|(id, graph)| (id, graph.clone()))
             .unzip();
-        self.base = GraphDatabase::with_alphabets(graphs, self.alphabets);
-        self.catalog = self.base.catalog().clone();
+        // The old base/catalog/id Arcs are replaced, not mutated: published
+        // generations that still share them keep scanning the pre-compaction
+        // state untouched.
+        self.base = Arc::new(GraphDatabase::with_alphabets(graphs, self.alphabets));
+        self.catalog = Arc::new(self.base.catalog().clone());
         self.base_tombstones = Tombstones::new(self.base.len());
         self.delta = DeltaSegment::default();
         self.delta_ids.clear();
@@ -487,13 +569,15 @@ impl DynamicDatabase {
             .enumerate()
             .map(|(i, &id)| (id, Location::Base(i)))
             .collect();
-        self.base_ids = ids;
+        self.base_ids = Arc::new(ids);
         self.max_vertices_hint = self.base.max_vertices();
-        crate::obs::record_dynamic_compact(
-            started.elapsed().as_secs_f64(),
-            self.delta.len(),
-            self.tombstone_count(),
-        );
+        if !self.metrics_quiet {
+            crate::obs::record_dynamic_compact(
+                started.elapsed().as_secs_f64(),
+                self.delta.len(),
+                self.tombstone_count(),
+            );
+        }
         self.base.len()
     }
 }
@@ -515,54 +599,118 @@ pub struct DynamicOutcome {
     pub stats: SearchStats,
 }
 
-/// The segment-aware query engine over a [`DynamicDatabase`].
+/// A read-only view of one segmented state of the dynamic layer: a base
+/// segment and a delta segment, each under a tombstone mask, plus the
+/// catalog both were flattened against.
 ///
-/// Mirrors [`crate::QueryEngine`] — same variants, same cascade, same
-/// posterior memo — but scans base and delta segments under their tombstone
-/// masks. Given the same [`OfflineIndex`] and configuration, its results are
-/// bit-identical to a `QueryEngine` over a freshly built database of the
-/// live graphs.
-pub struct DynamicEngine<'a> {
-    dynamic: &'a DynamicDatabase,
-    index: &'a OfflineIndex,
-    config: GbdaConfig,
-    /// `|V'1|` override of the GBDA-V1 variant, sampled over the live set in
-    /// canonical order — exactly how [`crate::QueryEngine::new`] samples a
-    /// static database of the same graphs.
-    fixed_extended_size: Option<usize>,
+/// Implemented by [`DynamicDatabase`] itself (the live, writer-owned state)
+/// and by [`crate::concurrent::Generation`] (an immutable published
+/// snapshot), so one scan implementation — the crate-private `ScanState`
+/// — serves the
+/// borrow-checked [`DynamicEngine`] and the snapshot-isolated
+/// [`crate::concurrent::ConcurrentEngine`] alike. Method names carry a
+/// `view_` prefix so they never shadow the richer inherent accessors.
+pub trait DynamicView {
+    /// The immutable base segment.
+    fn view_base(&self) -> &GraphDatabase;
+    /// Stable ids of the base graphs by base index (tombstoned included).
+    fn view_base_ids(&self) -> &[u64];
+    /// The tombstone bitset of the base segment.
+    fn view_base_tombstones(&self) -> &Tombstones;
+    /// The delta segment.
+    fn view_delta(&self) -> &DeltaSegment;
+    /// Stable ids of the delta graphs by delta index (tombstoned included).
+    fn view_delta_ids(&self) -> &[u64];
+    /// The tombstone bitset of the delta segment.
+    fn view_delta_tombstones(&self) -> &Tombstones;
+    /// The catalog queries are flattened against (base ids a strict prefix).
+    fn view_catalog(&self) -> &BranchCatalog;
+    /// Upper bound on the live maximum vertex count.
+    fn view_max_vertices_hint(&self) -> usize;
+
+    /// Number of live graphs in this view.
+    fn view_len(&self) -> usize {
+        (self.view_base().len() - self.view_base_tombstones().set_count()) + self.view_delta().len()
+            - self.view_delta_tombstones().set_count()
+    }
+
+    /// Vertex counts of the live graphs in canonical order (base by index,
+    /// then delta by insertion order) — the GBDA-V1 sampling population.
+    fn view_live_vertex_counts(&self) -> Vec<usize> {
+        let base = self.view_base();
+        let delta = self.view_delta();
+        (0..base.len())
+            .filter(|&i| !self.view_base_tombstones().get(i))
+            .map(|i| base.size_of(i))
+            .chain(
+                (0..delta.len())
+                    .filter(|&i| !self.view_delta_tombstones().get(i))
+                    .map(|i| delta.graph(i).vertex_count()),
+            )
+            .collect()
+    }
+}
+
+impl DynamicView for DynamicDatabase {
+    fn view_base(&self) -> &GraphDatabase {
+        &self.base
+    }
+
+    fn view_base_ids(&self) -> &[u64] {
+        &self.base_ids
+    }
+
+    fn view_base_tombstones(&self) -> &Tombstones {
+        &self.base_tombstones
+    }
+
+    fn view_delta(&self) -> &DeltaSegment {
+        &self.delta
+    }
+
+    fn view_delta_ids(&self) -> &[u64] {
+        &self.delta_ids
+    }
+
+    fn view_delta_tombstones(&self) -> &Tombstones {
+        &self.delta_tombstones
+    }
+
+    fn view_catalog(&self) -> &BranchCatalog {
+        &self.catalog
+    }
+
+    fn view_max_vertices_hint(&self) -> usize {
+        self.max_vertices_hint
+    }
+}
+
+/// The view-independent scan machinery shared by every dynamic search
+/// path: configuration, posterior memo, per-size decision tables and the
+/// stage planner. [`DynamicEngine`] owns one and feeds it its borrowed
+/// [`DynamicDatabase`]; [`crate::concurrent::SnapshotReader`] owns one and
+/// feeds it whatever [`crate::concurrent::Generation`] a reader pinned —
+/// all of its state is internally synchronized, so concurrent searches
+/// over *different* generations share the memos safely.
+///
+/// Decision tables are keyed by `(extended_size, cap)` because the
+/// vertex-count cap can grow from one generation to the next; for a fixed
+/// view (the [`DynamicEngine`] case) the cap is constant and the extra key
+/// component is inert.
+pub(crate) struct ScanState {
+    pub(crate) config: GbdaConfig,
     cache: PosteriorCache,
-    decisions: RwLock<HashMap<usize, SizeDecision>>,
-    rank_decisions: RwLock<HashMap<usize, Arc<RankDecision>>>,
+    decisions: RwLock<HashMap<(usize, u64), SizeDecision>>,
+    rank_decisions: RwLock<HashMap<(usize, u64), Arc<RankDecision>>>,
     /// The per-query stage planner, consulted separately for each segment
     /// (a big base and a small delta usually deserve different schedules);
     /// bypassed under [`GbdaConfig::force_fixed_pipeline`].
     planner: Planner,
 }
 
-impl<'a> DynamicEngine<'a> {
-    /// Creates an engine over the database's *current* live set. After an
-    /// insert, remove or compact, create a new engine (the borrow checker
-    /// enforces this: mutation needs `&mut DynamicDatabase`).
-    pub fn new(dynamic: &'a DynamicDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
-        let fixed_extended_size = match config.variant {
-            GbdaVariant::AverageExtendedSize { sample_graphs } => {
-                let live: Vec<usize> = dynamic
-                    .live_graphs()
-                    .map(|(_, graph)| graph.vertex_count())
-                    .collect();
-                Some(crate::engine::average_extended_size(
-                    config.seed,
-                    sample_graphs,
-                    &live,
-                ))
-            }
-            _ => None,
-        };
-        gbd_telemetry::set_level(config.telemetry);
-        DynamicEngine {
-            dynamic,
-            index,
-            fixed_extended_size,
+impl ScanState {
+    pub(crate) fn new(config: GbdaConfig) -> Self {
+        ScanState {
             cache: PosteriorCache::new(config.tau_hat),
             decisions: RwLock::new(HashMap::new()),
             rank_decisions: RwLock::new(HashMap::new()),
@@ -571,51 +719,41 @@ impl<'a> DynamicEngine<'a> {
         }
     }
 
-    /// The configuration this engine runs with.
-    pub fn config(&self) -> &GbdaConfig {
-        &self.config
-    }
-
-    /// The fixed `|V'1|` of the GBDA-V1 variant, if active.
-    pub fn fixed_extended_size(&self) -> Option<usize> {
-        self.fixed_extended_size
-    }
-
-    fn size_decision(&self, extended_size: usize) -> SizeDecision {
-        if let Some(&decision) = self.decisions.read().get(&extended_size) {
+    fn size_decision(&self, index: &OfflineIndex, extended_size: usize, cap: u64) -> SizeDecision {
+        if let Some(&decision) = self.decisions.read().get(&(extended_size, cap)) {
             return decision;
         }
-        let cap = self.dynamic.max_vertices_hint().max(extended_size) as u64;
-        let decision = compute_size_decision(
-            &self.cache,
-            self.index,
-            self.config.gamma,
-            extended_size,
-            cap,
-        );
-        self.decisions.write().insert(extended_size, decision);
+        let decision =
+            compute_size_decision(&self.cache, index, self.config.gamma, extended_size, cap);
+        self.decisions
+            .write()
+            .insert((extended_size, cap), decision);
         decision
     }
 
     /// The ranked-scan counterpart of [`Self::size_decision`]: the posterior
-    /// suffix-maximum table for one extended size, capped by the dynamic
-    /// database's vertex-count hint (an overestimated cap costs only memo
-    /// entries, never correctness).
-    fn rank_decision(&self, extended_size: usize) -> Arc<RankDecision> {
-        if let Some(decision) = self.rank_decisions.read().get(&extended_size) {
+    /// suffix-maximum table for one extended size, capped by the view's
+    /// vertex-count hint (an overestimated cap costs only memo entries,
+    /// never correctness).
+    fn rank_decision(
+        &self,
+        index: &OfflineIndex,
+        extended_size: usize,
+        cap: u64,
+    ) -> Arc<RankDecision> {
+        if let Some(decision) = self.rank_decisions.read().get(&(extended_size, cap)) {
             return Arc::clone(decision);
         }
-        let cap = self.dynamic.max_vertices_hint().max(extended_size) as u64;
         let decision = Arc::new(compute_rank_decision(
             &self.cache,
-            self.index,
+            index,
             extended_size,
             cap,
         ));
         Arc::clone(
             self.rank_decisions
                 .write()
-                .entry(extended_size)
+                .entry((extended_size, cap))
                 .or_insert(decision),
         )
     }
@@ -635,6 +773,7 @@ impl<'a> DynamicEngine<'a> {
         segment: &'q S,
         query_size: usize,
         query_flat: &'q FlatBranchSet,
+        fixed_extended_size: Option<usize>,
     ) -> ScanKernel<'q, S> {
         let plan = if self.config.force_fixed_pipeline {
             QueryPlan::fixed()
@@ -645,33 +784,43 @@ impl<'a> DynamicEngine<'a> {
             segment,
             query_flat,
             query_size,
-            self.fixed_extended_size,
+            fixed_extended_size,
             self.weight(),
             self.config.filter_cascade,
         )
         .with_plan(plan)
     }
 
-    /// Runs Algorithm 1 over the live set: base then delta, each under its
-    /// tombstone mask, both through the same filter cascade.
-    pub fn search(&self, query: &Graph) -> DynamicOutcome {
+    /// Runs Algorithm 1 over a view's live set: base then delta, each under
+    /// its tombstone mask, both through the same filter cascade.
+    pub(crate) fn search<V: DynamicView + ?Sized>(
+        &self,
+        view: &V,
+        index: &OfflineIndex,
+        fixed_extended_size: Option<usize>,
+        query: &Graph,
+    ) -> DynamicOutcome {
         let started = Instant::now();
         let _span = gbd_telemetry::span!("dynamic.search");
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
-        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let query_flat = view.view_catalog().flatten_lookup(&query_branches);
         let query_size = query.vertex_count();
         let mut outcome = DynamicOutcome::default();
         outcome.stats.shards = 1;
         outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
         let mut sink = CollectAll::new(self.config.record_posteriors);
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let cap_hint = view.view_max_vertices_hint();
 
         let scan_started = Instant::now();
         self.scan_segment(
-            self.dynamic.base(),
-            &self.dynamic.base_tombstones,
-            &self.dynamic.base_ids,
+            view.view_base(),
+            view.view_base_tombstones(),
+            view.view_base_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query_size,
             &query_flat,
             &mut sink,
@@ -679,9 +828,12 @@ impl<'a> DynamicEngine<'a> {
             &mut local,
         );
         self.scan_segment(
-            self.dynamic.delta(),
-            &self.dynamic.delta_tombstones,
-            &self.dynamic.delta_ids,
+            view.view_delta(),
+            view.view_delta_tombstones(),
+            view.view_delta_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query_size,
             &query_flat,
             &mut sink,
@@ -699,28 +851,39 @@ impl<'a> DynamicEngine<'a> {
         outcome
     }
 
-    /// Runs Algorithm 1 over the live set, delivering hits to `on_match` as
-    /// the scan (base then delta, ascending stable ids) finds them — the
-    /// [`Subscriber`]-sink instantiation of the kernel. Fast-path accepts
-    /// arrive with `None`; resolved hits carry `Some(Φ)`. The delivered id
-    /// set is exactly [`Self::search`]'s `matches`, in the same order.
-    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    /// The [`Subscriber`]-sink instantiation over a view: hits are delivered
+    /// to `on_match` as the scan (base then delta, ascending stable ids)
+    /// finds them. Fast-path accepts arrive with `None`; resolved hits carry
+    /// `Some(Φ)`. The delivered id set is exactly [`Self::search`]'s
+    /// `matches`, in the same order.
+    pub(crate) fn search_streaming<V: DynamicView + ?Sized, F>(
+        &self,
+        view: &V,
+        index: &OfflineIndex,
+        fixed_extended_size: Option<usize>,
+        query: &Graph,
+        on_match: F,
+    ) -> SearchStats
     where
         F: FnMut(u64, Option<f64>),
     {
         let started = Instant::now();
         let _span = gbd_telemetry::span!("dynamic.search_streaming");
         let query_branches = BranchMultiset::from_graph(query);
-        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let query_flat = view.view_catalog().flatten_lookup(&query_branches);
         let query_size = query.vertex_count();
         let mut outcome = DynamicOutcome::default();
         outcome.stats.shards = 1;
         let mut sink = Subscriber::new(on_match);
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
+        let cap_hint = view.view_max_vertices_hint();
         self.scan_segment(
-            self.dynamic.base(),
-            &self.dynamic.base_tombstones,
-            &self.dynamic.base_ids,
+            view.view_base(),
+            view.view_base_tombstones(),
+            view.view_base_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query_size,
             &query_flat,
             &mut sink,
@@ -728,9 +891,12 @@ impl<'a> DynamicEngine<'a> {
             &mut local,
         );
         self.scan_segment(
-            self.dynamic.delta(),
-            &self.dynamic.delta_tombstones,
-            &self.dynamic.delta_ids,
+            view.view_delta(),
+            view.view_delta_tombstones(),
+            view.view_delta_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query_size,
             &query_flat,
             &mut sink,
@@ -754,18 +920,23 @@ impl<'a> DynamicEngine<'a> {
         segment: &S,
         tombstones: &Tombstones,
         ids: &[u64],
+        index: &OfflineIndex,
+        fixed_extended_size: Option<usize>,
+        cap_hint: usize,
         query_size: usize,
         query_flat: &FlatBranchSet,
         sink: &mut K,
         outcome: &mut DynamicOutcome,
         local: &mut HashMap<(usize, u64), f64>,
     ) {
-        let kernel = self.kernel(segment, query_size, query_flat);
+        let kernel = self.kernel(segment, query_size, query_flat, fixed_extended_size);
         let cutoff = StaticPhi::prepare(
             &kernel,
             self.config.gamma,
             self.config.record_posteriors,
-            |extended_size| self.size_decision(extended_size),
+            |extended_size| {
+                self.size_decision(index, extended_size, cap_hint.max(extended_size) as u64)
+            },
         );
         outcome.ids.extend(
             (0..segment.segment_len())
@@ -782,7 +953,7 @@ impl<'a> DynamicEngine<'a> {
             |stats, extended_size, phi| {
                 crate::engine::lookup_posterior_memoized(
                     &self.cache,
-                    self.index,
+                    index,
                     local,
                     stats,
                     extended_size,
@@ -795,8 +966,8 @@ impl<'a> DynamicEngine<'a> {
         }
     }
 
-    /// Runs a **ranked** query over the live set: the `k` live graphs with
-    /// the highest posterior, best first, keyed by stable ids.
+    /// Runs a **ranked** query over a view's live set: the `k` live graphs
+    /// with the highest posterior, best first, keyed by stable ids.
     ///
     /// Bit-identical — same ids, same posterior bits — to
     /// [`crate::QueryEngine::search_top_k`] over a freshly built database of
@@ -807,7 +978,14 @@ impl<'a> DynamicEngine<'a> {
     /// tightens the bound that prunes delta graphs and vice versa; `γ` and
     /// [`GbdaConfig::record_posteriors`] play no role, exactly as in the
     /// static engine.
-    pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
+    pub(crate) fn search_top_k<V: DynamicView + ?Sized>(
+        &self,
+        view: &V,
+        index: &OfflineIndex,
+        fixed_extended_size: Option<usize>,
+        query: &Graph,
+        k: usize,
+    ) -> DynamicTopKOutcome {
         let started = Instant::now();
         let _span = gbd_telemetry::span!("dynamic.search_top_k");
         if k == 0 {
@@ -815,7 +993,7 @@ impl<'a> DynamicEngine<'a> {
         }
         let flatten_started = Instant::now();
         let query_branches = BranchMultiset::from_graph(query);
-        let query_flat = self.dynamic.catalog().flatten_lookup(&query_branches);
+        let query_flat = view.view_catalog().flatten_lookup(&query_branches);
         let mut outcome = DynamicTopKOutcome::default();
         outcome.stats.shards = 1;
         outcome.stats.flatten_seconds = flatten_started.elapsed().as_secs_f64();
@@ -824,13 +1002,17 @@ impl<'a> DynamicEngine<'a> {
         // which is why the cutoff's candidate count is the whole live set.
         let mut sink = TopKSink::new(k);
         let mut local: HashMap<(usize, u64), f64> = HashMap::new();
-        let candidates = self.dynamic.len();
+        let candidates = view.view_len();
+        let cap_hint = view.view_max_vertices_hint();
 
         let scan_started = Instant::now();
         self.scan_segment_top_k(
-            self.dynamic.base(),
-            &self.dynamic.base_tombstones,
-            &self.dynamic.base_ids,
+            view.view_base(),
+            view.view_base_tombstones(),
+            view.view_base_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query.vertex_count(),
             &query_flat,
             k,
@@ -840,9 +1022,12 @@ impl<'a> DynamicEngine<'a> {
             &mut local,
         );
         self.scan_segment_top_k(
-            self.dynamic.delta(),
-            &self.dynamic.delta_tombstones,
-            &self.dynamic.delta_ids,
+            view.view_delta(),
+            view.view_delta_tombstones(),
+            view.view_delta_ids(),
+            index,
+            fixed_extended_size,
+            cap_hint,
             query.vertex_count(),
             &query_flat,
             k,
@@ -874,6 +1059,9 @@ impl<'a> DynamicEngine<'a> {
         segment: &S,
         tombstones: &Tombstones,
         ids: &[u64],
+        index: &OfflineIndex,
+        fixed_extended_size: Option<usize>,
+        cap_hint: usize,
         query_size: usize,
         query_flat: &FlatBranchSet,
         k: usize,
@@ -882,9 +1070,9 @@ impl<'a> DynamicEngine<'a> {
         stats: &mut SearchStats,
         local: &mut HashMap<(usize, u64), f64>,
     ) {
-        let kernel = self.kernel(segment, query_size, query_flat);
+        let kernel = self.kernel(segment, query_size, query_flat, fixed_extended_size);
         let cutoff = TighteningRank::prepare(&kernel, k, candidates, |extended_size| {
-            self.rank_decision(extended_size)
+            self.rank_decision(index, extended_size, cap_hint.max(extended_size) as u64)
         });
         kernel.scan(
             0..segment.segment_len(),
@@ -896,7 +1084,7 @@ impl<'a> DynamicEngine<'a> {
             |stats, extended_size, phi| {
                 crate::engine::lookup_posterior_memoized(
                     &self.cache,
-                    self.index,
+                    index,
                     local,
                     stats,
                     extended_size,
@@ -907,6 +1095,109 @@ impl<'a> DynamicEngine<'a> {
         if !self.config.force_fixed_pipeline && segment.segment_len() > 0 {
             Planner::book(kernel.plan(), stats);
         }
+    }
+}
+
+/// Samples the GBDA-V1 fixed `|V'1|` for a view's live set, exactly as
+/// [`crate::QueryEngine::new`] samples a static database of the same
+/// graphs; `None` for the other variants.
+pub(crate) fn fixed_extended_size_for<V: DynamicView + ?Sized>(
+    view: &V,
+    config: &GbdaConfig,
+) -> Option<usize> {
+    match config.variant {
+        GbdaVariant::AverageExtendedSize { sample_graphs } => {
+            let live = view.view_live_vertex_counts();
+            Some(crate::engine::average_extended_size(
+                config.seed,
+                sample_graphs,
+                &live,
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// The segment-aware query engine over a [`DynamicDatabase`].
+///
+/// Mirrors [`crate::QueryEngine`] — same variants, same cascade, same
+/// posterior memo — but scans base and delta segments under their tombstone
+/// masks. Given the same [`OfflineIndex`] and configuration, its results are
+/// bit-identical to a `QueryEngine` over a freshly built database of the
+/// live graphs.
+///
+/// This engine borrows the database, so overlapping queries and mutations
+/// are ruled out at compile time; for snapshot-isolated reads *under*
+/// writes, see [`crate::concurrent::ConcurrentEngine`], which runs the same
+/// scan machinery over published [`crate::concurrent::Generation`]s.
+pub struct DynamicEngine<'a> {
+    dynamic: &'a DynamicDatabase,
+    index: &'a OfflineIndex,
+    /// `|V'1|` override of the GBDA-V1 variant, sampled over the live set in
+    /// canonical order — exactly how [`crate::QueryEngine::new`] samples a
+    /// static database of the same graphs.
+    fixed_extended_size: Option<usize>,
+    state: ScanState,
+}
+
+impl<'a> DynamicEngine<'a> {
+    /// Creates an engine over the database's *current* live set. After an
+    /// insert, remove or compact, create a new engine (the borrow checker
+    /// enforces this: mutation needs `&mut DynamicDatabase`).
+    pub fn new(dynamic: &'a DynamicDatabase, index: &'a OfflineIndex, config: GbdaConfig) -> Self {
+        let fixed_extended_size = fixed_extended_size_for(dynamic, &config);
+        gbd_telemetry::escalate_level(config.telemetry);
+        DynamicEngine {
+            dynamic,
+            index,
+            fixed_extended_size,
+            state: ScanState::new(config),
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &GbdaConfig {
+        &self.state.config
+    }
+
+    /// The fixed `|V'1|` of the GBDA-V1 variant, if active.
+    pub fn fixed_extended_size(&self) -> Option<usize> {
+        self.fixed_extended_size
+    }
+
+    /// Runs Algorithm 1 over the live set: base then delta, each under its
+    /// tombstone mask, both through the same filter cascade.
+    pub fn search(&self, query: &Graph) -> DynamicOutcome {
+        self.state
+            .search(self.dynamic, self.index, self.fixed_extended_size, query)
+    }
+
+    /// Runs Algorithm 1 over the live set, delivering hits to `on_match` as
+    /// the scan (base then delta, ascending stable ids) finds them — the
+    /// [`Subscriber`]-sink instantiation of the kernel. Fast-path accepts
+    /// arrive with `None`; resolved hits carry `Some(Φ)`. The delivered id
+    /// set is exactly [`Self::search`]'s `matches`, in the same order.
+    pub fn search_streaming<F>(&self, query: &Graph, on_match: F) -> SearchStats
+    where
+        F: FnMut(u64, Option<f64>),
+    {
+        self.state.search_streaming(
+            self.dynamic,
+            self.index,
+            self.fixed_extended_size,
+            query,
+            on_match,
+        )
+    }
+
+    /// Runs a **ranked** query over the live set: the `k` live graphs with
+    /// the highest posterior, best first, keyed by stable ids. See
+    /// [`crate::QueryEngine::search_top_k`] for the shared ranking rules;
+    /// the dynamic guarantee is bit-identity with a static engine over a
+    /// fresh build of the live set.
+    pub fn search_top_k(&self, query: &Graph, k: usize) -> DynamicTopKOutcome {
+        self.state
+            .search_top_k(self.dynamic, self.index, self.fixed_extended_size, query, k)
     }
 }
 

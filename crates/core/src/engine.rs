@@ -130,7 +130,7 @@ impl<'a> QueryEngine<'a> {
             }
             _ => None,
         };
-        gbd_telemetry::set_level(config.telemetry);
+        gbd_telemetry::escalate_level(config.telemetry);
         QueryEngine {
             database,
             index,

@@ -23,6 +23,10 @@
 //! * [`dynamic`] — the dynamic storage layer: [`DynamicDatabase`] (immutable
 //!   base segment + append-only delta + tombstones + compaction) and the
 //!   segment-aware [`DynamicEngine`],
+//! * [`concurrent`] — snapshot-isolated serving over the dynamic layer:
+//!   immutable published [`Generation`]s, the pinning [`SnapshotReader`],
+//!   and [`ConcurrentEngine`] (mutex-serialized writer + optional
+//!   background compaction) for readers that never block writers,
 //! * [`topk`] — ranked (top-k) query primitives: the bounded heap, the
 //!   deterministic ranking order (posterior descending, graph id ascending)
 //!   and the sort-truncate reference every ranked path is proven against,
@@ -55,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod concurrent;
 pub mod config;
 pub mod database;
 pub mod dynamic;
@@ -78,9 +83,12 @@ pub mod topk;
 pub use effectiveness as metrics;
 
 pub use baseline::{EstimatorSearcher, SimilaritySearcher};
+pub use concurrent::{ConcurrentEngine, Generation, SnapshotReader};
 pub use config::{DurabilityConfig, GbdaConfig, GbdaVariant, TelemetryLevel};
 pub use database::{BucketRun, DatabaseParts, GraphAggregate, GraphDatabase, Posting};
-pub use dynamic::{DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, Tombstones};
+pub use dynamic::{
+    DeltaSegment, DynamicDatabase, DynamicEngine, DynamicOutcome, DynamicView, Tombstones,
+};
 pub use effectiveness::{aggregate, Confusion};
 pub use engine::QueryEngine;
 pub use error::{EngineError, EngineResult};

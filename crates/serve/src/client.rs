@@ -1,0 +1,45 @@
+//! A tiny blocking HTTP/1.1 client — just enough to exercise the server
+//! from the smoke mode, the benchmarks and the tests without external
+//! tooling. One request per connection (`Connection: close`).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Performs one request and returns `(status, body)`.
+///
+/// # Errors
+/// Connection/write/read failures and malformed response framing, as
+/// [`io::Error`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: gbd-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_owned());
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad("response has no status code"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?
+        .1
+        .to_owned();
+    Ok((status, body))
+}

@@ -1,0 +1,31 @@
+//! # gbd-serve — the std-only HTTP front door of the GBDA workspace
+//!
+//! Serves a [`gbda_core::ConcurrentEngine`] — snapshot-isolated reads
+//! under writes, background compaction — over a hand-rolled HTTP/1.1
+//! server built from nothing but `std::net`:
+//!
+//! * [`http`] — the wire layer: a strict request parser (typed errors,
+//!   size limits, no transfer encodings) and fixed-length responses,
+//! * [`api`] — the endpoint layer: graph JSON codec, dispatch, per-request
+//!   telemetry; every query pins one published generation and echoes its
+//!   epoch,
+//! * [`server`] — the connection-per-thread pool with read/write timeouts
+//!   and graceful drain-and-join shutdown,
+//! * [`client`] — a minimal blocking client for the smoke mode, the
+//!   benchmarks and CI.
+//!
+//! The consistency guarantee on the wire: a response with `"epoch": e` is
+//! bit-identical to what a fresh static engine would return over the live
+//! set of the published generation `e` — see `gbda_core::concurrent`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use api::{graph_from_json, handle, ServeState};
+pub use http::{HttpError, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle};

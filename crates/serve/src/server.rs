@@ -1,0 +1,253 @@
+//! The TCP front door: a `std`-only connection-per-thread HTTP server.
+//!
+//! An acceptor thread hands accepted connections to a fixed pool of worker
+//! threads over an mpsc channel; each worker runs one connection at a time
+//! through the keep-alive loop (read request → [`crate::api::handle`] →
+//! write response). Every socket gets read *and* write timeouts so a stuck
+//! peer can neither pin a worker forever nor block shutdown.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]): the stop latch is set,
+//! the acceptor is woken with a loop-back connection and exits, the channel
+//! sender drops, the workers finish their in-flight request and drain out,
+//! and everything is joined before the call returns — no connection is
+//! aborted mid-response.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::{handle, ServeState};
+use crate::http::{read_request, write_response, HttpError, Response};
+
+/// Tunables of the front door.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The bind address, e.g. `127.0.0.1:7878` (`:0` for an ephemeral
+    /// port — the bound address is on the [`ServerHandle`]).
+    pub addr: String,
+    /// Worker threads (connections served concurrently).
+    pub threads: usize,
+    /// Per-socket read timeout (also bounds how long an idle keep-alive
+    /// connection holds a worker).
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`] leaks
+/// the threads (they keep serving), so call it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully stops the server: wakes the acceptor, drains the
+    /// workers, joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway loop-back connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds `config.addr` and starts serving `state`.
+///
+/// # Errors
+/// The bind error, verbatim. Accept errors after that are retried (the
+/// acceptor never dies while the server runs).
+pub fn serve(state: Arc<ServeState>, config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (sender, receiver) = mpsc::channel::<TcpStream>();
+    let receiver = Arc::new(Mutex::new(receiver));
+
+    let workers = (0..config.threads.max(1))
+        .map(|k| {
+            let receiver = Arc::clone(&receiver);
+            let state = Arc::clone(&state);
+            let read_timeout = config.read_timeout;
+            let write_timeout = config.write_timeout;
+            std::thread::Builder::new()
+                .name(format!("gbd-serve-{k}"))
+                .spawn(move || worker_loop(&state, &receiver, read_timeout, write_timeout))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("gbd-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &sender, &stop))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, sender: &Sender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::Acquire) {
+                    // The wake-up connection (or a late client); dropping
+                    // the sender below drains the workers.
+                    return;
+                }
+                // A send can only fail if every worker died; nothing to do.
+                let _ = sender.send(stream);
+            }
+            Err(_) if stop.load(Ordering::Acquire) => return,
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+}
+
+fn worker_loop(
+    state: &ServeState,
+    receiver: &Mutex<Receiver<TcpStream>>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    loop {
+        // Holding the lock only for the recv keeps the other workers free
+        // to pick up connections while this one serves.
+        let stream = match receiver.lock() {
+            Ok(receiver) => receiver.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = stream else {
+            return; // Sender dropped: graceful shutdown.
+        };
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_nodelay(true);
+        serve_connection(state, stream);
+    }
+}
+
+/// The keep-alive loop of one connection; all errors just end it.
+fn serve_connection(state: &ServeState, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(request) => {
+                let response = handle(state, &request);
+                let close = request.close;
+                if write_response(&mut writer, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::ConnectionClosed) => return,
+            Err(HttpError::Io(_)) => return, // Timeout or reset: drop it.
+            Err(HttpError::Bad(status, message)) => {
+                // Framing is unreliable after a parse error; answer, close.
+                let _ = write_response(&mut writer, &Response::error(status, message), true);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::request;
+    use gbd_graph::{GeneratorConfig, LabelAlphabets};
+    use gbda_core::{ConcurrentEngine, DynamicDatabase, GbdaConfig, GraphDatabase, OfflineIndex};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn boot() -> (Arc<ServeState>, ServerHandle) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let graphs = GeneratorConfig::new(8, 2.0)
+            .with_alphabets(LabelAlphabets::new(4, 2))
+            .generate_many(8, &mut rng)
+            .unwrap();
+        let database = GraphDatabase::from_graphs(graphs);
+        let config = GbdaConfig::new(2, 0.5).with_sample_pairs(60);
+        let index = OfflineIndex::build(&database, &config).unwrap();
+        let engine = ConcurrentEngine::new(DynamicDatabase::new(database), index, config);
+        let state = Arc::new(ServeState::new(engine));
+        let server = serve(
+            Arc::clone(&state),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        (state, server)
+    }
+
+    #[test]
+    fn serves_real_http_and_shuts_down_gracefully() {
+        let (state, server) = boot();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\": \"ok\""));
+
+        let graph = "{\"graph\": {\"vertices\": [1, 2], \"edges\": [[0, 1, 0]]}}";
+        let (status, body) = request(addr, "POST", "/insert", graph).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"id\": 8"));
+
+        let (status, body) = request(addr, "POST", "/search", graph).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch\": 1"));
+
+        let (status, body) = request(addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("gbd_serve_requests_total"));
+
+        let (status, _body) = request(addr, "POST", "/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(state.shutdown_requested());
+        server.shutdown();
+
+        // The socket no longer answers once shutdown returns.
+        assert!(request(addr, "GET", "/healthz", "").is_err());
+    }
+}

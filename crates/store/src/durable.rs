@@ -59,10 +59,16 @@ pub struct DurableDatabase<V: Vfs> {
     wal: WalWriter,
     database: DynamicDatabase,
     durability: DurabilityConfig,
-    /// The error of the most recent failed *auto*-compaction, held back so
-    /// the mutation that triggered it can still be acknowledged (it was
-    /// already durably logged). See [`Self::take_auto_compact_error`].
+    /// The error of the **first** failed *auto*-compaction since the last
+    /// [`Self::take_auto_compact_error`], held back so the mutation that
+    /// triggered it can still be acknowledged (it was already durably
+    /// logged). First-error-wins: a repeated failure must not overwrite the
+    /// root cause before the caller collects it —
+    /// [`Self::auto_compact_failures`] counts the repeats.
     auto_compact_error: Option<StoreError>,
+    /// Failed auto-compaction attempts since the last
+    /// [`Self::take_auto_compact_error`] (or open/create).
+    auto_compact_failures: u64,
 }
 
 impl<V: Vfs> DurableDatabase<V> {
@@ -116,6 +122,7 @@ impl<V: Vfs> DurableDatabase<V> {
             database,
             durability,
             auto_compact_error: None,
+            auto_compact_failures: 0,
         })
     }
 
@@ -191,6 +198,12 @@ impl<V: Vfs> DurableDatabase<V> {
             }
         };
         let mut database = database;
+        // Replay re-applies historical, already-acknowledged mutations:
+        // silence the per-mutation dynamic-layer telemetry so counters are
+        // not inflated by history — and so a replay that fails midway
+        // (corrupt record) leaves no gauges describing the discarded
+        // database object.
+        database.set_metrics_quiet(true);
         for (seq, record) in records {
             match record {
                 WalRecord::Checkpoint { .. } => {
@@ -216,6 +229,8 @@ impl<V: Vfs> DurableDatabase<V> {
                 }
             }
         }
+        database.set_metrics_quiet(false);
+        database.publish_metric_gauges();
         let wal = WalWriter::new(wal_path, replay.next_seq(), replay.valid_len as u64);
         let recovered = DurableDatabase {
             vfs,
@@ -225,6 +240,7 @@ impl<V: Vfs> DurableDatabase<V> {
             database,
             durability,
             auto_compact_error: None,
+            auto_compact_failures: 0,
         };
         recovered.clean_stale_files();
         if gbd_telemetry::metrics_enabled() {
@@ -378,21 +394,48 @@ impl<V: Vfs> DurableDatabase<V> {
                     if gbd_telemetry::metrics_enabled() {
                         crate::obs::store_metrics().auto_compact_errors.inc();
                     }
-                    self.auto_compact_error = Some(e);
+                    self.auto_compact_failures += 1;
+                    // First-error-wins: a second failed rotation before the
+                    // caller collects the error must not overwrite the root
+                    // cause (the follow-up failure is usually a symptom).
+                    if self.auto_compact_error.is_none() {
+                        self.auto_compact_error = Some(e);
+                    }
                 }
             }
         }
     }
 
-    /// Takes the error of the most recent failed automatic compaction, if
-    /// any. Auto-compaction runs *after* an insert/remove is acknowledged,
-    /// so its failures are reported out-of-band here rather than as the
+    /// Takes the error of the **first** failed automatic compaction since
+    /// the last call, if any, and resets [`Self::auto_compact_failures`].
+    /// Auto-compaction runs *after* an insert/remove is acknowledged, so
+    /// its failures are reported out-of-band here rather than as the
     /// mutation's result (which would wrongly suggest the mutation itself
     /// did not persist). A deferred failure is not fatal: the oversized
     /// log keeps accepting mutations, and the next one retries the
-    /// rotation.
+    /// rotation. When several rotations fail back-to-back the first error
+    /// is the one preserved — it names the root cause, while the repeats
+    /// are usually downstream symptoms; check
+    /// [`Self::auto_compact_failures`] *before* taking to learn how many
+    /// piled up.
     pub fn take_auto_compact_error(&mut self) -> Option<StoreError> {
+        self.auto_compact_failures = 0;
         self.auto_compact_error.take()
+    }
+
+    /// Failed auto-compaction attempts since the last
+    /// [`Self::take_auto_compact_error`] (or since open/create). More than
+    /// one means rotations are failing repeatedly; the held error is the
+    /// first of the streak.
+    pub fn auto_compact_failures(&self) -> u64 {
+        self.auto_compact_failures
+    }
+
+    /// Peeks at the held auto-compaction error without consuming it (the
+    /// first of the current failure streak, like
+    /// [`Self::take_auto_compact_error`] — but repeatable).
+    pub fn auto_compact_error(&self) -> Option<&StoreError> {
+        self.auto_compact_error.as_ref()
     }
 
     /// Folds tombstones and the delta segment into snapshot generation
@@ -757,6 +800,71 @@ mod tests {
         vfs.arm(FaultSchedule::default());
         db.insert(graphs[1].clone()).unwrap();
         assert!(db.take_auto_compact_error().is_none());
+        assert!(db.generation() > 1, "the retried rotation went through");
+        let expected = fingerprint(db.database());
+        vfs.power_cycle();
+        let recovered = DurableDatabase::open(vfs, dir(), DurabilityConfig::default()).unwrap();
+        assert_eq!(fingerprint(recovered.database()), expected);
+    }
+
+    /// Two rotations failing back-to-back must keep the *first* error for
+    /// [`DurableDatabase::take_auto_compact_error`] — the root cause —
+    /// while counting the repeat, instead of silently overwriting it.
+    #[test]
+    fn consecutive_auto_compaction_failures_keep_the_first_error() {
+        // Measure the wal cost of one insert alone (append + sync).
+        let graphs = sample_graphs(3, 29);
+        let probe = FaultVfs::new();
+        let base = GraphDatabase::from_graphs(sample_graphs(3, 30));
+        let mut db = DurableDatabase::create(
+            probe.clone(),
+            dir(),
+            base.clone(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        probe.arm(FaultSchedule::default());
+        db.insert(graphs[0].clone()).unwrap();
+        let first_cost = probe.bytes_charged();
+        probe.arm(FaultSchedule::default());
+        db.insert(graphs[1].clone()).unwrap();
+        let second_cost = probe.bytes_charged();
+        drop(db);
+
+        // Every-mutation auto-compaction; both rotations crash right after
+        // their triggering insert's own (acknowledged) log write.
+        let vfs = FaultVfs::new();
+        let config = DurabilityConfig::default().with_auto_compact_wal_bytes(Some(1));
+        let mut db = DurableDatabase::create(vfs.clone(), dir(), base, config).unwrap();
+
+        vfs.arm(FaultSchedule::crash_after(first_cost + 2));
+        let first = db.insert(graphs[0].clone()).expect("first insert is acked");
+        assert_eq!(db.auto_compact_failures(), 1);
+        let first_error = format!("{:?}", db.auto_compact_error().unwrap());
+
+        vfs.arm(FaultSchedule::crash_after(second_cost + 2));
+        let second = db
+            .insert(graphs[1].clone())
+            .expect("second insert is acked despite the second failed rotation");
+        assert_eq!(db.auto_compact_failures(), 2, "the repeat is counted");
+        assert_eq!(
+            format!("{:?}", db.auto_compact_error().unwrap()),
+            first_error,
+            "the second failure must not overwrite the first (root-cause) error"
+        );
+
+        let taken = db.take_auto_compact_error().expect("an error was held");
+        assert_eq!(format!("{taken:?}"), first_error);
+        assert_eq!(db.auto_compact_failures(), 0, "take resets the streak");
+        assert!(db.take_auto_compact_error().is_none());
+
+        // Both mutations survived their failed rotations; the streak ends
+        // once the fault clears and a rotation goes through.
+        assert!(db.contains(first) && db.contains(second));
+        vfs.arm(FaultSchedule::default());
+        db.insert(graphs[2].clone()).unwrap();
+        assert_eq!(db.auto_compact_failures(), 0);
+        assert!(db.auto_compact_error().is_none());
         assert!(db.generation() > 1, "the retried rotation went through");
         let expected = fingerprint(db.database());
         vfs.power_cycle();

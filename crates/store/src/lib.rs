@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod concurrent;
 pub mod durable;
 pub mod error;
 pub mod format;
@@ -58,6 +59,7 @@ pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
+pub use concurrent::ConcurrentDurable;
 pub use durable::DurableDatabase;
 pub use error::{StoreError, StoreResult};
 pub use manifest::Manifest;

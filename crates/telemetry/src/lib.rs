@@ -21,11 +21,14 @@
 //!   [`MetricsRegistry::render_json`], plus the [`Snapshot`] / delta API
 //!   tests and benches assert exact increments with.
 //!
-//! The whole layer is gated by a process-wide [`TelemetryLevel`]
-//! (set from `GbdaConfig::telemetry` when an engine is built, or directly
-//! via [`set_level`]): [`TelemetryLevel::Off`] reduces every
-//! instrumentation site to one relaxed atomic load and a predictable
-//! branch; the default [`TelemetryLevel::Metrics`] records metrics only;
+//! The whole layer is gated by a process-wide [`TelemetryLevel`] under an
+//! **escalate-or-explicit-set** contract: engine construction applies
+//! `GbdaConfig::telemetry` via [`escalate_level`] (monotone — it can raise
+//! the level but never silently lower what another engine in the process
+//! asked for), while [`set_level`] is the explicit override that also
+//! lowers. [`TelemetryLevel::Off`] reduces every instrumentation site to
+//! one relaxed atomic load and a predictable branch; the default
+//! [`TelemetryLevel::Metrics`] records metrics only;
 //! [`TelemetryLevel::MetricsAndTraces`] additionally arms spans.
 //!
 //! ```
@@ -94,8 +97,31 @@ impl TelemetryLevel {
 static LEVEL: AtomicU8 = AtomicU8::new(TelemetryLevel::Metrics as u8);
 
 /// Sets the process-wide telemetry level.
+///
+/// This is the *explicit* override: it lowers as well as raises, and it is
+/// the only way to lower. Code that merely *requires* a level — engine
+/// construction applying `GbdaConfig::telemetry`, for instance — must use
+/// [`escalate_level`] instead, so that building one component can never
+/// silently stop another component's recording.
 pub fn set_level(level: TelemetryLevel) {
     LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Raises the process-wide telemetry level to at least `level`; never
+/// lowers it. Returns the level in effect afterwards.
+///
+/// This is the escalate half of the escalate-or-explicit-set contract: a
+/// component that wants recording calls this with the level it needs, and
+/// concurrent callers compose monotonically (one atomic `fetch_max`, no
+/// read-modify-write race). Lowering — e.g. turning telemetry off for a
+/// benchmark — stays an explicit, deliberate [`set_level`] call.
+pub fn escalate_level(level: TelemetryLevel) -> TelemetryLevel {
+    let previous = LEVEL.fetch_max(level as u8, Ordering::Relaxed);
+    match previous.max(level as u8) {
+        0 => TelemetryLevel::Off,
+        1 => TelemetryLevel::Metrics,
+        _ => TelemetryLevel::MetricsAndTraces,
+    }
 }
 
 /// The current process-wide telemetry level.
@@ -176,6 +202,22 @@ mod tests {
         set_level(TelemetryLevel::Metrics);
         assert_eq!(level(), TelemetryLevel::Metrics);
         assert_eq!(TelemetryLevel::default(), TelemetryLevel::Metrics);
+
+        // Escalation is monotone: it raises but never lowers — lowering
+        // stays an explicit `set_level` call.
+        assert_eq!(
+            escalate_level(TelemetryLevel::Off),
+            TelemetryLevel::Metrics,
+            "escalating to a lower level is a no-op"
+        );
+        assert_eq!(level(), TelemetryLevel::Metrics);
+        assert_eq!(
+            escalate_level(TelemetryLevel::MetricsAndTraces),
+            TelemetryLevel::MetricsAndTraces,
+            "escalating above the current level raises it"
+        );
+        assert_eq!(level(), TelemetryLevel::MetricsAndTraces);
+        set_level(TelemetryLevel::Metrics);
     }
 
     #[test]

@@ -85,22 +85,22 @@ pub mod prelude {
     };
     pub use gbd_seriation::SeriationGed;
     pub use gbd_store::{
-        load_database, save_database, DurableDatabase, FaultSchedule, FaultVfs, Manifest, Snapshot,
-        StdVfs, StoreError, StoreResult, Vfs, WalRecord, WalReplay, WalWriter,
+        load_database, save_database, ConcurrentDurable, DurableDatabase, FaultSchedule, FaultVfs,
+        Manifest, Snapshot, StdVfs, StoreError, StoreResult, Vfs, WalRecord, WalReplay, WalWriter,
     };
     pub use gbd_telemetry::{
         Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot as MetricsSnapshot,
         Span, TelemetryLevel, TraceBuffer, TraceEvent, TraceKind,
     };
     pub use gbda_core::{
-        rank_by_posterior, BoundClass, BucketPlan, BucketRun, CollectAll, Confusion, Cutoff,
-        DatabaseParts, DurabilityConfig, DynamicDatabase, DynamicEngine, DynamicOutcome,
-        DynamicTopKOutcome, EngineError, EngineResult, EstimatorSearcher, FilterCascade,
-        GbdaConfig, GbdaEstimator, GbdaSearcher, GbdaVariant, GraphAggregate, GraphDatabase,
-        OfflineIndex, Planner, PosteriorCache, Posting, PostingsCursors, QueryEngine, QueryPlan,
-        RankDecision, RankedHit, ScanKernel, SearchOutcome, SearchStats, SegmentIndex,
-        SimilaritySearcher, Sink, SizeDecision, StaticPhi, Subscriber, TighteningRank, TopKHeap,
-        TopKOutcome, TopKSink,
+        rank_by_posterior, BoundClass, BucketPlan, BucketRun, CollectAll, ConcurrentEngine,
+        Confusion, Cutoff, DatabaseParts, DurabilityConfig, DynamicDatabase, DynamicEngine,
+        DynamicOutcome, DynamicTopKOutcome, DynamicView, EngineError, EngineResult,
+        EstimatorSearcher, FilterCascade, GbdaConfig, GbdaEstimator, GbdaSearcher, GbdaVariant,
+        Generation, GraphAggregate, GraphDatabase, OfflineIndex, Planner, PosteriorCache, Posting,
+        PostingsCursors, QueryEngine, QueryPlan, RankDecision, RankedHit, ScanKernel,
+        SearchOutcome, SearchStats, SegmentIndex, SimilaritySearcher, Sink, SizeDecision,
+        SnapshotReader, StaticPhi, Subscriber, TighteningRank, TopKHeap, TopKOutcome, TopKSink,
     };
 }
 

@@ -170,12 +170,18 @@ fn trace_ring_accounts_for_every_event() {
     assert_eq!(kept, vec![3, 4, 5, 6], "oldest events are overwritten");
 }
 
+/// Serializes the tests that manipulate the process-global telemetry level
+/// or read the process-global gauges: the default runner is parallel, and
+/// an `Off` window in one test must not swallow another's recordings.
+static GLOBAL_TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// The one test that touches process-global state (the level and the global
 /// registry): `Off` suppresses the engine flush entirely, `Metrics` mirrors
 /// the stage partition of [`SearchStats`] bit-exactly into counter deltas,
 /// and the JSON rendering parses with the workspace's own JSON parser.
 #[test]
 fn global_level_gating_and_engine_flush() {
+    let _guard = GLOBAL_TELEMETRY_LOCK.lock().unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let graphs = GeneratorConfig::new(10, 2.0)
         .with_alphabets(LabelAlphabets::new(5, 3))
@@ -234,4 +240,144 @@ fn global_level_gating_and_engine_flush() {
 
     // Restore the default so no later global user sees a surprise level.
     telemetry::set_level(TelemetryLevel::Metrics);
+}
+
+/// The escalate-or-explicit-set contract of [`GbdaConfig::telemetry`]:
+/// constructing a second engine with a *conflicting* (lower) level must not
+/// silently reconfigure the process for the engines already running —
+/// construction only ever raises the level; lowering takes an explicit
+/// `set_level`.
+#[test]
+fn engine_construction_escalates_but_never_lowers_the_level() {
+    let _guard = GLOBAL_TELEMETRY_LOCK.lock().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let graphs = GeneratorConfig::new(8, 2.0)
+        .with_alphabets(LabelAlphabets::new(4, 2))
+        .generate_many(12, &mut rng)
+        .unwrap();
+    let query = graphs[3].clone();
+    let database = GraphDatabase::from_graphs(graphs);
+    let config = GbdaConfig::new(2, 0.7).with_sample_pairs(80);
+    let index = OfflineIndex::build(&database, &config).unwrap();
+
+    telemetry::set_level(TelemetryLevel::Off);
+    let metered = QueryEngine::new(
+        &database,
+        &index,
+        config.clone().with_telemetry(TelemetryLevel::Metrics),
+    );
+    assert_eq!(
+        telemetry::level(),
+        TelemetryLevel::Metrics,
+        "construction escalates the process level to what the engine requires"
+    );
+
+    // The conflicting engine: a lower requested level must leave the
+    // process level — and the first engine's flushes — untouched.
+    let quiet = QueryEngine::new(
+        &database,
+        &index,
+        config.clone().with_telemetry(TelemetryLevel::Off),
+    );
+    assert_eq!(
+        telemetry::level(),
+        TelemetryLevel::Metrics,
+        "a second engine with a lower level must not reconfigure the process"
+    );
+    let before = telemetry::global().snapshot();
+    metered.search(&query);
+    quiet.search(&query);
+    let delta = telemetry::global().snapshot().delta(&before);
+    assert_eq!(
+        delta.counter("gbda_queries_total"),
+        2,
+        "both engines flush at the escalated process level"
+    );
+
+    // Escalation past the current level still works…
+    let _traced = QueryEngine::new(
+        &database,
+        &index,
+        config.with_telemetry(TelemetryLevel::MetricsAndTraces),
+    );
+    assert_eq!(telemetry::level(), TelemetryLevel::MetricsAndTraces);
+
+    // …and lowering is exactly the explicit override, nothing else.
+    telemetry::set_level(TelemetryLevel::Metrics);
+    assert_eq!(telemetry::level(), TelemetryLevel::Metrics);
+}
+
+/// Gauge/state agreement across an injected failure: the dynamic-layer
+/// gauges must describe the *actual* database after a failed mutation
+/// (log-then-apply means a failed WAL append changes nothing), and a
+/// recovery replay must neither count historical mutations as fresh ones
+/// nor leave gauges describing a discarded database object.
+#[test]
+fn dynamic_gauges_agree_with_state_across_an_injected_failure() {
+    let _guard = GLOBAL_TELEMETRY_LOCK.lock().unwrap();
+    telemetry::set_level(TelemetryLevel::Metrics);
+    let gauges = || {
+        let snapshot = telemetry::global().snapshot();
+        (
+            snapshot.gauge("gbda_dynamic_delta_graphs"),
+            snapshot.gauge("gbda_dynamic_tombstones"),
+        )
+    };
+    let agree = |db: &DurableDatabase<FaultVfs>, when: &str| {
+        let state = (
+            db.database().delta().len() as f64,
+            db.database().tombstone_count() as f64,
+        );
+        assert_eq!(gauges(), state, "gauges diverged from state {when}");
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let graphs = GeneratorConfig::new(8, 2.0)
+        .with_alphabets(LabelAlphabets::new(4, 2))
+        .generate_many(8, &mut rng)
+        .unwrap();
+    let base = GraphDatabase::from_graphs(graphs[..5].to_vec());
+    let vfs = FaultVfs::new();
+    let mut db =
+        DurableDatabase::create(vfs.clone(), "gauge-db", base, DurabilityConfig::default())
+            .unwrap();
+    db.insert(graphs[5].clone()).unwrap();
+    db.insert(graphs[6].clone()).unwrap();
+    db.remove(1).unwrap();
+    agree(&db, "after acknowledged mutations");
+
+    // The injected failure: the WAL append crashes, the mutation is never
+    // applied — and the gauges must not have moved.
+    let before = telemetry::global().snapshot();
+    vfs.arm(FaultSchedule::crash_after(0));
+    assert!(db.insert(graphs[7].clone()).is_err());
+    agree(&db, "after a failed (unapplied) insert");
+    let delta = telemetry::global().snapshot().delta(&before);
+    assert_eq!(
+        delta.counter("gbda_dynamic_inserts_total"),
+        0,
+        "a failed insert must not be counted"
+    );
+
+    // Recovery: the quiet replay must not re-count the historical
+    // mutations, and the resynced gauges describe the recovered database.
+    drop(db);
+    vfs.arm(FaultSchedule::default());
+    vfs.power_cycle();
+    let before = telemetry::global().snapshot();
+    let recovered = DurableDatabase::open(vfs, "gauge-db", DurabilityConfig::default()).unwrap();
+    let delta = telemetry::global().snapshot().delta(&before);
+    assert_eq!(
+        delta.counter("gbda_dynamic_inserts_total"),
+        0,
+        "replay must not count historical inserts as fresh ones"
+    );
+    assert_eq!(
+        delta.counter("gbda_dynamic_removes_total"),
+        0,
+        "replay must not count historical removes as fresh ones"
+    );
+    agree(&recovered, "after recovery resynced the gauges");
+    assert_eq!(recovered.database().delta().len(), 2);
+    assert_eq!(recovered.database().tombstone_count(), 1);
 }
